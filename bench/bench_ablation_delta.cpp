@@ -1,0 +1,37 @@
+// Ablation: sensitivity to the delta relaxation coefficient (the paper's
+// "precision controller of final Pareto solutions", Eq. (11)-(12)). Larger
+// delta converges in fewer tool runs at coarser front accuracy.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "tuner/ppatuner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppat;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 1;
+  const auto source = bench::load_paper_benchmark("source2");
+  const auto target = bench::load_paper_benchmark("target2");
+  const auto source_data = tuner::SourceData::from_benchmark(
+      source, tuner::kPowerDelay, 200, seed + 1);
+
+  common::AsciiTable table(
+      "Ablation: delta relaxation sweep (Target2, power-delay)");
+  table.set_header({"delta_rel", "HV", "ADRS", "Runs"});
+  for (double delta : {0.002, 0.005, 0.01, 0.02, 0.05, 0.10}) {
+    tuner::CandidatePool pool(&target, tuner::kPowerDelay);
+    tuner::PPATunerOptions opt;
+    opt.delta_rel = delta;
+    opt.max_runs = 150;
+    opt.seed = seed;
+    const auto q = evaluate_result(
+        pool, tuner::run_ppatuner(
+                  pool, tuner::make_transfer_gp_factory(source_data), opt));
+    table.add_row({common::fmt_fixed(delta, 3),
+                   common::fmt_fixed(q.hv_error, 3),
+                   common::fmt_fixed(q.adrs, 3), std::to_string(q.runs)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: base-kernel choice inside the transfer GP (squared exponential
+// vs Matern 5/2), averaged over seeds. The paper does not commit to a
+// kernel; this bench shows the framework is robust to the choice on the
+// pdsim response surfaces.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "tuner/ppatuner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppat;
+  const std::uint64_t seed0 = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                       : 1;
+  constexpr int kSeeds = 3;
+  const auto source = bench::load_paper_benchmark("source2");
+  const auto target = bench::load_paper_benchmark("target2");
+  const auto source_data = tuner::SourceData::from_benchmark(
+      source, tuner::kPowerDelay, 200, seed0 + 1);
+
+  common::AsciiTable table(
+      "Ablation: transfer-GP base kernel (Target2, power-delay, mean of 3 "
+      "seeds)");
+  table.set_header({"kernel", "HV", "ADRS", "Runs"});
+  const std::pair<const char*, tuner::KernelKind> kernels[] = {
+      {"squared exponential", tuner::KernelKind::kSquaredExponential},
+      {"Matern 5/2", tuner::KernelKind::kMatern52},
+  };
+  for (const auto& [name, kind] : kernels) {
+    double hv = 0.0, adrs = 0.0, runs = 0.0;
+    for (int s = 0; s < kSeeds; ++s) {
+      tuner::CandidatePool pool(&target, tuner::kPowerDelay);
+      tuner::PPATunerOptions opt;
+      opt.max_runs = 70;
+      opt.seed = seed0 + static_cast<std::uint64_t>(s);
+      const auto q = evaluate_result(
+          pool,
+          tuner::run_ppatuner(
+              pool, tuner::make_transfer_gp_factory(source_data, kind), opt));
+      hv += q.hv_error;
+      adrs += q.adrs;
+      runs += static_cast<double>(q.runs);
+    }
+    table.add_row({name, common::fmt_fixed(hv / kSeeds, 3),
+                   common::fmt_fixed(adrs / kSeeds, 3),
+                   common::fmt_fixed(runs / kSeeds, 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

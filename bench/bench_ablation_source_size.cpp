@@ -1,0 +1,53 @@
+// Ablation: how much source-task data does the transfer need? Sweeps the
+// number of historical configurations fed to the transfer GP (the paper
+// fixes it at 200), at a low-budget operating point where transfer matters,
+// averaged over seeds.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "tuner/ppatuner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppat;
+  const std::uint64_t seed0 = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                       : 1;
+  constexpr int kSeeds = 3;
+  const auto source = bench::load_paper_benchmark("source2");
+  const auto target = bench::load_paper_benchmark("target2");
+
+  common::AsciiTable table(
+      "Ablation: source-task data volume (Target2, power-delay, 40-run "
+      "budget, mean of 3 seeds)");
+  table.set_header({"source points", "HV", "ADRS", "Runs"});
+  for (std::size_t n_source : {0ul, 25ul, 50ul, 100ul, 200ul, 400ul}) {
+    double hv = 0.0, adrs = 0.0, runs = 0.0;
+    for (int s = 0; s < kSeeds; ++s) {
+      const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(s);
+      tuner::CandidatePool pool(&target, tuner::kPowerDelay);
+      tuner::PPATunerOptions opt;
+      opt.max_runs = 40;
+      opt.seed = seed;
+      tuner::TuningResult result;
+      if (n_source == 0) {
+        result =
+            tuner::run_ppatuner(pool, tuner::make_plain_gp_factory(), opt);
+      } else {
+        const auto source_data = tuner::SourceData::from_benchmark(
+            source, tuner::kPowerDelay, n_source, seed + 1);
+        result = tuner::run_ppatuner(
+            pool, tuner::make_transfer_gp_factory(source_data), opt);
+      }
+      const auto q = evaluate_result(pool, result);
+      hv += q.hv_error;
+      adrs += q.adrs;
+      runs += static_cast<double>(q.runs);
+    }
+    table.add_row({std::to_string(n_source),
+                   common::fmt_fixed(hv / kSeeds, 3),
+                   common::fmt_fixed(adrs / kSeeds, 3),
+                   common::fmt_fixed(runs / kSeeds, 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

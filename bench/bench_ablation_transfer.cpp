@@ -1,0 +1,68 @@
+// Ablation: the value of the transfer GP. Runs the PPATuner loop with (a)
+// the paper's transfer GP and (b) plain target-only GPs (everything else
+// identical) on both scenarios' power-delay spaces, averaged over seeds.
+//
+// The operating points are deliberately low-budget: transfer pays off when
+// target-task data is scarce (the paper's premise). At generous budgets the
+// pdsim response surfaces are learnable enough that a target-only GP
+// catches up — see EXPERIMENTS.md for that discussion.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "tuner/ppatuner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppat;
+  const std::uint64_t seed0 = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                       : 1;
+  constexpr int kSeeds = 3;
+  struct Scenario {
+    const char* name;
+    const char* source;
+    const char* target;
+    std::size_t cap;
+  };
+  const Scenario scenarios[] = {
+      {"Scenario One (Target1)", "source1", "target1", 120},
+      {"Scenario Two (Target2)", "source2", "target2", 40},
+  };
+
+  common::AsciiTable table(
+      "Ablation: transfer GP vs plain GP inside PPATuner "
+      "(power-delay, low-budget operating points, mean of 3 seeds)");
+  table.set_header({"Scenario", "Surrogate", "HV", "ADRS", "Runs"});
+
+  for (const auto& sc : scenarios) {
+    const auto source = bench::load_paper_benchmark(sc.source);
+    const auto target = bench::load_paper_benchmark(sc.target);
+    const auto source_data = tuner::SourceData::from_benchmark(
+        source, tuner::kPowerDelay, 200, seed0 + 1);
+
+    for (const bool use_transfer : {true, false}) {
+      double hv = 0.0, adrs = 0.0, runs = 0.0;
+      for (int s = 0; s < kSeeds; ++s) {
+        tuner::CandidatePool pool(&target, tuner::kPowerDelay);
+        tuner::PPATunerOptions opt;
+        opt.max_runs = sc.cap;
+        opt.seed = seed0 + static_cast<std::uint64_t>(s);
+        const auto q = evaluate_result(
+            pool,
+            tuner::run_ppatuner(
+                pool,
+                use_transfer ? tuner::make_transfer_gp_factory(source_data)
+                             : tuner::make_plain_gp_factory(),
+                opt));
+        hv += q.hv_error;
+        adrs += q.adrs;
+        runs += static_cast<double>(q.runs);
+      }
+      table.add_row({sc.name, use_transfer ? "transfer GP" : "plain GP",
+                     common::fmt_fixed(hv / kSeeds, 3),
+                     common::fmt_fixed(adrs / kSeeds, 3),
+                     common::fmt_fixed(runs / kSeeds, 1)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

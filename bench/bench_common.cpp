@@ -1,0 +1,222 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/aspdac20.hpp"
+#include "baselines/dac19.hpp"
+#include "baselines/mlcad19.hpp"
+#include "baselines/tcad19.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "netlist/mac_generator.hpp"
+#include "tuner/ppatuner.hpp"
+
+#ifndef PPAT_DATA_DIR
+#define PPAT_DATA_DIR "data"
+#endif
+
+namespace ppat::bench {
+
+std::string data_dir() {
+  if (const char* env = std::getenv("PPAT_DATA_DIR")) return env;
+  return PPAT_DATA_DIR;
+}
+
+flow::BenchmarkSet load_paper_benchmark(const std::string& name) {
+  struct Spec {
+    const char* name;
+    flow::ParameterSpace (*space)();
+    std::size_t points;
+    bool large_design;
+    std::uint64_t seed;
+  };
+  static const Spec kSpecs[] = {
+      {"source1", flow::source1_space, flow::kSource1Points, false, 101},
+      {"target1", flow::target1_space, flow::kTarget1Points, false, 102},
+      {"source2", flow::source2_space, flow::kSource2Points, false, 103},
+      {"target2", flow::target2_space, flow::kTarget2Points, true, 104},
+  };
+  for (const Spec& spec : kSpecs) {
+    if (name != spec.name) continue;
+    auto make_oracle = [&spec]() -> std::unique_ptr<flow::QorOracle> {
+      static const netlist::CellLibrary lib =
+          netlist::CellLibrary::make_default();
+      return std::make_unique<flow::PDTool>(
+          &lib,
+          spec.large_design ? netlist::large_mac_config()
+                            : netlist::small_mac_config(),
+          42);
+    };
+    return flow::build_or_load(data_dir(), spec.name, spec.space(),
+                               spec.points, make_oracle, spec.seed);
+  }
+  throw std::invalid_argument("unknown paper benchmark: " + name);
+}
+
+ScenarioBudgets scenario_one_budgets() {
+  // Table 2 operating points (runs on the 5000-point Target1 pool).
+  ScenarioBudgets b;
+  b.tcad19 = 510;
+  b.mlcad19 = 400;
+  b.dac19 = 600;
+  b.aspdac20 = 400;
+  b.ppatuner_cap = 400;
+  return b;
+}
+
+ScenarioBudgets scenario_two_budgets() {
+  // Table 3 operating points (runs on the 727-point Target2 pool).
+  ScenarioBudgets b;
+  b.tcad19 = 92;
+  b.mlcad19 = 70;
+  b.dac19 = 130;
+  b.aspdac20 = 70;
+  b.ppatuner_cap = 70;
+  return b;
+}
+
+const std::vector<std::string>& method_names() {
+  static const std::vector<std::string> kNames = {
+      "TCAD'19", "MLCAD'19", "DAC'19", "ASPDAC'20", "PPATuner"};
+  return kNames;
+}
+
+std::vector<MethodScore> run_all_methods(
+    const flow::BenchmarkSet& source, const flow::BenchmarkSet& target,
+    const std::vector<std::size_t>& objectives,
+    const ScenarioBudgets& budgets, std::uint64_t seed) {
+  const auto source_data =
+      tuner::SourceData::from_benchmark(source, objectives, 200, seed + 1);
+  std::vector<MethodScore> scores;
+
+  {
+    tuner::CandidatePool pool(&target, objectives);
+    baselines::Tcad19Options opt;
+    opt.max_runs = budgets.tcad19;
+    opt.seed = seed;
+    scores.push_back(
+        {"TCAD'19", evaluate_result(pool, baselines::run_tcad19(pool, opt))});
+  }
+  {
+    tuner::CandidatePool pool(&target, objectives);
+    baselines::Mlcad19Options opt;
+    opt.budget = budgets.mlcad19;
+    opt.seed = seed;
+    scores.push_back({"MLCAD'19",
+                      evaluate_result(pool, baselines::run_mlcad19(pool, opt))});
+  }
+  {
+    tuner::CandidatePool pool(&target, objectives);
+    baselines::Dac19Options opt;
+    opt.budget = budgets.dac19;
+    opt.seed = seed;
+    scores.push_back(
+        {"DAC'19",
+         evaluate_result(pool, baselines::run_dac19(pool, &source_data, opt))});
+  }
+  {
+    tuner::CandidatePool pool(&target, objectives);
+    baselines::Aspdac20Options opt;
+    opt.budget = budgets.aspdac20;
+    opt.seed = seed;
+    scores.push_back(
+        {"ASPDAC'20", evaluate_result(pool, baselines::run_aspdac20(
+                                                pool, &source_data, opt))});
+  }
+  {
+    tuner::CandidatePool pool(&target, objectives);
+    tuner::PPATunerOptions opt;
+    opt.max_runs = budgets.ppatuner_cap;
+    opt.seed = seed;
+    scores.push_back(
+        {"PPATuner",
+         evaluate_result(pool, tuner::run_ppatuner(
+                                   pool,
+                                   tuner::make_transfer_gp_factory(source_data),
+                                   opt))});
+  }
+  return scores;
+}
+
+void run_scenario_table(const std::string& title,
+                        const flow::BenchmarkSet& source,
+                        const flow::BenchmarkSet& target,
+                        const ScenarioBudgets& budgets, std::uint64_t seed,
+                        const std::string& csv_path) {
+  const std::vector<std::vector<std::size_t>> spaces = {
+      tuner::kAreaDelay, tuner::kPowerDelay, tuner::kAreaPowerDelay};
+
+  common::AsciiTable table(title);
+  std::vector<std::string> header = {"Multi-objective"};
+  for (const auto& m : method_names()) {
+    header.push_back(m + " HV");
+    header.push_back(m + " ADRS");
+    header.push_back(m + " Runs");
+  }
+  table.set_header(header);
+
+  common::CsvTable csv;
+  csv.header = {"objective_space", "method", "hv_error", "adrs", "runs"};
+
+  // Accumulate per-method averages across the three objective spaces.
+  std::vector<double> sum_hv(method_names().size(), 0.0);
+  std::vector<double> sum_adrs(method_names().size(), 0.0);
+  std::vector<double> sum_runs(method_names().size(), 0.0);
+
+  for (const auto& objectives : spaces) {
+    const auto scores =
+        run_all_methods(source, target, objectives, budgets, seed);
+    std::vector<std::string> row = {
+        tuner::objective_space_name(objectives)};
+    for (std::size_t m = 0; m < scores.size(); ++m) {
+      const auto& q = scores[m].quality;
+      row.push_back(common::fmt_fixed(q.hv_error, 3));
+      row.push_back(common::fmt_fixed(q.adrs, 3));
+      row.push_back(std::to_string(q.runs));
+      sum_hv[m] += q.hv_error;
+      sum_adrs[m] += q.adrs;
+      sum_runs[m] += static_cast<double>(q.runs);
+      csv.rows.push_back({tuner::objective_space_name(objectives),
+                          scores[m].method, common::fmt_fixed(q.hv_error, 6),
+                          common::fmt_fixed(q.adrs, 6),
+                          std::to_string(q.runs)});
+    }
+    table.add_row(std::move(row));
+  }
+
+  const double n_spaces = static_cast<double>(spaces.size());
+  table.add_separator();
+  std::vector<std::string> avg_row = {"Average"};
+  for (std::size_t m = 0; m < method_names().size(); ++m) {
+    avg_row.push_back(common::fmt_fixed(sum_hv[m] / n_spaces, 3));
+    avg_row.push_back(common::fmt_fixed(sum_adrs[m] / n_spaces, 3));
+    avg_row.push_back(common::fmt_fixed(sum_runs[m] / n_spaces, 1));
+  }
+  table.add_row(std::move(avg_row));
+
+  // Ratio row: each method's averages relative to PPATuner (last column
+  // block), exactly like the paper's "Ratio" row.
+  const std::size_t ppa = method_names().size() - 1;
+  std::vector<std::string> ratio_row = {"Ratio"};
+  for (std::size_t m = 0; m < method_names().size(); ++m) {
+    auto safe_ratio = [](double num, double den) {
+      return den > 0.0 ? num / den : 0.0;
+    };
+    ratio_row.push_back(
+        common::fmt_fixed(safe_ratio(sum_hv[m], sum_hv[ppa]), 3));
+    ratio_row.push_back(
+        common::fmt_fixed(safe_ratio(sum_adrs[m], sum_adrs[ppa]), 3));
+    ratio_row.push_back(
+        common::fmt_fixed(safe_ratio(sum_runs[m], sum_runs[ppa]), 3));
+  }
+  table.add_row(std::move(ratio_row));
+
+  std::fputs(table.render().c_str(), stdout);
+  if (!csv_path.empty()) {
+    common::write_csv_file(csv_path, csv);
+    std::printf("(CSV written to %s)\n", csv_path.c_str());
+  }
+}
+
+}  // namespace ppat::bench

@@ -1,0 +1,63 @@
+// Shared harness for the paper-reproduction benches: loads (or builds) the
+// four benchmark tables, runs the five tuning methods with per-scenario
+// budgets, and renders tables in the paper's layout (HV error / ADRS / tool
+// runs per method per objective space, with Average and Ratio rows).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flow/benchmark.hpp"
+#include "tuner/problem.hpp"
+
+namespace ppat::bench {
+
+/// Directory holding the cached benchmark CSVs (source1.csv, ...). Compiled
+/// in from the source tree; overridable with the PPAT_DATA_DIR environment
+/// variable.
+std::string data_dir();
+
+/// Loads a benchmark by name ("source1", "target1", "source2", "target2"),
+/// building and caching it with the bundled PD flow if its CSV is missing.
+flow::BenchmarkSet load_paper_benchmark(const std::string& name);
+
+/// Per-method tool-run budgets for one scenario (the paper's Tables 2-3
+/// operating points).
+struct ScenarioBudgets {
+  std::size_t tcad19 = 520;
+  std::size_t mlcad19 = 400;
+  std::size_t dac19 = 600;
+  std::size_t aspdac20 = 400;
+  std::size_t ppatuner_cap = 400;  ///< PPATuner stops earlier on convergence
+};
+
+ScenarioBudgets scenario_one_budgets();  ///< Source1 -> Target1 (Table 2)
+ScenarioBudgets scenario_two_budgets();  ///< Source2 -> Target2 (Table 3)
+
+/// One table cell: quality metrics of a method on an objective space.
+struct MethodScore {
+  std::string method;
+  tuner::ResultQuality quality;
+};
+
+/// Runs all five methods on one objective space. `seed` drives every
+/// stochastic choice; the same seed reproduces the row exactly.
+std::vector<MethodScore> run_all_methods(
+    const flow::BenchmarkSet& source, const flow::BenchmarkSet& target,
+    const std::vector<std::size_t>& objectives,
+    const ScenarioBudgets& budgets, std::uint64_t seed);
+
+/// Full scenario: the paper's three objective spaces. Prints the table to
+/// stdout and (if `csv_path` non-empty) writes a machine-readable copy.
+void run_scenario_table(const std::string& title,
+                        const flow::BenchmarkSet& source,
+                        const flow::BenchmarkSet& target,
+                        const ScenarioBudgets& budgets, std::uint64_t seed,
+                        const std::string& csv_path);
+
+/// The method names in the paper's column order.
+const std::vector<std::string>& method_names();
+
+}  // namespace ppat::bench

@@ -1,0 +1,110 @@
+// Convergence study (extension beyond the paper's tables): front quality of
+// the best-known answer as a function of tool runs, per method, on Target2
+// power-delay. PPATuner and TCAD'19 are traced through the PAL loop's
+// per-round callback; the fixed-budget baselines are sampled at a budget
+// grid. Emits a CSV suitable for plotting HV-error-vs-runs curves.
+#include <cstdio>
+
+#include "baselines/aspdac20.hpp"
+#include "baselines/dac19.hpp"
+#include "baselines/mlcad19.hpp"
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "tuner/ppatuner.hpp"
+
+namespace {
+
+using namespace ppat;
+
+/// HV error of the front of the points revealed so far.
+double revealed_hv_error(const tuner::CandidatePool& pool,
+                         const std::vector<pareto::Point>& golden) {
+  std::vector<pareto::Point> revealed;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool.is_revealed(i)) revealed.push_back(pool.golden(i));
+  }
+  if (revealed.empty()) return 1.0;
+  return pareto::hypervolume_error(golden, pareto::pareto_front(revealed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 1;
+  const auto source = bench::load_paper_benchmark("source2");
+  const auto target = bench::load_paper_benchmark("target2");
+  const auto objectives = tuner::kPowerDelay;
+  const auto source_data =
+      tuner::SourceData::from_benchmark(source, objectives, 200, seed + 1);
+
+  common::CsvTable csv;
+  csv.header = {"method", "runs", "hv_error"};
+  common::AsciiTable table(
+      "Convergence: HV error of the revealed front vs tool runs "
+      "(Target2, power-delay)");
+  table.set_header({"method", "runs", "HV error"});
+
+  auto emit = [&](const std::string& method, std::size_t runs, double hv) {
+    csv.rows.push_back({method, std::to_string(runs),
+                        common::fmt_fixed(hv, 6)});
+    table.add_row({method, std::to_string(runs), common::fmt_fixed(hv, 3)});
+  };
+
+  // PAL-loop methods: trace every round through the callback.
+  for (const bool transfer : {true, false}) {
+    tuner::CandidatePool pool(&target, objectives);
+    const auto golden = pool.golden_front();
+    const std::string name = transfer ? "PPATuner" : "TCAD'19";
+    tuner::PPATunerOptions opt;
+    opt.max_runs = transfer ? 70 : 92;
+    opt.seed = seed;
+    opt.on_round = [&](const tuner::PPATunerProgress& progress) {
+      emit(name, progress.runs, revealed_hv_error(pool, golden));
+    };
+    tuner::run_ppatuner(pool,
+                        transfer
+                            ? tuner::make_transfer_gp_factory(source_data)
+                            : tuner::make_plain_gp_factory(),
+                        opt);
+  }
+
+  // Fixed-budget baselines: sample a budget grid.
+  const std::size_t budgets[] = {20, 35, 50, 70};
+  for (std::size_t budget : budgets) {
+    {
+      tuner::CandidatePool pool(&target, objectives);
+      const auto golden = pool.golden_front();
+      baselines::Mlcad19Options opt;
+      opt.budget = budget;
+      opt.seed = seed;
+      baselines::run_mlcad19(pool, opt);
+      emit("MLCAD'19", pool.runs(), revealed_hv_error(pool, golden));
+    }
+    {
+      tuner::CandidatePool pool(&target, objectives);
+      const auto golden = pool.golden_front();
+      baselines::Dac19Options opt;
+      opt.budget = budget;
+      opt.seed = seed;
+      baselines::run_dac19(pool, &source_data, opt);
+      emit("DAC'19", pool.runs(), revealed_hv_error(pool, golden));
+    }
+    {
+      tuner::CandidatePool pool(&target, objectives);
+      const auto golden = pool.golden_front();
+      baselines::Aspdac20Options opt;
+      opt.budget = budget;
+      opt.seed = seed;
+      baselines::run_aspdac20(pool, &source_data, opt);
+      emit("ASPDAC'20", pool.runs(), revealed_hv_error(pool, golden));
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  const std::string path = bench::data_dir() + "/results_convergence.csv";
+  common::write_csv_file(path, csv);
+  std::printf("(CSV written to %s)\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Regenerates the paper's Figure 3: the Pareto fronts each method finds in
+// the power-vs-delay space on the Target2 benchmark, against the real
+// (golden) front. Prints the point series and writes them to CSV for
+// plotting.
+#include <cstdio>
+
+#include "baselines/aspdac20.hpp"
+#include "baselines/dac19.hpp"
+#include "baselines/mlcad19.hpp"
+#include "baselines/tcad19.hpp"
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "tuner/ppatuner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppat;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 1;
+  const auto source = bench::load_paper_benchmark("source2");
+  const auto target = bench::load_paper_benchmark("target2");
+  const auto objectives = tuner::kPowerDelay;
+  const auto budgets = bench::scenario_two_budgets();
+  const auto source_data =
+      tuner::SourceData::from_benchmark(source, objectives, 200, seed + 1);
+
+  common::CsvTable csv;
+  csv.header = {"series", "power_mw", "delay_ns"};
+  auto emit_series = [&csv](const std::string& name,
+                            const std::vector<pareto::Point>& points) {
+    std::printf("\n%s front (%zu points):\n", name.c_str(), points.size());
+    for (const auto& p : points) {
+      std::printf("  power=%8.3f mW  delay=%7.4f ns\n", p[0], p[1]);
+      csv.rows.push_back({name, common::fmt_fixed(p[0], 6),
+                          common::fmt_fixed(p[1], 6)});
+    }
+  };
+
+  auto front_of = [](const tuner::CandidatePool& pool,
+                     const tuner::TuningResult& result) {
+    std::vector<pareto::Point> pts;
+    for (std::size_t i : result.pareto_indices) pts.push_back(pool.golden(i));
+    return pareto::pareto_front(pts);
+  };
+
+  std::puts(
+      "Figure 3: Pareto fronts in power vs delay space on Target2.\n"
+      "(units: mW and ns, as in the paper)");
+
+  {
+    tuner::CandidatePool pool(&target, objectives);
+    emit_series("Golden", pool.golden_front());
+  }
+  {
+    tuner::CandidatePool pool(&target, objectives);
+    baselines::Tcad19Options opt;
+    opt.max_runs = budgets.tcad19;
+    opt.seed = seed;
+    emit_series("TCAD'19", front_of(pool, baselines::run_tcad19(pool, opt)));
+  }
+  {
+    tuner::CandidatePool pool(&target, objectives);
+    baselines::Mlcad19Options opt;
+    opt.budget = budgets.mlcad19;
+    opt.seed = seed;
+    emit_series("MLCAD'19", front_of(pool, baselines::run_mlcad19(pool, opt)));
+  }
+  {
+    tuner::CandidatePool pool(&target, objectives);
+    baselines::Dac19Options opt;
+    opt.budget = budgets.dac19;
+    opt.seed = seed;
+    emit_series("DAC'19",
+                front_of(pool, baselines::run_dac19(pool, &source_data, opt)));
+  }
+  {
+    tuner::CandidatePool pool(&target, objectives);
+    baselines::Aspdac20Options opt;
+    opt.budget = budgets.aspdac20;
+    opt.seed = seed;
+    emit_series("ASPDAC'20", front_of(pool, baselines::run_aspdac20(
+                                                pool, &source_data, opt)));
+  }
+  {
+    tuner::CandidatePool pool(&target, objectives);
+    tuner::PPATunerOptions opt;
+    opt.max_runs = budgets.ppatuner_cap;
+    opt.seed = seed;
+    emit_series("PPATuner",
+                front_of(pool, tuner::run_ppatuner(
+                                   pool,
+                                   tuner::make_transfer_gp_factory(source_data),
+                                   opt)));
+  }
+
+  const std::string path = bench::data_dir() + "/results_figure3.csv";
+  common::write_csv_file(path, csv);
+  std::printf("\n(CSV written to %s)\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Microbenchmarks: pdsim flow cost (google-benchmark) — netlist generation,
+// placement, and the full PD-tool evaluation at the paper's two design
+// sizes. This is the "3 hours vs 2 days per Innovus run" axis of the paper,
+// compressed to milliseconds by the simulator substitution.
+#include <benchmark/benchmark.h>
+
+#include "flow/benchmark.hpp"
+#include "netlist/mac_generator.hpp"
+#include "place/placer.hpp"
+
+namespace {
+
+using namespace ppat;
+
+const netlist::CellLibrary& library() {
+  static const netlist::CellLibrary lib = netlist::CellLibrary::make_default();
+  return lib;
+}
+
+void BM_GenerateMac(benchmark::State& state) {
+  netlist::MacConfig cfg;
+  cfg.operand_bits = static_cast<unsigned>(state.range(0));
+  cfg.lanes = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    const auto nl = netlist::generate_mac(library(), cfg);
+    benchmark::DoNotOptimize(nl.num_instances());
+  }
+}
+BENCHMARK(BM_GenerateMac)->Args({16, 20})->Args({32, 20});
+
+void BM_GlobalPlacement(benchmark::State& state) {
+  netlist::MacConfig cfg;
+  cfg.operand_bits = static_cast<unsigned>(state.range(0));
+  cfg.lanes = static_cast<unsigned>(state.range(1));
+  const auto nl = netlist::generate_mac(library(), cfg);
+  place::PlacerOptions opt;
+  for (auto _ : state) {
+    const auto placement = place::place(nl, opt);
+    benchmark::DoNotOptimize(placement.total_hpwl_um());
+  }
+}
+BENCHMARK(BM_GlobalPlacement)->Args({16, 20})->Args({32, 20});
+
+void BM_FullFlowEvaluation(benchmark::State& state) {
+  const bool large = state.range(0) != 0;
+  flow::PDTool tool(&library(),
+                    large ? netlist::large_mac_config()
+                          : netlist::small_mac_config(),
+                    42);
+  const auto space = large ? flow::target2_space() : flow::target1_space();
+  const auto config = space.decode(linalg::Vector(space.size(), 0.5));
+  for (auto _ : state) {
+    const auto qor = tool.evaluate(space, config);
+    benchmark::DoNotOptimize(qor.delay_ns);
+  }
+  state.SetLabel(large ? "large MAC (~71k cells)" : "small MAC (~19k cells)");
+}
+BENCHMARK(BM_FullFlowEvaluation)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

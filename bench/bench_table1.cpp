@@ -1,0 +1,94 @@
+// Regenerates the paper's Table 1: the statistics (Min/Max per benchmark)
+// of the PD tool parameters, plus the benchmark sizes of §4.1. Everything
+// is read from the parameter-space definitions and the generated tables, so
+// this bench doubles as a consistency check of the reproduction setup.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using ppat::flow::ParameterSpace;
+using ppat::flow::ParamType;
+
+std::string range_min(const ParameterSpace& space, const std::string& name) {
+  const std::size_t i = space.index_of(name);
+  if (i == ParameterSpace::npos) return "-";
+  return space.format_value(i, space.spec(i).min_value);
+}
+
+std::string range_max(const ParameterSpace& space, const std::string& name) {
+  const std::size_t i = space.index_of(name);
+  if (i == ParameterSpace::npos) return "-";
+  return space.format_value(i, space.spec(i).max_value);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppat;
+
+  const auto s1 = flow::source1_space();
+  const auto t1 = flow::target1_space();
+  const auto s2 = flow::source2_space();
+  const auto t2 = flow::target2_space();
+
+  // Union of parameter names, in the paper's Table 1 row order.
+  const std::vector<std::string> params = {
+      "freq",          "place_rcfactor",  "place_uncertainty",
+      "flowEffort",    "timing_effort",   "clock_power_driven",
+      "uniform_density", "cong_effort",   "max_density",
+      "max_Length",    "max_Density",     "max_transition",
+      "max_capacitance", "max_fanout",    "max_AllowedDelay",
+  };
+
+  common::AsciiTable table(
+      "Table 1: The statistics of parameters of the PD tool on benchmarks.");
+  table.set_header({"Parameters", "Source1 Min", "Source1 Max", "Target1 Min",
+                    "Target1 Max", "Source2 Min", "Source2 Max",
+                    "Target2 Min", "Target2 Max"});
+  for (const auto& p : params) {
+    table.add_row({p, range_min(s1, p), range_max(s1, p), range_min(t1, p),
+                   range_max(t1, p), range_min(s2, p), range_max(s2, p),
+                   range_min(t2, p), range_max(t2, p)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Benchmark sizes (5000 / 5000 / 1440 / 727 points; designs per §4.1).
+  std::puts("");
+  common::AsciiTable sizes("Benchmark point counts and designs (paper §4.1):");
+  sizes.set_header({"Benchmark", "Parameters", "Points", "Design"});
+  struct Row {
+    const char* name;
+    std::size_t params;
+    std::size_t points;
+    const char* design;
+  };
+  const Row rows[] = {
+      {"Source1", s1.size(), flow::kSource1Points, "small MAC (~20k cells)"},
+      {"Target1", t1.size(), flow::kTarget1Points, "small MAC (~20k cells)"},
+      {"Source2", s2.size(), flow::kSource2Points, "small MAC (~20k cells)"},
+      {"Target2", t2.size(), flow::kTarget2Points, "large MAC (~67k cells)"},
+  };
+  for (const Row& r : rows) {
+    sizes.add_row({r.name, std::to_string(r.params), std::to_string(r.points),
+                   r.design});
+  }
+  std::fputs(sizes.render().c_str(), stdout);
+
+  // Cross-check against the generated data when available.
+  std::puts("");
+  for (const char* name : {"source1", "target1", "source2", "target2"}) {
+    try {
+      const auto set = bench::load_paper_benchmark(name);
+      std::printf("%s: %zu golden points loaded (%zu parameters)\n",
+                  name, set.size(), set.space.size());
+    } catch (const std::exception& e) {
+      std::printf("%s: unavailable (%s)\n", name, e.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Regenerates the paper's Table 2: Scenario One (same design, different
+// parameter subspaces/ranges). Source1 is the historical task; Target1 is
+// tuned. Five methods x three objective spaces, reporting hypervolume
+// error, ADRS, and tool runs, with Average and Ratio rows.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppat;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 1;
+  std::puts("Scenario One: same design (Source1 -> Target1)\n");
+  const auto source = bench::load_paper_benchmark("source1");
+  const auto target = bench::load_paper_benchmark("target1");
+  bench::run_scenario_table(
+      "Table 2: The whole performance comparison on Target1 benchmark.",
+      source, target, bench::scenario_one_budgets(), seed,
+      bench::data_dir() + "/results_table2.csv");
+  return 0;
+}

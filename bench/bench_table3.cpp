@@ -1,0 +1,20 @@
+// Regenerates the paper's Table 3: Scenario Two (similar designs, small ->
+// large). Source2 (small MAC) is the historical task; Target2 (large MAC)
+// is tuned.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppat;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 1;
+  std::puts("Scenario Two: similar designs (Source2 -> Target2)\n");
+  const auto source = bench::load_paper_benchmark("source2");
+  const auto target = bench::load_paper_benchmark("target2");
+  bench::run_scenario_table(
+      "Table 3: The whole performance comparison on Target2 benchmark.",
+      source, target, bench::scenario_two_budgets(), seed,
+      bench::data_dir() + "/results_table3.csv");
+  return 0;
+}

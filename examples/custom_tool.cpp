@@ -1,0 +1,106 @@
+// Adapting PPATuner to YOUR tool: anything that maps a parameter
+// configuration to QoR metrics can be tuned — implement flow::QorOracle and
+// the rest of the library (benchmark building, candidate pools, PPATuner,
+// the baselines) works unchanged.
+//
+// Here the "tool" is a mock high-level-synthesis flow with an analytic cost
+// model; in production it would shell out to your EDA tool and parse its
+// reports.
+#include <cmath>
+#include <cstdio>
+
+#include "flow/benchmark.hpp"
+#include "tuner/ppatuner.hpp"
+
+namespace {
+
+using namespace ppat;
+
+/// A mock HLS tool: three knobs trade off area/power/latency.
+class MockHlsTool : public flow::QorOracle {
+ public:
+  flow::QoR evaluate(const flow::ParameterSpace& space,
+                     const flow::Config& config) override {
+    ++runs_;
+    const double unroll = space.value_or(config, "unroll_factor", 1.0);
+    const double pipeline = space.value_or(config, "pipeline_ii", 1.0);
+    const double share = space.value_or(config, "resource_sharing", 0.0);
+
+    flow::QoR q;
+    // More unrolling: more area/power, less latency; resource sharing pulls
+    // the other way; initiation interval dominates latency.
+    q.area_um2 = 5000.0 * unroll * (1.0 - 0.35 * share) +
+                 800.0 * std::sqrt(unroll);
+    q.power_mw = 3.0 * unroll * (1.0 - 0.25 * share) + 0.4 * pipeline;
+    q.delay_ns = 100.0 * pipeline / unroll + 8.0 * share + 5.0;
+    return q;
+  }
+  std::size_t run_count() const override { return runs_; }
+
+ private:
+  std::size_t runs_ = 0;
+};
+
+flow::ParameterSpace hls_space() {
+  return flow::ParameterSpace({
+      flow::ParamSpec::integer("unroll_factor", 1, 16),
+      flow::ParamSpec::integer("pipeline_ii", 1, 8),
+      flow::ParamSpec::real("resource_sharing", 0.0, 1.0),
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Tuning a custom (mock HLS) tool with PPATuner.\n");
+
+  // Historical task: the same tool tuned last month on a sibling kernel
+  // (slightly different cost surface => correlated but not identical).
+  class OldKernelTool final : public MockHlsTool {
+   public:
+    flow::QoR evaluate(const flow::ParameterSpace& space,
+                       const flow::Config& config) override {
+      flow::QoR q = MockHlsTool::evaluate(space, config);
+      q.delay_ns *= 1.2;   // the old kernel was a little slower
+      q.power_mw += 0.5;
+      return q;
+    }
+  };
+
+  OldKernelTool old_tool;
+  MockHlsTool new_tool;
+  const auto space = hls_space();
+
+  const auto source_bench =
+      flow::build_benchmark("old_kernel", space, 300, old_tool, 1);
+  const auto target_bench =
+      flow::build_benchmark("new_kernel", space, 500, new_tool, 2);
+
+  const auto objectives = tuner::kAreaPowerDelay;  // tune all three metrics
+  const auto source_data =
+      tuner::SourceData::from_benchmark(source_bench, objectives, 200, 3);
+  tuner::CandidatePool pool(&target_bench, objectives);
+
+  tuner::PPATunerOptions options;
+  options.max_runs = 60;
+  options.seed = 4;
+  const auto result = tuner::run_ppatuner(
+      pool, tuner::make_transfer_gp_factory(source_data), options);
+  const auto quality = tuner::evaluate_result(pool, result);
+
+  std::printf("found %zu Pareto configurations in %zu tool runs "
+              "(HV error %.3f, ADRS %.3f)\n\n",
+              result.pareto_indices.size(), quality.runs, quality.hv_error,
+              quality.adrs);
+  std::puts("configuration                                  area      power  latency");
+  for (std::size_t idx : result.pareto_indices) {
+    const auto& c = target_bench.configs[idx];
+    const auto& q = target_bench.qor[idx];
+    char desc[128];
+    std::snprintf(desc, sizeof(desc), "unroll=%-2.0f ii=%-1.0f sharing=%.2f",
+                  c[0], c[1], c[2]);
+    std::printf("%-44s %9.0f %9.2f %8.2f\n", desc, q.area_um2, q.power_mw,
+                q.delay_ns);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: tune the bundled physical-design flow on a small MAC design
+// in the power-vs-delay space, end to end, in a few seconds.
+//
+//   1. Build a design and wrap it in the PD tool.
+//   2. Enumerate a candidate pool with Latin hypercube sampling (this plays
+//      the role of the paper's offline benchmark).
+//   3. Run PPATuner with a transfer GP seeded from a previous tuning task.
+//   4. Print the Pareto-optimal configurations it found.
+#include <cstdio>
+
+#include "flow/benchmark.hpp"
+#include "netlist/mac_generator.hpp"
+#include "tuner/ppatuner.hpp"
+
+int main() {
+  using namespace ppat;
+
+  // ---- 1. The designs: a small MAC we tuned before (source) and a larger
+  // one we want to tune now (target). ----
+  const auto library = netlist::CellLibrary::make_default();
+  netlist::MacConfig source_design;
+  source_design.operand_bits = 8;
+  source_design.lanes = 4;
+  netlist::MacConfig target_design;
+  target_design.operand_bits = 12;
+  target_design.lanes = 6;
+  flow::PDTool source_tool(&library, source_design, /*seed=*/1);
+  flow::PDTool target_tool(&library, target_design, /*seed=*/2);
+
+  // ---- 2. Candidate pools (offline benchmarks). ----
+  std::puts("Building candidate pools (running the PD flow)...");
+  const auto source_bench = flow::build_benchmark(
+      "quickstart_source", flow::source2_space(), 250, source_tool, 11);
+  const auto target_bench = flow::build_benchmark(
+      "quickstart_target", flow::target2_space(), 400, target_tool, 12);
+  std::printf("  source: %zu evaluated configurations\n",
+              source_bench.size());
+  std::printf("  target: %zu candidate configurations\n\n",
+              target_bench.size());
+
+  // ---- 3. Tune. ----
+  const auto objectives = tuner::kPowerDelay;
+  const auto source_data =
+      tuner::SourceData::from_benchmark(source_bench, objectives, 200, 7);
+  tuner::CandidatePool pool(&target_bench, objectives);
+
+  tuner::PPATunerOptions options;
+  options.max_runs = 60;  // tool-run budget
+  options.seed = 3;
+  tuner::PPATunerDiagnostics diagnostics;
+  const auto result =
+      tuner::run_ppatuner(pool, tuner::make_transfer_gp_factory(source_data),
+                          options, &diagnostics);
+
+  // ---- 4. Report. ----
+  const auto quality = tuner::evaluate_result(pool, result);
+  std::printf("PPATuner finished after %zu tool runs (%zu rounds)\n",
+              quality.runs, diagnostics.rounds);
+  std::printf("  hypervolume error: %.3f\n", quality.hv_error);
+  std::printf("  ADRS:              %.3f\n", quality.adrs);
+  if (!diagnostics.task_correlations.empty()) {
+    std::printf("  learned source-target correlation per objective:");
+    for (double rho : diagnostics.task_correlations) {
+      std::printf(" %.2f", rho);
+    }
+    std::puts("");
+  }
+
+  std::puts("\nPredicted Pareto-optimal configurations:");
+  const auto& space = target_bench.space;
+  for (std::size_t idx : result.pareto_indices) {
+    const auto point = pool.golden(idx);
+    std::printf("  power=%7.2f mW  delay=%6.3f ns   [", point[0], point[1]);
+    for (std::size_t p = 0; p < space.size(); ++p) {
+      std::printf("%s%s=%s", p ? ", " : "", space.spec(p).name.c_str(),
+                  space.format_value(p, target_bench.configs[idx][p]).c_str());
+    }
+    std::puts("]");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Scenario One (paper §4.2.1): the SAME design, tuned before over one set
+// of parameter ranges (Source1), now re-tuned over different ranges
+// (Target1) — e.g. a new designer preference shifted the frequency target
+// and DRV budgets. The transfer GP learns how similar the two tasks are and
+// reuses the old tuning data.
+//
+// This example runs the scenario at a reduced scale (smaller design and
+// pools than the paper benches) so it completes in seconds; run
+// bench_table2 for the full Table 2 reproduction.
+#include <cstdio>
+
+#include "flow/benchmark.hpp"
+#include "netlist/mac_generator.hpp"
+#include "tuner/ppatuner.hpp"
+
+int main() {
+  using namespace ppat;
+
+  const auto library = netlist::CellLibrary::make_default();
+  netlist::MacConfig design;  // ONE design for both tasks
+  design.operand_bits = 10;
+  design.lanes = 5;
+  flow::PDTool tool(&library, design, /*seed=*/42);
+
+  std::puts("Scenario One: same design, different parameter ranges.");
+  std::printf("Design: %u-bit x %u-lane MAC, %zu cells\n\n",
+              design.operand_bits, design.lanes,
+              tool.base_netlist().num_instances());
+
+  // Historical task: Source1 ranges. New task: Target1 ranges (note e.g.
+  // freq 950-1050 MHz vs 1000-1300 MHz in Table 1).
+  std::puts("Evaluating historical task (Source1 ranges)...");
+  const auto source_bench = flow::build_benchmark(
+      "scenario1_source", flow::source1_space(), 300, tool, 21);
+  std::puts("Enumerating new task's candidates (Target1 ranges)...");
+  const auto target_bench = flow::build_benchmark(
+      "scenario1_target", flow::target1_space(), 500, tool, 22);
+
+  for (const auto& objectives :
+       {tuner::kAreaDelay, tuner::kPowerDelay, tuner::kAreaPowerDelay}) {
+    const auto source_data =
+        tuner::SourceData::from_benchmark(source_bench, objectives, 200, 7);
+    tuner::CandidatePool pool(&target_bench, objectives);
+    tuner::PPATunerOptions options;
+    options.max_runs = 80;
+    options.seed = 5;
+    tuner::PPATunerDiagnostics diag;
+    const auto result = tuner::run_ppatuner(
+        pool, tuner::make_transfer_gp_factory(source_data), options, &diag);
+    const auto quality = tuner::evaluate_result(pool, result);
+    std::printf(
+        "%-18s HV error %.3f | ADRS %.3f | %3zu tool runs | "
+        "front size %zu | rho ~ %.2f\n",
+        tuner::objective_space_name(objectives), quality.hv_error,
+        quality.adrs, quality.runs, result.pareto_indices.size(),
+        diag.task_correlations.empty() ? 0.0 : diag.task_correlations[0]);
+  }
+
+  std::puts(
+      "\nInterpretation: because both tasks run the SAME design, the learned"
+      "\ninter-task correlation is high and a few dozen tool runs suffice to"
+      "\nrecover a near-golden Pareto front in every objective space.");
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "baselines/aspdac20.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "tree/regression_tree.hpp"
+
+namespace ppat::baselines {
+namespace {
+
+/// Average normalized feature importances across per-objective boosted-tree
+/// fits on the source data.
+std::vector<double> source_importances(const tuner::SourceData& source,
+                                       const Aspdac20Options& options) {
+  const std::size_t d = source.xs.front().size();
+  std::vector<double> avg(d, 0.0);
+  tree::BoostingOptions bo;
+  bo.num_trees = options.trees;
+  bo.tree.max_depth = options.tree_depth;
+  bo.seed = options.seed;
+  for (const auto& ys : source.ys) {
+    tree::GradientBoosting model;
+    model.fit(source.xs, ys, bo);
+    const auto imp = model.feature_importances();
+    for (std::size_t f = 0; f < d; ++f) avg[f] += imp[f];
+  }
+  const double norm = static_cast<double>(source.ys.size());
+  for (double& v : avg) v /= norm;
+  return avg;
+}
+
+}  // namespace
+
+tuner::TuningResult run_aspdac20(tuner::CandidatePool& pool,
+                                 const tuner::SourceData* source,
+                                 const Aspdac20Options& options) {
+  const std::size_t n = pool.size();
+  const std::size_t n_obj = pool.num_objectives();
+  const std::size_t d = pool.encoded().front().size();
+  common::Rng rng(options.seed);
+
+  std::vector<bool> revealed(n, false);
+  std::vector<std::size_t> revealed_list;
+  std::vector<linalg::Vector> train_x;
+  std::vector<linalg::Vector> train_y(n_obj);
+  auto reveal = [&](std::size_t i) {
+    const pareto::Point y = pool.reveal(i);
+    revealed[i] = true;
+    revealed_list.push_back(i);
+    train_x.push_back(pool.encoded()[i]);
+    for (std::size_t k = 0; k < n_obj; ++k) train_y[k].push_back(y[k]);
+    return y;
+  };
+
+  // ---- Phase 1-2: importance-guided model-less exploration ----
+  const std::size_t explore_budget = std::max<std::size_t>(
+      4, static_cast<std::size_t>(options.exploration_fraction *
+                                  static_cast<double>(options.budget)));
+  std::vector<std::size_t> ranked_features(d);
+  for (std::size_t f = 0; f < d; ++f) ranked_features[f] = f;
+  if (source != nullptr && source->size() > 0) {
+    const auto importance = source_importances(*source, options);
+    std::sort(ranked_features.begin(), ranked_features.end(),
+              [&importance](std::size_t a, std::size_t b) {
+                return importance[a] > importance[b];
+              });
+  } else {
+    rng.shuffle(ranked_features);
+  }
+  const std::size_t sig_features = std::min(options.important_features, d);
+
+  // Median split per signature feature (over the pool).
+  std::vector<double> medians(sig_features);
+  {
+    std::vector<double> column(n);
+    for (std::size_t s = 0; s < sig_features; ++s) {
+      const std::size_t f = ranked_features[s];
+      for (std::size_t i = 0; i < n; ++i) column[i] = pool.encoded()[i][f];
+      std::nth_element(column.begin(),
+                       column.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                       column.end());
+      medians[s] = column[n / 2];
+    }
+  }
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t sig = 0;
+    for (std::size_t s = 0; s < sig_features; ++s) {
+      sig = (sig << 1) |
+            (pool.encoded()[i][ranked_features[s]] > medians[s] ? 1u : 0u);
+    }
+    groups[sig].push_back(i);
+  }
+  // Round-robin one random representative per group until the exploration
+  // budget is used.
+  std::vector<std::vector<std::size_t>> group_list;
+  group_list.reserve(groups.size());
+  for (auto& [sig, members] : groups) {
+    rng.shuffle(members);
+    group_list.push_back(std::move(members));
+  }
+  std::size_t cursor = 0;
+  while (pool.runs() < std::min(explore_budget, options.budget)) {
+    bool progressed = false;
+    for (auto& members : group_list) {
+      if (cursor < members.size() && pool.runs() < explore_budget) {
+        if (!revealed[members[cursor]]) {
+          reveal(members[cursor]);
+          progressed = true;
+        }
+      }
+    }
+    ++cursor;
+    if (!progressed && cursor > n) break;
+  }
+
+  // ---- Phase 3: tree-model exploitation ----
+  tree::BoostingOptions bo;
+  bo.num_trees = options.trees;
+  bo.tree.max_depth = options.tree_depth;
+  while (pool.runs() < options.budget) {
+    bo.seed = rng.next_u64();
+    std::vector<tree::GradientBoosting> models(n_obj);
+    for (std::size_t k = 0; k < n_obj; ++k) {
+      models[k].fit(train_x, train_y[k], bo);
+    }
+    std::vector<std::size_t> unrevealed_idx;
+    std::vector<pareto::Point> predicted;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (revealed[i]) continue;
+      unrevealed_idx.push_back(i);
+      pareto::Point p(n_obj);
+      for (std::size_t k = 0; k < n_obj; ++k) {
+        p[k] = models[k].predict(pool.encoded()[i]);
+      }
+      predicted.push_back(std::move(p));
+    }
+    if (unrevealed_idx.empty()) break;
+
+    std::vector<std::size_t> front = pareto::pareto_front_indices(predicted);
+    rng.shuffle(front);
+    const std::size_t batch = std::min(
+        {options.batch_size, front.size(), options.budget - pool.runs()});
+    if (batch == 0) break;
+    for (std::size_t b = 0; b < batch; ++b) {
+      reveal(unrevealed_idx[front[b]]);
+    }
+  }
+
+  // ---- Answer: Pareto front of the evaluated set ----
+  std::vector<pareto::Point> evaluated;
+  evaluated.reserve(revealed_list.size());
+  for (std::size_t i : revealed_list) evaluated.push_back(pool.golden(i));
+  tuner::TuningResult result;
+  for (std::size_t f : pareto::pareto_front_indices(evaluated)) {
+    result.pareto_indices.push_back(revealed_list[f]);
+  }
+  result.tool_runs = pool.runs();
+  return result;
+}
+
+}  // namespace ppat::baselines

@@ -1,0 +1,40 @@
+// ASPDAC'20 baseline [9]: FIST — "feature-importance sampling and tree-based
+// method for automatic design flow parameter tuning".
+//
+// Faithful to the original's two-phase structure:
+//   1. Feature importances are learned from the SOURCE task with a
+//      gradient-boosted-tree regressor per objective (the original uses
+//      XGBoost) and averaged.
+//   2. Model-less exploration: target candidates are grouped by the joint
+//      signature of their most-important features (each binarized at its
+//      median) and representatives are sampled across groups — importance-
+//      guided coverage of the space.
+//   3. Model-based exploitation: boosted trees fitted on the revealed target
+//      data predict all candidates; each round evaluates a batch from the
+//      predicted Pareto front, to a fixed budget.
+#pragma once
+
+#include <cstdint>
+
+#include "tuner/problem.hpp"
+
+namespace ppat::baselines {
+
+struct Aspdac20Options {
+  std::size_t budget = 400;
+  std::size_t batch_size = 5;
+  double exploration_fraction = 0.30;  ///< share of budget spent model-less
+  std::size_t important_features = 4;  ///< features forming the signature
+  std::size_t trees = 80;
+  int tree_depth = 4;
+  std::uint64_t seed = 1;
+};
+
+/// `source` provides the feature-importance training data; may be null, in
+/// which case exploration falls back to uniform sampling (no importance
+/// guidance) — useful for ablation.
+tuner::TuningResult run_aspdac20(tuner::CandidatePool& pool,
+                                 const tuner::SourceData* source,
+                                 const Aspdac20Options& options);
+
+}  // namespace ppat::baselines

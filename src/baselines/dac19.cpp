@@ -1,0 +1,146 @@
+#include "baselines/dac19.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mf/matrix_factorization.hpp"
+
+namespace ppat::baselines {
+namespace {
+
+/// Index of the pool candidate nearest (L2 in the unit cube) to `x`.
+std::size_t nearest_candidate(const std::vector<linalg::Vector>& encoded,
+                              const linalg::Vector& x) {
+  std::size_t best = 0;
+  double best_d = 1e300;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    double d = 0.0;
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      const double diff = encoded[i][k] - x[k];
+      d += diff * diff;
+    }
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+tuner::TuningResult run_dac19(tuner::CandidatePool& pool,
+                              const tuner::SourceData* source,
+                              const Dac19Options& options) {
+  const std::size_t n = pool.size();
+  const std::size_t n_obj = pool.num_objectives();
+  common::Rng rng(options.seed);
+
+  // ---- Source row: map source observations onto target-pool columns ----
+  // (averaging duplicates that land on the same column).
+  std::vector<std::vector<mf::Observation>> observed(n_obj);
+  if (source != nullptr && source->size() > 0) {
+    std::vector<double> sums(n, 0.0);
+    std::vector<std::size_t> counts(n, 0);
+    std::vector<std::size_t> cols(source->size());
+    for (std::size_t s = 0; s < source->size(); ++s) {
+      cols[s] = nearest_candidate(pool.encoded(), source->xs[s]);
+    }
+    for (std::size_t k = 0; k < n_obj; ++k) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      std::fill(counts.begin(), counts.end(), 0);
+      for (std::size_t s = 0; s < source->size(); ++s) {
+        sums[cols[s]] += source->ys[k][s];
+        ++counts[cols[s]];
+      }
+      for (std::size_t c = 0; c < n; ++c) {
+        if (counts[c] > 0) {
+          observed[k].push_back(
+              {0, c, sums[c] / static_cast<double>(counts[c])});
+        }
+      }
+    }
+  }
+
+  std::vector<bool> revealed(n, false);
+  std::vector<std::size_t> revealed_list;
+  auto reveal = [&](std::size_t i) {
+    const pareto::Point y = pool.reveal(i);
+    revealed[i] = true;
+    revealed_list.push_back(i);
+    for (std::size_t k = 0; k < n_obj; ++k) {
+      observed[k].push_back({1, i, y[k]});
+    }
+    return y;
+  };
+
+  const std::size_t init_count = std::min(
+      {n, std::max(options.min_init,
+                   static_cast<std::size_t>(options.init_fraction *
+                                            static_cast<double>(n))),
+       options.budget});
+  for (std::size_t i : rng.sample_without_replacement(n, init_count)) {
+    reveal(i);
+  }
+
+  mf::MfOptions mf_opt;
+  mf_opt.factors = options.factors;
+  mf_opt.epochs = options.epochs;
+
+  // ---- Recommend-evaluate-refine loop ----
+  while (pool.runs() < options.budget) {
+    mf_opt.seed = rng.next_u64();
+    std::vector<mf::MatrixFactorization> models(n_obj);
+    for (std::size_t k = 0; k < n_obj; ++k) {
+      models[k].fit(2, n, observed[k], mf_opt);
+    }
+
+    // Predicted objective vectors of unrevealed candidates.
+    std::vector<std::size_t> unrevealed_idx;
+    std::vector<pareto::Point> predicted;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (revealed[i]) continue;
+      unrevealed_idx.push_back(i);
+      pareto::Point p(n_obj);
+      for (std::size_t k = 0; k < n_obj; ++k) p[k] = models[k].predict(1, i);
+      predicted.push_back(std::move(p));
+    }
+    if (unrevealed_idx.empty()) break;
+
+    // Recommend the predicted-Pareto candidates (random subset if the front
+    // exceeds the batch), diversified with a share of random picks — the
+    // original's recommendation lists are not purely greedy either.
+    std::vector<std::size_t> front = pareto::pareto_front_indices(predicted);
+    rng.shuffle(front);
+    const std::size_t batch =
+        std::min({options.batch_size, unrevealed_idx.size(),
+                  options.budget - pool.runs()});
+    if (batch == 0) break;
+    std::size_t front_cursor = 0;
+    for (std::size_t b = 0; b < batch; ++b) {
+      std::size_t pick;
+      if (rng.uniform01() < options.explore_fraction ||
+          front_cursor >= front.size()) {
+        pick = static_cast<std::size_t>(rng.next_below(unrevealed_idx.size()));
+      } else {
+        pick = front[front_cursor++];
+      }
+      const std::size_t candidate = unrevealed_idx[pick];
+      if (revealed[candidate]) continue;  // duplicate random pick
+      reveal(candidate);
+    }
+  }
+
+  // ---- Answer: Pareto front of the evaluated set ----
+  std::vector<pareto::Point> evaluated;
+  evaluated.reserve(revealed_list.size());
+  for (std::size_t i : revealed_list) evaluated.push_back(pool.golden(i));
+  tuner::TuningResult result;
+  for (std::size_t f : pareto::pareto_front_indices(evaluated)) {
+    result.pareto_indices.push_back(revealed_list[f]);
+  }
+  result.tool_runs = pool.runs();
+  return result;
+}
+
+}  // namespace ppat::baselines

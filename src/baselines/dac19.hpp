@@ -1,0 +1,40 @@
+// DAC'19 baseline [7]: "A learning-based recommender system for autotuning
+// design flows of industrial high-performance processors".
+//
+// The original casts flow tuning as matrix/tensor completion: rows are
+// design tasks, columns are parameter configurations, entries are QoR
+// values; a new design's sparsely observed row is completed collaboratively
+// from prior designs. This reimplementation uses the 2-D specialization
+// (bias-aware latent-factor matrix completion, one model per QoR metric):
+//   - row 0 = the source task; its observations enter at the target-pool
+//     column whose encoded configuration is nearest to each source point;
+//   - row 1 = the target task; entries appear as configurations are run.
+// Each round completes the target row, recommends the predicted-Pareto
+// configurations, evaluates a batch of them, and repeats to a fixed budget.
+#pragma once
+
+#include <cstdint>
+
+#include "tuner/problem.hpp"
+
+namespace ppat::baselines {
+
+struct Dac19Options {
+  std::size_t budget = 600;
+  std::size_t batch_size = 10;
+  std::size_t factors = 8;
+  std::size_t epochs = 120;
+  double init_fraction = 0.02;
+  std::size_t min_init = 10;
+  /// Share of each batch spent on random recommendations (list diversity).
+  double explore_fraction = 0.2;
+  std::uint64_t seed = 1;
+};
+
+/// `source` may be null (no prior task): the model then degenerates to
+/// column-bias learning over the target row alone.
+tuner::TuningResult run_dac19(tuner::CandidatePool& pool,
+                              const tuner::SourceData* source,
+                              const Dac19Options& options);
+
+}  // namespace ppat::baselines

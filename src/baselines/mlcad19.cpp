@@ -1,0 +1,134 @@
+#include "baselines/mlcad19.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "gp/gp.hpp"
+#include "tuner/surrogate.hpp"
+
+namespace ppat::baselines {
+
+tuner::TuningResult run_mlcad19(tuner::CandidatePool& pool,
+                                const Mlcad19Options& options) {
+  const std::size_t n = pool.size();
+  const std::size_t n_obj = pool.num_objectives();
+  common::Rng rng(options.seed);
+
+  // ---- Initial design ----
+  const std::size_t init_count = std::min(
+      {n, std::max(options.min_init,
+                   static_cast<std::size_t>(options.init_fraction *
+                                            static_cast<double>(n))),
+       options.budget});
+  std::vector<linalg::Vector> train_x;
+  std::vector<linalg::Vector> train_y(n_obj);
+  std::vector<bool> revealed(n, false);
+  std::vector<std::size_t> revealed_list;
+
+  auto reveal = [&](std::size_t i) {
+    const pareto::Point y = pool.reveal(i);
+    revealed[i] = true;
+    revealed_list.push_back(i);
+    train_x.push_back(pool.encoded()[i]);
+    for (std::size_t k = 0; k < n_obj; ++k) train_y[k].push_back(y[k]);
+    return y;
+  };
+  for (std::size_t i : rng.sample_without_replacement(n, init_count)) {
+    reveal(i);
+  }
+
+  std::vector<tuner::PlainGpSurrogate> models(n_obj);
+  for (std::size_t k = 0; k < n_obj; ++k) {
+    models[k].fit(train_x, train_y[k]);
+    models[k].refit_hyperparameters(rng);
+  }
+
+  // ---- BO loop ----
+  std::vector<linalg::Vector> unrevealed_x;
+  std::vector<std::size_t> unrevealed_idx;
+  linalg::Vector means, vars;
+  std::size_t round = 0;
+  while (pool.runs() < options.budget) {
+    ++round;
+    unrevealed_x.clear();
+    unrevealed_idx.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!revealed[i]) {
+        unrevealed_idx.push_back(i);
+        unrevealed_x.push_back(pool.encoded()[i]);
+      }
+    }
+    if (unrevealed_idx.empty()) break;
+
+    // Per-objective normalized LCB scores.
+    std::vector<linalg::Vector> lcb(n_obj,
+                                    linalg::Vector(unrevealed_idx.size()));
+    for (std::size_t k = 0; k < n_obj; ++k) {
+      models[k].predict_batch(unrevealed_x, means, vars);
+      double best = 1e300, worst = -1e300;
+      for (std::size_t c = 0; c < means.size(); ++c) {
+        const double v =
+            means[c] - options.kappa * std::sqrt(std::max(0.0, vars[c]));
+        lcb[k][c] = v;
+        best = std::min(best, v);
+        worst = std::max(worst, v);
+      }
+      const double span = std::max(1e-12, worst - best);
+      for (double& v : lcb[k]) v = (v - best) / span;
+    }
+
+    // Batch of selections with independent random scalarizations.
+    const std::size_t batch = std::min(
+        {options.batch_size, unrevealed_idx.size(),
+         options.budget - pool.runs()});
+    std::vector<bool> taken(unrevealed_idx.size(), false);
+    for (std::size_t b = 0; b < batch; ++b) {
+      linalg::Vector w(n_obj, 1.0 / static_cast<double>(n_obj));
+      if (options.scalarization == Scalarization::kRandomWeights) {
+        // Uniform weights on the simplex (normalized exponentials).
+        double sum = 0.0;
+        for (double& x : w) {
+          x = -std::log(std::max(1e-300, rng.uniform01()));
+          sum += x;
+        }
+        for (double& x : w) x /= sum;
+      }
+
+      std::size_t best_c = 0;
+      double best_score = 1e300;
+      for (std::size_t c = 0; c < unrevealed_idx.size(); ++c) {
+        if (taken[c]) continue;
+        double score = 0.0;
+        for (std::size_t k = 0; k < n_obj; ++k) score += w[k] * lcb[k][c];
+        if (score < best_score) {
+          best_score = score;
+          best_c = c;
+        }
+      }
+      taken[best_c] = true;
+      const std::size_t i = unrevealed_idx[best_c];
+      const pareto::Point y = reveal(i);
+      for (std::size_t k = 0; k < n_obj; ++k) {
+        models[k].add_observation(pool.encoded()[i], y[k]);
+      }
+    }
+
+    if (round % options.refit_every == 0) {
+      for (auto& m : models) m.refit_hyperparameters(rng);
+    }
+  }
+
+  // ---- Answer: Pareto front of the evaluated set ----
+  std::vector<pareto::Point> evaluated;
+  evaluated.reserve(revealed_list.size());
+  for (std::size_t i : revealed_list) evaluated.push_back(pool.golden(i));
+  tuner::TuningResult result;
+  for (std::size_t f : pareto::pareto_front_indices(evaluated)) {
+    result.pareto_indices.push_back(revealed_list[f]);
+  }
+  result.tool_runs = pool.runs();
+  return result;
+}
+
+}  // namespace ppat::baselines

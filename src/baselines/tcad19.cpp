@@ -1,0 +1,107 @@
+#include "baselines/tcad19.hpp"
+
+#include <algorithm>
+
+#include "tuner/surrogate.hpp"
+
+namespace ppat::baselines {
+
+tuner::TuningResult run_tcad19(tuner::CandidatePool& pool,
+                               const Tcad19Options& options) {
+  const std::size_t n = pool.size();
+  const std::size_t n_obj = pool.num_objectives();
+  common::Rng rng(options.seed);
+
+  std::vector<bool> revealed(n, false);
+  std::vector<std::size_t> revealed_list;
+  std::vector<linalg::Vector> train_x;
+  std::vector<linalg::Vector> train_y(n_obj);
+  auto reveal = [&](std::size_t i) {
+    const pareto::Point y = pool.reveal(i);
+    revealed[i] = true;
+    revealed_list.push_back(i);
+    train_x.push_back(pool.encoded()[i]);
+    for (std::size_t k = 0; k < n_obj; ++k) train_y[k].push_back(y[k]);
+    return y;
+  };
+
+  const std::size_t init_count = std::min(
+      {n, std::max(options.min_init,
+                   static_cast<std::size_t>(options.init_fraction *
+                                            static_cast<double>(n))),
+       options.max_runs});
+  for (std::size_t i : rng.sample_without_replacement(n, init_count)) {
+    reveal(i);
+  }
+
+  std::vector<tuner::PlainGpSurrogate> models(n_obj);
+  for (std::size_t k = 0; k < n_obj; ++k) {
+    models[k].fit(train_x, train_y[k]);
+    models[k].refit_hyperparameters(rng);
+  }
+
+  // ---- Active exploitation loop ----
+  linalg::Vector means, vars;
+  std::size_t round = 0;
+  while (pool.runs() < options.max_runs) {
+    ++round;
+    std::vector<std::size_t> unrevealed_idx;
+    std::vector<linalg::Vector> unrevealed_x;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!revealed[i]) {
+        unrevealed_idx.push_back(i);
+        unrevealed_x.push_back(pool.encoded()[i]);
+      }
+    }
+    if (unrevealed_idx.empty()) break;
+
+    // Predicted objective vectors of every unevaluated configuration.
+    std::vector<pareto::Point> predicted(unrevealed_idx.size(),
+                                         pareto::Point(n_obj));
+    for (std::size_t k = 0; k < n_obj; ++k) {
+      models[k].predict_batch(unrevealed_x, means, vars);
+      for (std::size_t c = 0; c < predicted.size(); ++c) {
+        predicted[c][k] = means[c];
+      }
+    }
+    std::vector<std::size_t> front = pareto::pareto_front_indices(predicted);
+    rng.shuffle(front);
+
+    const std::size_t batch = std::min(
+        {options.batch_size, unrevealed_idx.size(),
+         options.max_runs - pool.runs()});
+    std::size_t front_cursor = 0;
+    for (std::size_t b = 0; b < batch; ++b) {
+      std::size_t pick;
+      if (rng.uniform01() < options.explore_fraction ||
+          front_cursor >= front.size()) {
+        pick = static_cast<std::size_t>(
+            rng.next_below(unrevealed_idx.size()));
+      } else {
+        pick = front[front_cursor++];
+      }
+      const std::size_t i = unrevealed_idx[pick];
+      if (revealed[i]) continue;  // duplicate random pick within the batch
+      const pareto::Point y = reveal(i);
+      for (std::size_t k = 0; k < n_obj; ++k) {
+        models[k].add_observation(pool.encoded()[i], y[k]);
+      }
+    }
+    if (round % options.refit_every == 0) {
+      for (auto& m : models) m.refit_hyperparameters(rng);
+    }
+  }
+
+  // ---- Answer: Pareto front of the evaluated set ----
+  std::vector<pareto::Point> evaluated;
+  evaluated.reserve(revealed_list.size());
+  for (std::size_t i : revealed_list) evaluated.push_back(pool.golden(i));
+  tuner::TuningResult result;
+  for (std::size_t f : pareto::pareto_front_indices(evaluated)) {
+    result.pareto_indices.push_back(revealed_list[f]);
+  }
+  result.tool_runs = pool.runs();
+  return result;
+}
+
+}  // namespace ppat::baselines

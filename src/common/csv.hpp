@@ -1,0 +1,45 @@
+// Tiny CSV reader/writer used by the benchmark harness to persist generated
+// benchmark tables (configuration points + golden QoR) and experiment output.
+//
+// Scope is deliberately narrow: comma separator, optional quoting with ""
+// escapes, no embedded newlines inside quoted fields. That covers everything
+// this repository writes and keeps the parser easy to verify exhaustively in
+// tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ppat::common {
+
+/// One parsed CSV table: a header row plus data rows, all as strings.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of the named column, or npos if absent.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t column(const std::string& name) const;
+};
+
+/// Splits one CSV line into fields, honoring double-quoted fields with ""
+/// escapes.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Quotes a field if it contains a comma, quote, or leading/trailing space.
+std::string csv_escape(const std::string& field);
+
+/// Parses CSV text (first line is the header). Throws std::runtime_error on
+/// ragged rows.
+CsvTable parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file. Throws std::runtime_error if unreadable.
+CsvTable read_csv_file(const std::string& path);
+
+/// Serializes a table back to CSV text (with trailing newline).
+std::string to_csv(const CsvTable& table);
+
+/// Writes a table to a file. Throws std::runtime_error on I/O failure.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace ppat::common

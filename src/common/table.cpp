@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ppat::common {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_separator() { rows_.emplace_back(); }
+
+std::string AsciiTable::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&width](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 3;
+  if (total > 0) total -= 1;
+
+  std::ostringstream out;
+  auto emit = [&out, &width](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << " | ";
+      out << row[i];
+      out << std::string(width[i] - row[i].size(), ' ');
+    }
+    out << '\n';
+  };
+  if (!title_.empty()) out << title_ << '\n';
+  if (!header_.empty()) {
+    emit(header_);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      out << std::string(total, '-') << '\n';
+    } else {
+      emit(r);
+    }
+  }
+  return out.str();
+}
+
+std::string fmt_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_general(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g", value);
+  return buf;
+}
+
+}  // namespace ppat::common

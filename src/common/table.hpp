@@ -1,0 +1,39 @@
+// Fixed-width ASCII table printer for the benchmark harness: every bench
+// binary regenerates a paper table/figure and prints it in the same
+// row/column layout as the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ppat::common {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class AsciiTable {
+ public:
+  /// `title` is printed above the table.
+  explicit AsciiTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Inserts a horizontal separator line after the current last row.
+  void add_separator();
+
+  /// Renders the table; every column is padded to its widest cell.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row => separator
+};
+
+/// Formats a double with `digits` places after the point (fixed notation).
+std::string fmt_fixed(double value, int digits);
+
+/// Formats a double like "%.3g".
+std::string fmt_general(double value);
+
+}  // namespace ppat::common

@@ -1,0 +1,202 @@
+#include "cts/cts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppat::cts {
+namespace {
+
+constexpr double kBufferInputCapFf = 1.0;   // CTS buffer input pin
+constexpr double kBufferSelfCapFf = 1.2;    // internal + output self-load
+constexpr double kBufferDelayNs = 0.010;    // intrinsic buffer delay
+constexpr double kBufferDriveKohm = 1.2;    // strong clock buffer
+constexpr double kFfClockPinCapFf = 0.45;
+
+struct Sink {
+  netlist::InstanceId id;
+  double x, y;
+};
+
+/// Recursively partitions `sinks` (a mutable span range [begin, end)) and
+/// emits tree nodes bottom-up; returns the node index created for the range.
+std::uint32_t build(std::vector<Sink>& sinks, std::size_t begin,
+                    std::size_t end, unsigned max_fanout, int level,
+                    std::vector<ClockTreeNode>& nodes) {
+  const std::size_t count = end - begin;
+  if (count <= max_fanout) {
+    ClockTreeNode node;
+    node.level = level;
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      node.sink_flops.push_back(sinks[i].id);
+      sx += sinks[i].x;
+      sy += sinks[i].y;
+    }
+    node.x = sx / static_cast<double>(count);
+    node.y = sy / static_cast<double>(count);
+    nodes.push_back(std::move(node));
+    return static_cast<std::uint32_t>(nodes.size() - 1);
+  }
+
+  // Split at the median of the axis with the wider spread.
+  double min_x = 1e30, max_x = -1e30, min_y = 1e30, max_y = -1e30;
+  for (std::size_t i = begin; i < end; ++i) {
+    min_x = std::min(min_x, sinks[i].x);
+    max_x = std::max(max_x, sinks[i].x);
+    min_y = std::min(min_y, sinks[i].y);
+    max_y = std::max(max_y, sinks[i].y);
+  }
+  const bool split_x = (max_x - min_x) >= (max_y - min_y);
+  const std::size_t mid = begin + count / 2;
+  std::nth_element(sinks.begin() + static_cast<std::ptrdiff_t>(begin),
+                   sinks.begin() + static_cast<std::ptrdiff_t>(mid),
+                   sinks.begin() + static_cast<std::ptrdiff_t>(end),
+                   [split_x](const Sink& a, const Sink& b) {
+                     return split_x ? a.x < b.x : a.y < b.y;
+                   });
+
+  const std::uint32_t left =
+      build(sinks, begin, mid, max_fanout, level + 1, nodes);
+  const std::uint32_t right =
+      build(sinks, mid, end, max_fanout, level + 1, nodes);
+  ClockTreeNode node;
+  node.level = level;
+  node.child_buffers = {left, right};
+  node.x = 0.5 * (nodes[left].x + nodes[right].x);
+  node.y = 0.5 * (nodes[right].y + nodes[left].y);
+  nodes.push_back(std::move(node));
+  return static_cast<std::uint32_t>(nodes.size() - 1);
+}
+
+double manhattan(double ax, double ay, double bx, double by) {
+  return std::fabs(ax - bx) + std::fabs(ay - by);
+}
+
+}  // namespace
+
+double ClockTree::power_mw(double voltage_v, double freq_ghz) const {
+  const double v2 = voltage_v * voltage_v;
+  return total_cap_ff * 1e-15 * v2 * freq_ghz * 1e9 * 1e3;
+}
+
+namespace {
+
+ClockTree synthesize_with_fanout(const netlist::Netlist& nl,
+                                 const place::Placement& placement,
+                                 const CtsOptions& opt, unsigned fanout);
+
+}  // namespace
+
+ClockTree synthesize_clock_tree(const netlist::Netlist& nl,
+                                const place::Placement& placement,
+                                const CtsOptions& opt) {
+  if (!opt.power_driven) {
+    return synthesize_with_fanout(nl, placement, opt, opt.max_fanout);
+  }
+  // Power-driven CTS: search the fanout space (including the nominal value)
+  // for the minimum-capacitance tree — trading buffer cap against leaf-wire
+  // cap — and accept whatever skew that tree has.
+  ClockTree best;
+  bool have_best = false;
+  for (const unsigned fanout :
+       {opt.max_fanout, opt.max_fanout / 2, opt.max_fanout * 2,
+        opt.max_fanout * 3}) {
+    if (fanout < 2) continue;
+    ClockTree tree = synthesize_with_fanout(nl, placement, opt, fanout);
+    if (!have_best || tree.total_cap_ff < best.total_cap_ff) {
+      best = std::move(tree);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+ClockTree synthesize_with_fanout(const netlist::Netlist& nl,
+                                 const place::Placement& placement,
+                                 const CtsOptions& opt, unsigned fanout) {
+  std::vector<Sink> sinks;
+  for (netlist::InstanceId i = 0; i < nl.num_instances(); ++i) {
+    if (nl.is_sequential(i)) {
+      sinks.push_back({i, placement.x[i], placement.y[i]});
+    }
+  }
+  if (sinks.empty()) {
+    throw std::invalid_argument(
+        "synthesize_clock_tree: design has no flip-flops");
+  }
+
+  ClockTree tree;
+  const std::uint32_t root =
+      build(sinks, 0, sinks.size(), std::max(2u, fanout), 0, tree.nodes);
+  // Move the root to index 0 for the documented convention.
+  if (root != 0) std::swap(tree.nodes[0], tree.nodes[root]);
+  // Fix child indices after the swap.
+  for (auto& node : tree.nodes) {
+    for (auto& c : node.child_buffers) {
+      if (c == 0) {
+        c = root;
+      } else if (c == root) {
+        c = 0;
+      }
+    }
+  }
+
+  tree.num_buffers = tree.nodes.size() - 1;  // root driver not counted
+
+  // Wire, capacitance, and per-sink arrival accounting (DFS from root).
+  struct Frame {
+    std::uint32_t node;
+    double arrival_ns;
+  };
+  double min_arrival = 1e30, max_arrival = -1e30;
+  std::vector<Frame> stack = {{0, 0.0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const ClockTreeNode& node = tree.nodes[f.node];
+
+    // Load on this node's buffer: child buffer pins / FF clock pins plus
+    // the wire to each child.
+    double wire_um = 0.0;
+    double pin_cap = 0.0;
+    for (std::uint32_t c : node.child_buffers) {
+      wire_um += manhattan(node.x, node.y, tree.nodes[c].x, tree.nodes[c].y);
+      pin_cap += kBufferInputCapFf;
+    }
+    for (netlist::InstanceId ff : node.sink_flops) {
+      wire_um += manhattan(node.x, node.y, placement.x[ff], placement.y[ff]);
+      pin_cap += kFfClockPinCapFf;
+    }
+    const double wire_cap = wire_um * opt.wire_cap_ff_per_um;
+    tree.total_wire_um += wire_um;
+    tree.total_cap_ff += wire_cap + pin_cap + kBufferSelfCapFf;
+
+    // Stage delay: buffer intrinsic + drive on (wire + pin) load, plus the
+    // average wire RC of this stage.
+    const double load = wire_cap + pin_cap;
+    const double stage_delay =
+        kBufferDelayNs + kBufferDriveKohm * load * 1e-3 +
+        0.5 * (wire_um * opt.wire_res_kohm_per_um) * wire_cap * 1e-3;
+    const double arrival = f.arrival_ns + stage_delay;
+
+    if (node.child_buffers.empty()) {
+      // Leaf level: sinks arrive here (plus their own small wire spread,
+      // folded into the stage delay above).
+      min_arrival = std::min(min_arrival, arrival);
+      max_arrival = std::max(max_arrival, arrival);
+    }
+    for (std::uint32_t c : node.child_buffers) {
+      stack.push_back({c, arrival});
+    }
+  }
+  tree.insertion_delay_ns = max_arrival;
+  tree.skew_ns = max_arrival - min_arrival;
+  return tree;
+}
+
+}  // namespace
+
+}  // namespace ppat::cts

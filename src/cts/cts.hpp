@@ -1,0 +1,64 @@
+// Clock tree synthesis over a placed design.
+//
+// Builds a recursive-bipartition (H-tree-like) buffered clock distribution
+// for the flip-flops of a placement: the sink set is split geometrically at
+// the median of its wider spread axis until groups fit under one buffer,
+// then buffers are merged bottom-up. Reports the structural quantities a
+// clock network costs — buffer count, wire length, total switched
+// capacitance, insertion delay, and a skew estimate.
+//
+// The pdsim flow itself prices the clock with the closed-form model in
+// power::clock_tree_power_mw (cheap enough to call thousands of times when
+// building benchmark tables); this module is the structural ground truth
+// that model is calibrated against — the test suite asserts the two agree —
+// and is what the clock_power_driven tool parameter physically means:
+// power-driven CTS merges subtrees more aggressively (fewer, heavier
+// buffers), cutting capacitance at a skew cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "place/placer.hpp"
+
+namespace ppat::cts {
+
+struct CtsOptions {
+  /// Max sinks (FFs or child buffers) one buffer drives.
+  unsigned max_fanout = 12;
+  /// Power-driven CTS: merge harder (fewer buffers, less cap, more skew).
+  bool power_driven = false;
+  /// Wire constants default to the STA module's values.
+  double wire_cap_ff_per_um = 0.35;
+  double wire_res_kohm_per_um = 0.0040;
+};
+
+/// One node of the clock tree: a buffer (or the root driver) at a location.
+struct ClockTreeNode {
+  double x = 0.0, y = 0.0;
+  std::vector<std::uint32_t> child_buffers;      ///< node indices
+  std::vector<netlist::InstanceId> sink_flops;   ///< leaf connections
+  int level = 0;                                 ///< root = 0
+};
+
+struct ClockTree {
+  std::vector<ClockTreeNode> nodes;  ///< nodes[0] is the root
+  std::size_t num_buffers = 0;       ///< excluding the root driver
+  double total_wire_um = 0.0;
+  double total_cap_ff = 0.0;     ///< wire + buffer + FF clock pins
+  double insertion_delay_ns = 0.0;  ///< root-to-deepest-sink delay estimate
+  double skew_ns = 0.0;             ///< max - min sink arrival estimate
+
+  /// Power of this tree at the given voltage/frequency (alpha = 2 toggles
+  /// per cycle with the 1/2 folded in).
+  double power_mw(double voltage_v, double freq_ghz) const;
+};
+
+/// Synthesizes the tree. Requires at least one sequential instance.
+/// Throws std::invalid_argument otherwise.
+ClockTree synthesize_clock_tree(const netlist::Netlist& netlist,
+                                const place::Placement& placement,
+                                const CtsOptions& options = {});
+
+}  // namespace ppat::cts

@@ -1,0 +1,190 @@
+#include "flow/benchmark.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "sample/sampling.hpp"
+
+namespace ppat::flow {
+
+std::vector<linalg::Vector> BenchmarkSet::encoded_configs() const {
+  std::vector<linalg::Vector> out;
+  out.reserve(configs.size());
+  for (const Config& c : configs) out.push_back(space.encode(c));
+  return out;
+}
+
+std::vector<double> BenchmarkSet::metric_column(std::size_t metric) const {
+  std::vector<double> out;
+  out.reserve(qor.size());
+  for (const QoR& q : qor) out.push_back(q.metric(metric));
+  return out;
+}
+
+ParameterSpace source1_space() {
+  return ParameterSpace({
+      ParamSpec::real("freq", 950, 1050),
+      ParamSpec::real("place_uncertainty", 50, 200),
+      ParamSpec::enumeration("flowEffort", {"standard", "high", "extreme"}),
+      ParamSpec::boolean("uniform_density"),
+      ParamSpec::enumeration("cong_effort", {"AUTO", "HIGH"}),
+      ParamSpec::real("max_density", 0.65, 0.90),
+      ParamSpec::real("max_Length", 160, 310),
+      ParamSpec::real("max_Density", 0.65, 0.90),
+      ParamSpec::real("max_transition", 0.19, 0.34),
+      ParamSpec::real("max_capacitance", 0.08, 0.13),
+      ParamSpec::integer("max_fanout", 25, 50),
+      ParamSpec::real("max_AllowedDelay", 0.00, 0.25),
+  });
+}
+
+ParameterSpace target1_space() {
+  return ParameterSpace({
+      ParamSpec::real("freq", 1000, 1300),
+      ParamSpec::real("place_uncertainty", 20, 100),
+      ParamSpec::enumeration("flowEffort", {"standard", "high", "extreme"}),
+      ParamSpec::boolean("uniform_density"),
+      ParamSpec::enumeration("cong_effort", {"AUTO", "HIGH"}),
+      ParamSpec::real("max_density", 0.65, 0.90),
+      ParamSpec::real("max_Length", 160, 300),
+      ParamSpec::real("max_Density", 0.65, 0.90),
+      ParamSpec::real("max_transition", 0.10, 0.35),
+      ParamSpec::real("max_capacitance", 0.08, 0.20),
+      ParamSpec::integer("max_fanout", 25, 50),
+      ParamSpec::real("max_AllowedDelay", 0.00, 0.25),
+  });
+}
+
+ParameterSpace source2_space() {
+  return ParameterSpace({
+      ParamSpec::real("place_rcfactor", 1.00, 1.30),
+      ParamSpec::enumeration("flowEffort", {"standard", "high", "extreme"}),
+      ParamSpec::enumeration("timing_effort", {"medium", "high"}),
+      ParamSpec::boolean("clock_power_driven"),
+      ParamSpec::real("max_Length", 250, 350),
+      ParamSpec::real("max_Density", 0.50, 1.00),
+      ParamSpec::real("max_capacitance", 0.07, 0.12),
+      ParamSpec::integer("max_fanout", 25, 40),
+      ParamSpec::real("max_AllowedDelay", 0.06, 0.12),
+  });
+}
+
+ParameterSpace target2_space() {
+  return ParameterSpace({
+      ParamSpec::real("place_rcfactor", 1.00, 1.30),
+      ParamSpec::enumeration("flowEffort", {"standard", "high", "extreme"}),
+      ParamSpec::enumeration("timing_effort", {"medium", "high"}),
+      ParamSpec::boolean("clock_power_driven"),
+      ParamSpec::real("max_Length", 250, 350),
+      ParamSpec::real("max_Density", 0.50, 1.00),
+      ParamSpec::real("max_capacitance", 0.05, 0.15),
+      ParamSpec::integer("max_fanout", 25, 39),
+      ParamSpec::real("max_AllowedDelay", 0.00, 0.12),
+  });
+}
+
+BenchmarkSet build_benchmark(const std::string& name,
+                             const ParameterSpace& space, std::size_t n,
+                             QorOracle& oracle, std::uint64_t seed) {
+  BenchmarkSet set;
+  set.name = name;
+  set.space = space;
+  common::Rng rng(seed);
+  const auto unit_points = sample::latin_hypercube(n, space.size(), rng);
+  set.configs.reserve(n);
+  set.qor.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    set.configs.push_back(space.decode(unit_points[i]));
+    set.qor.push_back(oracle.evaluate(space, set.configs.back()));
+    if ((i + 1) % 250 == 0) {
+      PPAT_INFO << "benchmark " << name << ": " << (i + 1) << "/" << n
+                << " golden points evaluated";
+    }
+  }
+  return set;
+}
+
+void save_benchmark_csv(const std::string& path, const BenchmarkSet& set) {
+  common::CsvTable table;
+  for (const auto& spec : set.space.specs()) table.header.push_back(spec.name);
+  table.header.insert(table.header.end(),
+                      {"area_um2", "power_mw", "delay_ns"});
+  char buf[64];
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    std::vector<std::string> row;
+    row.reserve(table.header.size());
+    for (double v : set.configs[i]) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      row.emplace_back(buf);
+    }
+    for (std::size_t m = 0; m < QoR::kNumMetrics; ++m) {
+      std::snprintf(buf, sizeof(buf), "%.17g", set.qor[i].metric(m));
+      row.emplace_back(buf);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  common::write_csv_file(path, table);
+}
+
+BenchmarkSet load_benchmark_csv(const std::string& path,
+                                const std::string& name,
+                                const ParameterSpace& space) {
+  const common::CsvTable table = common::read_csv_file(path);
+  const std::size_t d = space.size();
+  if (table.header.size() != d + QoR::kNumMetrics) {
+    throw std::runtime_error("benchmark CSV column count mismatch: " + path);
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    if (table.header[i] != space.spec(i).name) {
+      throw std::runtime_error("benchmark CSV header mismatch at column " +
+                               std::to_string(i) + ": " + path);
+    }
+  }
+  BenchmarkSet set;
+  set.name = name;
+  set.space = space;
+  set.configs.reserve(table.rows.size());
+  set.qor.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    Config c(d);
+    for (std::size_t i = 0; i < d; ++i) c[i] = std::stod(row[i]);
+    space.validate(c);
+    QoR q;
+    q.area_um2 = std::stod(row[d]);
+    q.power_mw = std::stod(row[d + 1]);
+    q.delay_ns = std::stod(row[d + 2]);
+    set.configs.push_back(std::move(c));
+    set.qor.push_back(q);
+  }
+  return set;
+}
+
+BenchmarkSet build_or_load(
+    const std::string& dir, const std::string& name,
+    const ParameterSpace& space, std::size_t n,
+    const std::function<std::unique_ptr<QorOracle>()>& make_oracle,
+    std::uint64_t seed) {
+  const std::string path = dir + "/" + name + ".csv";
+  if (std::filesystem::exists(path)) {
+    BenchmarkSet set = load_benchmark_csv(path, name, space);
+    if (set.size() == n) {
+      PPAT_INFO << "benchmark " << name << ": loaded " << n
+                << " cached points from " << path;
+      return set;
+    }
+    PPAT_WARN << "benchmark cache " << path << " has " << set.size()
+              << " points, expected " << n << "; rebuilding";
+  }
+  std::filesystem::create_directories(dir);
+  auto oracle = make_oracle();
+  BenchmarkSet set = build_benchmark(name, space, n, *oracle, seed);
+  save_benchmark_csv(path, set);
+  PPAT_INFO << "benchmark " << name << ": built and cached to " << path;
+  return set;
+}
+
+}  // namespace ppat::flow

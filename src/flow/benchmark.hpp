@@ -1,0 +1,77 @@
+// Offline benchmark construction, exactly following the paper's §4.1:
+// choose configuration points with Latin hypercube sampling over the pruned
+// parameter space, run every point through the PD flow for its golden QoR,
+// and treat the resulting table as the ground truth a tuner explores
+// ("the golden values ... is defined as the best that can be found in the
+// benchmarks").
+//
+// The four benchmark spaces replicate Table 1 verbatim:
+//   Source1/Target1: 12 parameters, 5000 points each, small MAC design;
+//   Source2:          9 parameters, 1440 points, small MAC design;
+//   Target2:          9 parameters,  727 points, large MAC design.
+//
+// Because golden-QoR generation means thousands of flow runs, built sets
+// can be cached to CSV and reloaded (`build_or_load`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flow/pd_tool.hpp"
+
+namespace ppat::flow {
+
+/// A fully evaluated benchmark: configurations plus their golden QoR.
+struct BenchmarkSet {
+  std::string name;
+  ParameterSpace space;
+  std::vector<Config> configs;
+  std::vector<QoR> qor;
+
+  std::size_t size() const { return configs.size(); }
+
+  /// Unit-cube encodings of all configurations (for surrogate models).
+  std::vector<linalg::Vector> encoded_configs() const;
+
+  /// Golden values of one metric across the set (0=area, 1=power, 2=delay).
+  std::vector<double> metric_column(std::size_t metric) const;
+};
+
+/// Table 1 parameter spaces.
+ParameterSpace source1_space();
+ParameterSpace target1_space();
+ParameterSpace source2_space();
+ParameterSpace target2_space();
+
+/// Paper point counts.
+inline constexpr std::size_t kSource1Points = 5000;
+inline constexpr std::size_t kTarget1Points = 5000;
+inline constexpr std::size_t kSource2Points = 1440;
+inline constexpr std::size_t kTarget2Points = 727;
+
+/// Builds a benchmark: `n` LHS points decoded into `space`, each evaluated
+/// by `oracle`. Deterministic in `seed`.
+BenchmarkSet build_benchmark(const std::string& name,
+                             const ParameterSpace& space, std::size_t n,
+                             QorOracle& oracle, std::uint64_t seed);
+
+/// CSV persistence. Columns: one per parameter (canonical numeric values),
+/// then area_um2, power_mw, delay_ns. load throws std::runtime_error if the
+/// file's header does not match the space.
+void save_benchmark_csv(const std::string& path, const BenchmarkSet& set);
+BenchmarkSet load_benchmark_csv(const std::string& path,
+                                const std::string& name,
+                                const ParameterSpace& space);
+
+/// Loads `<dir>/<name>.csv` when present, otherwise builds via
+/// `build_benchmark` and saves the cache. `make_oracle` is only invoked on a
+/// cache miss (constructing a PDTool means generating a full netlist).
+BenchmarkSet build_or_load(const std::string& dir, const std::string& name,
+                           const ParameterSpace& space, std::size_t n,
+                           const std::function<std::unique_ptr<QorOracle>()>&
+                               make_oracle,
+                           std::uint64_t seed);
+
+}  // namespace ppat::flow

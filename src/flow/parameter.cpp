@@ -1,0 +1,175 @@
+#include "flow/parameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/table.hpp"
+
+namespace ppat::flow {
+
+ParamSpec ParamSpec::real(std::string name, double min_value,
+                          double max_value) {
+  if (!(min_value < max_value)) {
+    throw std::invalid_argument("ParamSpec::real: empty range for " + name);
+  }
+  ParamSpec s;
+  s.name = std::move(name);
+  s.type = ParamType::kFloat;
+  s.min_value = min_value;
+  s.max_value = max_value;
+  return s;
+}
+
+ParamSpec ParamSpec::integer(std::string name, int min_value, int max_value) {
+  if (min_value > max_value) {
+    throw std::invalid_argument("ParamSpec::integer: empty range for " + name);
+  }
+  ParamSpec s;
+  s.name = std::move(name);
+  s.type = ParamType::kInt;
+  s.min_value = min_value;
+  s.max_value = max_value;
+  return s;
+}
+
+ParamSpec ParamSpec::enumeration(std::string name,
+                                 std::vector<std::string> options) {
+  if (options.size() < 2) {
+    throw std::invalid_argument("ParamSpec::enumeration: need >= 2 options");
+  }
+  ParamSpec s;
+  s.name = std::move(name);
+  s.type = ParamType::kEnum;
+  s.min_value = 0.0;
+  s.max_value = static_cast<double>(options.size() - 1);
+  s.options = std::move(options);
+  return s;
+}
+
+ParamSpec ParamSpec::boolean(std::string name) {
+  ParamSpec s;
+  s.name = std::move(name);
+  s.type = ParamType::kBool;
+  s.min_value = 0.0;
+  s.max_value = 1.0;
+  return s;
+}
+
+ParameterSpace::ParameterSpace(std::vector<ParamSpec> specs)
+    : specs_(std::move(specs)) {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs_.size(); ++j) {
+      if (specs_[i].name == specs_[j].name) {
+        throw std::invalid_argument("ParameterSpace: duplicate parameter " +
+                                    specs_[i].name);
+      }
+    }
+  }
+}
+
+std::size_t ParameterSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return i;
+  }
+  return npos;
+}
+
+double ParameterSpace::value_or(const Config& config, const std::string& name,
+                                double fallback) const {
+  const std::size_t i = index_of(name);
+  if (i == npos) return fallback;
+  return config.at(i);
+}
+
+std::size_t ParameterSpace::cardinality(std::size_t i) const {
+  const ParamSpec& s = specs_.at(i);
+  switch (s.type) {
+    case ParamType::kFloat:
+      return 0;
+    case ParamType::kInt:
+      return static_cast<std::size_t>(s.max_value - s.min_value) + 1;
+    case ParamType::kEnum:
+      return s.options.size();
+    case ParamType::kBool:
+      return 2;
+  }
+  return 0;
+}
+
+Config ParameterSpace::decode(const linalg::Vector& unit) const {
+  if (unit.size() != specs_.size()) {
+    throw std::invalid_argument("ParameterSpace::decode: dimension mismatch");
+  }
+  Config config(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const double u = std::clamp(unit[i], 0.0, 1.0);
+    const ParamSpec& s = specs_[i];
+    if (s.type == ParamType::kFloat) {
+      config[i] = s.min_value + u * (s.max_value - s.min_value);
+    } else {
+      // Discrete: split [0,1] into `card` equal cells.
+      const std::size_t card = cardinality(i);
+      std::size_t level = static_cast<std::size_t>(u * static_cast<double>(card));
+      level = std::min(level, card - 1);
+      config[i] = s.min_value + static_cast<double>(level);
+    }
+  }
+  return config;
+}
+
+linalg::Vector ParameterSpace::encode(const Config& config) const {
+  if (config.size() != specs_.size()) {
+    throw std::invalid_argument("ParameterSpace::encode: dimension mismatch");
+  }
+  linalg::Vector unit(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const ParamSpec& s = specs_[i];
+    if (s.type == ParamType::kFloat) {
+      unit[i] = (config[i] - s.min_value) / (s.max_value - s.min_value);
+    } else {
+      // Level midpoint, so encode(decode(u)) maps into the same cell.
+      const std::size_t card = cardinality(i);
+      const double level = config[i] - s.min_value;
+      unit[i] = (level + 0.5) / static_cast<double>(card);
+    }
+    unit[i] = std::clamp(unit[i], 0.0, 1.0);
+  }
+  return unit;
+}
+
+void ParameterSpace::validate(const Config& config) const {
+  if (config.size() != specs_.size()) {
+    throw std::invalid_argument("ParameterSpace::validate: dim mismatch");
+  }
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const ParamSpec& s = specs_[i];
+    const double v = config[i];
+    if (v < s.min_value - 1e-9 || v > s.max_value + 1e-9) {
+      throw std::invalid_argument("parameter " + s.name + " out of range");
+    }
+    if (s.type != ParamType::kFloat &&
+        std::fabs(v - std::round(v)) > 1e-9) {
+      throw std::invalid_argument("parameter " + s.name +
+                                  " must be integral");
+    }
+  }
+}
+
+std::string ParameterSpace::format_value(std::size_t i,
+                                         double canonical) const {
+  const ParamSpec& s = specs_.at(i);
+  switch (s.type) {
+    case ParamType::kFloat:
+      return common::fmt_fixed(canonical, 3);
+    case ParamType::kInt:
+      return std::to_string(static_cast<long long>(std::llround(canonical)));
+    case ParamType::kEnum:
+      return s.options.at(static_cast<std::size_t>(std::llround(canonical)));
+    case ParamType::kBool:
+      return std::llround(canonical) != 0 ? "TRUE" : "FALSE";
+  }
+  return "?";
+}
+
+}  // namespace ppat::flow

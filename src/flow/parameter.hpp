@@ -1,0 +1,84 @@
+// Typed tool-parameter schema and configuration encoding.
+//
+// The PD tool exposes named parameters of four types (float, integer,
+// enumeration, boolean), each with a per-benchmark range — exactly the
+// structure of the paper's Table 1, where e.g. Source1 and Target1 tune the
+// same parameter names over different [Min, Max] ranges.
+//
+// A configuration is stored canonically as a vector of doubles (floats
+// verbatim; integers as rounded doubles; enums as option indices; bools as
+// 0/1). Learning code works in the normalized unit cube via encode()/
+// decode(), which also quantizes discrete parameters, so samplers and
+// surrogate models never special-case types.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ppat::flow {
+
+enum class ParamType { kFloat, kInt, kEnum, kBool };
+
+struct ParamSpec {
+  std::string name;
+  ParamType type = ParamType::kFloat;
+  double min_value = 0.0;  ///< float/int lower bound (inclusive)
+  double max_value = 1.0;  ///< float/int upper bound (inclusive)
+  std::vector<std::string> options;  ///< enum labels (kEnum only)
+
+  static ParamSpec real(std::string name, double min_value, double max_value);
+  static ParamSpec integer(std::string name, int min_value, int max_value);
+  static ParamSpec enumeration(std::string name,
+                               std::vector<std::string> options);
+  static ParamSpec boolean(std::string name);
+};
+
+/// Canonical configuration: one double per parameter (see file comment).
+using Config = std::vector<double>;
+
+/// An ordered set of parameter specs with unit-cube encoding.
+class ParameterSpace {
+ public:
+  ParameterSpace() = default;
+  explicit ParameterSpace(std::vector<ParamSpec> specs);
+
+  std::size_t size() const { return specs_.size(); }
+  const ParamSpec& spec(std::size_t i) const { return specs_.at(i); }
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+
+  /// Index of the named parameter, or npos when absent.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t index_of(const std::string& name) const;
+  bool has(const std::string& name) const { return index_of(name) != npos; }
+
+  /// Canonical value of the named parameter in `config`, or `fallback` if
+  /// the space does not include it. This is how the PD tool reads optional
+  /// parameters (different benchmarks tune different subsets).
+  double value_or(const Config& config, const std::string& name,
+                  double fallback) const;
+
+  /// Maps a unit-cube point to a canonical config (quantizing discrete
+  /// types). Unit coordinates are clamped to [0, 1].
+  Config decode(const linalg::Vector& unit) const;
+
+  /// Maps a canonical config to the unit cube (discrete types land on their
+  /// level midpoints, so encode(decode(u)) is idempotent).
+  linalg::Vector encode(const Config& config) const;
+
+  /// Validates a canonical config (bounds, integrality); throws
+  /// std::invalid_argument on the first violation.
+  void validate(const Config& config) const;
+
+  /// Human-readable value of parameter i ("HIGH", "TRUE", "0.85", "1050").
+  std::string format_value(std::size_t i, double canonical) const;
+
+  /// Number of representable values of parameter i (0 = continuous).
+  std::size_t cardinality(std::size_t i) const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+}  // namespace ppat::flow

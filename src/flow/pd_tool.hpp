@@ -1,0 +1,100 @@
+// The "physical design tool": the black box PPATuner tunes.
+//
+// PDTool stands in for Cadence Innovus in the paper's setup. One run()
+// executes the full mini flow on a MAC design:
+//
+//   parameters -> global placement (density/congestion-aware)
+//              -> DRV repair (buffering) + timing-driven sizing
+//              -> parasitic extraction -> STA -> power estimation
+//              -> QoR {area, power, delay}
+//
+// The mapping from the paper's Table 1 parameters to flow knobs:
+//   freq               clock constraint (MHz); drives the sizer's target
+//   place_rcfactor     wire RC extraction scale during optimization
+//   place_uncertainty  clock uncertainty (ps) the sizer must cover
+//   flowEffort         standard/high/extreme: iteration budgets everywhere
+//   timing_effort      medium/high: sizing pass budget
+//   clock_power_driven CTS power optimization (power down, margin cost)
+//   uniform_density    spread cells to uniform fill
+//   cong_effort        AUTO/HIGH congestion mitigation in placement
+//   max_density        global-placement bin fill cap
+//   max_Length         DRV: max net length (um)
+//   max_Density        max area utilization (sets die size)
+//   max_transition     DRV: max slew (ns)
+//   max_capacitance    DRV: max net load (pF)
+//   max_fanout         DRV: max sinks per net
+//   max_AllowedDelay   tolerated timing violation (ns): early sizer stop
+//
+// Every run is deterministic in (design, seed, config) — the reproduction's
+// "golden QoR" notion requires replayability.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "flow/parameter.hpp"
+#include "netlist/mac_generator.hpp"
+
+namespace ppat::flow {
+
+/// Quality-of-results triple the paper optimizes. All three are minimized.
+struct QoR {
+  double area_um2 = 0.0;
+  double power_mw = 0.0;
+  double delay_ns = 0.0;
+
+  /// Metric by objective index (0 = area, 1 = power, 2 = delay).
+  double metric(std::size_t i) const;
+  static constexpr std::size_t kNumMetrics = 3;
+  static const char* metric_name(std::size_t i);
+};
+
+/// Abstract evaluator: a mapping from tool configurations to QoR. PPATuner
+/// and the baselines only ever see this interface, so they can drive the
+/// bundled pdsim flow, a user's real EDA tool wrapper, or a test stub.
+class QorOracle {
+ public:
+  virtual ~QorOracle() = default;
+  virtual QoR evaluate(const ParameterSpace& space, const Config& config) = 0;
+  /// Number of evaluate() calls so far ("tool runs" in the paper's metric).
+  virtual std::size_t run_count() const = 0;
+};
+
+/// Extra diagnostics from one flow run (beyond the QoR triple).
+struct FlowDetails {
+  double wns_ns = 0.0;
+  double total_hpwl_um = 0.0;
+  double congestion_overflow = 0.0;
+  std::size_t buffers_inserted = 0;
+  std::size_t cells_upsized = 0;
+  std::size_t final_cell_count = 0;
+};
+
+/// The bundled mini physical-design flow on a generated MAC design.
+class PDTool final : public QorOracle {
+ public:
+  /// Builds the design once; each run() re-places and re-optimizes a copy.
+  PDTool(const netlist::CellLibrary* library, const netlist::MacConfig& design,
+         std::uint64_t seed);
+  ~PDTool() override;
+
+  PDTool(const PDTool&) = delete;
+  PDTool& operator=(const PDTool&) = delete;
+
+  QoR evaluate(const ParameterSpace& space, const Config& config) override;
+  std::size_t run_count() const override { return runs_; }
+
+  /// Like evaluate() but also returns flow diagnostics.
+  QoR evaluate_detailed(const ParameterSpace& space, const Config& config,
+                        FlowDetails* details);
+
+  /// The design this tool instance implements.
+  const netlist::Netlist& base_netlist() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace ppat::flow

@@ -1,0 +1,199 @@
+#include "gp/gp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "linalg/neldermead.hpp"
+
+namespace ppat::gp {
+
+GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel,
+                                 double noise_variance)
+    : kernel_(std::move(kernel)), noise_variance_(noise_variance) {
+  if (!kernel_) throw std::invalid_argument("GaussianProcess: null kernel");
+  if (noise_variance <= 0.0) {
+    throw std::invalid_argument("GaussianProcess: noise must be positive");
+  }
+}
+
+void GaussianProcess::fit(std::vector<linalg::Vector> xs, linalg::Vector ys) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("GaussianProcess::fit: bad training data");
+  }
+  xs_ = std::move(xs);
+  ys_raw_ = std::move(ys);
+  y_mean_ = common::mean(ys_raw_);
+  y_sd_ = std::max(1e-12, common::stddev(ys_raw_));
+  ys_std_.resize(ys_raw_.size());
+  for (std::size_t i = 0; i < ys_raw_.size(); ++i) {
+    ys_std_[i] = (ys_raw_[i] - y_mean_) / y_sd_;
+  }
+  factorize();
+}
+
+void GaussianProcess::add_observation(const linalg::Vector& x, double y) {
+  if (xs_.empty()) {
+    fit({x}, {y});
+    return;
+  }
+  xs_.push_back(x);
+  ys_raw_.push_back(y);
+  // Keep the standardization frozen between refits so alpha stays coherent;
+  // optimize_hyperparameters() re-standardizes from scratch via fit paths.
+  ys_std_.push_back((y - y_mean_) / y_sd_);
+  factorize();
+}
+
+void GaussianProcess::factorize() {
+  linalg::Matrix k = kernel_->gram(xs_);
+  k.add_to_diagonal(noise_variance_);
+  auto chol = linalg::CholeskyFactor::compute_with_jitter(k);
+  if (!chol) {
+    throw std::runtime_error(
+        "GaussianProcess: kernel matrix not positive definite");
+  }
+  chol_ = std::move(chol);
+  alpha_ = chol_->solve(ys_std_);
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  if (!chol_) throw std::runtime_error("GaussianProcess: not fitted");
+  const double n = static_cast<double>(xs_.size());
+  return -0.5 * linalg::dot(ys_std_, alpha_) - 0.5 * chol_->log_det() -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+double GaussianProcess::nll_for(const linalg::Vector& log_params,
+                                const std::vector<std::size_t>& subset) const {
+  // log_params = [kernel..., log noise]
+  auto k = kernel_->clone();
+  linalg::Vector kp(log_params.begin(), log_params.end() - 1);
+  for (double p : log_params) {
+    if (!std::isfinite(p) || std::fabs(p) > 12.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  k->set_hyperparameters(kp);
+  const double noise = std::exp(log_params.back());
+
+  std::vector<linalg::Vector> xs;
+  linalg::Vector ys;
+  xs.reserve(subset.size());
+  ys.reserve(subset.size());
+  for (std::size_t i : subset) {
+    xs.push_back(xs_[i]);
+    ys.push_back(ys_std_[i]);
+  }
+  linalg::Matrix gram = k->gram(xs);
+  gram.add_to_diagonal(noise);
+  auto chol = linalg::CholeskyFactor::compute_with_jitter(gram);
+  if (!chol) return std::numeric_limits<double>::infinity();
+  const linalg::Vector alpha = chol->solve(ys);
+  const double n = static_cast<double>(xs.size());
+  return 0.5 * linalg::dot(ys, alpha) + 0.5 * chol->log_det() +
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+void GaussianProcess::optimize_hyperparameters(common::Rng& rng,
+                                               const FitOptions& options) {
+  if (xs_.empty()) {
+    throw std::runtime_error("GaussianProcess: fit before optimizing");
+  }
+  // Subsample for the objective if the dataset is large.
+  std::vector<std::size_t> subset;
+  if (xs_.size() > options.max_points) {
+    subset = rng.sample_without_replacement(xs_.size(), options.max_points);
+  } else {
+    subset.resize(xs_.size());
+    for (std::size_t i = 0; i < subset.size(); ++i) subset[i] = i;
+  }
+
+  auto objective = [this, &subset](const linalg::Vector& p) {
+    return nll_for(p, subset);
+  };
+
+  linalg::Vector current = kernel_->hyperparameters();
+  current.push_back(std::log(std::max(options.min_noise_variance,
+                                      noise_variance_)));
+
+  linalg::NelderMeadOptions nm;
+  nm.max_evals = options.max_evals;
+  nm.initial_step = 0.7;
+
+  linalg::Vector best_x = current;
+  double best_f = objective(current);
+  for (std::size_t s = 0; s < options.restarts; ++s) {
+    linalg::Vector x0 = current;
+    if (s > 0) {
+      for (double& v : x0) v += rng.normal(0.0, 1.0);
+    }
+    const auto result = linalg::nelder_mead(objective, x0, nm);
+    if (result.f < best_f) {
+      best_f = result.f;
+      best_x = result.x;
+    }
+  }
+
+  if (std::isfinite(best_f)) {
+    linalg::Vector kp(best_x.begin(), best_x.end() - 1);
+    kernel_->set_hyperparameters(kp);
+    noise_variance_ =
+        std::max(options.min_noise_variance, std::exp(best_x.back()));
+  }
+  // Re-standardize and re-factorize with the new hyper-parameters.
+  y_mean_ = common::mean(ys_raw_);
+  y_sd_ = std::max(1e-12, common::stddev(ys_raw_));
+  for (std::size_t i = 0; i < ys_raw_.size(); ++i) {
+    ys_std_[i] = (ys_raw_[i] - y_mean_) / y_sd_;
+  }
+  factorize();
+}
+
+Prediction GaussianProcess::predict(const linalg::Vector& x) const {
+  if (!chol_) throw std::runtime_error("GaussianProcess: not fitted");
+  linalg::Vector k_star(xs_.size());
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    k_star[i] = (*kernel_)(xs_[i], x);
+  }
+  Prediction p;
+  p.mean = y_mean_ + y_sd_ * linalg::dot(k_star, alpha_);
+  const linalg::Vector v = chol_->solve_lower(k_star);
+  const double var_std = (*kernel_)(x, x) - linalg::dot(v, v);
+  p.variance = std::max(0.0, var_std) * y_sd_ * y_sd_;
+  return p;
+}
+
+void GaussianProcess::predict_batch(const std::vector<linalg::Vector>& xs,
+                                    linalg::Vector& means,
+                                    linalg::Vector& variances,
+                                    bool include_noise) const {
+  if (!chol_) throw std::runtime_error("GaussianProcess: not fitted");
+  const std::size_t m = xs.size();
+  means.resize(m);
+  variances.resize(m);
+  if (m == 0) return;
+  // K_star: train rows x candidate columns.
+  linalg::Matrix k_star = kernel_->cross(xs_, xs);
+  for (std::size_t j = 0; j < m; ++j) {
+    double mu = 0.0;
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      mu += k_star(i, j) * alpha_[i];
+    }
+    means[j] = y_mean_ + y_sd_ * mu;
+  }
+  const linalg::Matrix v = chol_->solve_lower_multi(k_star);
+  for (std::size_t j = 0; j < m; ++j) {
+    double vv = 0.0;
+    for (std::size_t i = 0; i < xs_.size(); ++i) vv += v(i, j) * v(i, j);
+    double var_std = (*kernel_)(xs[j], xs[j]) - vv;
+    if (include_noise) var_std += noise_variance_;
+    variances[j] = std::max(0.0, var_std) * y_sd_ * y_sd_;
+  }
+}
+
+}  // namespace ppat::gp

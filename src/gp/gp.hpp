@@ -1,0 +1,88 @@
+// Standard Gaussian-process regression (paper §2.1).
+//
+// Targets are standardized internally (zero mean, unit variance) so kernel
+// signal variances stay O(1) across QoR metrics with wildly different units
+// (um^2 vs mW vs ns). Hyper-parameters — kernel log-params plus log noise
+// variance — are fitted by maximizing the log marginal likelihood with
+// multi-start Nelder–Mead. Factorization failures escalate through jitter
+// (see linalg::CholeskyFactor) before giving up.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gp/kernel.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace ppat::gp {
+
+/// Posterior mean and variance at one input.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+struct FitOptions {
+  std::size_t restarts = 2;          ///< Nelder-Mead multi-starts
+  std::size_t max_evals = 80;        ///< NLL evaluations per start
+  std::size_t max_points = 300;      ///< subsample cap for the NLL objective
+  double min_noise_variance = 1e-6;  ///< lower clamp on fitted noise
+};
+
+/// Exact GP regressor with Gaussian observation noise.
+class GaussianProcess {
+ public:
+  /// Takes ownership of the kernel. `noise_variance` is the initial value;
+  /// optimize_hyperparameters() refines it.
+  explicit GaussianProcess(std::unique_ptr<Kernel> kernel,
+                           double noise_variance = 1e-4);
+
+  /// Sets the training data and factorizes. Throws std::runtime_error if the
+  /// kernel matrix cannot be factorized even with maximum jitter.
+  void fit(std::vector<linalg::Vector> xs, linalg::Vector ys);
+
+  /// Appends one observation and re-factorizes.
+  void add_observation(const linalg::Vector& x, double y);
+
+  /// Maximizes the log marginal likelihood over kernel + noise
+  /// hyper-parameters, then re-factorizes on the full data.
+  void optimize_hyperparameters(common::Rng& rng,
+                                const FitOptions& options = {});
+
+  Prediction predict(const linalg::Vector& x) const;
+
+  /// Batched prediction; O(n^2) per point but organized as blocked
+  /// triangular solves for cache efficiency. `include_noise` adds the
+  /// observation noise to the returned variances.
+  void predict_batch(const std::vector<linalg::Vector>& xs,
+                     linalg::Vector& means, linalg::Vector& variances,
+                     bool include_noise = false) const;
+
+  /// Log marginal likelihood of the current fit (standardized units).
+  double log_marginal_likelihood() const;
+
+  std::size_t num_points() const { return xs_.size(); }
+  const Kernel& kernel() const { return *kernel_; }
+  double noise_variance() const { return noise_variance_; }
+
+ private:
+  void factorize();
+  double nll_for(const linalg::Vector& log_params,
+                 const std::vector<std::size_t>& subset) const;
+
+  std::unique_ptr<Kernel> kernel_;
+  double noise_variance_;
+
+  std::vector<linalg::Vector> xs_;
+  linalg::Vector ys_raw_;   // original units
+  linalg::Vector ys_std_;   // standardized
+  double y_mean_ = 0.0;
+  double y_sd_ = 1.0;
+
+  std::optional<linalg::CholeskyFactor> chol_;
+  linalg::Vector alpha_;  // (K + s2 I)^-1 y_std
+};
+
+}  // namespace ppat::gp

@@ -1,0 +1,141 @@
+#include "gp/kernel.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ppat::gp {
+namespace {
+
+double sqdist(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+linalg::Matrix Kernel::gram(const std::vector<linalg::Vector>& xs) const {
+  const std::size_t n = xs.size();
+  linalg::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = (*this)(xs[i], xs[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+linalg::Matrix Kernel::cross(const std::vector<linalg::Vector>& xs,
+                             const std::vector<linalg::Vector>& zs) const {
+  linalg::Matrix k(xs.size(), zs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = 0; j < zs.size(); ++j) {
+      k(i, j) = (*this)(xs[i], zs[j]);
+    }
+  }
+  return k;
+}
+
+// ---- SquaredExponentialKernel ----
+
+SquaredExponentialKernel::SquaredExponentialKernel(double lengthscale,
+                                                   double signal_variance)
+    : lengthscale_(lengthscale), signal_variance_(signal_variance) {
+  assert(lengthscale > 0.0 && signal_variance > 0.0);
+}
+
+double SquaredExponentialKernel::operator()(std::span<const double> a,
+                                            std::span<const double> b) const {
+  return signal_variance_ *
+         std::exp(-0.5 * sqdist(a, b) / (lengthscale_ * lengthscale_));
+}
+
+linalg::Vector SquaredExponentialKernel::hyperparameters() const {
+  return {std::log(lengthscale_), std::log(signal_variance_)};
+}
+
+void SquaredExponentialKernel::set_hyperparameters(
+    const linalg::Vector& log_params) {
+  assert(log_params.size() == 2);
+  lengthscale_ = std::exp(log_params[0]);
+  signal_variance_ = std::exp(log_params[1]);
+}
+
+std::unique_ptr<Kernel> SquaredExponentialKernel::clone() const {
+  return std::make_unique<SquaredExponentialKernel>(*this);
+}
+
+// ---- ArdSquaredExponentialKernel ----
+
+ArdSquaredExponentialKernel::ArdSquaredExponentialKernel(
+    std::size_t dims, double lengthscale, double signal_variance)
+    : lengthscales_(dims, lengthscale), signal_variance_(signal_variance) {
+  assert(dims > 0 && lengthscale > 0.0 && signal_variance > 0.0);
+}
+
+double ArdSquaredExponentialKernel::operator()(
+    std::span<const double> a, std::span<const double> b) const {
+  assert(a.size() == lengthscales_.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = (a[i] - b[i]) / lengthscales_[i];
+    s += d * d;
+  }
+  return signal_variance_ * std::exp(-0.5 * s);
+}
+
+linalg::Vector ArdSquaredExponentialKernel::hyperparameters() const {
+  linalg::Vector v;
+  v.reserve(lengthscales_.size() + 1);
+  for (double l : lengthscales_) v.push_back(std::log(l));
+  v.push_back(std::log(signal_variance_));
+  return v;
+}
+
+void ArdSquaredExponentialKernel::set_hyperparameters(
+    const linalg::Vector& log_params) {
+  assert(log_params.size() == lengthscales_.size() + 1);
+  for (std::size_t i = 0; i < lengthscales_.size(); ++i) {
+    lengthscales_[i] = std::exp(log_params[i]);
+  }
+  signal_variance_ = std::exp(log_params.back());
+}
+
+std::unique_ptr<Kernel> ArdSquaredExponentialKernel::clone() const {
+  return std::make_unique<ArdSquaredExponentialKernel>(*this);
+}
+
+// ---- Matern52Kernel ----
+
+Matern52Kernel::Matern52Kernel(double lengthscale, double signal_variance)
+    : lengthscale_(lengthscale), signal_variance_(signal_variance) {
+  assert(lengthscale > 0.0 && signal_variance > 0.0);
+}
+
+double Matern52Kernel::operator()(std::span<const double> a,
+                                  std::span<const double> b) const {
+  const double r = std::sqrt(5.0 * sqdist(a, b)) / lengthscale_;
+  return signal_variance_ * (1.0 + r + r * r / 3.0) * std::exp(-r);
+}
+
+linalg::Vector Matern52Kernel::hyperparameters() const {
+  return {std::log(lengthscale_), std::log(signal_variance_)};
+}
+
+void Matern52Kernel::set_hyperparameters(const linalg::Vector& log_params) {
+  assert(log_params.size() == 2);
+  lengthscale_ = std::exp(log_params[0]);
+  signal_variance_ = std::exp(log_params[1]);
+}
+
+std::unique_ptr<Kernel> Matern52Kernel::clone() const {
+  return std::make_unique<Matern52Kernel>(*this);
+}
+
+}  // namespace ppat::gp

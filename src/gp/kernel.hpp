@@ -1,0 +1,108 @@
+// Stationary covariance kernels for Gaussian-process regression.
+//
+// Inputs are tool-parameter configurations encoded into the unit cube by
+// flow::ParameterSpace, so a single isotropic lengthscale is meaningful; an
+// ARD variant is provided for when per-dimension relevance matters (the GP
+// fit can select it).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ppat::gp {
+
+/// Covariance function interface. Hyper-parameters are exposed as a flat
+/// log-space vector so optimizers can treat them uniformly; implementations
+/// must keep get/set round-trippable.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  virtual double operator()(std::span<const double> a,
+                            std::span<const double> b) const = 0;
+
+  virtual std::size_t num_hyperparameters() const = 0;
+  virtual linalg::Vector hyperparameters() const = 0;  ///< log-space
+  virtual void set_hyperparameters(const linalg::Vector& log_params) = 0;
+
+  virtual std::unique_ptr<Kernel> clone() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Gram matrix K(X, X) (symmetric).
+  linalg::Matrix gram(const std::vector<linalg::Vector>& xs) const;
+
+  /// Cross-covariance K(X, Z): rows over xs, columns over zs.
+  linalg::Matrix cross(const std::vector<linalg::Vector>& xs,
+                       const std::vector<linalg::Vector>& zs) const;
+};
+
+/// Isotropic squared-exponential: s2 * exp(-||a-b||^2 / (2 l^2)).
+/// Hyper-parameters (log-space): [log l, log s2].
+class SquaredExponentialKernel final : public Kernel {
+ public:
+  explicit SquaredExponentialKernel(double lengthscale = 0.3,
+                                    double signal_variance = 1.0);
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  std::size_t num_hyperparameters() const override { return 2; }
+  linalg::Vector hyperparameters() const override;
+  void set_hyperparameters(const linalg::Vector& log_params) override;
+  std::unique_ptr<Kernel> clone() const override;
+  std::string name() const override { return "se_iso"; }
+
+  double lengthscale() const { return lengthscale_; }
+  double signal_variance() const { return signal_variance_; }
+
+ private:
+  double lengthscale_;
+  double signal_variance_;
+};
+
+/// ARD squared-exponential: per-dimension lengthscales.
+/// Hyper-parameters (log-space): [log l_1..log l_d, log s2].
+class ArdSquaredExponentialKernel final : public Kernel {
+ public:
+  ArdSquaredExponentialKernel(std::size_t dims, double lengthscale = 0.3,
+                              double signal_variance = 1.0);
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  std::size_t num_hyperparameters() const override {
+    return lengthscales_.size() + 1;
+  }
+  linalg::Vector hyperparameters() const override;
+  void set_hyperparameters(const linalg::Vector& log_params) override;
+  std::unique_ptr<Kernel> clone() const override;
+  std::string name() const override { return "se_ard"; }
+
+ private:
+  std::vector<double> lengthscales_;
+  double signal_variance_;
+};
+
+/// Matern 5/2 (isotropic): s2 * (1 + r + r^2/3) exp(-r), r = sqrt5 * d / l.
+/// Hyper-parameters (log-space): [log l, log s2].
+class Matern52Kernel final : public Kernel {
+ public:
+  explicit Matern52Kernel(double lengthscale = 0.3,
+                          double signal_variance = 1.0);
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  std::size_t num_hyperparameters() const override { return 2; }
+  linalg::Vector hyperparameters() const override;
+  void set_hyperparameters(const linalg::Vector& log_params) override;
+  std::unique_ptr<Kernel> clone() const override;
+  std::string name() const override { return "matern52"; }
+
+ private:
+  double lengthscale_;
+  double signal_variance_;
+};
+
+}  // namespace ppat::gp

@@ -1,0 +1,278 @@
+#include "gp/transfer_gp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "linalg/neldermead.hpp"
+
+namespace ppat::gp {
+namespace {
+
+/// Joint kernel matrix over [source block; target block] with the transfer
+/// scaling on the cross block and per-task noise on the diagonal.
+linalg::Matrix build_joint_kernel(const Kernel& kernel, double rho,
+                                  double src_noise, double tgt_noise,
+                                  const std::vector<linalg::Vector>& xs_s,
+                                  const std::vector<linalg::Vector>& xs_t) {
+  const std::size_t n = xs_s.size(), m = xs_t.size();
+  linalg::Matrix k(n + m, n + m);
+  for (std::size_t i = 0; i < n + m; ++i) {
+    const auto& xi = i < n ? xs_s[i] : xs_t[i - n];
+    for (std::size_t j = i; j < n + m; ++j) {
+      const auto& xj = j < n ? xs_s[j] : xs_t[j - n];
+      double v = kernel(xi, xj);
+      const bool cross = (i < n) != (j < n);
+      if (cross) v *= rho;
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) k(i, i) += src_noise;
+  for (std::size_t i = n; i < n + m; ++i) k(i, i) += tgt_noise;
+  return k;
+}
+
+}  // namespace
+
+TransferGaussianProcess::TransferGaussianProcess(std::unique_ptr<Kernel> kernel)
+    : kernel_(std::move(kernel)) {
+  if (!kernel_) {
+    throw std::invalid_argument("TransferGaussianProcess: null kernel");
+  }
+}
+
+double TransferGaussianProcess::rho_from(double a, double b) {
+  return 2.0 * std::pow(1.0 / (1.0 + a), b) - 1.0;
+}
+
+double TransferGaussianProcess::task_correlation() const {
+  return rho_from(gamma_a_, gamma_b_);
+}
+
+void TransferGaussianProcess::fit(std::vector<linalg::Vector> source_xs,
+                                  linalg::Vector source_ys,
+                                  std::vector<linalg::Vector> target_xs,
+                                  linalg::Vector target_ys) {
+  if (source_xs.size() != source_ys.size() ||
+      target_xs.size() != target_ys.size()) {
+    throw std::invalid_argument("TransferGaussianProcess::fit: size mismatch");
+  }
+  if (target_xs.empty()) {
+    throw std::invalid_argument(
+        "TransferGaussianProcess::fit: need target observations");
+  }
+  source_xs_ = std::move(source_xs);
+  source_ys_raw_ = std::move(source_ys);
+  target_xs_ = std::move(target_xs);
+  target_ys_raw_ = std::move(target_ys);
+  restandardize();
+  factorize();
+}
+
+void TransferGaussianProcess::restandardize() {
+  src_mean_ = common::mean(source_ys_raw_);
+  src_sd_ = std::max(1e-12, common::stddev(source_ys_raw_));
+  tgt_mean_ = common::mean(target_ys_raw_);
+  // With very few target points the sample deviation is unreliable; borrow
+  // the source scale (the tasks' standardized surfaces are what correlate).
+  const double tgt_sd_raw = common::stddev(target_ys_raw_);
+  tgt_sd_ = target_ys_raw_.size() >= 3 && tgt_sd_raw > 1e-12
+                ? tgt_sd_raw
+                : (source_ys_raw_.empty() ? 1.0 : src_sd_);
+  tgt_sd_ = std::max(1e-12, tgt_sd_);
+
+  ys_std_.clear();
+  ys_std_.reserve(source_ys_raw_.size() + target_ys_raw_.size());
+  for (double y : source_ys_raw_) ys_std_.push_back((y - src_mean_) / src_sd_);
+  for (double y : target_ys_raw_) ys_std_.push_back((y - tgt_mean_) / tgt_sd_);
+}
+
+void TransferGaussianProcess::factorize() {
+  linalg::Matrix k = build_joint_kernel(
+      *kernel_, task_correlation(), 1.0 / beta_s_, 1.0 / beta_t_,
+      source_xs_, target_xs_);
+  auto chol = linalg::CholeskyFactor::compute_with_jitter(k);
+  if (!chol) {
+    throw std::runtime_error(
+        "TransferGaussianProcess: joint kernel not positive definite");
+  }
+  chol_ = std::move(chol);
+  alpha_ = chol_->solve(ys_std_);
+}
+
+void TransferGaussianProcess::add_target_observation(const linalg::Vector& x,
+                                                     double y) {
+  if (!chol_) {
+    throw std::runtime_error("TransferGaussianProcess: fit before adding");
+  }
+  target_xs_.push_back(x);
+  target_ys_raw_.push_back(y);
+  // Standardization is frozen between refits (same reasoning as the plain
+  // GP): the new point is standardized with the current target stats.
+  ys_std_.push_back((y - tgt_mean_) / tgt_sd_);
+  factorize();
+}
+
+double TransferGaussianProcess::log_marginal_likelihood() const {
+  if (!chol_) throw std::runtime_error("TransferGaussianProcess: not fitted");
+  const double n = static_cast<double>(ys_std_.size());
+  return -0.5 * linalg::dot(ys_std_, alpha_) - 0.5 * chol_->log_det() -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+double TransferGaussianProcess::joint_nll(
+    const linalg::Vector& log_params,
+    const std::vector<std::size_t>& src_subset,
+    const std::vector<std::size_t>& tgt_subset) const {
+  for (double p : log_params) {
+    if (!std::isfinite(p) || std::fabs(p) > 12.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  const std::size_t kdim = kernel_->num_hyperparameters();
+  auto k = kernel_->clone();
+  linalg::Vector kp(log_params.begin(),
+                    log_params.begin() + static_cast<std::ptrdiff_t>(kdim));
+  k->set_hyperparameters(kp);
+  const double a = std::exp(log_params[kdim]);
+  const double b = std::exp(log_params[kdim + 1]);
+  const double src_noise = std::exp(log_params[kdim + 2]);
+  const double tgt_noise = std::exp(log_params[kdim + 3]);
+  const double rho = rho_from(a, b);
+
+  std::vector<linalg::Vector> xs_s, xs_t;
+  linalg::Vector ys;
+  xs_s.reserve(src_subset.size());
+  xs_t.reserve(tgt_subset.size());
+  for (std::size_t i : src_subset) {
+    xs_s.push_back(source_xs_[i]);
+    ys.push_back(ys_std_[i]);
+  }
+  for (std::size_t i : tgt_subset) {
+    xs_t.push_back(target_xs_[i]);
+    ys.push_back(ys_std_[source_xs_.size() + i]);
+  }
+  linalg::Matrix gram =
+      build_joint_kernel(*k, rho, src_noise, tgt_noise, xs_s, xs_t);
+  auto chol = linalg::CholeskyFactor::compute_with_jitter(gram);
+  if (!chol) return std::numeric_limits<double>::infinity();
+  const linalg::Vector alpha = chol->solve(ys);
+  const double n = static_cast<double>(ys.size());
+  return 0.5 * linalg::dot(ys, alpha) + 0.5 * chol->log_det() +
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+void TransferGaussianProcess::optimize_hyperparameters(
+    common::Rng& rng, const TransferFitOptions& options) {
+  if (!chol_) throw std::runtime_error("TransferGaussianProcess: not fitted");
+
+  auto subset_of = [&rng](std::size_t total, std::size_t cap) {
+    std::vector<std::size_t> idx;
+    if (total > cap) {
+      idx = rng.sample_without_replacement(total, cap);
+      std::sort(idx.begin(), idx.end());
+    } else {
+      idx.resize(total);
+      for (std::size_t i = 0; i < total; ++i) idx[i] = i;
+    }
+    return idx;
+  };
+  const auto src_subset =
+      subset_of(source_xs_.size(), options.max_source_points);
+  const auto tgt_subset =
+      subset_of(target_xs_.size(), options.max_target_points);
+
+  auto objective = [&](const linalg::Vector& p) {
+    return joint_nll(p, src_subset, tgt_subset);
+  };
+
+  linalg::Vector current = kernel_->hyperparameters();
+  current.push_back(std::log(gamma_a_));
+  current.push_back(std::log(gamma_b_));
+  current.push_back(std::log(1.0 / beta_s_));
+  current.push_back(std::log(1.0 / beta_t_));
+
+  linalg::NelderMeadOptions nm;
+  nm.max_evals = options.max_evals;
+  nm.initial_step = 0.7;
+
+  linalg::Vector best_x = current;
+  double best_f = objective(current);
+  for (std::size_t s = 0; s < options.restarts; ++s) {
+    linalg::Vector x0 = current;
+    if (s > 0) {
+      for (double& v : x0) v += rng.normal(0.0, 1.0);
+    }
+    const auto result = linalg::nelder_mead(objective, x0, nm);
+    if (result.f < best_f) {
+      best_f = result.f;
+      best_x = result.x;
+    }
+  }
+
+  if (std::isfinite(best_f)) {
+    const std::size_t kdim = kernel_->num_hyperparameters();
+    linalg::Vector kp(best_x.begin(),
+                      best_x.begin() + static_cast<std::ptrdiff_t>(kdim));
+    kernel_->set_hyperparameters(kp);
+    gamma_a_ = std::exp(best_x[kdim]);
+    gamma_b_ = std::exp(best_x[kdim + 1]);
+    beta_s_ = 1.0 / std::max(options.min_noise_variance,
+                             std::exp(best_x[kdim + 2]));
+    beta_t_ = 1.0 / std::max(options.min_noise_variance,
+                             std::exp(best_x[kdim + 3]));
+  }
+  restandardize();
+  factorize();
+}
+
+Prediction TransferGaussianProcess::predict(const linalg::Vector& x) const {
+  linalg::Vector means, vars;
+  predict_batch({x}, means, vars);
+  return {means[0], vars[0]};
+}
+
+void TransferGaussianProcess::predict_batch(
+    const std::vector<linalg::Vector>& xs, linalg::Vector& means,
+    linalg::Vector& variances) const {
+  if (!chol_) throw std::runtime_error("TransferGaussianProcess: not fitted");
+  const std::size_t m = xs.size();
+  means.resize(m);
+  variances.resize(m);
+  if (m == 0) return;
+
+  const std::size_t n_src = source_xs_.size();
+  const std::size_t n_tot = n_src + target_xs_.size();
+  const double rho = task_correlation();
+
+  // k_star: (n_src + n_tgt) rows x m candidate columns; source rows carry
+  // the cross-task factor (candidates are target-task points).
+  linalg::Matrix k_star(n_tot, m);
+  for (std::size_t i = 0; i < n_tot; ++i) {
+    const auto& xi = i < n_src ? source_xs_[i] : target_xs_[i - n_src];
+    const double scale = i < n_src ? rho : 1.0;
+    double* row = k_star.row(i).data();
+    for (std::size_t j = 0; j < m; ++j) {
+      row[j] = scale * (*kernel_)(xi, xs[j]);
+    }
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    double mu = 0.0;
+    for (std::size_t i = 0; i < n_tot; ++i) mu += k_star(i, j) * alpha_[i];
+    means[j] = tgt_mean_ + tgt_sd_ * mu;
+  }
+  const linalg::Matrix v = chol_->solve_lower_multi(k_star);
+  for (std::size_t j = 0; j < m; ++j) {
+    double vv = 0.0;
+    for (std::size_t i = 0; i < n_tot; ++i) vv += v(i, j) * v(i, j);
+    const double var_std = (*kernel_)(xs[j], xs[j]) - vv;
+    variances[j] = std::max(0.0, var_std) * tgt_sd_ * tgt_sd_;
+  }
+}
+
+}  // namespace ppat::gp

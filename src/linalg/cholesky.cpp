@@ -1,0 +1,165 @@
+#include "linalg/cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ppat::linalg {
+
+std::optional<CholeskyFactor> CholeskyFactor::compute(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      // Inner product over the already-computed columns; rows are contiguous.
+      const auto li = l.row(i);
+      const auto lj = l.row(j);
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      l(i, j) = s * inv;
+    }
+  }
+  return CholeskyFactor(std::move(l), 0.0);
+}
+
+std::optional<CholeskyFactor> CholeskyFactor::compute_with_jitter(
+    const Matrix& a, double initial_jitter, double max_jitter) {
+  assert(a.rows() == a.cols());
+  double jitter = initial_jitter;
+  for (;;) {
+    Matrix aj = a;
+    if (jitter > 0.0) aj.add_to_diagonal(jitter);
+    if (auto f = compute(aj)) {
+      f->jitter_ = jitter;
+      return f;
+    }
+    if (jitter >= max_jitter) return std::nullopt;
+    // Scale the first jitter to the matrix magnitude so tiny-kernel problems
+    // do not need many escalation rounds.
+    if (jitter == 0.0) {
+      double max_diag = 0.0;
+      for (std::size_t i = 0; i < a.rows(); ++i) {
+        max_diag = std::max(max_diag, std::fabs(a(i, i)));
+      }
+      jitter = std::max(1e-10, 1e-10 * max_diag);
+    } else {
+      jitter *= 10.0;
+    }
+    if (jitter > max_jitter) jitter = max_jitter;
+  }
+}
+
+Vector CholeskyFactor::solve_lower(const Vector& b) const {
+  const std::size_t n = size();
+  assert(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const auto li = l_.row(i);
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * y[k];
+    y[i] = s / li[i];
+  }
+  return y;
+}
+
+Vector CholeskyFactor::solve_upper(const Vector& b) const {
+  const std::size_t n = size();
+  assert(b.size() == n);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+Vector CholeskyFactor::solve(const Vector& b) const {
+  return solve_upper(solve_lower(b));
+}
+
+Matrix CholeskyFactor::solve(const Matrix& b) const {
+  assert(b.rows() == size());
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    Vector sol = solve(col);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+Matrix CholeskyFactor::solve_lower_multi(const Matrix& b) const {
+  const std::size_t n = size();
+  assert(b.rows() == n);
+  const std::size_t m = b.cols();
+  Matrix v = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    double* vi = v.row(i).data();
+    const auto li = l_.row(i);
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = li[k];
+      if (lik == 0.0) continue;
+      const double* vk = v.row(k).data();
+      for (std::size_t j = 0; j < m; ++j) vi[j] -= lik * vk[j];
+    }
+    const double inv = 1.0 / li[i];
+    for (std::size_t j = 0; j < m; ++j) vi[j] *= inv;
+  }
+  return v;
+}
+
+double CholeskyFactor::log_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Matrix CholeskyFactor::inverse() const {
+  return solve(Matrix::identity(size()));
+}
+
+std::optional<Vector> solve_lu(Matrix a, Vector b) {
+  assert(a.rows() == a.cols() && b.size() == a.rows());
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) s -= a(ii, c) * x[c];
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace ppat::linalg

@@ -1,0 +1,69 @@
+// Cholesky factorization and SPD solves — the numerical core of GP inference.
+//
+// GP kernel matrices are symmetric positive definite in exact arithmetic but
+// frequently lose definiteness to rounding when points nearly coincide, so
+// the public entry point `CholeskyFactor::compute_with_jitter` retries with
+// an escalating diagonal jitter (standard GP practice) and reports the jitter
+// it needed. Failures are reported via a status flag rather than exceptions:
+// hyper-parameter search probes many ill-conditioned candidates and must skip
+// them cheaply.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace ppat::linalg {
+
+/// Lower-triangular Cholesky factor L with A = L * L^T, plus solve helpers.
+class CholeskyFactor {
+ public:
+  /// Factors `a` (must be square, symmetric). Returns nullopt if `a` is not
+  /// positive definite to working precision.
+  static std::optional<CholeskyFactor> compute(const Matrix& a);
+
+  /// Factors `a + jitter*I`, escalating jitter by 10x up to `max_jitter`
+  /// starting at `initial_jitter` (0 means: first try no jitter). Returns
+  /// nullopt only if even the maximum jitter fails.
+  static std::optional<CholeskyFactor> compute_with_jitter(
+      const Matrix& a, double initial_jitter = 0.0,
+      double max_jitter = 1e-2);
+
+  std::size_t size() const { return l_.rows(); }
+  const Matrix& lower() const { return l_; }
+  /// Diagonal jitter that was added to make the factorization succeed.
+  double jitter_used() const { return jitter_; }
+
+  /// Solves L y = b (forward substitution).
+  Vector solve_lower(const Vector& b) const;
+  /// Solves L^T x = b (backward substitution).
+  Vector solve_upper(const Vector& b) const;
+  /// Solves A x = b via the factor.
+  Vector solve(const Vector& b) const;
+  /// Solves A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// Solves L V = B for many right-hand sides at once (B is n x m). The
+  /// inner loop runs contiguously over columns, which is what makes batched
+  /// GP variance prediction affordable.
+  Matrix solve_lower_multi(const Matrix& b) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)).
+  double log_det() const;
+
+  /// Inverse of A (used only in tests / diagnostics; prefer solve()).
+  Matrix inverse() const;
+
+ private:
+  CholeskyFactor(Matrix l, double jitter) : l_(std::move(l)), jitter_(jitter) {}
+  Matrix l_;
+  double jitter_ = 0.0;
+};
+
+/// Solves the general square system A x = b by partially pivoted LU.
+/// Returns nullopt if A is singular to working precision. Used by
+/// non-SPD paths (e.g. the matrix-factorization baseline's normal equations
+/// are SPD, but tests cross-check against this).
+std::optional<Vector> solve_lu(Matrix a, Vector b);
+
+}  // namespace ppat::linalg

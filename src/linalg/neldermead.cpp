@@ -1,0 +1,131 @@
+#include "linalg/neldermead.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ppat::linalg {
+namespace {
+
+// Standard coefficients (reflection, expansion, contraction, shrink).
+constexpr double kAlpha = 1.0;
+constexpr double kGamma = 2.0;
+constexpr double kRho = 0.5;
+constexpr double kSigma = 0.5;
+
+}  // namespace
+
+NelderMeadResult nelder_mead(const std::function<double(const Vector&)>& f,
+                             const Vector& x0,
+                             const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  assert(n > 0);
+
+  NelderMeadResult result;
+  std::size_t evals = 0;
+  auto eval = [&](const Vector& x) {
+    ++evals;
+    const double v = f(x);
+    return std::isnan(v) ? std::numeric_limits<double>::infinity() : v;
+  };
+
+  // Initial simplex: x0 plus a step along each axis.
+  std::vector<Vector> xs(n + 1, x0);
+  std::vector<double> fs(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i + 1][i] += (x0[i] != 0.0 ? options.initial_step * std::fabs(x0[i])
+                                  : options.initial_step);
+  }
+  for (std::size_t i = 0; i <= n; ++i) fs[i] = eval(xs[i]);
+
+  std::vector<std::size_t> order(n + 1);
+  while (evals < options.max_evals) {
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&fs](std::size_t a, std::size_t b) { return fs[a] < fs[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence tests.
+    const double f_spread = fs[worst] - fs[best];
+    double diameter = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      double d = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        d = std::max(d, std::fabs(xs[order[i]][j] - xs[best][j]));
+      }
+      diameter = std::max(diameter, d);
+    }
+    if ((std::isfinite(f_spread) && f_spread < options.f_tolerance) ||
+        diameter < options.x_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    Vector centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += xs[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double t) {
+      Vector x(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        x[j] = centroid[j] + t * (centroid[j] - xs[worst][j]);
+      }
+      return x;
+    };
+
+    const Vector reflected = blend(kAlpha);
+    const double f_reflected = eval(reflected);
+
+    if (f_reflected < fs[best]) {
+      const Vector expanded = blend(kGamma);
+      const double f_expanded = eval(expanded);
+      if (f_expanded < f_reflected) {
+        xs[worst] = expanded;
+        fs[worst] = f_expanded;
+      } else {
+        xs[worst] = reflected;
+        fs[worst] = f_reflected;
+      }
+    } else if (f_reflected < fs[second_worst]) {
+      xs[worst] = reflected;
+      fs[worst] = f_reflected;
+    } else {
+      const bool outside = f_reflected < fs[worst];
+      const Vector contracted = blend(outside ? kRho : -kRho);
+      const double f_contracted = eval(contracted);
+      const double bar = outside ? f_reflected : fs[worst];
+      if (f_contracted < bar) {
+        xs[worst] = contracted;
+        fs[worst] = f_contracted;
+      } else {
+        // Shrink towards the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t j = 0; j < n; ++j) {
+            xs[i][j] = xs[best][j] + kSigma * (xs[i][j] - xs[best][j]);
+          }
+          fs[i] = eval(xs[i]);
+          if (evals >= options.max_evals) break;
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (fs[i] < fs[best]) best = i;
+  }
+  result.x = xs[best];
+  result.f = fs[best];
+  result.evals = evals;
+  return result;
+}
+
+}  // namespace ppat::linalg

@@ -1,0 +1,37 @@
+// Derivative-free simplex minimizer (Nelder–Mead) used to maximize GP
+// marginal likelihood over kernel hyper-parameters.
+//
+// Why Nelder–Mead: the search spaces here are tiny (2–16 dimensions), the
+// objective (negative log marginal likelihood) is cheap relative to tool
+// runs, and exact analytic gradients through the transfer kernel's Gamma
+// integral would complicate the code for no experimental gain. Multi-start
+// restarts (driven by the caller) handle multi-modality.
+#pragma once
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace ppat::linalg {
+
+struct NelderMeadOptions {
+  std::size_t max_evals = 500;
+  double initial_step = 0.5;   ///< Simplex edge length per coordinate.
+  double f_tolerance = 1e-8;   ///< Stop when simplex f-spread is below this.
+  double x_tolerance = 1e-8;   ///< Stop when simplex diameter is below this.
+};
+
+struct NelderMeadResult {
+  Vector x;                 ///< Best point found.
+  double f = 0.0;           ///< Objective value at x.
+  std::size_t evals = 0;    ///< Number of objective evaluations consumed.
+  bool converged = false;   ///< True if a tolerance (not the budget) stopped.
+};
+
+/// Minimizes `f` starting from `x0`. `f` must be finite-valued or +inf
+/// (+inf is treated as "infeasible": the simplex moves away from it).
+NelderMeadResult nelder_mead(const std::function<double(const Vector&)>& f,
+                             const Vector& x0,
+                             const NelderMeadOptions& options = {});
+
+}  // namespace ppat::linalg

@@ -1,0 +1,104 @@
+#include "mf/matrix_factorization.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace ppat::mf {
+
+void MatrixFactorization::fit(std::size_t rows, std::size_t cols,
+                              const std::vector<Observation>& observed,
+                              const MfOptions& options) {
+  if (observed.empty() || rows == 0 || cols == 0) {
+    throw std::invalid_argument("MatrixFactorization::fit: empty input");
+  }
+  for (const auto& ob : observed) {
+    if (ob.row >= rows || ob.col >= cols) {
+      throw std::invalid_argument(
+          "MatrixFactorization::fit: index out of range");
+    }
+  }
+
+  // Standardize observed values.
+  linalg::Vector values;
+  values.reserve(observed.size());
+  for (const auto& ob : observed) values.push_back(ob.value);
+  mean_ = common::mean(values);
+  scale_ = std::max(1e-12, common::stddev(values));
+
+  const std::size_t k = options.factors;
+  common::Rng rng(options.seed);
+  row_bias_.assign(rows, 0.0);
+  col_bias_.assign(cols, 0.0);
+  row_factors_ = linalg::Matrix(rows, k);
+  col_factors_ = linalg::Matrix(cols, k);
+  const double init_scale = 1.0 / std::sqrt(static_cast<double>(k));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t f = 0; f < k; ++f) {
+      row_factors_(r, f) = rng.normal(0.0, init_scale * 0.1);
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t f = 0; f < k; ++f) {
+      col_factors_(c, f) = rng.normal(0.0, init_scale * 0.1);
+    }
+  }
+  global_bias_ = 0.0;
+
+  std::vector<std::size_t> order(observed.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const double lr = options.learning_rate;
+  const double reg = options.regularization;
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      const auto& ob = observed[idx];
+      const double target = (ob.value - mean_) / scale_;
+      double pred = global_bias_ + row_bias_[ob.row] + col_bias_[ob.col];
+      auto pu = row_factors_.row(ob.row);
+      auto qi = col_factors_.row(ob.col);
+      for (std::size_t f = 0; f < k; ++f) pred += pu[f] * qi[f];
+      const double err = target - pred;
+
+      global_bias_ += lr * err;
+      row_bias_[ob.row] += lr * (err - reg * row_bias_[ob.row]);
+      col_bias_[ob.col] += lr * (err - reg * col_bias_[ob.col]);
+      for (std::size_t f = 0; f < k; ++f) {
+        const double pu_f = pu[f];
+        pu[f] += lr * (err * qi[f] - reg * pu_f);
+        qi[f] += lr * (err * pu_f - reg * qi[f]);
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+double MatrixFactorization::predict(std::size_t row, std::size_t col) const {
+  if (!fitted_) {
+    throw std::runtime_error("MatrixFactorization::predict: not fitted");
+  }
+  assert(row < rows() && col < cols());
+  double pred = global_bias_ + row_bias_[row] + col_bias_[col];
+  const auto pu = row_factors_.row(row);
+  const auto qi = col_factors_.row(col);
+  for (std::size_t f = 0; f < row_factors_.cols(); ++f) {
+    pred += pu[f] * qi[f];
+  }
+  return mean_ + scale_ * pred;
+}
+
+double MatrixFactorization::rmse(
+    const std::vector<Observation>& entries) const {
+  if (entries.empty()) return 0.0;
+  double sse = 0.0;
+  for (const auto& ob : entries) {
+    const double e = predict(ob.row, ob.col) - ob.value;
+    sse += e * e;
+  }
+  return std::sqrt(sse / static_cast<double>(entries.size()));
+}
+
+}  // namespace ppat::mf

@@ -1,0 +1,65 @@
+// Bias-aware latent-factor matrix completion trained by SGD.
+//
+// Substrate for the DAC'19 baseline, which casts tool-parameter tuning as a
+// recommender-system problem: rows are tasks/designs, columns are parameter
+// configurations, entries are QoR values; most of the target row is missing
+// and gets predicted from the factorization (the original used tensor
+// decomposition; a biased MF is its 2-D specialization and the standard
+// collaborative-filtering workhorse).
+//
+// Model: r_hat(u, i) = mu + b_u + c_i + p_u . q_i, trained on observed
+// entries with L2 regularization. Values are standardized internally so the
+// learning rate is scale-free across QoR metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ppat::mf {
+
+struct Observation {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+struct MfOptions {
+  std::size_t factors = 8;
+  double learning_rate = 0.05;
+  double regularization = 0.02;
+  std::size_t epochs = 150;
+  std::uint64_t seed = 11;
+};
+
+class MatrixFactorization {
+ public:
+  /// Fits on the observed entries of a rows x cols matrix. Throws
+  /// std::invalid_argument on empty input or out-of-range indices.
+  void fit(std::size_t rows, std::size_t cols,
+           const std::vector<Observation>& observed,
+           const MfOptions& options = {});
+
+  /// Predicted value of entry (row, col).
+  double predict(std::size_t row, std::size_t col) const;
+
+  /// Root-mean-square error over a set of entries.
+  double rmse(const std::vector<Observation>& entries) const;
+
+  bool fitted() const { return fitted_; }
+  std::size_t rows() const { return row_bias_.size(); }
+  std::size_t cols() const { return col_bias_.size(); }
+
+ private:
+  bool fitted_ = false;
+  double mean_ = 0.0;
+  double scale_ = 1.0;
+  double global_bias_ = 0.0;
+  linalg::Vector row_bias_, col_bias_;
+  linalg::Matrix row_factors_;  // rows x k
+  linalg::Matrix col_factors_;  // cols x k
+};
+
+}  // namespace ppat::mf

@@ -1,0 +1,93 @@
+// Standard-cell library model.
+//
+// Substitutes for the proprietary 7 nm PDK the paper's benchmarks used. The
+// library is synthetic but dimensionally honest: areas in um^2, caps in fF,
+// delays in ns, leakage in nW, with values patterned on published 7 nm-class
+// data and with the relationships that drive real PPA trade-offs preserved:
+//   - higher drive strength => lower drive resistance, but more area,
+//     more input capacitance, and more leakage;
+//   - sequential cells are larger and leakier than combinational ones;
+//   - complex gates (FA) trade area for logic depth.
+// Timing uses a scalable linear-delay (slew- and load-dependent) model, a
+// simplification of NLDM lookup tables that keeps the same qualitative
+// behaviour: delay grows with load and input slew, strong cells degrade less.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ppat::netlist {
+
+/// Logic function family of a cell (drive strengths are separate cells).
+enum class CellFunction : std::uint8_t {
+  kInv,
+  kBuf,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kXnor2,
+  kAoi21,   // !(a*b + c)
+  kMux2,
+  kHalfAdder,  // 2-in, outputs: sum (pin 0 cell), carry handled as two cells
+  kFullAdderSum,
+  kFullAdderCarry,
+  kDff,     // D flip-flop: inputs {D}, clocked
+};
+
+/// One library cell (a function at a drive strength).
+struct Cell {
+  std::string name;          ///< e.g. "NAND2_X2"
+  CellFunction function;
+  std::uint8_t num_inputs;   ///< data inputs (clock pin excluded)
+  bool sequential;           ///< true for flip-flops
+  double area_um2;           ///< placement footprint
+  double input_cap_ff;       ///< capacitance per data input pin
+  double intrinsic_delay_ns; ///< unloaded delay
+  double drive_res_kohm;     ///< effective drive resistance (delay = R*C)
+  double max_output_cap_ff;  ///< DRV limit used by max_capacitance repair
+  double leakage_nw;         ///< static leakage power
+  double switch_energy_fj;   ///< internal energy per output toggle
+};
+
+using CellId = std::uint32_t;
+
+/// Immutable collection of cells with lookup by function and drive level.
+class CellLibrary {
+ public:
+  /// Builds the default synthetic 7 nm-class library: every combinational
+  /// function at drive strengths X1, X2, X4 plus DFF at X1, X2.
+  static CellLibrary make_default();
+
+  const Cell& cell(CellId id) const { return cells_.at(id); }
+  std::size_t size() const { return cells_.size(); }
+
+  /// Cell id for a function at a drive level (0 = X1, 1 = X2, 2 = X4).
+  /// Throws std::out_of_range if the combination does not exist.
+  CellId find(CellFunction function, int drive_level) const;
+
+  /// Number of drive levels available for the function.
+  int drive_levels(CellFunction function) const;
+
+  /// Drive level of a given cell id (0-based).
+  int drive_level_of(CellId id) const;
+
+  /// Cell id by exact name ("NAND2_X1"), or nullopt when absent.
+  std::optional<CellId> find_by_name(const std::string& name) const;
+
+  /// All cells, in id order.
+  const std::vector<Cell>& cells() const { return cells_; }
+
+ private:
+  std::vector<Cell> cells_;
+  // index_[function] -> cell ids by drive level.
+  std::vector<std::vector<CellId>> index_;
+};
+
+/// Human-readable function name ("NAND2", "DFF", ...).
+std::string to_string(CellFunction function);
+
+}  // namespace ppat::netlist

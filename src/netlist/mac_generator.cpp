@@ -1,0 +1,262 @@
+#include "netlist/mac_generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace ppat::netlist {
+namespace {
+
+/// Builder for one MAC lane; holds the cell ids it needs.
+class LaneBuilder {
+ public:
+  LaneBuilder(Netlist& netlist, const CellLibrary& library)
+      : nl_(netlist),
+        and2_(library.find(CellFunction::kAnd2, 0)),
+        xor2_(library.find(CellFunction::kXor2, 0)),
+        fas_(library.find(CellFunction::kFullAdderSum, 0)),
+        fac_(library.find(CellFunction::kFullAdderCarry, 0)),
+        dff_(library.find(CellFunction::kDff, 0)) {}
+
+  /// Registers each net through a DFF; returns the Q nets.
+  std::vector<NetId> register_bank(const std::vector<NetId>& nets) {
+    std::vector<NetId> out;
+    out.reserve(nets.size());
+    for (NetId n : nets) {
+      out.push_back(nl_.instance(nl_.add_instance(dff_, {n})).fanout);
+    }
+    return out;
+  }
+
+  /// Wallace-tree product of two bit vectors; result has a.size()+b.size()
+  /// bits, LSB first.
+  std::vector<NetId> multiply(const std::vector<NetId>& a,
+                              const std::vector<NetId>& b) {
+    const std::size_t n = a.size(), m = b.size();
+    // columns[w] = partial-product bits of weight w.
+    std::vector<std::vector<NetId>> columns(n + m);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const InstanceId pp = nl_.add_instance(and2_, {a[i], b[j]});
+        columns[i + j].push_back(nl_.instance(pp).fanout);
+      }
+    }
+    reduce_to_two_rows(columns);
+    return ripple_add_columns(columns);
+  }
+
+  /// Ripple-carry sum of two equal-width vectors plus optional extra bits;
+  /// returns sum with one extra carry-out bit.
+  std::vector<NetId> add(const std::vector<NetId>& x,
+                         const std::vector<NetId>& y) {
+    if (x.size() != y.size()) {
+      throw std::runtime_error("LaneBuilder::add: width mismatch");
+    }
+    std::vector<NetId> sum;
+    sum.reserve(x.size() + 1);
+    NetId carry = kInvalidId;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (carry == kInvalidId) {
+        // Half adder: sum = x ^ y, carry = x & y.
+        sum.push_back(out(nl_.add_instance(xor2_, {x[i], y[i]})));
+        carry = out(nl_.add_instance(and2_, {x[i], y[i]}));
+      } else {
+        sum.push_back(out(nl_.add_instance(fas_, {x[i], y[i], carry})));
+        carry = out(nl_.add_instance(fac_, {x[i], y[i], carry}));
+      }
+    }
+    sum.push_back(carry);
+    return sum;
+  }
+
+ private:
+  NetId out(InstanceId inst) { return nl_.instance(inst).fanout; }
+
+  /// 3:2 / 2:2 compression until every column holds at most 2 bits.
+  void reduce_to_two_rows(std::vector<std::vector<NetId>>& columns) {
+    bool any_tall = true;
+    while (any_tall) {
+      any_tall = false;
+      std::vector<std::vector<NetId>> next(columns.size() + 1);
+      for (std::size_t w = 0; w < columns.size(); ++w) {
+        auto& col = columns[w];
+        std::size_t i = 0;
+        // Full adders on triples.
+        while (col.size() - i >= 3) {
+          const NetId s =
+              out(nl_.add_instance(fas_, {col[i], col[i + 1], col[i + 2]}));
+          const NetId c =
+              out(nl_.add_instance(fac_, {col[i], col[i + 1], col[i + 2]}));
+          next[w].push_back(s);
+          next[w + 1].push_back(c);
+          i += 3;
+        }
+        // Half adder on a leftover pair only if the column was tall
+        // (standard Wallace: compress aggressively when height > 2).
+        if (col.size() > 3 && col.size() - i == 2) {
+          const NetId s = out(nl_.add_instance(xor2_, {col[i], col[i + 1]}));
+          const NetId c = out(nl_.add_instance(and2_, {col[i], col[i + 1]}));
+          next[w].push_back(s);
+          next[w + 1].push_back(c);
+          i += 2;
+        }
+        // Pass through the rest.
+        for (; i < col.size(); ++i) next[w].push_back(col[i]);
+      }
+      // Structural carries can spill one weight past the logical product MSB
+      // even though they are logically zero; keep the column if occupied.
+      if (next.back().empty()) next.pop_back();
+      for (const auto& col : next) {
+        if (col.size() > 2) {
+          any_tall = true;
+          break;
+        }
+      }
+      columns = std::move(next);
+    }
+  }
+
+  /// Final carry-propagate add over columns holding <= 2 bits each.
+  std::vector<NetId> ripple_add_columns(
+      const std::vector<std::vector<NetId>>& columns) {
+    std::vector<NetId> result;
+    result.reserve(columns.size());
+    NetId carry = kInvalidId;
+    for (const auto& col : columns) {
+      std::vector<NetId> bits = col;
+      if (carry != kInvalidId) bits.push_back(carry);
+      carry = kInvalidId;
+      switch (bits.size()) {
+        case 0:
+          // Empty column (can only be the top): contributes a constant 0.
+          // Represent it by reusing the previous carry absence; columns
+          // above the product MSB never appear by construction.
+          throw std::runtime_error("ripple_add_columns: empty column");
+        case 1:
+          result.push_back(bits[0]);
+          break;
+        case 2:
+          result.push_back(out(nl_.add_instance(xor2_, {bits[0], bits[1]})));
+          carry = out(nl_.add_instance(and2_, {bits[0], bits[1]}));
+          break;
+        case 3:
+          result.push_back(
+              out(nl_.add_instance(fas_, {bits[0], bits[1], bits[2]})));
+          carry = out(nl_.add_instance(fac_, {bits[0], bits[1], bits[2]}));
+          break;
+        default:
+          throw std::runtime_error("ripple_add_columns: column too tall");
+      }
+    }
+    if (carry != kInvalidId) result.push_back(carry);
+    return result;
+  }
+
+  Netlist& nl_;
+  CellId and2_, xor2_, fas_, fac_, dff_;
+};
+
+}  // namespace
+
+Netlist generate_mac(const CellLibrary& library, const MacConfig& config) {
+  if (config.operand_bits < 2) {
+    throw std::invalid_argument("generate_mac: operand_bits must be >= 2");
+  }
+  if (config.lanes < 1) {
+    throw std::invalid_argument("generate_mac: lanes must be >= 1");
+  }
+  Netlist nl(&library);
+  LaneBuilder lane(nl, library);
+
+  const unsigned product_bits = 2 * config.operand_bits;
+  const unsigned acc_bits = product_bits + config.accumulator_guard_bits;
+
+  // The B operand (the "coefficient" of the dot product) is registered once
+  // and broadcast to every lane — the realistic structure for a multi-lane
+  // MAC, and the source of the design's high-fanout nets (fanout = lanes x
+  // operand width on each coefficient bit), which is what the max_fanout
+  // DRV parameter acts on.
+  std::vector<NetId> b_in(config.operand_bits);
+  for (auto& n : b_in) n = nl.add_primary_input();
+  const std::vector<NetId> b = lane.register_bank(b_in);
+
+  for (unsigned l = 0; l < config.lanes; ++l) {
+    // Per-lane A operand input registers fed from primary inputs.
+    std::vector<NetId> a_in(config.operand_bits);
+    for (auto& n : a_in) n = nl.add_primary_input();
+    std::vector<NetId> a = lane.register_bank(a_in);
+
+    // Multiplier.
+    std::vector<NetId> product = lane.multiply(a, b);
+    product.resize(product_bits, product.back());
+
+    // Optional pipeline banks between multiplier and accumulator.
+    for (unsigned s = 0; s < config.pipeline_stages; ++s) {
+      product = lane.register_bank(product);
+    }
+
+    // Accumulator: acc_next = acc + product, with carries rippling into the
+    // guard bits. The FF bank must exist before the adder (the adder reads
+    // Q), but each FF's D is the adder output — a feedback loop. Break it by
+    // creating the FFs on floating placeholder D nets, then reconnecting.
+    std::vector<NetId> acc_q(acc_bits);
+    std::vector<InstanceId> acc_ff(acc_bits);
+    std::vector<NetId> dummy(acc_bits);
+    for (unsigned i = 0; i < acc_bits; ++i) {
+      dummy[i] = nl.add_floating_net();  // placeholder, reconnected below
+    }
+    const CellId dff = library.find(CellFunction::kDff, 0);
+    for (unsigned i = 0; i < acc_bits; ++i) {
+      acc_ff[i] = nl.add_instance(dff, {dummy[i]});
+      acc_q[i] = nl.instance(acc_ff[i]).fanout;
+    }
+
+    // Adder: low bits add product, upper (guard) bits propagate carry only.
+    std::vector<NetId> acc_low(acc_q.begin(),
+                               acc_q.begin() + product_bits);
+    std::vector<NetId> sum_low = lane.add(acc_low, product);
+    // sum_low has product_bits + 1 entries; the final entry is carry into
+    // the guard region. Propagate through guard bits with half adders.
+    std::vector<NetId> next_acc(acc_bits);
+    for (unsigned i = 0; i < product_bits; ++i) next_acc[i] = sum_low[i];
+    NetId carry = sum_low[product_bits];
+    const CellId xor2 = library.find(CellFunction::kXor2, 0);
+    const CellId and2 = library.find(CellFunction::kAnd2, 0);
+    for (unsigned i = product_bits; i < acc_bits; ++i) {
+      const NetId q = acc_q[i];
+      next_acc[i] = nl.instance(nl.add_instance(xor2, {q, carry})).fanout;
+      carry = nl.instance(nl.add_instance(and2, {q, carry})).fanout;
+    }
+
+    // Close the accumulator loop.
+    for (unsigned i = 0; i < acc_bits; ++i) {
+      nl.reconnect_input(acc_ff[i], 0, next_acc[i]);
+    }
+
+    // Lane outputs.
+    for (unsigned i = 0; i < acc_bits; ++i) nl.mark_primary_output(acc_q[i]);
+  }
+  return nl;
+}
+
+MacConfig small_mac_config() {
+  // ~20k placed cells: 16x16 lanes, ~1k cells per lane, 20 lanes.
+  MacConfig cfg;
+  cfg.operand_bits = 16;
+  cfg.lanes = 20;
+  cfg.pipeline_stages = 1;
+  cfg.accumulator_guard_bits = 8;
+  return cfg;
+}
+
+MacConfig large_mac_config() {
+  // ~67k placed cells: 32x32 lanes, ~3.4k cells per lane, 20 lanes.
+  MacConfig cfg;
+  cfg.operand_bits = 32;
+  cfg.lanes = 20;
+  cfg.pipeline_stages = 2;
+  cfg.accumulator_guard_bits = 8;
+  return cfg;
+}
+
+}  // namespace ppat::netlist

@@ -1,0 +1,34 @@
+// Generator for multiply-accumulate (MAC) designs.
+//
+// The paper's four benchmarks derive from two industrial MAC designs
+// (~20k placed cells and ~67k placed cells, §4.1). This generator produces
+// structurally faithful stand-ins: a multi-lane dot-product MAC unit —
+// per lane, an unsigned Wallace-tree multiplier (AND-gate partial products,
+// 3:2/2:2 compression with full/half adders, ripple carry-propagate final
+// adder), optional pipeline register banks, and an accumulator register
+// loop. Lane count and operand width scale the cell count to the paper's
+// design sizes.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace ppat::netlist {
+
+struct MacConfig {
+  unsigned operand_bits = 16;   ///< multiplier operand width (>= 2)
+  unsigned lanes = 4;           ///< parallel MAC lanes
+  unsigned pipeline_stages = 1; ///< register banks between multiplier and
+                                ///< accumulator (0 = none)
+  unsigned accumulator_guard_bits = 8;  ///< accumulator headroom bits
+};
+
+/// Builds a MAC netlist; the result passes Netlist::validate().
+Netlist generate_mac(const CellLibrary& library, const MacConfig& config);
+
+/// Preset matching the paper's small MAC (~20k cells after placement).
+MacConfig small_mac_config();
+
+/// Preset matching the paper's large MAC (~67k cells after placement).
+MacConfig large_mac_config();
+
+}  // namespace ppat::netlist

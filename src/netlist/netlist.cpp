@@ -1,0 +1,212 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppat::netlist {
+
+NetId Netlist::add_primary_input() {
+  const NetId id = static_cast<NetId>(nets_.size());
+  nets_.push_back(Net{});
+  primary_inputs_.push_back(id);
+  return id;
+}
+
+NetId Netlist::add_floating_net() {
+  const NetId id = static_cast<NetId>(nets_.size());
+  nets_.push_back(Net{});
+  return id;
+}
+
+void Netlist::mark_primary_output(NetId net) {
+  nets_.at(net).is_primary_output = true;
+}
+
+InstanceId Netlist::add_instance(CellId cell,
+                                 const std::vector<NetId>& fanins) {
+  const Cell& c = library_->cell(cell);
+  if (fanins.size() != c.num_inputs) {
+    throw std::runtime_error("add_instance: pin count mismatch for " + c.name);
+  }
+  const InstanceId inst_id = static_cast<InstanceId>(instances_.size());
+  const NetId out_id = static_cast<NetId>(nets_.size());
+  Net out;
+  out.driver = inst_id;
+  nets_.push_back(std::move(out));
+
+  Instance inst;
+  inst.cell = cell;
+  inst.fanins = fanins;
+  inst.fanout = out_id;
+  for (std::uint8_t pin = 0; pin < fanins.size(); ++pin) {
+    nets_.at(fanins[pin]).sinks.push_back(SinkPin{inst_id, pin});
+  }
+  instances_.push_back(std::move(inst));
+  return inst_id;
+}
+
+void Netlist::reconnect_input(InstanceId instance, std::uint8_t pin,
+                              NetId net) {
+  Instance& inst = instances_.at(instance);
+  const NetId old_net = inst.fanins.at(pin);
+  auto& old_sinks = nets_.at(old_net).sinks;
+  const SinkPin key{instance, pin};
+  old_sinks.erase(std::remove(old_sinks.begin(), old_sinks.end(), key),
+                  old_sinks.end());
+  inst.fanins[pin] = net;
+  nets_.at(net).sinks.push_back(key);
+}
+
+void Netlist::resize_instance(InstanceId instance, CellId new_cell) {
+  Instance& inst = instances_.at(instance);
+  const Cell& old_c = library_->cell(inst.cell);
+  const Cell& new_c = library_->cell(new_cell);
+  if (old_c.num_inputs != new_c.num_inputs ||
+      old_c.sequential != new_c.sequential) {
+    throw std::runtime_error("resize_instance: incompatible cells " +
+                             old_c.name + " -> " + new_c.name);
+  }
+  inst.cell = new_cell;
+}
+
+std::vector<NetId> Netlist::primary_outputs() const {
+  std::vector<NetId> pos;
+  for (NetId i = 0; i < nets_.size(); ++i) {
+    if (nets_[i].is_primary_output) pos.push_back(i);
+  }
+  return pos;
+}
+
+std::vector<InstanceId> Netlist::topological_order() const {
+  // Kahn's algorithm over combinational instances only. An instance's
+  // combinational predecessors are the drivers of its fanin nets that are
+  // themselves combinational.
+  std::vector<std::uint32_t> pending(instances_.size(), 0);
+  std::vector<InstanceId> ready;
+  for (InstanceId i = 0; i < instances_.size(); ++i) {
+    if (is_sequential(i)) continue;  // sequential cells are path boundaries
+    std::uint32_t deps = 0;
+    for (NetId n : instances_[i].fanins) {
+      const InstanceId drv = nets_[n].driver;
+      if (drv != kInvalidId && !is_sequential(drv)) ++deps;
+    }
+    pending[i] = deps;
+    if (deps == 0) ready.push_back(i);
+  }
+  std::vector<InstanceId> order;
+  order.reserve(instances_.size());
+  std::size_t cursor = 0;
+  std::size_t comb_total = num_combinational();
+  while (cursor < ready.size()) {
+    const InstanceId i = ready[cursor++];
+    order.push_back(i);
+    for (const SinkPin& sink : nets_[instances_[i].fanout].sinks) {
+      if (is_sequential(sink.instance)) continue;
+      if (--pending[sink.instance] == 0) ready.push_back(sink.instance);
+    }
+  }
+  if (order.size() != comb_total) {
+    throw std::runtime_error("topological_order: combinational cycle");
+  }
+  return order;
+}
+
+void Netlist::validate() const {
+  for (InstanceId i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = instances_[i];
+    const Cell& c = library_->cell(inst.cell);
+    if (inst.fanins.size() != c.num_inputs) {
+      throw std::runtime_error("validate: pin count mismatch at instance " +
+                               std::to_string(i));
+    }
+    if (inst.fanout >= nets_.size() || nets_[inst.fanout].driver != i) {
+      throw std::runtime_error("validate: fanout back-reference broken at " +
+                               std::to_string(i));
+    }
+    for (std::uint8_t pin = 0; pin < inst.fanins.size(); ++pin) {
+      const NetId n = inst.fanins[pin];
+      if (n >= nets_.size()) {
+        throw std::runtime_error("validate: dangling fanin at instance " +
+                                 std::to_string(i));
+      }
+      const auto& sinks = nets_[n].sinks;
+      if (std::find(sinks.begin(), sinks.end(), SinkPin{i, pin}) ==
+          sinks.end()) {
+        throw std::runtime_error("validate: sink list missing pin at " +
+                                 std::to_string(i));
+      }
+    }
+  }
+  for (NetId n = 0; n < nets_.size(); ++n) {
+    const Net& net = nets_[n];
+    if (net.driver != kInvalidId) {
+      if (net.driver >= instances_.size() ||
+          instances_[net.driver].fanout != n) {
+        throw std::runtime_error("validate: driver back-reference broken at " +
+                                 std::to_string(n));
+      }
+    }
+    for (const SinkPin& sink : net.sinks) {
+      if (sink.instance >= instances_.size() ||
+          instances_[sink.instance].fanins.size() <= sink.pin ||
+          instances_[sink.instance].fanins[sink.pin] != n) {
+        throw std::runtime_error("validate: sink back-reference broken at " +
+                                 std::to_string(n));
+      }
+    }
+  }
+  (void)topological_order();  // throws on combinational cycles
+}
+
+double Netlist::total_cell_area() const {
+  double area = 0.0;
+  for (const Instance& inst : instances_) {
+    area += library_->cell(inst.cell).area_um2;
+  }
+  return area;
+}
+
+std::size_t Netlist::num_sequential() const {
+  std::size_t count = 0;
+  for (InstanceId i = 0; i < instances_.size(); ++i) {
+    if (is_sequential(i)) ++count;
+  }
+  return count;
+}
+
+NetlistStats compute_stats(const Netlist& netlist) {
+  NetlistStats stats;
+  stats.instances = netlist.num_instances();
+  stats.nets = netlist.num_nets();
+  stats.sequential = netlist.num_sequential();
+  stats.primary_inputs = netlist.primary_inputs().size();
+  stats.primary_outputs = netlist.primary_outputs().size();
+  stats.total_area_um2 = netlist.total_cell_area();
+
+  std::size_t total_sinks = 0;
+  for (const Net& n : netlist.nets()) {
+    total_sinks += n.sinks.size();
+    stats.max_fanout = std::max(stats.max_fanout, n.sinks.size());
+  }
+  stats.avg_fanout =
+      stats.nets ? static_cast<double>(total_sinks) /
+                       static_cast<double>(stats.nets)
+                 : 0.0;
+
+  // Longest combinational path in gate counts.
+  std::vector<std::size_t> depth(netlist.num_instances(), 0);
+  for (InstanceId i : netlist.topological_order()) {
+    std::size_t d = 1;
+    for (NetId n : netlist.instance(i).fanins) {
+      const InstanceId drv = netlist.net(n).driver;
+      if (drv != kInvalidId && !netlist.is_sequential(drv)) {
+        d = std::max(d, depth[drv] + 1);
+      }
+    }
+    depth[i] = d;
+    stats.max_logic_depth = std::max(stats.max_logic_depth, d);
+  }
+  return stats;
+}
+
+}  // namespace ppat::netlist

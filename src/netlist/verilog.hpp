@@ -1,0 +1,45 @@
+// Structural Verilog interchange for netlists.
+//
+// Real physical-design tools consume and emit gate-level Verilog; pdsim
+// does too so its artifacts can be inspected with standard EDA tooling and
+// designs can be round-tripped. The dialect is deliberately narrow — one
+// module, library-cell instantiations with named port connections, scalar
+// wires — which is exactly what a synthesized netlist looks like.
+//
+//   module mac (a0, a1, ..., y0, ...);
+//     input a0, a1;
+//     output y0;
+//     wire n42;
+//     NAND2_X1 u7 (.A(a0), .B(n42), .Y(n17));
+//     DFF_X1 u9 (.D(n17), .CK(clk), .Q(n18));
+//   endmodule
+//
+// Port naming: data inputs are A, B, C (in pin order), the output is Y;
+// flip-flops use D/CK/Q. The clock net `clk` is implicit (pdsim models the
+// clock domain outside the netlist graph) and is emitted for realism but
+// ignored on parse.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace ppat::netlist {
+
+/// Writes `netlist` as structural Verilog. Net n gets the name "n<id>",
+/// primary inputs "pi<k>", and instance u<id>.
+void write_verilog(const Netlist& netlist, const std::string& module_name,
+                   std::ostream& out);
+
+/// Convenience: to a string.
+std::string to_verilog(const Netlist& netlist,
+                       const std::string& module_name);
+
+/// Parses the dialect produced by write_verilog back into a netlist over
+/// `library` (cells are resolved by name). Throws std::runtime_error with a
+/// line number on any syntax or semantic problem (unknown cell, undeclared
+/// wire, multiply driven net, pin count mismatch).
+Netlist parse_verilog(const CellLibrary& library, const std::string& text);
+
+}  // namespace ppat::netlist

@@ -1,0 +1,194 @@
+#include "pareto/pareto.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppat::pareto {
+
+bool dominates_with_slack(const Point& a, const Point& b,
+                          std::span<const double> delta) {
+  assert(a.size() == b.size() && delta.size() == a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i] + delta[i]) return false;
+  }
+  return true;
+}
+
+bool dominates(const Point& a, const Point& b) {
+  assert(a.size() == b.size());
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> pareto_front_indices(
+    const std::vector<Point>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j == i) continue;
+      if (dominates(points[j], points[i])) dominated = true;
+      // Tie-break exact duplicates: keep the earliest index only.
+      if (j < i && points[j] == points[i]) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<Point> pareto_front(const std::vector<Point>& points) {
+  std::vector<Point> front;
+  for (std::size_t i : pareto_front_indices(points)) {
+    front.push_back(points[i]);
+  }
+  return front;
+}
+
+Point reference_point(const std::vector<Point>& points, double margin) {
+  if (points.empty()) {
+    throw std::invalid_argument("reference_point: empty point set");
+  }
+  Point ref = points.front();
+  for (const Point& p : points) {
+    assert(p.size() == ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ref[i] = std::max(ref[i], p[i]);
+    }
+  }
+  for (double& r : ref) {
+    // Scale away from the origin; handles negative coordinates too.
+    r += std::fabs(r) * (margin - 1.0) + 1e-12;
+  }
+  return ref;
+}
+
+namespace {
+
+double hv_recursive(std::vector<Point> points, const Point& ref);
+
+/// 2-D sweep: sort by first objective ascending, accumulate the staircase.
+double hv_2d(std::vector<Point>& points, const Point& ref) {
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a[0] < b[0]; });
+  double hv = 0.0;
+  double prev_y = ref[1];
+  for (const Point& p : points) {
+    if (p[0] >= ref[0] || p[1] >= prev_y) continue;
+    hv += (ref[0] - p[0]) * (prev_y - p[1]);
+    prev_y = p[1];
+  }
+  return hv;
+}
+
+/// >= 3-D: slice along the last objective and recurse on projections.
+double hv_slicing(const std::vector<Point>& points, const Point& ref) {
+  const std::size_t d = ref.size();
+  // Distinct last-coordinate values below the reference, ascending.
+  std::vector<double> zs;
+  zs.reserve(points.size());
+  for (const Point& p : points) {
+    if (p[d - 1] < ref[d - 1]) zs.push_back(p[d - 1]);
+  }
+  if (zs.empty()) return 0.0;
+  std::sort(zs.begin(), zs.end());
+  zs.erase(std::unique(zs.begin(), zs.end()), zs.end());
+  zs.push_back(ref[d - 1]);
+
+  Point sub_ref(ref.begin(), ref.end() - 1);
+  double hv = 0.0;
+  for (std::size_t s = 0; s + 1 < zs.size(); ++s) {
+    const double z0 = zs[s], z1 = zs[s + 1];
+    std::vector<Point> slab;
+    for (const Point& p : points) {
+      if (p[d - 1] <= z0) {
+        slab.emplace_back(p.begin(), p.end() - 1);
+      }
+    }
+    if (slab.empty()) continue;
+    hv += hv_recursive(std::move(slab), sub_ref) * (z1 - z0);
+  }
+  return hv;
+}
+
+double hv_recursive(std::vector<Point> points, const Point& ref) {
+  const std::size_t d = ref.size();
+  if (points.empty()) return 0.0;
+  if (d == 1) {
+    double best = ref[0];
+    for (const Point& p : points) best = std::min(best, p[0]);
+    return std::max(0.0, ref[0] - best);
+  }
+  if (d == 2) return hv_2d(points, ref);
+  return hv_slicing(points, ref);
+}
+
+}  // namespace
+
+double hypervolume(const std::vector<Point>& points, const Point& ref) {
+  for (const Point& p : points) {
+    if (p.size() != ref.size()) {
+      throw std::invalid_argument("hypervolume: dimension mismatch");
+    }
+  }
+  // Clip coordinates at the reference (points beyond it contribute nothing
+  // in that direction); drop points entirely outside.
+  std::vector<Point> clipped;
+  clipped.reserve(points.size());
+  for (const Point& p : points) {
+    bool inside = true;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (p[i] >= ref[i]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) clipped.push_back(p);
+  }
+  return hv_recursive(std::move(clipped), ref);
+}
+
+double hypervolume_error(const std::vector<Point>& golden,
+                         const std::vector<Point>& approx, const Point& ref) {
+  const double h_golden = hypervolume(golden, ref);
+  if (h_golden <= 0.0) {
+    throw std::invalid_argument(
+        "hypervolume_error: golden set has zero hypervolume");
+  }
+  const double h_approx = hypervolume(approx, ref);
+  return (h_golden - h_approx) / h_golden;
+}
+
+double hypervolume_error(const std::vector<Point>& golden,
+                         const std::vector<Point>& approx) {
+  return hypervolume_error(golden, approx, reference_point(golden));
+}
+
+double adrs(const std::vector<Point>& golden,
+            const std::vector<Point>& approx) {
+  if (golden.empty() || approx.empty()) {
+    throw std::invalid_argument("adrs: empty input set");
+  }
+  double total = 0.0;
+  for (const Point& a : golden) {
+    double best = 1e300;
+    for (const Point& p : approx) {
+      assert(p.size() == a.size());
+      double worst = 0.0;
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        const double denom = std::fabs(a[k]) > 1e-300 ? std::fabs(a[k]) : 1.0;
+        worst = std::max(worst, std::fabs(a[k] - p[k]) / denom);
+      }
+      best = std::min(best, worst);
+    }
+    total += best;
+  }
+  return total / static_cast<double>(golden.size());
+}
+
+}  // namespace ppat::pareto

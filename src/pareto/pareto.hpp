@@ -1,0 +1,63 @@
+// Multi-objective utilities: Pareto dominance, front extraction, exact
+// hypervolume, and the paper's two quality indicators — hypervolume error
+// (Eq. (2)) and ADRS (Eq. (3)).
+//
+// Convention: ALL objectives are minimized (the paper's QoR metrics — area,
+// power, delay — are all costs). A point is a vector of objective values.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ppat::pareto {
+
+using Point = linalg::Vector;
+
+/// True if `a` weakly dominates `b` shifted by `delta`:
+/// a_i <= b_i + delta_i for all i. With delta = 0 this is standard weak
+/// dominance; the tuner's decision rules (paper Eqs. (11)-(12)) use
+/// per-objective relaxations.
+bool dominates_with_slack(const Point& a, const Point& b,
+                          std::span<const double> delta);
+
+/// Standard Pareto dominance for minimization: a <= b componentwise and
+/// a < b in at least one component.
+bool dominates(const Point& a, const Point& b);
+
+/// Indices of the non-dominated points (first occurrence wins among exact
+/// duplicates). O(n^2 d) — fronts in this library are small.
+std::vector<std::size_t> pareto_front_indices(
+    const std::vector<Point>& points);
+
+/// The non-dominated subset itself.
+std::vector<Point> pareto_front(const std::vector<Point>& points);
+
+/// Reference point for hypervolume: componentwise maximum over `points`
+/// scaled by `margin` (> 1). Throws std::invalid_argument on empty input.
+Point reference_point(const std::vector<Point>& points, double margin = 1.1);
+
+/// Exact hypervolume of the region dominated by `points` and bounded by
+/// `ref` (minimization). Points beyond the reference contribute only their
+/// clipped part. Dimensions supported: 1 and up (2-D fast sweep; >= 3-D by
+/// recursive slicing).
+double hypervolume(const std::vector<Point>& points, const Point& ref);
+
+/// Hypervolume error of an approximation vs the golden front (paper
+/// Eq. (2)): (H(P) - H(P_hat)) / H(P), computed against a shared reference
+/// point (derived from the golden front if not supplied). Positive when the
+/// approximation is worse; 0 when it matches.
+double hypervolume_error(const std::vector<Point>& golden,
+                         const std::vector<Point>& approx);
+double hypervolume_error(const std::vector<Point>& golden,
+                         const std::vector<Point>& approx, const Point& ref);
+
+/// Average Distance from Reference Set (paper Eq. (3)): for each golden
+/// point, the minimum over approximation points of the worst relative
+/// per-objective deviation, averaged over the golden set.
+double adrs(const std::vector<Point>& golden,
+            const std::vector<Point>& approx);
+
+}  // namespace ppat::pareto

@@ -1,0 +1,107 @@
+#include "place/def_io.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppat::place {
+namespace {
+
+constexpr double kDbuPerUm = 1000.0;
+
+long long to_dbu(double um) { return std::llround(um * kDbuPerUm); }
+
+}  // namespace
+
+void write_def(const netlist::Netlist& nl, const Placement& p,
+               const std::string& design_name, std::ostream& out) {
+  if (p.x.size() != nl.num_instances()) {
+    throw std::invalid_argument("write_def: placement/netlist size mismatch");
+  }
+  out << "VERSION 5.8 ;\n";
+  out << "DESIGN " << design_name << " ;\n";
+  out << "UNITS DISTANCE MICRONS " << static_cast<int>(kDbuPerUm) << " ;\n";
+  out << "DIEAREA ( 0 0 ) ( " << to_dbu(p.die_width_um) << " "
+      << to_dbu(p.die_height_um) << " ) ;\n";
+  out << "COMPONENTS " << nl.num_instances() << " ;\n";
+  for (netlist::InstanceId i = 0; i < nl.num_instances(); ++i) {
+    out << "  - u" << i << " " << nl.library().cell(nl.instance(i).cell).name
+        << " + PLACED ( " << to_dbu(p.x[i]) << " " << to_dbu(p.y[i])
+        << " ) N ;\n";
+  }
+  out << "END COMPONENTS\n";
+  out << "END DESIGN\n";
+}
+
+std::string to_def(const netlist::Netlist& nl, const Placement& p,
+                   const std::string& design_name) {
+  std::ostringstream out;
+  write_def(nl, p, design_name, out);
+  return out.str();
+}
+
+DefPlacement parse_def(const std::string& text) {
+  DefPlacement result;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t declared_components = 0;
+  bool in_components = false;
+
+  auto fail = [&line_no](const std::string& what) -> void {
+    throw std::runtime_error("DEF parse error at line " +
+                             std::to_string(line_no) + ": " + what);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok.empty()) continue;
+
+    if (tok == "DIEAREA") {
+      std::string junk;
+      long long x0, y0, x1, y1;
+      // DIEAREA ( x0 y0 ) ( x1 y1 ) ;
+      if (!(ls >> junk >> x0 >> y0 >> junk >> junk >> x1 >> y1)) {
+        fail("malformed DIEAREA");
+      }
+      result.die_width_um = static_cast<double>(x1 - x0) / kDbuPerUm;
+      result.die_height_um = static_cast<double>(y1 - y0) / kDbuPerUm;
+    } else if (tok == "COMPONENTS") {
+      if (!(ls >> declared_components)) fail("malformed COMPONENTS");
+      in_components = true;
+      result.x.assign(declared_components, 0.0);
+      result.y.assign(declared_components, 0.0);
+    } else if (tok == "END") {
+      std::string what;
+      ls >> what;
+      if (what == "COMPONENTS") in_components = false;
+    } else if (tok == "-" && in_components) {
+      // - u<i> CELL + PLACED ( x y ) N ;
+      std::string name, cell, plus, placed, paren;
+      long long x, y;
+      if (!(ls >> name >> cell >> plus >> placed >> paren >> x >> y)) {
+        fail("malformed component entry");
+      }
+      if (name.size() < 2 || name[0] != 'u') {
+        fail("unexpected component name " + name);
+      }
+      const std::size_t index = std::stoul(name.substr(1));
+      if (index >= declared_components) {
+        fail("component index out of range: " + name);
+      }
+      result.x[index] = static_cast<double>(x) / kDbuPerUm;
+      result.y[index] = static_cast<double>(y) / kDbuPerUm;
+    }
+  }
+  if (in_components) {
+    ++line_no;
+    fail("missing END COMPONENTS");
+  }
+  return result;
+}
+
+}  // namespace ppat::place

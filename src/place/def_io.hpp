@@ -1,0 +1,46 @@
+// DEF-flavoured placement interchange.
+//
+// Emits/parses the subset of a DEF file a placement actually needs —
+// DIEAREA and per-component PLACED locations — so pdsim placements can be
+// eyeballed with standard layout viewers and round-tripped in tests.
+// Coordinates use the customary DEF database units (1000 DBU per um).
+//
+//   VERSION 5.8 ;
+//   DESIGN mac ;
+//   UNITS DISTANCE MICRONS 1000 ;
+//   DIEAREA ( 0 0 ) ( 257000 257000 ) ;
+//   COMPONENTS 19360 ;
+//     - u0 NAND2_X1 + PLACED ( 12345 54321 ) N ;
+//     ...
+//   END COMPONENTS
+//   END DESIGN
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "place/placer.hpp"
+
+namespace ppat::place {
+
+/// Writes the placement of `netlist` in the DEF subset described above.
+void write_def(const netlist::Netlist& netlist, const Placement& placement,
+               const std::string& design_name, std::ostream& out);
+
+std::string to_def(const netlist::Netlist& netlist,
+                   const Placement& placement,
+                   const std::string& design_name);
+
+/// Parsed-back locations (um) plus the die box.
+struct DefPlacement {
+  double die_width_um = 0.0;
+  double die_height_um = 0.0;
+  std::vector<double> x, y;  ///< indexed by component number (u<i>)
+};
+
+/// Parses the subset produced by write_def. Throws std::runtime_error with
+/// a line number on malformed input or component count mismatches.
+DefPlacement parse_def(const std::string& text);
+
+}  // namespace ppat::place

@@ -1,0 +1,436 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ppat::place {
+namespace {
+
+using netlist::InstanceId;
+using netlist::kInvalidId;
+using netlist::Netlist;
+using netlist::NetId;
+
+/// Fixed boundary coordinates for primary I/O: inputs on the left edge,
+/// outputs on the right, evenly spaced in id order.
+struct IoAnchors {
+  // Per-net anchor (NaN when a net has no I/O endpoint).
+  std::vector<double> x, y;
+  std::vector<bool> has_anchor;
+};
+
+IoAnchors build_io_anchors(const Netlist& nl, double die_w, double die_h) {
+  IoAnchors io;
+  io.x.assign(nl.num_nets(), 0.0);
+  io.y.assign(nl.num_nets(), 0.0);
+  io.has_anchor.assign(nl.num_nets(), false);
+
+  const auto& pis = nl.primary_inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    const double frac =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(pis.size());
+    io.x[pis[i]] = 0.0;
+    io.y[pis[i]] = frac * die_h;
+    io.has_anchor[pis[i]] = true;
+  }
+  const auto pos = nl.primary_outputs();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const double frac =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(pos.size());
+    // An output net can also be a PI-driven net in degenerate designs; the
+    // later anchor (output side) wins, which is harmless for the model.
+    io.x[pos[i]] = die_w;
+    io.y[pos[i]] = frac * die_h;
+    io.has_anchor[pos[i]] = true;
+  }
+  return io;
+}
+
+struct BinGrid {
+  std::size_t nx = 0, ny = 0;
+  double bin = 0.0;  // bin edge length (um)
+  std::vector<double> fill;  // cell-area fill ratio per bin
+
+  std::size_t index_of(double x, double y, double die_w, double die_h) const {
+    const double cx = std::clamp(x, 0.0, die_w - 1e-9);
+    const double cy = std::clamp(y, 0.0, die_h - 1e-9);
+    const std::size_t ix =
+        std::min(nx - 1, static_cast<std::size_t>(cx / bin));
+    const std::size_t iy =
+        std::min(ny - 1, static_cast<std::size_t>(cy / bin));
+    return iy * nx + ix;
+  }
+};
+
+void accumulate_fill(const Netlist& nl, const Placement& p, BinGrid& grid) {
+  std::fill(grid.fill.begin(), grid.fill.end(), 0.0);
+  const double bin_area = grid.bin * grid.bin;
+  for (InstanceId i = 0; i < nl.num_instances(); ++i) {
+    const double area = nl.library().cell(nl.instance(i).cell).area_um2;
+    grid.fill[grid.index_of(p.x[i], p.y[i], p.die_width_um,
+                            p.die_height_um)] += area / bin_area;
+  }
+}
+
+}  // namespace
+
+double Placement::total_hpwl_um() const {
+  double s = 0.0;
+  for (double h : net_hpwl_um) s += h;
+  return s;
+}
+
+std::vector<double> Placement::routed_length_um() const {
+  // A router facing demand beyond ~75% of supply detours around hotspots;
+  // the detour grows with the overload. The 0.5 slope is a typical
+  // global-route scenic ratio at saturated supply.
+  std::vector<double> routed = net_hpwl_um;
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    const double overload =
+        net_congestion.empty() ? 0.0
+                               : std::max(0.0, net_congestion[i] - 0.75);
+    routed[i] *= 1.0 + 0.5 * std::min(1.5, overload);
+  }
+  return routed;
+}
+
+double Placement::max_bin_density() const {
+  double m = 0.0;
+  for (double d : bin_density) m = std::max(m, d);
+  return m;
+}
+
+double Placement::congestion_overflow(double threshold) const {
+  if (bin_congestion.empty()) return 0.0;
+  std::size_t over = 0;
+  for (double c : bin_congestion) {
+    if (c > threshold) ++over;
+  }
+  return static_cast<double>(over) /
+         static_cast<double>(bin_congestion.size());
+}
+
+double Placement::hot_congestion() const {
+  if (bin_congestion.empty()) return 0.0;
+  std::vector<double> sorted = bin_congestion;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t k = std::max<std::size_t>(1, sorted.size() / 10);
+  double s = 0.0;
+  for (std::size_t i = sorted.size() - k; i < sorted.size(); ++i) {
+    s += sorted[i];
+  }
+  return s / static_cast<double>(k);
+}
+
+Placement place(const netlist::Netlist& nl, const PlacerOptions& opt) {
+  Placement p;
+  const std::size_t n = nl.num_instances();
+  assert(n > 0);
+
+  // Die sizing from target utilization; square die.
+  const double cell_area = nl.total_cell_area();
+  const double die_area = cell_area / std::max(0.05, opt.target_utilization);
+  p.die_width_um = p.die_height_um = std::sqrt(die_area);
+
+  // Bin grid aiming for ~64 cells per bin, at least 8x8.
+  std::size_t g = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(n) / 64.0) + 0.5);
+  g = std::clamp<std::size_t>(g, 8, 160);
+  BinGrid grid;
+  grid.nx = grid.ny = g;
+  grid.bin = p.die_width_um / static_cast<double>(g);
+  grid.fill.assign(g * g, 0.0);
+  p.grid_nx = grid.nx;
+  p.grid_ny = grid.ny;
+  p.bin_size_um = grid.bin;
+
+  // Initial placement: deterministic uniform random.
+  common::Rng rng(opt.seed);
+  p.x.resize(n);
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x[i] = rng.uniform(0.0, p.die_width_um);
+    p.y[i] = rng.uniform(0.0, p.die_height_um);
+  }
+
+  const IoAnchors io = build_io_anchors(nl, p.die_width_um, p.die_height_um);
+
+  // --- Wirelength relaxation (Jacobi sweeps on the star net model) ---
+  // Each sweep: compute every net's star center (mean of its endpoints,
+  // counting the I/O anchor when present), then move each cell toward the
+  // mean of its incident nets' centers.
+  const int sweeps = std::max(2, opt.effort_iterations);
+  std::vector<double> net_cx(nl.num_nets()), net_cy(nl.num_nets());
+  std::vector<double> new_x(n), new_y(n);
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (NetId nid = 0; nid < nl.num_nets(); ++nid) {
+      const auto& net = nl.net(nid);
+      double sx = 0.0, sy = 0.0;
+      std::size_t cnt = 0;
+      if (net.driver != kInvalidId) {
+        sx += p.x[net.driver];
+        sy += p.y[net.driver];
+        ++cnt;
+      }
+      for (const auto& sink : net.sinks) {
+        sx += p.x[sink.instance];
+        sy += p.y[sink.instance];
+        ++cnt;
+      }
+      if (io.has_anchor[nid]) {
+        sx += io.x[nid];
+        sy += io.y[nid];
+        ++cnt;
+      }
+      if (cnt == 0) {
+        net_cx[nid] = p.die_width_um * 0.5;
+        net_cy[nid] = p.die_height_um * 0.5;
+      } else {
+        net_cx[nid] = sx / static_cast<double>(cnt);
+        net_cy[nid] = sy / static_cast<double>(cnt);
+      }
+    }
+    for (InstanceId i = 0; i < n; ++i) {
+      const auto& inst = nl.instance(i);
+      double sx = 0.0, sy = 0.0;
+      std::size_t cnt = 0;
+      for (NetId nid : inst.fanins) {
+        sx += net_cx[nid];
+        sy += net_cy[nid];
+        ++cnt;
+      }
+      sx += net_cx[inst.fanout];
+      sy += net_cy[inst.fanout];
+      ++cnt;
+      const double tx = sx / static_cast<double>(cnt);
+      const double ty = sy / static_cast<double>(cnt);
+      // Under-relaxation keeps the iteration stable and avoids total
+      // collapse to the centroid before density spreading acts.
+      constexpr double kMix = 0.7;
+      new_x[i] = (1.0 - kMix) * p.x[i] + kMix * tx;
+      new_y[i] = (1.0 - kMix) * p.y[i] + kMix * ty;
+    }
+    p.x.swap(new_x);
+    p.y.swap(new_y);
+  }
+
+  // --- Density spreading ---
+  // Target bin fill: the density cap, or (for uniform_density) just above
+  // the average utilization so cells spread across the whole die.
+  const double avg_fill = opt.target_utilization;
+  const double target_fill = opt.uniform_density
+                                 ? std::min(opt.max_density, avg_fill * 1.15)
+                                 : opt.max_density;
+  // Excess-transport spreading: each pass moves the cells beyond a bin's
+  // capacity into its least-filled 4-neighbour (placed near that bin's
+  // center, jittered deterministically), updating fills as it goes. This
+  // converges in O(grid diameter) passes even from a fully collapsed
+  // quadratic solution, unlike gradient-style nudging.
+  const int spread_iters = std::min(
+      36, 2 * static_cast<int>(grid.nx) +
+              (opt.congestion_effort == CongestionEffort::kHigh
+                   ? static_cast<int>(grid.nx) / 2
+                   : 0));
+  const double bin_area = grid.bin * grid.bin;
+  std::vector<std::vector<InstanceId>> bin_cells(grid.nx * grid.ny);
+  common::Rng spread_rng(opt.seed ^ 0x5BD1E995u);
+  for (int iter = 0; iter < spread_iters; ++iter) {
+    for (auto& cells : bin_cells) cells.clear();
+    accumulate_fill(nl, p, grid);
+    for (InstanceId i = 0; i < n; ++i) {
+      bin_cells[grid.index_of(p.x[i], p.y[i], p.die_width_um,
+                              p.die_height_um)]
+          .push_back(i);
+    }
+    bool any_over = false;
+    for (std::size_t b = 0; b < bin_cells.size(); ++b) {
+      if (grid.fill[b] <= target_fill) continue;
+      const std::size_t bx = b % grid.nx, by = b / grid.nx;
+      // All in-bounds 4-neighbours, emptiest first; the bin spills into
+      // each in turn until it meets the cap or every neighbour saturates.
+      std::vector<std::size_t> neighbours;
+      auto consider = [&](std::ptrdiff_t dx, std::ptrdiff_t dy) {
+        const std::ptrdiff_t nx2 = static_cast<std::ptrdiff_t>(bx) + dx;
+        const std::ptrdiff_t ny2 = static_cast<std::ptrdiff_t>(by) + dy;
+        if (nx2 < 0 || ny2 < 0 ||
+            nx2 >= static_cast<std::ptrdiff_t>(grid.nx) ||
+            ny2 >= static_cast<std::ptrdiff_t>(grid.ny)) {
+          return;
+        }
+        neighbours.push_back(static_cast<std::size_t>(ny2) * grid.nx +
+                             static_cast<std::size_t>(nx2));
+      };
+      consider(-1, 0);
+      consider(1, 0);
+      consider(0, -1);
+      consider(0, 1);
+      std::sort(neighbours.begin(), neighbours.end(),
+                [&grid](std::size_t a, std::size_t c) {
+                  return grid.fill[a] < grid.fill[c];
+                });
+      auto& cells = bin_cells[b];
+      for (std::size_t nb : neighbours) {
+        if (grid.fill[b] <= target_fill) break;
+        const double cx =
+            (static_cast<double>(nb % grid.nx) + 0.5) * grid.bin;
+        const double cy =
+            (static_cast<double>(nb / grid.nx) + 0.5) * grid.bin;
+        // A neighbour may absorb up to the source's current level (downhill
+        // transport), capped at the density target when it has headroom.
+        const double absorb_limit =
+            std::max(target_fill,
+                     0.5 * (grid.fill[b] + grid.fill[nb]));
+        while (!cells.empty() && grid.fill[b] > target_fill &&
+               grid.fill[nb] < absorb_limit) {
+          const InstanceId moved = cells.back();
+          cells.pop_back();
+          const double area =
+              nl.library().cell(nl.instance(moved).cell).area_um2;
+          p.x[moved] = std::clamp(
+              cx + spread_rng.uniform(-0.4, 0.4) * grid.bin, 0.0,
+              p.die_width_um);
+          p.y[moved] = std::clamp(
+              cy + spread_rng.uniform(-0.4, 0.4) * grid.bin, 0.0,
+              p.die_height_um);
+          grid.fill[b] -= area / bin_area;
+          grid.fill[nb] += area / bin_area;
+          bin_cells[nb].push_back(moved);
+          any_over = true;
+        }
+      }
+    }
+    if (!any_over) break;
+  }
+  accumulate_fill(nl, p, grid);
+  p.bin_density = grid.fill;
+
+  // --- HPWL ---
+  p.net_hpwl_um.assign(nl.num_nets(), 0.0);
+  std::vector<double> bb_lx(nl.num_nets()), bb_ly(nl.num_nets()),
+      bb_hx(nl.num_nets()), bb_hy(nl.num_nets());
+  for (NetId nid = 0; nid < nl.num_nets(); ++nid) {
+    const auto& net = nl.net(nid);
+    double lx = 1e30, ly = 1e30, hx = -1e30, hy = -1e30;
+    auto extend = [&](double x, double y) {
+      lx = std::min(lx, x);
+      ly = std::min(ly, y);
+      hx = std::max(hx, x);
+      hy = std::max(hy, y);
+    };
+    if (net.driver != kInvalidId) extend(p.x[net.driver], p.y[net.driver]);
+    for (const auto& sink : net.sinks) {
+      extend(p.x[sink.instance], p.y[sink.instance]);
+    }
+    if (io.has_anchor[nid]) extend(io.x[nid], io.y[nid]);
+    if (hx < lx) {  // floating net
+      bb_lx[nid] = bb_hx[nid] = 0.0;
+      bb_ly[nid] = bb_hy[nid] = 0.0;
+      continue;
+    }
+    p.net_hpwl_um[nid] = (hx - lx) + (hy - ly);
+    bb_lx[nid] = lx;
+    bb_ly[nid] = ly;
+    bb_hx[nid] = hx;
+    bb_hy[nid] = hy;
+  }
+
+  // --- RUDY congestion map + per-net congestion exposure ---
+  auto bin_range = [&grid](double lo, double hi, std::size_t n_bins) {
+    const auto b0 = static_cast<std::size_t>(
+        std::clamp(lo / grid.bin, 0.0, static_cast<double>(n_bins - 1)));
+    const auto b1 = static_cast<std::size_t>(
+        std::clamp(hi / grid.bin, 0.0, static_cast<double>(n_bins - 1)));
+    return std::pair{b0, b1};
+  };
+  auto compute_congestion = [&] {
+    p.bin_congestion.assign(grid.nx * grid.ny, 0.0);
+    for (NetId nid = 0; nid < nl.num_nets(); ++nid) {
+      const double w = bb_hx[nid] - bb_lx[nid];
+      const double h = bb_hy[nid] - bb_ly[nid];
+      if (p.net_hpwl_um[nid] <= 0.0) continue;
+      // RUDY: uniform wire-density within the bbox, demand = hpwl / area.
+      const double area = std::max(w * h, grid.bin * grid.bin * 0.25);
+      const double demand = p.net_hpwl_um[nid] / area;
+      const auto [ix0, ix1] = bin_range(bb_lx[nid], bb_hx[nid], grid.nx);
+      const auto [iy0, iy1] = bin_range(bb_ly[nid], bb_hy[nid], grid.ny);
+      for (std::size_t iy = iy0; iy <= iy1; ++iy) {
+        for (std::size_t ix = ix0; ix <= ix1; ++ix) {
+          p.bin_congestion[iy * grid.nx + ix] += demand;
+        }
+      }
+    }
+    // Normalize congestion to a routing-supply estimate so that ~1.0 means
+    // "demand equals typical track supply".
+    const double supply = 14.0;  // um of wire per um^2, a 7 nm-ish constant
+    for (double& c : p.bin_congestion) c /= supply;
+
+    // Per-net congestion: mean normalized demand across the bbox bins.
+    p.net_congestion.assign(nl.num_nets(), 0.0);
+    for (NetId nid = 0; nid < nl.num_nets(); ++nid) {
+      if (p.net_hpwl_um[nid] <= 0.0) continue;
+      const auto [ix0, ix1] = bin_range(bb_lx[nid], bb_hx[nid], grid.nx);
+      const auto [iy0, iy1] = bin_range(bb_ly[nid], bb_hy[nid], grid.ny);
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (std::size_t iy = iy0; iy <= iy1; ++iy) {
+        for (std::size_t ix = ix0; ix <= ix1; ++ix) {
+          sum += p.bin_congestion[iy * grid.nx + ix];
+          ++count;
+        }
+      }
+      p.net_congestion[nid] = sum / static_cast<double>(count);
+    }
+  };
+  compute_congestion();
+
+  // Congestion-driven refinement under HIGH effort: one extra spreading
+  // round weighted by congestion, trading wirelength for routability.
+  if (opt.congestion_effort == CongestionEffort::kHigh) {
+    for (InstanceId i = 0; i < n; ++i) {
+      const std::size_t b =
+          grid.index_of(p.x[i], p.y[i], p.die_width_um, p.die_height_um);
+      const double c = p.bin_congestion[b];
+      if (c <= 0.85) continue;
+      // Push away from the die's congestion centroid (cheap proxy for a
+      // congestion gradient).
+      const double cx = p.die_width_um * 0.5, cy = p.die_height_um * 0.5;
+      const double dx = p.x[i] - cx, dy = p.y[i] - cy;
+      const double norm = std::hypot(dx, dy);
+      if (norm < 1e-9) continue;
+      const double push = grid.bin * 0.4 * std::min(1.0, c - 0.85);
+      p.x[i] = std::clamp(p.x[i] + dx / norm * push, 0.0, p.die_width_um);
+      p.y[i] = std::clamp(p.y[i] + dy / norm * push, 0.0, p.die_height_um);
+    }
+    // Refresh the maps after the extra move.
+    accumulate_fill(nl, p, grid);
+    p.bin_density = grid.fill;
+    for (NetId nid = 0; nid < nl.num_nets(); ++nid) {
+      const auto& net = nl.net(nid);
+      double lx = 1e30, ly = 1e30, hx = -1e30, hy = -1e30;
+      auto extend = [&](double x, double y) {
+        lx = std::min(lx, x);
+        ly = std::min(ly, y);
+        hx = std::max(hx, x);
+        hy = std::max(hy, y);
+      };
+      if (net.driver != kInvalidId) extend(p.x[net.driver], p.y[net.driver]);
+      for (const auto& sink : net.sinks) {
+        extend(p.x[sink.instance], p.y[sink.instance]);
+      }
+      if (io.has_anchor[nid]) extend(io.x[nid], io.y[nid]);
+      if (hx >= lx) {
+        p.net_hpwl_um[nid] = (hx - lx) + (hy - ly);
+        bb_lx[nid] = lx;
+        bb_ly[nid] = ly;
+        bb_hx[nid] = hx;
+        bb_hy[nid] = hy;
+      }
+    }
+    compute_congestion();
+  }
+
+  return p;
+}
+
+}  // namespace ppat::place

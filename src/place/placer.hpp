@@ -1,0 +1,69 @@
+// Simplified global placement with density control and congestion
+// estimation.
+//
+// This is the placement stage of the `pdsim` mini physical-design flow that
+// substitutes for Cadence Innovus in the reproduction. It is deliberately a
+// *mechanistic* model, not a curve fit: cells get coordinates from a
+// quadratic-style wirelength relaxation (Gauss–Seidel over the star net
+// model, anchored at I/O positions on the die boundary), then a bin-based
+// diffusion step spreads overfilled bins until every bin respects the
+// density target. Congestion is estimated with a RUDY-style map (routing
+// demand from net bounding boxes). The tool parameters the paper tunes act
+// exactly where they act in a real flow:
+//   - max_density caps bin fill -> lower values spread cells (longer wires,
+//     less congestion);
+//   - uniform_density targets the average utilization everywhere;
+//   - cong_effort=HIGH adds spreading passes weighted by congestion;
+//   - placement effort scales the relaxation/spreading iteration budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ppat::place {
+
+/// Congestion-mitigation effort, mirroring Innovus' AUTO/HIGH setting.
+enum class CongestionEffort { kAuto, kHigh };
+
+struct PlacerOptions {
+  double target_utilization = 0.65;  ///< die area = cell area / this
+  double max_density = 0.9;          ///< bin fill cap (the tuned parameter)
+  bool uniform_density = false;      ///< spread to average utilization
+  CongestionEffort congestion_effort = CongestionEffort::kAuto;
+  int effort_iterations = 12;        ///< relaxation sweeps (effort knob)
+  std::uint64_t seed = 1;            ///< initial-placement seed
+};
+
+/// Per-cell coordinates plus the derived maps a router/STA needs.
+struct Placement {
+  double die_width_um = 0.0;
+  double die_height_um = 0.0;
+  std::size_t grid_nx = 0, grid_ny = 0;  ///< bin grid dimensions
+  double bin_size_um = 0.0;
+  std::vector<double> x, y;              ///< per-instance coordinates
+  std::vector<double> net_hpwl_um;       ///< per-net half-perimeter WL
+  std::vector<double> bin_density;       ///< per-bin cell-area fill ratio
+  std::vector<double> bin_congestion;    ///< per-bin routing demand (RUDY)
+  std::vector<double> net_congestion;    ///< per-net mean demand over bbox
+
+  /// Estimated routed length per net: HPWL inflated by the congestion
+  /// detour a router would take through this net's region. This is what the
+  /// flow extracts parasitics from.
+  std::vector<double> routed_length_um() const;
+
+  double total_hpwl_um() const;
+  double max_bin_density() const;
+  /// Fraction of bins whose routing demand exceeds `threshold`.
+  double congestion_overflow(double threshold) const;
+  /// Mean of the top 10% most congested bins ("hot" congestion score).
+  double hot_congestion() const;
+};
+
+/// Runs global placement. The netlist is read-only; primary I/O pins are
+/// assigned fixed positions around the die boundary (deterministic order).
+Placement place(const netlist::Netlist& netlist, const PlacerOptions& options);
+
+}  // namespace ppat::place

@@ -1,0 +1,53 @@
+// Power estimation: switching-activity propagation + dynamic, leakage, and
+// clock-tree power.
+//
+// Substitutes for Innovus' power report. Dynamic power follows the standard
+// alpha*C*V^2*f model with per-function activity attenuation factors
+// (an AND gate's output toggles less than its inputs; an XOR's toggles
+// more), internal cell energy per toggle, leakage from the library, and a
+// clock-tree model whose buffer/wire capacitance scales with the flip-flop
+// population and die size. The `clock_power_driven` tool parameter maps to
+// the CTS power optimization a real flow performs: it cuts clock-tree
+// capacitance at a small timing-margin cost (applied by the flow).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace ppat::power {
+
+struct PowerOptions {
+  double voltage_v = 0.70;        ///< 7 nm-class VDD
+  double clock_freq_ghz = 1.0;
+  double pi_activity = 0.20;      ///< toggles per cycle at primary inputs
+  double ff_activity = 0.25;      ///< toggles per cycle at FF outputs
+  bool clock_power_driven = false;  ///< CTS power optimization enabled
+};
+
+struct PowerReport {
+  double dynamic_mw = 0.0;   ///< net switching + cell internal power
+  double leakage_mw = 0.0;
+  double clock_mw = 0.0;     ///< clock tree (buffers + wire + FF clock pins)
+  double total_mw = 0.0;
+  std::vector<double> net_activity;  ///< toggles per cycle, per net
+};
+
+/// Propagates switching activity from primary inputs / FF outputs through
+/// the combinational logic. Returned vector is indexed by NetId.
+std::vector<double> propagate_activity(const netlist::Netlist& netlist,
+                                       const PowerOptions& options);
+
+/// Clock-tree power (mW) for a design with `num_ffs` flip-flops on a die of
+/// width `die_width_um`. Scales with frequency and voltage; the
+/// power-driven flag applies the CTS optimization discount.
+double clock_tree_power_mw(std::size_t num_ffs, double die_width_um,
+                           const PowerOptions& options);
+
+/// Full power report for a placed, extracted design.
+PowerReport estimate_power(const netlist::Netlist& netlist,
+                           const sta::WireParasitics& parasitics,
+                           double die_width_um, const PowerOptions& options);
+
+}  // namespace ppat::power

@@ -1,0 +1,216 @@
+#include "sta/optimizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ppat::sta {
+namespace {
+
+using netlist::CellFunction;
+using netlist::InstanceId;
+using netlist::kInvalidId;
+using netlist::Netlist;
+using netlist::NetId;
+using netlist::SinkPin;
+
+/// Bounding-box HPWL over instance endpoints (I/O anchors are ignored here;
+/// repair targets internal high-fanout nets, where the approximation is
+/// exact).
+double recompute_hpwl(const Netlist& nl, const std::vector<double>& x,
+                      const std::vector<double>& y, NetId net) {
+  double lx = 1e30, ly = 1e30, hx = -1e30, hy = -1e30;
+  auto extend = [&](InstanceId i) {
+    lx = std::min(lx, x[i]);
+    ly = std::min(ly, y[i]);
+    hx = std::max(hx, x[i]);
+    hy = std::max(hy, y[i]);
+  };
+  const auto& n = nl.net(net);
+  if (n.driver != kInvalidId) extend(n.driver);
+  for (const auto& sink : n.sinks) extend(sink.instance);
+  if (hx < lx) return 0.0;
+  return (hx - lx) + (hy - ly);
+}
+
+struct RepairContext {
+  Netlist& nl;
+  std::vector<double>& x;
+  std::vector<double>& y;
+  std::vector<double>& hpwl;
+  netlist::CellId buf_cell;
+
+  /// Moves `group` (a subset of `net`'s sinks) behind a new buffer placed at
+  /// the group's centroid. Returns the buffer instance. Takes the group by
+  /// value: callers often pass (a subset of) the net's own sink list, which
+  /// this function mutates.
+  InstanceId insert_buffer(NetId net, const std::vector<SinkPin> group) {
+    assert(!group.empty());
+    double cx = 0.0, cy = 0.0;
+    for (const auto& s : group) {
+      cx += x[s.instance];
+      cy += y[s.instance];
+    }
+    cx /= static_cast<double>(group.size());
+    cy /= static_cast<double>(group.size());
+
+    const InstanceId buf = nl.add_instance(buf_cell, {net});
+    x.push_back(cx);
+    y.push_back(cy);
+    const NetId buf_out = nl.instance(buf).fanout;
+    for (const auto& s : group) {
+      nl.reconnect_input(s.instance, s.pin, buf_out);
+    }
+    hpwl.push_back(0.0);
+    hpwl[buf_out] = recompute_hpwl(nl, x, y, buf_out);
+    hpwl[net] = recompute_hpwl(nl, x, y, net);
+    return buf;
+  }
+};
+
+}  // namespace
+
+OptimizerResult optimize(Netlist& nl, std::vector<double>& x,
+                         std::vector<double>& y,
+                         std::vector<double>& net_hpwl_um,
+                         const TimingOptions& topt,
+                         const OptimizerOptions& opt) {
+  assert(x.size() == nl.num_instances());
+  assert(net_hpwl_um.size() == nl.num_nets());
+
+  OptimizerResult result;
+  const auto& lib = nl.library();
+  RepairContext ctx{nl, x, y, net_hpwl_um,
+                    lib.find(CellFunction::kBuf, 1)};
+
+  // ---- DRV repair passes ----
+  for (int pass = 0; pass < opt.max_repair_passes; ++pass) {
+    WireParasitics par = extract_parasitics(nl, net_hpwl_um, topt.rc_factor);
+    TimingReport timing = run_sta(nl, par, topt);
+    std::size_t violations = 0;
+
+    const std::size_t nets_at_start = nl.num_nets();
+    for (NetId net = 0; net < nets_at_start; ++net) {
+      const auto& n = nl.net(net);
+      if (n.driver == kInvalidId && n.sinks.empty()) continue;
+
+      const std::size_t fanout = n.sinks.size();
+      const double load = timing.load_ff[net];
+      const double slew = timing.slew_ns[net];
+      const double length = net_hpwl_um[net];
+
+      const bool v_fanout = fanout > opt.limits.max_fanout;
+      const bool v_cap = load > opt.limits.max_capacitance_ff;
+      const bool v_slew = slew > opt.limits.max_transition_ns;
+      const bool v_len = length > opt.limits.max_length_um;
+      if (!(v_fanout || v_cap || v_slew || v_len)) continue;
+      ++violations;
+      if (pass == 0) ++result.initial_drv_violations;
+
+      if (v_fanout) {
+        // Split sinks into ceil(fanout / max_fanout) groups behind buffers,
+        // keeping one group directly on the net.
+        const std::size_t groups =
+            (fanout + opt.limits.max_fanout - 1) / opt.limits.max_fanout;
+        if (groups >= 2) {
+          const std::vector<SinkPin> sinks = n.sinks;  // copy: we mutate
+          const std::size_t per = (sinks.size() + groups - 1) / groups;
+          for (std::size_t g = 1; g < groups; ++g) {
+            const std::size_t begin = g * per;
+            if (begin >= sinks.size()) break;
+            const std::size_t end = std::min(sinks.size(), begin + per);
+            std::vector<SinkPin> group(sinks.begin() + begin,
+                                       sinks.begin() + end);
+            ctx.insert_buffer(net, group);
+            ++result.buffers_inserted;
+          }
+          continue;  // re-examine derived nets next pass
+        }
+      }
+
+      if (v_cap && n.sinks.size() >= 2) {
+        // Overloaded net: move half the sinks behind a buffer. (Upsizing the
+        // driver would not reduce the load.)
+        const std::vector<SinkPin> sinks = n.sinks;
+        std::vector<SinkPin> half(sinks.begin() + sinks.size() / 2,
+                                  sinks.end());
+        ctx.insert_buffer(net, half);
+        ++result.buffers_inserted;
+        continue;
+      }
+
+      if (v_cap || v_slew) {
+        // Slew violation (or a single-sink overloaded net): upsize the
+        // driver; fall back to splitting the load.
+        const InstanceId drv = n.driver;
+        bool upsized = false;
+        if (drv != kInvalidId) {
+          const CellFunction f = lib.cell(nl.instance(drv).cell).function;
+          const int level = lib.drive_level_of(nl.instance(drv).cell);
+          if (level + 1 < lib.drive_levels(f)) {
+            nl.resize_instance(drv, lib.find(f, level + 1));
+            ++result.cells_upsized;
+            upsized = true;
+          }
+        }
+        if (!upsized && n.sinks.size() >= 2) {
+          const std::vector<SinkPin> sinks = n.sinks;
+          std::vector<SinkPin> half(sinks.begin() + sinks.size() / 2,
+                                    sinks.end());
+          ctx.insert_buffer(net, half);
+          ++result.buffers_inserted;
+        }
+        continue;
+      }
+
+      if (v_len && !n.sinks.empty()) {
+        // Long net: buffer all sinks from a repeater at their centroid,
+        // splitting the RC in two.
+        ctx.insert_buffer(net, n.sinks);
+        ++result.buffers_inserted;
+      }
+    }
+
+    if (violations == 0) {
+      result.remaining_drv_violations = 0;
+      break;
+    }
+    result.remaining_drv_violations = violations;
+  }
+
+  // ---- Timing-driven sizing ----
+  // Upsize drivers of near-critical nets until the worst slack satisfies the
+  // allowance or the pass budget is exhausted.
+  WireParasitics par = extract_parasitics(nl, net_hpwl_um, topt.rc_factor);
+  TimingReport timing = run_sta(nl, par, topt);
+  for (int pass = 0; pass < opt.sizing_passes; ++pass) {
+    if (timing.wns_ns >= -opt.max_allowed_delay_ns) break;
+    // The near-critical window widens with timing pressure (violation as a
+    // multiple of the clock period): a tighter frequency target makes the
+    // sizer touch more of the design, exactly like raising the effort of a
+    // real flow's optimizer. max_AllowedDelay relieves the pressure.
+    const double violation =
+        std::max(0.0, -(timing.wns_ns + opt.max_allowed_delay_ns));
+    const double pressure = violation / std::max(1e-9, topt.clock_period_ns);
+    const double window = std::clamp(0.03 + 0.025 * pressure, 0.03, 0.30);
+    const double threshold = timing.critical_delay_ns * (1.0 - window);
+    std::size_t upsized = 0;
+    for (InstanceId i = 0; i < nl.num_instances(); ++i) {
+      const NetId out = nl.instance(i).fanout;
+      if (timing.arrival_ns[out] < threshold) continue;
+      const CellFunction f = lib.cell(nl.instance(i).cell).function;
+      const int level = lib.drive_level_of(nl.instance(i).cell);
+      if (level + 1 >= lib.drive_levels(f)) continue;
+      nl.resize_instance(i, lib.find(f, level + 1));
+      ++upsized;
+    }
+    result.cells_upsized += upsized;
+    if (upsized == 0) break;
+    par = extract_parasitics(nl, net_hpwl_um, topt.rc_factor);
+    timing = run_sta(nl, par, topt);
+  }
+  result.final_timing = std::move(timing);
+  return result;
+}
+
+}  // namespace ppat::sta

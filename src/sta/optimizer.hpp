@@ -1,0 +1,58 @@
+// Post-placement netlist optimization: DRV repair and timing-driven sizing.
+//
+// This is where most of the paper's tuned parameters bite in a real flow:
+//   - max_fanout / max_capacitance / max_transition / max_Length are DRV
+//     limits; violations are repaired by buffer insertion and driver
+//     upsizing, which costs area and power but improves (or protects) delay;
+//   - tighter limits => more buffers => more area/power, shorter local wires;
+//   - flowEffort / timing_effort control the repair and sizing iteration
+//     budgets;
+//   - max_AllowedDelay relaxes the timing target the sizer chases: a nonzero
+//     allowance stops optimization early, saving area/power at a delay cost.
+//
+// The optimizer mutates the netlist (adds buffers, resizes cells) and the
+// placement coordinate arrays in lock-step, and keeps the per-net HPWL
+// vector consistent for nets it touches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace ppat::sta {
+
+/// Design-rule limits (units: ns, fF, count, um).
+struct DrvLimits {
+  double max_transition_ns = 0.25;
+  double max_capacitance_ff = 120.0;
+  unsigned max_fanout = 32;
+  double max_length_um = 250.0;
+};
+
+struct OptimizerOptions {
+  DrvLimits limits;
+  int max_repair_passes = 3;     ///< DRV repair sweeps
+  int sizing_passes = 3;         ///< timing-driven sizing rounds
+  double max_allowed_delay_ns = 0.0;  ///< tolerated WNS violation
+};
+
+struct OptimizerResult {
+  std::size_t buffers_inserted = 0;
+  std::size_t cells_upsized = 0;
+  std::size_t initial_drv_violations = 0;
+  std::size_t remaining_drv_violations = 0;
+  TimingReport final_timing;  ///< STA after the last optimization pass
+};
+
+/// Optimizes in place. `x`, `y` are per-instance coordinates (grown when
+/// buffers are added); `net_hpwl_um` is per-net wirelength (grown/updated).
+/// All three must be sized to the netlist on entry.
+OptimizerResult optimize(netlist::Netlist& netlist, std::vector<double>& x,
+                         std::vector<double>& y,
+                         std::vector<double>& net_hpwl_um,
+                         const TimingOptions& timing_options,
+                         const OptimizerOptions& options);
+
+}  // namespace ppat::sta

@@ -1,0 +1,217 @@
+#include "tree/regression_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppat::tree {
+namespace {
+
+struct MeanVar {
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t n = 0;
+  void add(double y) {
+    sum += y;
+    sum_sq += y * y;
+    ++n;
+  }
+  double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+  /// Sum of squared deviations (n * variance).
+  double sse() const {
+    if (n == 0) return 0.0;
+    return sum_sq - sum * sum / static_cast<double>(n);
+  }
+};
+
+}  // namespace
+
+void RegressionTree::fit(const std::vector<linalg::Vector>& xs,
+                         const linalg::Vector& ys,
+                         const TreeOptions& options) {
+  std::vector<std::size_t> rows(xs.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  fit_rows(xs, ys, rows, options);
+}
+
+void RegressionTree::fit_rows(const std::vector<linalg::Vector>& xs,
+                              const linalg::Vector& ys,
+                              const std::vector<std::size_t>& rows,
+                              const TreeOptions& options) {
+  if (xs.empty() || xs.size() != ys.size() || rows.empty()) {
+    throw std::invalid_argument("RegressionTree::fit: bad input");
+  }
+  nodes_.clear();
+  feature_gains_.assign(xs.front().size(), 0.0);
+  std::vector<std::size_t> mutable_rows = rows;
+  build(xs, ys, mutable_rows, 0, options);
+}
+
+std::int32_t RegressionTree::build(const std::vector<linalg::Vector>& xs,
+                                   const linalg::Vector& ys,
+                                   std::vector<std::size_t>& rows, int depth,
+                                   const TreeOptions& options) {
+  const std::int32_t node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  MeanVar all;
+  for (std::size_t r : rows) all.add(ys[r]);
+  nodes_[node_id].value = all.mean();
+
+  if (depth >= options.max_depth ||
+      rows.size() < 2 * options.min_samples_leaf || all.sse() <= 1e-12) {
+    return node_id;
+  }
+
+  const std::size_t d = xs.front().size();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+
+  std::vector<double> values;
+  for (std::size_t f = 0; f < d; ++f) {
+    // Candidate thresholds: quantiles of this feature over the node rows.
+    values.clear();
+    values.reserve(rows.size());
+    for (std::size_t r : rows) values.push_back(xs[r][f]);
+    std::sort(values.begin(), values.end());
+    if (values.front() == values.back()) continue;
+
+    for (std::size_t c = 1; c <= options.candidate_splits; ++c) {
+      const std::size_t q =
+          c * values.size() / (options.candidate_splits + 1);
+      if (q == 0 || q >= values.size()) continue;
+      const double threshold = 0.5 * (values[q - 1] + values[q]);
+      MeanVar left, right;
+      for (std::size_t r : rows) {
+        (xs[r][f] <= threshold ? left : right).add(ys[r]);
+      }
+      if (left.n < options.min_samples_leaf ||
+          right.n < options.min_samples_leaf) {
+        continue;
+      }
+      const double gain = all.sse() - left.sse() - right.sse();
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  feature_gains_[static_cast<std::size_t>(best_feature)] += best_gain;
+
+  std::vector<std::size_t> left_rows, right_rows;
+  for (std::size_t r : rows) {
+    (xs[r][static_cast<std::size_t>(best_feature)] <= best_threshold
+         ? left_rows
+         : right_rows)
+        .push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();  // release before recursing
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const std::int32_t left = build(xs, ys, left_rows, depth + 1, options);
+  nodes_[node_id].left = left;
+  const std::int32_t right = build(xs, ys, right_rows, depth + 1, options);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::predict(const linalg::Vector& x) const {
+  if (nodes_.empty()) {
+    throw std::runtime_error("RegressionTree::predict: not fitted");
+  }
+  std::int32_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.feature < 0) return n.value;
+    node = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                 : n.right;
+  }
+}
+
+void GradientBoosting::fit(const std::vector<linalg::Vector>& xs,
+                           const linalg::Vector& ys,
+                           const BoostingOptions& options) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    throw std::invalid_argument("GradientBoosting::fit: bad input");
+  }
+  trees_.clear();
+  feature_gains_.assign(xs.front().size(), 0.0);
+  learning_rate_ = options.learning_rate;
+
+  double base = 0.0;
+  for (double y : ys) base += y;
+  base_prediction_ = base / static_cast<double>(ys.size());
+  base_set_ = true;
+
+  linalg::Vector residual(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    residual[i] = ys[i] - base_prediction_;
+  }
+
+  common::Rng rng(options.seed);
+  const std::size_t subsample = std::max<std::size_t>(
+      options.tree.min_samples_leaf * 2,
+      static_cast<std::size_t>(options.row_subsample *
+                               static_cast<double>(xs.size())));
+
+  for (std::size_t t = 0; t < options.num_trees; ++t) {
+    std::vector<std::size_t> rows =
+        subsample < xs.size()
+            ? rng.sample_without_replacement(xs.size(), subsample)
+            : [&] {
+                std::vector<std::size_t> all(xs.size());
+                for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+                return all;
+              }();
+    RegressionTree tree;
+    tree.fit_rows(xs, residual, rows, options.tree);
+    for (std::size_t f = 0; f < feature_gains_.size(); ++f) {
+      feature_gains_[f] += tree.feature_gains()[f];
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      residual[i] -= learning_rate_ * tree.predict(xs[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoosting::predict(const linalg::Vector& x) const {
+  if (!base_set_) {
+    throw std::runtime_error("GradientBoosting::predict: not fitted");
+  }
+  double y = base_prediction_;
+  for (const auto& tree : trees_) y += learning_rate_ * tree.predict(x);
+  return y;
+}
+
+linalg::Vector GradientBoosting::predict_batch(
+    const std::vector<linalg::Vector>& xs) const {
+  linalg::Vector out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = predict(xs[i]);
+  return out;
+}
+
+std::vector<double> GradientBoosting::feature_importances() const {
+  double total = 0.0;
+  for (double g : feature_gains_) total += g;
+  std::vector<double> imp(feature_gains_.size(), 0.0);
+  if (total <= 0.0) {
+    // No informative splits: uniform importances.
+    if (!imp.empty()) {
+      std::fill(imp.begin(), imp.end(), 1.0 / static_cast<double>(imp.size()));
+    }
+    return imp;
+  }
+  for (std::size_t f = 0; f < imp.size(); ++f) {
+    imp[f] = feature_gains_[f] / total;
+  }
+  return imp;
+}
+
+}  // namespace ppat::tree

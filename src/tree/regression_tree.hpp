@@ -1,0 +1,96 @@
+// CART regression trees and least-squares gradient boosting.
+//
+// Substrate for the ASPDAC'20 (FIST) baseline, which uses an
+// "ensemble boosting tree-based regressor" (XGBoost in the original) and
+// feature importances learned from source-task data. This implementation is
+// classic Friedman gradient boosting: depth-limited variance-reduction CART
+// trees fitted to residuals with shrinkage and optional row subsampling.
+// Feature importances are split-gain totals, normalized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ppat::tree {
+
+struct TreeOptions {
+  int max_depth = 4;
+  std::size_t min_samples_leaf = 3;
+  /// Number of candidate thresholds tried per feature (quantile grid).
+  std::size_t candidate_splits = 16;
+};
+
+/// One CART regression tree (axis-aligned splits, mean-leaf predictions).
+class RegressionTree {
+ public:
+  /// Fits on rows of `xs` (all the same dimension) against `ys`, optionally
+  /// weighting samples. Throws std::invalid_argument on empty/ragged input.
+  void fit(const std::vector<linalg::Vector>& xs, const linalg::Vector& ys,
+           const TreeOptions& options = {});
+
+  /// Fits on the subset of rows given by `rows`.
+  void fit_rows(const std::vector<linalg::Vector>& xs,
+                const linalg::Vector& ys,
+                const std::vector<std::size_t>& rows,
+                const TreeOptions& options = {});
+
+  double predict(const linalg::Vector& x) const;
+
+  /// Total split gain (variance reduction * samples) credited per feature.
+  const std::vector<double>& feature_gains() const { return feature_gains_; }
+
+  bool fitted() const { return !nodes_.empty(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Leaf when feature == -1.
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;          // leaf prediction
+    std::int32_t left = -1;      // child indices
+    std::int32_t right = -1;
+  };
+  std::int32_t build(const std::vector<linalg::Vector>& xs,
+                     const linalg::Vector& ys, std::vector<std::size_t>& rows,
+                     int depth, const TreeOptions& options);
+
+  std::vector<Node> nodes_;
+  std::vector<double> feature_gains_;
+};
+
+struct BoostingOptions {
+  std::size_t num_trees = 120;
+  double learning_rate = 0.08;
+  double row_subsample = 0.8;  ///< fraction of rows per tree (stochastic GB)
+  TreeOptions tree;
+  std::uint64_t seed = 7;
+};
+
+/// Least-squares gradient-boosting ensemble.
+class GradientBoosting {
+ public:
+  void fit(const std::vector<linalg::Vector>& xs, const linalg::Vector& ys,
+           const BoostingOptions& options = {});
+
+  double predict(const linalg::Vector& x) const;
+  linalg::Vector predict_batch(const std::vector<linalg::Vector>& xs) const;
+
+  /// Normalized (sums to 1) total split gain per feature.
+  std::vector<double> feature_importances() const;
+
+  bool fitted() const { return !trees_.empty() || base_set_; }
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  double base_prediction_ = 0.0;
+  bool base_set_ = false;
+  double learning_rate_ = 0.1;
+  std::vector<RegressionTree> trees_;
+  std::vector<double> feature_gains_;
+};
+
+}  // namespace ppat::tree

@@ -1,0 +1,334 @@
+#include "tuner/ppatuner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace ppat::tuner {
+namespace {
+
+enum class Status : unsigned char { kUndecided, kDropped, kPareto };
+
+/// Componentwise a <= b + delta.
+bool leq_with_slack(const linalg::Vector& a, const linalg::Vector& b,
+                    const linalg::Vector& delta) {
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] > b[k] + delta[k]) return false;
+  }
+  return true;
+}
+
+/// Componentwise a <= b.
+bool leq(const linalg::Vector& a, const linalg::Vector& b) {
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] > b[k]) return false;
+  }
+  return true;
+}
+
+/// Indices (into `subset`) whose corner vectors are non-dominated (weak
+/// domination, minimization) among the subset.
+std::vector<std::size_t> corner_front(
+    const std::vector<std::size_t>& subset,
+    const std::vector<linalg::Vector>& corners) {
+  std::vector<std::size_t> front;
+  for (std::size_t i : subset) {
+    bool dominated = false;
+    for (std::size_t j : subset) {
+      if (i == j) continue;
+      if (leq(corners[j], corners[i]) && corners[j] != corners[i]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace
+
+TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
+                          const PPATunerOptions& options,
+                          PPATunerDiagnostics* diagnostics) {
+  const std::size_t n = pool.size();
+  const std::size_t n_obj = pool.num_objectives();
+  common::Rng rng(options.seed);
+
+  // ---- Initialization (Alg. 1 lines 1-2) ----
+  const std::size_t init_count = std::min(
+      {n, std::max(options.min_init,
+                   static_cast<std::size_t>(options.init_fraction *
+                                            static_cast<double>(n))),
+       options.max_runs});
+  const auto init_idx = rng.sample_without_replacement(n, init_count);
+
+  std::vector<Status> status(n, Status::kUndecided);
+  std::vector<linalg::Vector> lo(n, linalg::Vector(n_obj, -1e30));
+  std::vector<linalg::Vector> hi(n, linalg::Vector(n_obj, 1e30));
+  std::vector<bool> collapsed(n, false);  // revealed: box == golden point
+
+  std::vector<linalg::Vector> train_x;
+  std::vector<linalg::Vector> train_y(n_obj);
+  linalg::Vector obj_min(n_obj, 1e300), obj_max(n_obj, -1e300);
+
+  auto reveal_candidate = [&](std::size_t i) {
+    const pareto::Point y = pool.reveal(i);
+    lo[i] = y;
+    hi[i] = y;
+    collapsed[i] = true;
+    train_x.push_back(pool.encoded()[i]);
+    for (std::size_t k = 0; k < n_obj; ++k) {
+      train_y[k].push_back(y[k]);
+      obj_min[k] = std::min(obj_min[k], y[k]);
+      obj_max[k] = std::max(obj_max[k], y[k]);
+    }
+    return y;
+  };
+  for (std::size_t i : init_idx) reveal_candidate(i);
+
+  // Per-objective scale (for delta and diameter normalization).
+  linalg::Vector scale(n_obj, 1.0), delta(n_obj, 0.0);
+  auto update_scales = [&] {
+    for (std::size_t k = 0; k < n_obj; ++k) {
+      scale[k] = std::max(1e-12, obj_max[k] - obj_min[k]);
+      delta[k] = options.delta_rel * scale[k];
+    }
+  };
+  update_scales();
+
+  // Surrogates: one per objective (paper: independent GPs per QoR metric).
+  std::vector<std::unique_ptr<Surrogate>> models;
+  models.reserve(n_obj);
+  for (std::size_t k = 0; k < n_obj; ++k) {
+    models.push_back(factory(k));
+    models[k]->fit(train_x, train_y[k]);
+    models[k]->refit_hyperparameters(rng);
+  }
+
+  const double half_width = std::sqrt(options.tau);
+  std::vector<std::size_t> alive_unrevealed;
+  linalg::Vector means, vars;
+  std::size_t rounds = 0;
+
+  // ---- Main loop (Alg. 1 lines 3-13) ----
+  while (rounds < options.max_rounds && pool.runs() < options.max_runs) {
+    ++rounds;
+
+    // Alive & not yet revealed: these need fresh predictions.
+    alive_unrevealed.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (status[i] != Status::kDropped && !collapsed[i]) {
+        alive_unrevealed.push_back(i);
+      }
+    }
+    bool any_undecided = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (status[i] == Status::kUndecided) {
+        any_undecided = true;
+        break;
+      }
+    }
+    if (!any_undecided || alive_unrevealed.empty()) break;
+
+    // ---- Model calibration: uncertainty regions (Eqs. (9)-(10)) ----
+    std::vector<linalg::Vector> inputs;
+    inputs.reserve(alive_unrevealed.size());
+    for (std::size_t i : alive_unrevealed) inputs.push_back(pool.encoded()[i]);
+    for (std::size_t k = 0; k < n_obj; ++k) {
+      models[k]->predict_batch(inputs, means, vars);
+      for (std::size_t c = 0; c < alive_unrevealed.size(); ++c) {
+        const std::size_t i = alive_unrevealed[c];
+        const double sd = std::sqrt(std::max(0.0, vars[c]));
+        const double new_lo = means[c] - half_width * sd;
+        const double new_hi = means[c] + half_width * sd;
+        lo[i][k] = std::max(lo[i][k], new_lo);
+        hi[i][k] = std::min(hi[i][k], new_hi);
+        if (lo[i][k] > hi[i][k]) {
+          // Intersection vanished (model shifted between rounds): collapse
+          // to the midpoint to preserve monotone, non-empty regions.
+          const double mid = 0.5 * (lo[i][k] + hi[i][k]);
+          lo[i][k] = mid;
+          hi[i][k] = mid;
+        }
+      }
+    }
+
+    // ---- Decision-making (Eqs. (11)-(12)) ----
+    std::vector<std::size_t> alive;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (status[i] != Status::kDropped) alive.push_back(i);
+    }
+    // Dominance checks only need the alive sets' corner fronts.
+    const std::vector<std::size_t> pess_front = corner_front(alive, hi);
+    for (std::size_t i : alive) {
+      if (status[i] != Status::kUndecided) continue;
+      for (std::size_t j : pess_front) {
+        if (j == i) continue;
+        if (leq_with_slack(hi[j], lo[i], delta)) {
+          status[i] = Status::kDropped;
+          break;
+        }
+      }
+    }
+    alive.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (status[i] != Status::kDropped) alive.push_back(i);
+    }
+    const std::vector<std::size_t> opt_front = corner_front(alive, lo);
+    for (std::size_t i : alive) {
+      if (status[i] != Status::kUndecided) continue;
+      bool blocked = false;
+      for (std::size_t j : opt_front) {
+        if (j == i) continue;
+        // x' could still delta-dominate x in the optimistic/pessimistic
+        // worst case -> x cannot be declared Pareto yet.
+        bool dominates_with_margin = true;
+        for (std::size_t k = 0; k < n_obj; ++k) {
+          if (lo[j][k] > hi[i][k] - delta[k]) {
+            dominates_with_margin = false;
+            break;
+          }
+        }
+        if (dominates_with_margin) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) status[i] = Status::kPareto;
+    }
+
+    // ---- Selection (Eq. (13)) ----
+    // Rank alive, unrevealed candidates by normalized region diameter.
+    std::vector<std::pair<double, std::size_t>> ranked;
+    for (std::size_t i : alive_unrevealed) {
+      if (status[i] == Status::kDropped) continue;
+      double d2 = 0.0;
+      for (std::size_t k = 0; k < n_obj; ++k) {
+        const double w = (hi[i][k] - lo[i][k]) / scale[k];
+        d2 += w * w;
+      }
+      ranked.emplace_back(d2, i);
+    }
+    if (ranked.empty()) break;
+    const std::size_t batch =
+        std::min({options.batch_size, ranked.size(),
+                  options.max_runs - pool.runs()});
+    if (batch == 0) break;
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(batch),
+                      ranked.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t i = ranked[b].second;
+      const pareto::Point y = reveal_candidate(i);
+      for (std::size_t k = 0; k < n_obj; ++k) {
+        models[k]->add_observation(pool.encoded()[i], y[k]);
+      }
+    }
+    update_scales();
+
+    if (rounds % options.refit_every == 0) {
+      for (auto& m : models) m->refit_hyperparameters(rng);
+    }
+
+    if (options.on_round) {
+      PPATunerProgress progress;
+      progress.round = rounds;
+      progress.runs = pool.runs();
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (status[i]) {
+          case Status::kDropped:
+            ++progress.dropped;
+            break;
+          case Status::kPareto:
+            ++progress.classified_pareto;
+            break;
+          case Status::kUndecided:
+            ++progress.undecided;
+            break;
+        }
+      }
+      options.on_round(progress);
+    }
+  }
+
+  // ---- Finalize ----
+  // Any still-undecided candidates (budget stop) are classified by the
+  // non-domination of their region midpoints among alive candidates.
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (status[i] != Status::kDropped) alive.push_back(i);
+  }
+  std::vector<linalg::Vector> mid(n);
+  for (std::size_t i : alive) {
+    mid[i].resize(n_obj);
+    for (std::size_t k = 0; k < n_obj; ++k) {
+      mid[i][k] = 0.5 * (lo[i][k] + hi[i][k]);
+    }
+  }
+  const std::vector<std::size_t> mid_front = corner_front(alive, mid);
+
+  TuningResult result;
+  std::vector<bool> in_result(n, false);
+  auto add = [&](std::size_t i) {
+    if (!in_result[i]) {
+      in_result[i] = true;
+      result.pareto_indices.push_back(i);
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (status[i] == Status::kPareto) add(i);
+  }
+  for (std::size_t i : mid_front) {
+    if (status[i] == Status::kUndecided) add(i);
+  }
+  // The non-dominated subset of everything already evaluated is known for
+  // free (those configurations have been through the tool) — always include
+  // it, so a budget-stopped run never discards observed Pareto points.
+  {
+    std::vector<std::size_t> revealed_idx;
+    std::vector<pareto::Point> revealed_pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (collapsed[i]) {
+        revealed_idx.push_back(i);
+        revealed_pts.push_back(lo[i]);  // == golden value
+      }
+    }
+    for (std::size_t f : pareto::pareto_front_indices(revealed_pts)) {
+      add(revealed_idx[f]);
+    }
+  }
+  result.tool_runs = pool.runs();
+
+  if (diagnostics != nullptr) {
+    diagnostics->rounds = rounds;
+    diagnostics->dropped = 0;
+    diagnostics->classified_pareto = 0;
+    diagnostics->undecided = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (status[i]) {
+        case Status::kDropped:
+          ++diagnostics->dropped;
+          break;
+        case Status::kPareto:
+          ++diagnostics->classified_pareto;
+          break;
+        case Status::kUndecided:
+          ++diagnostics->undecided;
+          break;
+      }
+    }
+    diagnostics->task_correlations.clear();
+    for (const auto& m : models) {
+      if (const auto* tgp = dynamic_cast<const TransferGpSurrogate*>(m.get())) {
+        diagnostics->task_correlations.push_back(tgp->task_correlation());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ppat::tuner

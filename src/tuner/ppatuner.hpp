@@ -1,0 +1,78 @@
+// PPATuner: the paper's Pareto-driven parameter auto-tuning loop (Alg. 1).
+//
+// Iterates over:
+//   Model calibration — per-objective surrogates predict mean/std for every
+//     still-alive candidate; each candidate keeps an axis-aligned
+//     uncertainty region R(x) = [mu - sqrt(tau) sigma, mu + sqrt(tau) sigma]
+//     (Eq. (9)) intersected with its previous region (Eq. (10)), so regions
+//     shrink monotonically.
+//   Decision-making — a candidate is DROPPED when some other alive
+//     candidate's pessimistic corner delta-dominates its optimistic corner
+//     (Eq. (11)); it is classified PARETO when no other alive candidate's
+//     optimistic corner delta-dominates its pessimistic corner (Eq. (12)).
+//   Selection — the alive candidate (undecided or Pareto-classified) with
+//     the largest uncertainty-region diameter is sent to the PD tool
+//     (Eq. (13)); batch mode evaluates the top-B diameters per round, which
+//     the paper supports via parallel tool licenses.
+//
+// The same loop with plain (non-transfer) GPs and no source data is the
+// TCAD'19 baseline, so the loop is parameterized on a SurrogateFactory.
+#pragma once
+
+#include <cstdint>
+
+#include "tuner/problem.hpp"
+#include "tuner/surrogate.hpp"
+
+namespace ppat::tuner {
+
+/// Per-round progress snapshot (see PPATunerOptions::on_round).
+struct PPATunerProgress {
+  std::size_t round = 0;
+  std::size_t runs = 0;
+  std::size_t dropped = 0;
+  std::size_t classified_pareto = 0;
+  std::size_t undecided = 0;
+};
+
+struct PPATunerOptions {
+  /// Scaling of the uncertainty region half-width: sqrt(tau) * sigma.
+  double tau = 4.0;
+  /// Per-objective dominance relaxation, as a fraction of each objective's
+  /// observed golden range (the paper's delta vector, made scale-free).
+  double delta_rel = 0.005;
+  /// Configurations evaluated per round (parallel tool licenses).
+  std::size_t batch_size = 5;
+  /// Initial target-task reveals, as a fraction of the pool (paper: the
+  /// target-side training data is at most 5% of the pool in total).
+  double init_fraction = 0.01;
+  std::size_t min_init = 10;
+  /// Hyper-parameter refit cadence, in rounds.
+  std::size_t refit_every = 3;
+  /// Hard budget on tool runs (init + selections).
+  std::size_t max_runs = 400;
+  /// T_max, in rounds.
+  std::size_t max_rounds = 200;
+  std::uint64_t seed = 1;
+  /// Optional per-round observer (convergence studies); called after each
+  /// round's selection step.
+  std::function<void(const PPATunerProgress&)> on_round;
+};
+
+struct PPATunerDiagnostics {
+  std::size_t rounds = 0;
+  std::size_t dropped = 0;
+  std::size_t classified_pareto = 0;
+  std::size_t undecided = 0;
+  /// Learned source-target correlation per objective (transfer GP only;
+  /// empty otherwise).
+  std::vector<double> task_correlations;
+};
+
+/// Runs the loop on `pool` with surrogates from `factory` (one per
+/// objective). Returns the predicted Pareto-optimal candidate set.
+TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
+                          const PPATunerOptions& options,
+                          PPATunerDiagnostics* diagnostics = nullptr);
+
+}  // namespace ppat::tuner

@@ -1,0 +1,95 @@
+// The shared tuning-problem harness every method (PPATuner and the four
+// baselines) runs against.
+//
+// Following the paper's evaluation protocol (§4.1), a tuning task is a
+// finite pool of pre-enumerated parameter configurations whose golden QoR
+// values exist offline; a "tool run" reveals one configuration's golden QoR
+// (in the paper: actually invoking Innovus; here: looking up the benchmark
+// table — the tuner cannot tell the difference). Methods are compared on
+// (a) hypervolume error, (b) ADRS, and (c) the number of tool runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/benchmark.hpp"
+#include "pareto/pareto.hpp"
+
+namespace ppat::tuner {
+
+/// Objective subsets used in the paper's tables.
+inline const std::vector<std::size_t> kAreaDelay = {0, 2};
+inline const std::vector<std::size_t> kPowerDelay = {1, 2};
+inline const std::vector<std::size_t> kAreaPowerDelay = {0, 1, 2};
+const char* objective_space_name(const std::vector<std::size_t>& objectives);
+
+/// Read-once access to a benchmark's candidates with run accounting.
+class CandidatePool {
+ public:
+  /// `objectives` selects which QoR metrics form the objective vector
+  /// (indices into flow::QoR::metric).
+  CandidatePool(const flow::BenchmarkSet* benchmark,
+                std::vector<std::size_t> objectives);
+
+  std::size_t size() const { return encoded_.size(); }
+  std::size_t num_objectives() const { return objectives_.size(); }
+  const std::vector<linalg::Vector>& encoded() const { return encoded_; }
+  const flow::BenchmarkSet& benchmark() const { return *benchmark_; }
+  const std::vector<std::size_t>& objectives() const { return objectives_; }
+
+  /// Reveals candidate i's golden objective vector. The first reveal of each
+  /// candidate counts as one tool run; repeats are free (cached result).
+  pareto::Point reveal(std::size_t i);
+
+  bool is_revealed(std::size_t i) const { return revealed_[i]; }
+  std::size_t runs() const { return runs_; }
+
+  /// Golden objective vector WITHOUT counting a run. Only for evaluation
+  /// code (computing HV/ADRS of a final answer), never for tuners.
+  pareto::Point golden(std::size_t i) const;
+
+  /// The true Pareto front of the whole pool (evaluation only).
+  std::vector<pareto::Point> golden_front() const;
+
+ private:
+  const flow::BenchmarkSet* benchmark_;
+  std::vector<std::size_t> objectives_;
+  std::vector<linalg::Vector> encoded_;
+  std::vector<bool> revealed_;
+  std::size_t runs_ = 0;
+};
+
+/// What every tuning method returns.
+struct TuningResult {
+  /// Candidate indices the method declares (approximately) Pareto-optimal.
+  std::vector<std::size_t> pareto_indices;
+  std::size_t tool_runs = 0;
+};
+
+/// Paper's quality indicators for a result.
+struct ResultQuality {
+  double hv_error = 0.0;
+  double adrs = 0.0;
+  std::size_t runs = 0;
+};
+
+/// Scores a result against the pool's golden front. The predicted set is
+/// evaluated at its golden QoR values (the paper feeds the predicted
+/// configurations through the PD flow for final measurement).
+ResultQuality evaluate_result(const CandidatePool& pool,
+                              const TuningResult& result);
+
+/// Source-task data handed to transfer-capable methods: encoded configs and
+/// golden values per objective, subsampled to `max_points` (paper: 200).
+struct SourceData {
+  std::vector<linalg::Vector> xs;
+  std::vector<linalg::Vector> ys;  ///< [objective index][point]
+
+  static SourceData from_benchmark(const flow::BenchmarkSet& source,
+                                   const std::vector<std::size_t>& objectives,
+                                   std::size_t max_points,
+                                   std::uint64_t seed);
+  std::size_t size() const { return xs.size(); }
+};
+
+}  // namespace ppat::tuner

@@ -1,0 +1,80 @@
+#include "tuner/surrogate.hpp"
+
+#include <stdexcept>
+
+namespace ppat::tuner {
+
+std::unique_ptr<gp::Kernel> make_kernel(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kSquaredExponential:
+      return std::make_unique<gp::SquaredExponentialKernel>(0.3, 1.0);
+    case KernelKind::kMatern52:
+      return std::make_unique<gp::Matern52Kernel>(0.3, 1.0);
+  }
+  throw std::invalid_argument("make_kernel: unknown kernel kind");
+}
+
+TransferGpSurrogate::TransferGpSurrogate(
+    std::vector<linalg::Vector> source_xs, linalg::Vector source_ys,
+    KernelKind kind)
+    : source_xs_(std::move(source_xs)),
+      source_ys_(std::move(source_ys)),
+      model_(make_kernel(kind)) {}
+
+void TransferGpSurrogate::fit(const std::vector<linalg::Vector>& xs,
+                              const linalg::Vector& ys) {
+  model_.fit(source_xs_, source_ys_, xs, ys);
+}
+
+void TransferGpSurrogate::add_observation(const linalg::Vector& x, double y) {
+  model_.add_target_observation(x, y);
+}
+
+void TransferGpSurrogate::refit_hyperparameters(common::Rng& rng) {
+  model_.optimize_hyperparameters(rng);
+}
+
+void TransferGpSurrogate::predict_batch(const std::vector<linalg::Vector>& xs,
+                                        linalg::Vector& means,
+                                        linalg::Vector& variances) const {
+  model_.predict_batch(xs, means, variances);
+}
+
+PlainGpSurrogate::PlainGpSurrogate(KernelKind kind)
+    : model_(make_kernel(kind)) {}
+
+void PlainGpSurrogate::fit(const std::vector<linalg::Vector>& xs,
+                           const linalg::Vector& ys) {
+  model_.fit(xs, ys);
+}
+
+void PlainGpSurrogate::add_observation(const linalg::Vector& x, double y) {
+  model_.add_observation(x, y);
+}
+
+void PlainGpSurrogate::refit_hyperparameters(common::Rng& rng) {
+  model_.optimize_hyperparameters(rng);
+}
+
+void PlainGpSurrogate::predict_batch(const std::vector<linalg::Vector>& xs,
+                                     linalg::Vector& means,
+                                     linalg::Vector& variances) const {
+  model_.predict_batch(xs, means, variances);
+}
+
+SurrogateFactory make_transfer_gp_factory(const SourceData& source,
+                                          KernelKind kind) {
+  return [source, kind](std::size_t objective_index)
+             -> std::unique_ptr<Surrogate> {
+    return std::make_unique<TransferGpSurrogate>(
+        source.xs, source.ys.at(objective_index), kind);
+  };
+}
+
+SurrogateFactory make_plain_gp_factory(KernelKind kind) {
+  return [kind](std::size_t) -> std::unique_ptr<Surrogate> {
+    return std::make_unique<PlainGpSurrogate>(kind);
+  };
+}
+
+}  // namespace ppat::tuner

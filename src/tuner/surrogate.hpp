@@ -1,0 +1,113 @@
+// Surrogate-model abstraction used by the Pareto active-learning loop.
+//
+// The tuner models each QoR metric as an independent regressor (paper §2.1:
+// "we model each QoR metric as a draw from an independent GP distribution").
+// Two implementations are provided: the paper's transfer GP (PPATuner) and a
+// plain target-only GP (the TCAD'19 baseline and the no-transfer ablation).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "gp/transfer_gp.hpp"
+#include "linalg/matrix.hpp"
+#include "tuner/problem.hpp"
+
+namespace ppat::tuner {
+
+/// One scalar-output surrogate over unit-cube configuration encodings.
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  /// Initial fit from target observations (and whatever source data the
+  /// implementation was constructed with).
+  virtual void fit(const std::vector<linalg::Vector>& xs,
+                   const linalg::Vector& ys) = 0;
+
+  /// Incorporates one new target observation (cheap refactorization).
+  virtual void add_observation(const linalg::Vector& x, double y) = 0;
+
+  /// Re-learns hyper-parameters (expensive; the tuner schedules this).
+  virtual void refit_hyperparameters(common::Rng& rng) = 0;
+
+  /// Posterior mean/variance at many inputs.
+  virtual void predict_batch(const std::vector<linalg::Vector>& xs,
+                             linalg::Vector& means,
+                             linalg::Vector& variances) const = 0;
+
+  virtual std::size_t num_target_points() const = 0;
+};
+
+/// Factory signature: builds one surrogate per objective.
+using SurrogateFactory =
+    std::function<std::unique_ptr<Surrogate>(std::size_t objective_index)>;
+
+/// Base covariance choice for the GP surrogates. The paper does not commit
+/// to a kernel; squared-exponential is the default, Matern 5/2 the rougher
+/// alternative (compared in bench_ablation_kernel).
+enum class KernelKind { kSquaredExponential, kMatern52 };
+
+/// Instantiates the chosen kernel with library-default initial
+/// hyper-parameters (refined by marginal-likelihood fitting).
+std::unique_ptr<gp::Kernel> make_kernel(KernelKind kind);
+
+/// Paper's transfer GP over (source data, target observations).
+class TransferGpSurrogate final : public Surrogate {
+ public:
+  /// `source_xs`/`source_ys` are the historical task's encoded configs and
+  /// golden values for this objective. They are copied.
+  TransferGpSurrogate(std::vector<linalg::Vector> source_xs,
+                      linalg::Vector source_ys,
+                      KernelKind kind = KernelKind::kSquaredExponential);
+
+  void fit(const std::vector<linalg::Vector>& xs,
+           const linalg::Vector& ys) override;
+  void add_observation(const linalg::Vector& x, double y) override;
+  void refit_hyperparameters(common::Rng& rng) override;
+  void predict_batch(const std::vector<linalg::Vector>& xs,
+                     linalg::Vector& means,
+                     linalg::Vector& variances) const override;
+  std::size_t num_target_points() const override {
+    return model_.num_target_points();
+  }
+
+  /// Learned inter-task correlation (diagnostic).
+  double task_correlation() const { return model_.task_correlation(); }
+
+ private:
+  std::vector<linalg::Vector> source_xs_;
+  linalg::Vector source_ys_;
+  gp::TransferGaussianProcess model_;
+};
+
+/// Target-only GP (no transfer).
+class PlainGpSurrogate final : public Surrogate {
+ public:
+  explicit PlainGpSurrogate(
+      KernelKind kind = KernelKind::kSquaredExponential);
+
+  void fit(const std::vector<linalg::Vector>& xs,
+           const linalg::Vector& ys) override;
+  void add_observation(const linalg::Vector& x, double y) override;
+  void refit_hyperparameters(common::Rng& rng) override;
+  void predict_batch(const std::vector<linalg::Vector>& xs,
+                     linalg::Vector& means,
+                     linalg::Vector& variances) const override;
+  std::size_t num_target_points() const override {
+    return model_.num_points();
+  }
+
+ private:
+  gp::GaussianProcess model_;
+};
+
+/// Convenience factories.
+SurrogateFactory make_transfer_gp_factory(
+    const SourceData& source,
+    KernelKind kind = KernelKind::kSquaredExponential);
+SurrogateFactory make_plain_gp_factory(
+    KernelKind kind = KernelKind::kSquaredExponential);
+
+}  // namespace ppat::tuner

@@ -1,0 +1,106 @@
+// Test-only gate-level logic simulator: evaluates a Netlist cycle by cycle
+// so structural generators (the MAC builder) can be verified functionally,
+// not just structurally.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ppat::netlist::testing {
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& nl)
+      : nl_(nl),
+        net_value_(nl.num_nets(), false),
+        ff_state_(nl.num_instances(), false),
+        topo_(nl.topological_order()) {}
+
+  void set_input(NetId pi, bool value) { net_value_[pi] = value; }
+
+  /// Evaluates combinational logic from primary inputs + current FF states.
+  void eval() {
+    for (InstanceId i = 0; i < nl_.num_instances(); ++i) {
+      if (nl_.is_sequential(i)) {
+        net_value_[nl_.instance(i).fanout] = ff_state_[i];
+      }
+    }
+    for (InstanceId i : topo_) {
+      const auto& inst = nl_.instance(i);
+      net_value_[inst.fanout] = eval_cell(i);
+    }
+  }
+
+  /// One clock edge: all FFs capture their D input simultaneously.
+  void clock() {
+    eval();
+    std::vector<bool> next(ff_state_.size());
+    for (InstanceId i = 0; i < nl_.num_instances(); ++i) {
+      if (nl_.is_sequential(i)) {
+        next[i] = net_value_[nl_.instance(i).fanins[0]];
+      }
+    }
+    ff_state_ = std::move(next);
+    eval();
+  }
+
+  bool value(NetId net) const { return net_value_[net]; }
+
+  /// Interprets a bit vector of nets (LSB first) as an unsigned integer.
+  std::uint64_t read_bus(const std::vector<NetId>& bits) const {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (net_value_[bits[i]]) v |= (1ull << i);
+    }
+    return v;
+  }
+
+ private:
+  bool eval_cell(InstanceId i) const {
+    const auto& inst = nl_.instance(i);
+    auto in = [&](std::size_t pin) {
+      return net_value_[inst.fanins[pin]];
+    };
+    switch (nl_.library().cell(inst.cell).function) {
+      case CellFunction::kInv:
+        return !in(0);
+      case CellFunction::kBuf:
+        return in(0);
+      case CellFunction::kNand2:
+        return !(in(0) && in(1));
+      case CellFunction::kNor2:
+        return !(in(0) || in(1));
+      case CellFunction::kAnd2:
+        return in(0) && in(1);
+      case CellFunction::kOr2:
+        return in(0) || in(1);
+      case CellFunction::kXor2:
+        return in(0) != in(1);
+      case CellFunction::kXnor2:
+        return in(0) == in(1);
+      case CellFunction::kAoi21:
+        return !((in(0) && in(1)) || in(2));
+      case CellFunction::kMux2:
+        return in(2) ? in(1) : in(0);
+      case CellFunction::kHalfAdder:
+        return in(0) != in(1);  // sum output convention
+      case CellFunction::kFullAdderSum:
+        return (in(0) != in(1)) != in(2);
+      case CellFunction::kFullAdderCarry:
+        return (in(0) && in(1)) || (in(2) && (in(0) != in(1)));
+      case CellFunction::kDff:
+        throw std::logic_error("DFF evaluated combinationally");
+    }
+    return false;
+  }
+
+  const Netlist& nl_;
+  std::vector<bool> net_value_;
+  std::vector<bool> ff_state_;
+  std::vector<InstanceId> topo_;
+};
+
+}  // namespace ppat::netlist::testing

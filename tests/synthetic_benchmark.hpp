@@ -1,0 +1,54 @@
+// Test-only analytic benchmark sets: cheap, deterministic QoR surfaces with
+// a genuine Pareto trade-off, plus a correlated "source task" variant, so
+// tuner tests run in milliseconds instead of invoking the PD flow.
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "flow/benchmark.hpp"
+#include "sample/sampling.hpp"
+
+namespace ppat::testing {
+
+inline flow::ParameterSpace synthetic_space() {
+  return flow::ParameterSpace({
+      flow::ParamSpec::real("p0", 0.0, 1.0),
+      flow::ParamSpec::real("p1", 0.0, 1.0),
+      flow::ParamSpec::real("p2", 0.0, 1.0),
+  });
+}
+
+/// Analytic QoR with conflicting objectives:
+///   area  falls with u0, power rises with u0 and falls with u1,
+///   delay rises with u1 — so (area,power), (power,delay) and the
+///   3-objective space all have non-trivial fronts. `shift` perturbs the
+///   surface to emulate a related-but-different task.
+inline flow::QoR synthetic_qor(const linalg::Vector& u, double shift = 0.0) {
+  flow::QoR q;
+  const double u0 = u[0], u1 = u[1], u2 = u[2];
+  q.area_um2 = 100.0 * (1.5 - u0 + 0.2 * std::sin(3.0 * u1) + shift * u2);
+  q.power_mw = 10.0 * (1.0 + 0.8 * u0 - 0.6 * u1 + 0.1 * u2 +
+                       shift * 0.3 * std::cos(2.0 * u0));
+  q.delay_ns = 1.0 + u1 + 0.15 * std::sin(4.0 * u0) + shift * 0.1 * u2;
+  return q;
+}
+
+inline flow::BenchmarkSet synthetic_benchmark(const std::string& name,
+                                              std::size_t n,
+                                              std::uint64_t seed,
+                                              double shift = 0.0) {
+  flow::BenchmarkSet set;
+  set.name = name;
+  set.space = synthetic_space();
+  common::Rng rng(seed);
+  const auto points = sample::latin_hypercube(n, set.space.size(), rng);
+  for (const auto& u : points) {
+    set.configs.push_back(set.space.decode(u));
+    set.qor.push_back(synthetic_qor(set.space.encode(set.configs.back()),
+                                    shift));
+  }
+  return set;
+}
+
+}  // namespace ppat::testing

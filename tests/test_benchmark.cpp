@@ -1,0 +1,166 @@
+#include "flow/benchmark.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace ppat::flow {
+namespace {
+
+/// Cheap analytic oracle for benchmark-builder tests.
+class StubOracle final : public QorOracle {
+ public:
+  QoR evaluate(const ParameterSpace& space, const Config& config) override {
+    ++runs_;
+    const auto u = space.encode(config);
+    QoR q;
+    q.area_um2 = 100.0 + 50.0 * u[0];
+    q.power_mw = 10.0 + 5.0 * (1.0 - u[0]) + 2.0 * u[1];
+    q.delay_ns = 1.0 + u[1];
+    return q;
+  }
+  std::size_t run_count() const override { return runs_; }
+
+ private:
+  std::size_t runs_ = 0;
+};
+
+ParameterSpace stub_space() {
+  return ParameterSpace({
+      ParamSpec::real("alpha", 0.0, 10.0),
+      ParamSpec::integer("beta", 1, 4),
+  });
+}
+
+TEST(BenchmarkSpaces, MatchPaperTable1) {
+  EXPECT_EQ(source1_space().size(), 12u);
+  EXPECT_EQ(target1_space().size(), 12u);
+  EXPECT_EQ(source2_space().size(), 9u);
+  EXPECT_EQ(target2_space().size(), 9u);
+
+  const auto t1 = target1_space();
+  const auto freq = t1.spec(t1.index_of("freq"));
+  EXPECT_DOUBLE_EQ(freq.min_value, 1000.0);
+  EXPECT_DOUBLE_EQ(freq.max_value, 1300.0);
+  const auto s1 = source1_space();
+  const auto s1_freq = s1.spec(s1.index_of("freq"));
+  EXPECT_DOUBLE_EQ(s1_freq.min_value, 950.0);
+  EXPECT_DOUBLE_EQ(s1_freq.max_value, 1050.0);
+
+  // Scenario-2 spaces have no freq but do have place_rcfactor.
+  EXPECT_FALSE(source2_space().has("freq"));
+  EXPECT_TRUE(source2_space().has("place_rcfactor"));
+  const auto t2 = target2_space();
+  const auto fanout = t2.spec(t2.index_of("max_fanout"));
+  EXPECT_DOUBLE_EQ(fanout.min_value, 25.0);
+  EXPECT_DOUBLE_EQ(fanout.max_value, 39.0);
+}
+
+TEST(BenchmarkBuilder, BuildsRequestedPoints) {
+  StubOracle oracle;
+  const auto space = stub_space();
+  const auto set = build_benchmark("stub", space, 50, oracle, 123);
+  EXPECT_EQ(set.size(), 50u);
+  EXPECT_EQ(oracle.run_count(), 50u);
+  for (const auto& c : set.configs) space.validate(c);
+  for (const auto& q : set.qor) {
+    EXPECT_GT(q.area_um2, 0.0);
+  }
+}
+
+TEST(BenchmarkBuilder, DeterministicInSeed) {
+  StubOracle o1, o2;
+  const auto space = stub_space();
+  const auto a = build_benchmark("a", space, 20, o1, 5);
+  const auto b = build_benchmark("b", space, 20, o2, 5);
+  EXPECT_EQ(a.configs, b.configs);
+}
+
+TEST(BenchmarkBuilder, EncodedConfigsAndColumns) {
+  StubOracle oracle;
+  const auto set = build_benchmark("stub", stub_space(), 10, oracle, 9);
+  const auto enc = set.encoded_configs();
+  ASSERT_EQ(enc.size(), 10u);
+  for (const auto& u : enc) {
+    for (double v : u) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+  const auto delays = set.metric_column(2);
+  ASSERT_EQ(delays.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(delays[i], set.qor[i].delay_ns);
+  }
+}
+
+TEST(BenchmarkCsv, RoundTripPreservesEverything) {
+  StubOracle oracle;
+  const auto space = stub_space();
+  const auto set = build_benchmark("rt", space, 25, oracle, 77);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ppat_bench_rt.csv").string();
+  save_benchmark_csv(path, set);
+  const auto loaded = load_benchmark_csv(path, "rt", space);
+  ASSERT_EQ(loaded.size(), set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = 0; j < space.size(); ++j) {
+      EXPECT_NEAR(loaded.configs[i][j], set.configs[i][j], 1e-9);
+    }
+    EXPECT_NEAR(loaded.qor[i].area_um2, set.qor[i].area_um2, 1e-6);
+    EXPECT_NEAR(loaded.qor[i].power_mw, set.qor[i].power_mw, 1e-9);
+    EXPECT_NEAR(loaded.qor[i].delay_ns, set.qor[i].delay_ns, 1e-9);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(BenchmarkCsv, HeaderMismatchRejected) {
+  StubOracle oracle;
+  const auto set = build_benchmark("hm", stub_space(), 5, oracle, 3);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ppat_bench_hm.csv").string();
+  save_benchmark_csv(path, set);
+  const ParameterSpace other({ParamSpec::real("different", 0, 1),
+                              ParamSpec::integer("beta", 1, 4)});
+  EXPECT_THROW(load_benchmark_csv(path, "hm", other), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(BenchmarkCache, BuildOrLoadUsesCache) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "ppat_cache_test").string();
+  std::filesystem::remove_all(dir);
+  std::size_t factory_calls = 0;
+  auto factory = [&factory_calls]() -> std::unique_ptr<QorOracle> {
+    ++factory_calls;
+    return std::make_unique<StubOracle>();
+  };
+  const auto space = stub_space();
+  const auto first = build_or_load(dir, "cached", space, 15, factory, 11);
+  EXPECT_EQ(factory_calls, 1u);
+  const auto second = build_or_load(dir, "cached", space, 15, factory, 11);
+  EXPECT_EQ(factory_calls, 1u);  // served from cache
+  EXPECT_EQ(second.size(), first.size());
+  EXPECT_EQ(second.configs, first.configs);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BenchmarkCache, WrongSizeCacheRebuilds) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "ppat_cache_test2").string();
+  std::filesystem::remove_all(dir);
+  std::size_t factory_calls = 0;
+  auto factory = [&factory_calls]() -> std::unique_ptr<QorOracle> {
+    ++factory_calls;
+    return std::make_unique<StubOracle>();
+  };
+  const auto space = stub_space();
+  build_or_load(dir, "c2", space, 10, factory, 1);
+  const auto bigger = build_or_load(dir, "c2", space, 20, factory, 1);
+  EXPECT_EQ(factory_calls, 2u);
+  EXPECT_EQ(bigger.size(), 20u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ppat::flow

@@ -1,0 +1,87 @@
+#include "netlist/cell_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ppat::netlist {
+namespace {
+
+TEST(CellLibrary, DefaultLibraryIsPopulated) {
+  const auto lib = CellLibrary::make_default();
+  // 13 combinational functions x 3 drives + DFF x 2 drives.
+  EXPECT_EQ(lib.size(), 13u * 3u + 2u);
+}
+
+TEST(CellLibrary, FindReturnsMatchingFunction) {
+  const auto lib = CellLibrary::make_default();
+  const CellId id = lib.find(CellFunction::kNand2, 1);
+  const Cell& c = lib.cell(id);
+  EXPECT_EQ(c.function, CellFunction::kNand2);
+  EXPECT_EQ(c.name, "NAND2_X2");
+  EXPECT_EQ(c.num_inputs, 2);
+  EXPECT_FALSE(c.sequential);
+}
+
+TEST(CellLibrary, FindThrowsOnMissingDrive) {
+  const auto lib = CellLibrary::make_default();
+  EXPECT_THROW(lib.find(CellFunction::kDff, 2), std::out_of_range);
+  EXPECT_THROW(lib.find(CellFunction::kInv, -1), std::out_of_range);
+}
+
+TEST(CellLibrary, DriveLevels) {
+  const auto lib = CellLibrary::make_default();
+  EXPECT_EQ(lib.drive_levels(CellFunction::kInv), 3);
+  EXPECT_EQ(lib.drive_levels(CellFunction::kDff), 2);
+}
+
+TEST(CellLibrary, DriveLevelOfRoundTrips) {
+  const auto lib = CellLibrary::make_default();
+  for (int level = 0; level < 3; ++level) {
+    const CellId id = lib.find(CellFunction::kXor2, level);
+    EXPECT_EQ(lib.drive_level_of(id), level);
+  }
+}
+
+TEST(CellLibrary, UpsizingTradeoffsAreMonotone) {
+  const auto lib = CellLibrary::make_default();
+  const Cell& x1 = lib.cell(lib.find(CellFunction::kBuf, 0));
+  const Cell& x2 = lib.cell(lib.find(CellFunction::kBuf, 1));
+  const Cell& x4 = lib.cell(lib.find(CellFunction::kBuf, 2));
+  // Stronger drive: lower resistance...
+  EXPECT_GT(x1.drive_res_kohm, x2.drive_res_kohm);
+  EXPECT_GT(x2.drive_res_kohm, x4.drive_res_kohm);
+  // ...but bigger, more capacitive, leakier.
+  EXPECT_LT(x1.area_um2, x2.area_um2);
+  EXPECT_LT(x2.area_um2, x4.area_um2);
+  EXPECT_LT(x1.input_cap_ff, x2.input_cap_ff);
+  EXPECT_LT(x1.leakage_nw, x2.leakage_nw);
+  EXPECT_LT(x1.max_output_cap_ff, x2.max_output_cap_ff);
+}
+
+TEST(CellLibrary, SequentialCellsAreMarked) {
+  const auto lib = CellLibrary::make_default();
+  EXPECT_TRUE(lib.cell(lib.find(CellFunction::kDff, 0)).sequential);
+  EXPECT_FALSE(lib.cell(lib.find(CellFunction::kMux2, 0)).sequential);
+}
+
+TEST(CellLibrary, AllCellsHavePhysicalValues) {
+  const auto lib = CellLibrary::make_default();
+  for (const Cell& c : lib.cells()) {
+    EXPECT_GT(c.area_um2, 0.0) << c.name;
+    EXPECT_GT(c.input_cap_ff, 0.0) << c.name;
+    EXPECT_GT(c.drive_res_kohm, 0.0) << c.name;
+    EXPECT_GT(c.leakage_nw, 0.0) << c.name;
+    EXPECT_GT(c.intrinsic_delay_ns, 0.0) << c.name;
+    EXPECT_GE(c.num_inputs, 1) << c.name;
+  }
+}
+
+TEST(CellLibrary, FunctionNames) {
+  EXPECT_EQ(to_string(CellFunction::kInv), "INV");
+  EXPECT_EQ(to_string(CellFunction::kFullAdderSum), "FAS");
+  EXPECT_EQ(to_string(CellFunction::kDff), "DFF");
+}
+
+}  // namespace
+}  // namespace ppat::netlist

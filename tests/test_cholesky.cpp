@@ -1,0 +1,146 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ppat::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, common::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  }
+  Matrix spd = a * a.transposed();
+  spd.add_to_diagonal(static_cast<double>(n));  // well-conditioned
+  return spd;
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  common::Rng rng(1);
+  const Matrix a = random_spd(8, rng);
+  const auto f = CholeskyFactor::compute(a);
+  ASSERT_TRUE(f.has_value());
+  const Matrix l = f->lower();
+  EXPECT_LT(Matrix::max_abs_diff(l * l.transposed(), a), 1e-9);
+}
+
+TEST(Cholesky, SolveMatchesLu) {
+  common::Rng rng(2);
+  const Matrix a = random_spd(10, rng);
+  Vector b(10);
+  for (auto& x : b) x = rng.normal();
+  const auto f = CholeskyFactor::compute(a);
+  ASSERT_TRUE(f.has_value());
+  const Vector x_chol = f->solve(b);
+  const auto x_lu = solve_lu(a, b);
+  ASSERT_TRUE(x_lu.has_value());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(x_chol[i], (*x_lu)[i], 1e-8);
+  }
+}
+
+TEST(Cholesky, SolveResidualIsSmall) {
+  common::Rng rng(3);
+  const Matrix a = random_spd(20, rng);
+  Vector b(20);
+  for (auto& x : b) x = rng.normal();
+  const auto f = CholeskyFactor::compute(a);
+  ASSERT_TRUE(f.has_value());
+  const Vector x = f->solve(b);
+  const Vector r = a * x;
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(r[i], b[i], 1e-8);
+}
+
+TEST(Cholesky, LogDetMatchesKnown) {
+  // diag(4, 9): det = 36, log det = log 36.
+  const Matrix a = {{4.0, 0.0}, {0.0, 9.0}};
+  const auto f = CholeskyFactor::compute(a);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(f->log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsNonPositiveDefinite) {
+  const Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor::compute(a).has_value());
+}
+
+TEST(Cholesky, JitterRescuesSemidefinite) {
+  // Rank-1 matrix: [1 1; 1 1] is PSD but not PD.
+  const Matrix a = {{1.0, 1.0}, {1.0, 1.0}};
+  const auto f = CholeskyFactor::compute_with_jitter(a);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_GT(f->jitter_used(), 0.0);
+}
+
+TEST(Cholesky, JitterNotUsedWhenUnneeded) {
+  common::Rng rng(4);
+  const Matrix a = random_spd(6, rng);
+  const auto f = CholeskyFactor::compute_with_jitter(a);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(f->jitter_used(), 0.0);
+}
+
+TEST(Cholesky, JitterGivesUpOnIndefinite) {
+  const Matrix a = {{1.0, 5.0}, {5.0, 1.0}};  // strongly indefinite
+  EXPECT_FALSE(CholeskyFactor::compute_with_jitter(a, 0.0, 1e-4).has_value());
+}
+
+TEST(Cholesky, SolveLowerAndUpperAreInverses) {
+  common::Rng rng(5);
+  const Matrix a = random_spd(7, rng);
+  const auto f = CholeskyFactor::compute(a);
+  ASSERT_TRUE(f.has_value());
+  Vector b(7);
+  for (auto& x : b) x = rng.normal();
+  // L (L^-1 b) == b
+  const Vector y = f->solve_lower(b);
+  const Vector back = f->lower() * y;
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_NEAR(back[i], b[i], 1e-9);
+}
+
+TEST(Cholesky, SolveLowerMultiMatchesSingle) {
+  common::Rng rng(6);
+  const Matrix a = random_spd(9, rng);
+  const auto f = CholeskyFactor::compute(a);
+  ASSERT_TRUE(f.has_value());
+  Matrix b(9, 4);
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) b(i, j) = rng.normal();
+  }
+  const Matrix v = f->solve_lower_multi(b);
+  for (std::size_t j = 0; j < 4; ++j) {
+    Vector col(9);
+    for (std::size_t i = 0; i < 9; ++i) col[i] = b(i, j);
+    const Vector single = f->solve_lower(col);
+    for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(v(i, j), single[i], 1e-10);
+  }
+}
+
+TEST(Cholesky, InverseTimesMatrixIsIdentity) {
+  common::Rng rng(7);
+  const Matrix a = random_spd(5, rng);
+  const auto f = CholeskyFactor::compute(a);
+  ASSERT_TRUE(f.has_value());
+  const Matrix inv = f->inverse();
+  EXPECT_LT(Matrix::max_abs_diff(a * inv, Matrix::identity(5)), 1e-8);
+}
+
+TEST(SolveLu, SingularReturnsNullopt) {
+  const Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(solve_lu(a, {1.0, 1.0}).has_value());
+}
+
+TEST(SolveLu, PivotingHandlesZeroDiagonal) {
+  const Matrix a = {{0.0, 1.0}, {1.0, 0.0}};
+  const auto x = solve_lu(a, {2.0, 3.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 2.0);
+}
+
+}  // namespace
+}  // namespace ppat::linalg

@@ -1,0 +1,90 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace ppat::common {
+namespace {
+
+TEST(Csv, SplitSimpleLine) {
+  const auto f = split_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(Csv, SplitQuotedFields) {
+  const auto f = split_csv_line(R"("a,b",c,"say ""hi""")");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "c");
+  EXPECT_EQ(f[2], "say \"hi\"");
+}
+
+TEST(Csv, SplitEmptyFields) {
+  const auto f = split_csv_line(",x,");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[1], "x");
+  EXPECT_EQ(f[2], "");
+}
+
+TEST(Csv, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(csv_escape(" lead"), "\" lead\"");
+}
+
+TEST(Csv, ParseHeaderAndRows) {
+  const auto t = parse_csv("x,y\n1,2\n3,4\n");
+  ASSERT_EQ(t.header.size(), 2u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "4");
+  EXPECT_EQ(t.column("y"), 1u);
+  EXPECT_EQ(t.column("missing"), CsvTable::npos);
+}
+
+TEST(Csv, ParseSkipsBlankLinesAndCr) {
+  const auto t = parse_csv("x,y\r\n\r\n1,2\r\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(Csv, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(Csv, RoundTripThroughText) {
+  CsvTable t;
+  t.header = {"name", "value"};
+  t.rows = {{"alpha, beta", "1"}, {"q\"q", "2"}};
+  const auto parsed = parse_csv(to_csv(t));
+  EXPECT_EQ(parsed.header, t.header);
+  EXPECT_EQ(parsed.rows, t.rows);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ppat_csv_test.csv").string();
+  CsvTable t;
+  t.header = {"a", "b"};
+  t.rows = {{"1.5", "x y"}};
+  write_csv_file(path, t);
+  const auto loaded = read_csv_file(path);
+  EXPECT_EQ(loaded.header, t.header);
+  EXPECT_EQ(loaded.rows, t.rows);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/dir/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppat::common

@@ -1,0 +1,80 @@
+#include "place/def_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/mac_generator.hpp"
+
+namespace ppat::place {
+namespace {
+
+class DefIoTest : public ::testing::Test {
+ protected:
+  DefIoTest() : lib_(netlist::CellLibrary::make_default()) {
+    netlist::MacConfig cfg;
+    cfg.operand_bits = 4;
+    cfg.lanes = 2;
+    nl_ = std::make_unique<netlist::Netlist>(netlist::generate_mac(lib_, cfg));
+    placement_ = place(*nl_, PlacerOptions{});
+  }
+  netlist::CellLibrary lib_;
+  std::unique_ptr<netlist::Netlist> nl_;
+  Placement placement_;
+};
+
+TEST_F(DefIoTest, EmitsExpectedStructure) {
+  const std::string def = to_def(*nl_, placement_, "mac");
+  EXPECT_NE(def.find("VERSION 5.8 ;"), std::string::npos);
+  EXPECT_NE(def.find("DESIGN mac ;"), std::string::npos);
+  EXPECT_NE(def.find("UNITS DISTANCE MICRONS 1000 ;"), std::string::npos);
+  EXPECT_NE(def.find("COMPONENTS " + std::to_string(nl_->num_instances())),
+            std::string::npos);
+  EXPECT_NE(def.find("END COMPONENTS"), std::string::npos);
+}
+
+TEST_F(DefIoTest, RoundTripPreservesCoordinates) {
+  const auto parsed = parse_def(to_def(*nl_, placement_, "mac"));
+  ASSERT_EQ(parsed.x.size(), nl_->num_instances());
+  EXPECT_NEAR(parsed.die_width_um, placement_.die_width_um, 1e-3);
+  EXPECT_NEAR(parsed.die_height_um, placement_.die_height_um, 1e-3);
+  for (std::size_t i = 0; i < parsed.x.size(); ++i) {
+    // DBU quantization: 1/1000 um.
+    EXPECT_NEAR(parsed.x[i], placement_.x[i], 5e-4) << "component " << i;
+    EXPECT_NEAR(parsed.y[i], placement_.y[i], 5e-4) << "component " << i;
+  }
+}
+
+TEST_F(DefIoTest, SizeMismatchRejected) {
+  Placement truncated = placement_;
+  truncated.x.pop_back();
+  EXPECT_THROW(to_def(*nl_, truncated, "bad"), std::invalid_argument);
+}
+
+TEST_F(DefIoTest, ParserRejectsMalformedComponent) {
+  const std::string def =
+      "VERSION 5.8 ;\nDESIGN t ;\nUNITS DISTANCE MICRONS 1000 ;\n"
+      "DIEAREA ( 0 0 ) ( 1000 1000 ) ;\n"
+      "COMPONENTS 1 ;\n"
+      "  - u0 INV_X1 + PLACED ( oops\n"
+      "END COMPONENTS\n";
+  EXPECT_THROW(parse_def(def), std::runtime_error);
+}
+
+TEST_F(DefIoTest, ParserRejectsOutOfRangeIndex) {
+  const std::string def =
+      "VERSION 5.8 ;\nDESIGN t ;\nUNITS DISTANCE MICRONS 1000 ;\n"
+      "DIEAREA ( 0 0 ) ( 1000 1000 ) ;\n"
+      "COMPONENTS 1 ;\n"
+      "  - u7 INV_X1 + PLACED ( 10 10 ) N ;\n"
+      "END COMPONENTS\n";
+  EXPECT_THROW(parse_def(def), std::runtime_error);
+}
+
+TEST_F(DefIoTest, ParserRejectsUnterminatedComponents) {
+  const std::string def =
+      "COMPONENTS 1 ;\n"
+      "  - u0 INV_X1 + PLACED ( 10 10 ) N ;\n";
+  EXPECT_THROW(parse_def(def), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppat::place

@@ -1,0 +1,143 @@
+#include "gp/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace ppat::gp {
+namespace {
+
+TEST(SquaredExponential, ValueAtZeroDistanceIsSignalVariance) {
+  SquaredExponentialKernel k(0.5, 2.0);
+  const linalg::Vector x = {0.3, 0.7};
+  EXPECT_DOUBLE_EQ(k(x, x), 2.0);
+}
+
+TEST(SquaredExponential, DecaysWithDistance) {
+  SquaredExponentialKernel k(0.5, 1.0);
+  const linalg::Vector a = {0.0}, b = {0.5}, c = {1.0};
+  EXPECT_GT(k(a, a), k(a, b));
+  EXPECT_GT(k(a, b), k(a, c));
+  // Known value: exp(-0.5 * (0.5/0.5)^2) = exp(-0.5).
+  EXPECT_NEAR(k(a, b), std::exp(-0.5), 1e-12);
+}
+
+TEST(SquaredExponential, Symmetric) {
+  SquaredExponentialKernel k(0.3, 1.5);
+  const linalg::Vector a = {0.1, 0.9}, b = {0.6, 0.2};
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+}
+
+TEST(SquaredExponential, HyperparameterRoundTrip) {
+  SquaredExponentialKernel k(0.25, 3.0);
+  const auto h = k.hyperparameters();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_NEAR(std::exp(h[0]), 0.25, 1e-12);
+  EXPECT_NEAR(std::exp(h[1]), 3.0, 1e-12);
+  SquaredExponentialKernel k2(1.0, 1.0);
+  k2.set_hyperparameters(h);
+  EXPECT_DOUBLE_EQ(k2.lengthscale(), k.lengthscale());
+  EXPECT_DOUBLE_EQ(k2.signal_variance(), k.signal_variance());
+}
+
+TEST(SquaredExponential, CloneIsIndependent) {
+  SquaredExponentialKernel k(0.5, 1.0);
+  auto c = k.clone();
+  c->set_hyperparameters({std::log(0.1), std::log(5.0)});
+  EXPECT_DOUBLE_EQ(k.lengthscale(), 0.5);
+  const linalg::Vector x = {0.0};
+  EXPECT_NE((*c)(x, x), k(x, x));
+}
+
+TEST(ArdKernel, PerDimensionLengthscales) {
+  ArdSquaredExponentialKernel k(2, 1.0, 1.0);
+  // Shrink the first dimension's lengthscale: distance along dim 0 matters
+  // much more.
+  k.set_hyperparameters({std::log(0.1), std::log(10.0), std::log(1.0)});
+  const linalg::Vector base = {0.0, 0.0};
+  const linalg::Vector d0 = {0.3, 0.0};
+  const linalg::Vector d1 = {0.0, 0.3};
+  EXPECT_LT(k(base, d0), k(base, d1));
+}
+
+TEST(ArdKernel, HyperparameterCountAndRoundTrip) {
+  ArdSquaredExponentialKernel k(4, 0.3, 2.0);
+  EXPECT_EQ(k.num_hyperparameters(), 5u);
+  const auto h = k.hyperparameters();
+  auto c = k.clone();
+  c->set_hyperparameters(h);
+  const linalg::Vector a = {0.1, 0.2, 0.3, 0.4}, b = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ((*c)(a, b), k(a, b));
+}
+
+TEST(Matern52, BasicShape) {
+  Matern52Kernel k(0.5, 1.0);
+  const linalg::Vector a = {0.0}, b = {0.4};
+  EXPECT_DOUBLE_EQ(k(a, a), 1.0);
+  EXPECT_GT(k(a, b), 0.0);
+  EXPECT_LT(k(a, b), 1.0);
+  // Matern 5/2 has heavier tails than SE at the same lengthscale.
+  SquaredExponentialKernel se(0.5, 1.0);
+  const linalg::Vector far = {2.0};
+  EXPECT_GT(k(a, far), se(a, far));
+}
+
+TEST(Matern52, HyperparameterRoundTrip) {
+  Matern52Kernel k(0.7, 1.3);
+  auto c = k.clone();
+  c->set_hyperparameters(k.hyperparameters());
+  const linalg::Vector a = {0.2}, b = {0.9};
+  EXPECT_DOUBLE_EQ((*c)(a, b), k(a, b));
+}
+
+// Property: Gram matrices of all kernels are PSD (factorizable with jitter)
+// across random inputs and hyper-parameters.
+class KernelPsd : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelPsd, GramIsPositiveSemidefinite) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<linalg::Vector> xs;
+  for (int i = 0; i < 15; ++i) {
+    xs.push_back({rng.uniform01(), rng.uniform01(), rng.uniform01()});
+  }
+  const double l = std::exp(rng.uniform(-2.0, 1.0));
+  const double s2 = std::exp(rng.uniform(-1.0, 1.0));
+  std::vector<std::unique_ptr<Kernel>> kernels;
+  kernels.push_back(std::make_unique<SquaredExponentialKernel>(l, s2));
+  kernels.push_back(std::make_unique<Matern52Kernel>(l, s2));
+  kernels.push_back(std::make_unique<ArdSquaredExponentialKernel>(3, l, s2));
+  for (const auto& k : kernels) {
+    const auto gram = k->gram(xs);
+    // Symmetry.
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      for (std::size_t j = 0; j < xs.size(); ++j) {
+        EXPECT_NEAR(gram(i, j), gram(j, i), 1e-12);
+      }
+    }
+    EXPECT_TRUE(
+        linalg::CholeskyFactor::compute_with_jitter(gram).has_value())
+        << k->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelPsd, ::testing::Range(1, 7));
+
+TEST(KernelGram, CrossMatchesElementwise) {
+  SquaredExponentialKernel k(0.4, 1.0);
+  std::vector<linalg::Vector> xs = {{0.1}, {0.5}};
+  std::vector<linalg::Vector> zs = {{0.2}, {0.8}, {0.9}};
+  const auto cross = k.cross(xs, zs);
+  ASSERT_EQ(cross.rows(), 2u);
+  ASSERT_EQ(cross.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(cross(i, j), k(xs[i], zs[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppat::gp

@@ -1,0 +1,163 @@
+#include "netlist/mac_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "netlist_sim.hpp"
+
+namespace ppat::netlist {
+namespace {
+
+class MacTest : public ::testing::Test {
+ protected:
+  MacTest() : lib_(CellLibrary::make_default()) {}
+  CellLibrary lib_;
+};
+
+TEST_F(MacTest, GeneratedNetlistValidates) {
+  MacConfig cfg;
+  cfg.operand_bits = 6;
+  cfg.lanes = 2;
+  cfg.pipeline_stages = 1;
+  const Netlist nl = generate_mac(lib_, cfg);
+  nl.validate();
+  const auto stats = compute_stats(nl);
+  EXPECT_GT(stats.instances, 100u);
+  EXPECT_GT(stats.sequential, 0u);
+  EXPECT_GT(stats.primary_outputs, 0u);
+}
+
+TEST_F(MacTest, CellCountScalesWithLanes) {
+  MacConfig one;
+  one.operand_bits = 8;
+  one.lanes = 1;
+  MacConfig four = one;
+  four.lanes = 4;
+  const auto n1 = generate_mac(lib_, one).num_instances();
+  const auto n4 = generate_mac(lib_, four).num_instances();
+  // B-register bank is shared, so scaling is slightly sub-linear.
+  EXPECT_GT(n4, 3 * n1);
+  EXPECT_LT(n4, 4 * n1);
+}
+
+TEST_F(MacTest, PresetsMatchPaperScale) {
+  const auto small = generate_mac(lib_, small_mac_config());
+  const auto large = generate_mac(lib_, large_mac_config());
+  // Paper: ~20k and ~67k cells.
+  EXPECT_GT(small.num_instances(), 15000u);
+  EXPECT_LT(small.num_instances(), 25000u);
+  EXPECT_GT(large.num_instances(), 55000u);
+  EXPECT_LT(large.num_instances(), 80000u);
+}
+
+TEST_F(MacTest, SharedCoefficientHasHighFanout) {
+  MacConfig cfg;
+  cfg.operand_bits = 8;
+  cfg.lanes = 6;
+  const Netlist nl = generate_mac(lib_, cfg);
+  const auto stats = compute_stats(nl);
+  // Each shared-B register bit drives one AND per lane per A-bit.
+  EXPECT_GE(stats.max_fanout, static_cast<std::size_t>(cfg.lanes) *
+                                  cfg.operand_bits);
+}
+
+TEST_F(MacTest, RejectsDegenerateConfigs) {
+  MacConfig cfg;
+  cfg.operand_bits = 1;
+  EXPECT_THROW(generate_mac(lib_, cfg), std::invalid_argument);
+  cfg.operand_bits = 4;
+  cfg.lanes = 0;
+  EXPECT_THROW(generate_mac(lib_, cfg), std::invalid_argument);
+}
+
+// Functional check: simulate the netlist and verify it multiplies and
+// accumulates. PI order is the generator's contract: the shared B bits
+// first, then each lane's A bits.
+TEST_F(MacTest, MacComputesMultiplyAccumulate) {
+  MacConfig cfg;
+  cfg.operand_bits = 4;
+  cfg.lanes = 1;
+  cfg.pipeline_stages = 1;
+  cfg.accumulator_guard_bits = 4;
+  const Netlist nl = generate_mac(lib_, cfg);
+  testing::Simulator sim(nl);
+
+  const auto& pis = nl.primary_inputs();
+  ASSERT_EQ(pis.size(), 8u);  // 4 B bits + 4 A bits
+  const std::uint64_t b_val = 13, a_val = 11;
+  for (unsigned i = 0; i < 4; ++i) {
+    sim.set_input(pis[i], (b_val >> i) & 1);
+    sim.set_input(pis[4 + i], (a_val >> i) & 1);
+  }
+
+  const auto pos = nl.primary_outputs();
+  ASSERT_EQ(pos.size(), 12u);  // 2*4 product bits + 4 guard bits
+
+  // Latency: 1 cycle operand registers + 1 pipeline stage; the accumulator
+  // captures the first product on the cycle after the pipeline register.
+  sim.clock();  // operands registered
+  sim.clock();  // product in pipeline register
+  sim.clock();  // acc = a*b
+  EXPECT_EQ(sim.read_bus(pos), a_val * b_val);
+  sim.clock();  // acc = 2*a*b
+  EXPECT_EQ(sim.read_bus(pos), 2 * a_val * b_val);
+  sim.clock();
+  EXPECT_EQ(sim.read_bus(pos), 3 * a_val * b_val);
+}
+
+TEST_F(MacTest, MultiplierCorrectAcrossOperands) {
+  MacConfig cfg;
+  cfg.operand_bits = 3;
+  cfg.lanes = 1;
+  cfg.pipeline_stages = 0;
+  cfg.accumulator_guard_bits = 3;
+  const Netlist nl = generate_mac(lib_, cfg);
+  const auto& pis = nl.primary_inputs();
+  const auto pos = nl.primary_outputs();
+
+  // Exhaustive over 3-bit x 3-bit operands; with no pipeline stage the
+  // first product lands in the accumulator two clocks after the inputs.
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      testing::Simulator sim(nl);
+      for (unsigned i = 0; i < 3; ++i) {
+        sim.set_input(pis[i], (b >> i) & 1);
+        sim.set_input(pis[3 + i], (a >> i) & 1);
+      }
+      sim.clock();
+      sim.clock();
+      EXPECT_EQ(sim.read_bus(pos), a * b) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_F(MacTest, MultiLaneAccumulatesIndependently) {
+  MacConfig cfg;
+  cfg.operand_bits = 3;
+  cfg.lanes = 2;
+  cfg.pipeline_stages = 0;
+  cfg.accumulator_guard_bits = 2;
+  const Netlist nl = generate_mac(lib_, cfg);
+  const auto& pis = nl.primary_inputs();
+  ASSERT_EQ(pis.size(), 3u + 2u * 3u);  // shared B + two A lanes
+  const auto pos = nl.primary_outputs();
+  ASSERT_EQ(pos.size(), 2u * 8u);
+
+  testing::Simulator sim(nl);
+  const std::uint64_t b = 5, a0 = 3, a1 = 6;
+  for (unsigned i = 0; i < 3; ++i) {
+    sim.set_input(pis[i], (b >> i) & 1);
+    sim.set_input(pis[3 + i], (a0 >> i) & 1);
+    sim.set_input(pis[6 + i], (a1 >> i) & 1);
+  }
+  sim.clock();
+  sim.clock();
+  const std::vector<NetId> lane0(pos.begin(), pos.begin() + 8);
+  const std::vector<NetId> lane1(pos.begin() + 8, pos.end());
+  EXPECT_EQ(sim.read_bus(lane0), a0 * b);
+  EXPECT_EQ(sim.read_bus(lane1), a1 * b);
+}
+
+}  // namespace
+}  // namespace ppat::netlist

@@ -1,0 +1,101 @@
+#include "mf/matrix_factorization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace ppat::mf {
+namespace {
+
+/// Synthetic low-rank matrix: r(u, i) = bias_u + bias_i + p_u . q_i.
+struct Synthetic {
+  std::size_t rows, cols;
+  std::vector<Observation> train, test;
+};
+
+Synthetic make_synthetic(std::size_t rows, std::size_t cols,
+                         double observed_fraction, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> bu(rows), bi(cols);
+  std::vector<std::array<double, 2>> pu(rows), qi(cols);
+  for (auto& b : bu) b = rng.normal(0.0, 1.0);
+  for (auto& b : bi) b = rng.normal(0.0, 1.0);
+  for (auto& p : pu) p = {rng.normal(), rng.normal()};
+  for (auto& q : qi) q = {rng.normal(), rng.normal()};
+  Synthetic s;
+  s.rows = rows;
+  s.cols = cols;
+  for (std::size_t u = 0; u < rows; ++u) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const double v =
+          10.0 + bu[u] + bi[i] + pu[u][0] * qi[i][0] + pu[u][1] * qi[i][1];
+      Observation ob{u, i, v};
+      (rng.uniform01() < observed_fraction ? s.train : s.test).push_back(ob);
+    }
+  }
+  return s;
+}
+
+TEST(MatrixFactorization, FitsObservedEntries) {
+  const auto s = make_synthetic(10, 40, 0.6, 1);
+  MatrixFactorization mf;
+  mf.fit(s.rows, s.cols, s.train);
+  EXPECT_LT(mf.rmse(s.train), 0.25);
+}
+
+TEST(MatrixFactorization, GeneralizesToHeldOut) {
+  const auto s = make_synthetic(10, 40, 0.6, 2);
+  MatrixFactorization mf;
+  MfOptions opt;
+  opt.epochs = 300;
+  mf.fit(s.rows, s.cols, s.train, opt);
+  // Held-out entries predicted well below the data's own std (~2).
+  EXPECT_LT(mf.rmse(s.test), 1.0);
+}
+
+TEST(MatrixFactorization, SparseTargetRowCompletedFromDenseSource) {
+  // The DAC'19 usage pattern: row 0 fully observed, row 1 sparse.
+  common::Rng rng(3);
+  const std::size_t cols = 60;
+  std::vector<Observation> train, test;
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double base = rng.normal(0.0, 2.0);
+    train.push_back({0, c, 5.0 + base});
+    // Target row = source row shifted: perfectly correlated tasks.
+    const Observation tgt{1, c, 8.0 + base};
+    (c % 6 == 0 ? train : test).push_back(tgt);
+  }
+  MatrixFactorization mf;
+  MfOptions opt;
+  opt.epochs = 400;
+  mf.fit(2, cols, train, opt);
+  EXPECT_LT(mf.rmse(test), 1.2);
+}
+
+TEST(MatrixFactorization, DeterministicGivenSeed) {
+  const auto s = make_synthetic(5, 20, 0.7, 4);
+  MfOptions opt;
+  opt.seed = 9;
+  MatrixFactorization a, b;
+  a.fit(s.rows, s.cols, s.train, opt);
+  b.fit(s.rows, s.cols, s.train, opt);
+  EXPECT_DOUBLE_EQ(a.predict(1, 3), b.predict(1, 3));
+}
+
+TEST(MatrixFactorization, InputValidation) {
+  MatrixFactorization mf;
+  EXPECT_THROW(mf.fit(2, 2, {}), std::invalid_argument);
+  EXPECT_THROW(mf.fit(2, 2, {{5, 0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(mf.predict(0, 0), std::runtime_error);
+}
+
+TEST(MatrixFactorization, RmseOfEmptySetIsZero) {
+  const auto s = make_synthetic(4, 10, 1.0, 5);
+  MatrixFactorization mf;
+  mf.fit(s.rows, s.cols, s.train);
+  EXPECT_DOUBLE_EQ(mf.rmse({}), 0.0);
+}
+
+}  // namespace
+}  // namespace ppat::mf

@@ -1,0 +1,82 @@
+#include "linalg/neldermead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ppat::linalg {
+namespace {
+
+TEST(NelderMead, MinimizesQuadratic) {
+  auto f = [](const Vector& x) {
+    return (x[0] - 2.0) * (x[0] - 2.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const auto r = nelder_mead(f, {0.0, 0.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-3);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-3);
+  EXPECT_LT(r.f, 1e-5);
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  auto f = [](const Vector& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opt;
+  opt.max_evals = 2000;
+  const auto r = nelder_mead(f, {-1.2, 1.0}, opt);
+  EXPECT_NEAR(r.x[0], 1.0, 0.05);
+  EXPECT_NEAR(r.x[1], 1.0, 0.1);
+}
+
+TEST(NelderMead, RespectsEvalBudget) {
+  std::size_t evals = 0;
+  auto f = [&evals](const Vector& x) {
+    ++evals;
+    return x[0] * x[0];
+  };
+  NelderMeadOptions opt;
+  opt.max_evals = 25;
+  const auto r = nelder_mead(f, {10.0}, opt);
+  // A few extra evaluations can occur inside a shrink step; bound loosely.
+  EXPECT_LE(evals, 30u);
+  EXPECT_EQ(r.evals, evals);
+}
+
+TEST(NelderMead, AvoidsInfeasibleRegion) {
+  // +inf outside x > 0: the simplex must stay on the feasible side.
+  auto f = [](const Vector& x) {
+    if (x[0] <= 0.0) return std::numeric_limits<double>::infinity();
+    return (std::log(x[0]) - 1.0) * (std::log(x[0]) - 1.0);
+  };
+  const auto r = nelder_mead(f, {1.0});
+  EXPECT_NEAR(r.x[0], std::exp(1.0), 0.05);
+}
+
+TEST(NelderMead, NanTreatedAsInfeasible) {
+  auto f = [](const Vector& x) {
+    if (x[0] < 0.0) return std::numeric_limits<double>::quiet_NaN();
+    return (x[0] - 0.5) * (x[0] - 0.5);
+  };
+  const auto r = nelder_mead(f, {1.0});
+  EXPECT_NEAR(r.x[0], 0.5, 1e-2);
+}
+
+TEST(NelderMead, ConvergedFlagOnEasyProblem) {
+  auto f = [](const Vector& x) { return x[0] * x[0] + x[1] * x[1]; };
+  NelderMeadOptions opt;
+  opt.max_evals = 5000;
+  const auto r = nelder_mead(f, {3.0, -4.0}, opt);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(NelderMead, HandlesZeroStartPoint) {
+  auto f = [](const Vector& x) { return (x[0] - 1.0) * (x[0] - 1.0); };
+  const auto r = nelder_mead(f, {0.0});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace ppat::linalg

@@ -1,0 +1,138 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppat::netlist {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  NetlistTest() : lib_(CellLibrary::make_default()), nl_(&lib_) {}
+  CellLibrary lib_;
+  Netlist nl_;
+};
+
+TEST_F(NetlistTest, PrimaryInputCreatesDriverlessNet) {
+  const NetId pi = nl_.add_primary_input();
+  EXPECT_EQ(nl_.net(pi).driver, kInvalidId);
+  ASSERT_EQ(nl_.primary_inputs().size(), 1u);
+  EXPECT_EQ(nl_.primary_inputs()[0], pi);
+}
+
+TEST_F(NetlistTest, AddInstanceWiresPinsBothWays) {
+  const NetId a = nl_.add_primary_input();
+  const NetId b = nl_.add_primary_input();
+  const InstanceId g =
+      nl_.add_instance(lib_.find(CellFunction::kNand2, 0), {a, b});
+  const Instance& inst = nl_.instance(g);
+  EXPECT_EQ(inst.fanins.size(), 2u);
+  EXPECT_EQ(nl_.net(inst.fanout).driver, g);
+  ASSERT_EQ(nl_.net(a).sinks.size(), 1u);
+  EXPECT_EQ(nl_.net(a).sinks[0].instance, g);
+  EXPECT_EQ(nl_.net(a).sinks[0].pin, 0);
+  nl_.validate();
+}
+
+TEST_F(NetlistTest, AddInstanceRejectsWrongPinCount) {
+  const NetId a = nl_.add_primary_input();
+  EXPECT_THROW(nl_.add_instance(lib_.find(CellFunction::kNand2, 0), {a}),
+               std::runtime_error);
+}
+
+TEST_F(NetlistTest, ReconnectInputMovesSink) {
+  const NetId a = nl_.add_primary_input();
+  const NetId b = nl_.add_primary_input();
+  const InstanceId g =
+      nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  nl_.reconnect_input(g, 0, b);
+  EXPECT_TRUE(nl_.net(a).sinks.empty());
+  ASSERT_EQ(nl_.net(b).sinks.size(), 1u);
+  EXPECT_EQ(nl_.instance(g).fanins[0], b);
+  nl_.validate();
+}
+
+TEST_F(NetlistTest, ResizeKeepsFunctionArity) {
+  const NetId a = nl_.add_primary_input();
+  const InstanceId g =
+      nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  nl_.resize_instance(g, lib_.find(CellFunction::kInv, 2));
+  EXPECT_EQ(nl_.library().cell(nl_.instance(g).cell).name, "INV_X4");
+  // BUF has the same arity; allowed. DFF is sequential; rejected.
+  nl_.resize_instance(g, lib_.find(CellFunction::kBuf, 0));
+  EXPECT_THROW(nl_.resize_instance(g, lib_.find(CellFunction::kDff, 0)),
+               std::runtime_error);
+}
+
+TEST_F(NetlistTest, TopologicalOrderRespectsDependencies) {
+  const NetId a = nl_.add_primary_input();
+  const InstanceId g1 = nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  const InstanceId g2 = nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                                         {nl_.instance(g1).fanout});
+  const InstanceId g3 = nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                                         {nl_.instance(g2).fanout});
+  const auto order = nl_.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&order](InstanceId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(g1), pos(g2));
+  EXPECT_LT(pos(g2), pos(g3));
+}
+
+TEST_F(NetlistTest, SequentialLoopIsLegal) {
+  // DFF whose D is a function of its own Q: legal (registered feedback).
+  const NetId placeholder = nl_.add_floating_net();
+  const InstanceId ff =
+      nl_.add_instance(lib_.find(CellFunction::kDff, 0), {placeholder});
+  const InstanceId inv = nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                                          {nl_.instance(ff).fanout});
+  nl_.reconnect_input(ff, 0, nl_.instance(inv).fanout);
+  nl_.validate();  // must not throw
+}
+
+TEST_F(NetlistTest, CombinationalCycleDetected) {
+  const NetId a = nl_.add_primary_input();
+  const InstanceId g1 =
+      nl_.add_instance(lib_.find(CellFunction::kNand2, 0),
+                       {a, a});  // temp self-feed via a
+  const InstanceId g2 = nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                                         {nl_.instance(g1).fanout});
+  // Close a combinational loop: g1's second pin <- g2's output.
+  nl_.reconnect_input(g1, 1, nl_.instance(g2).fanout);
+  EXPECT_THROW(nl_.topological_order(), std::runtime_error);
+  EXPECT_THROW(nl_.validate(), std::runtime_error);
+}
+
+TEST_F(NetlistTest, StatsAreConsistent) {
+  const NetId a = nl_.add_primary_input();
+  const NetId b = nl_.add_primary_input();
+  const InstanceId g =
+      nl_.add_instance(lib_.find(CellFunction::kAnd2, 0), {a, b});
+  const InstanceId ff = nl_.add_instance(lib_.find(CellFunction::kDff, 0),
+                                         {nl_.instance(g).fanout});
+  nl_.mark_primary_output(nl_.instance(ff).fanout);
+
+  const auto stats = compute_stats(nl_);
+  EXPECT_EQ(stats.instances, 2u);
+  EXPECT_EQ(stats.sequential, 1u);
+  EXPECT_EQ(stats.primary_inputs, 2u);
+  EXPECT_EQ(stats.primary_outputs, 1u);
+  EXPECT_EQ(stats.max_logic_depth, 1u);
+  EXPECT_GT(stats.total_area_um2, 0.0);
+}
+
+TEST_F(NetlistTest, TotalAreaSumsCellAreas) {
+  const NetId a = nl_.add_primary_input();
+  nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  nl_.add_instance(lib_.find(CellFunction::kInv, 1), {a});
+  const double expected =
+      lib_.cell(lib_.find(CellFunction::kInv, 0)).area_um2 +
+      lib_.cell(lib_.find(CellFunction::kInv, 1)).area_um2;
+  EXPECT_NEAR(nl_.total_cell_area(), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace ppat::netlist

@@ -1,0 +1,188 @@
+#include "sta/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+
+namespace ppat::sta {
+namespace {
+
+using netlist::CellFunction;
+using netlist::CellLibrary;
+using netlist::InstanceId;
+using netlist::Netlist;
+using netlist::NetId;
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() : lib_(CellLibrary::make_default()), nl_(&lib_) {}
+
+  /// A driver fanning out to `sinks` inverters; everything placed at given
+  /// coordinates (driver at origin, sinks spread on a line of `length` um).
+  NetId build_star(std::size_t sinks, double length) {
+    const NetId a = nl_.add_primary_input();
+    const InstanceId drv =
+        nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+    const NetId net = nl_.instance(drv).fanout;
+    for (std::size_t i = 0; i < sinks; ++i) {
+      nl_.add_instance(lib_.find(CellFunction::kInv, 0), {net});
+    }
+    x_.assign(nl_.num_instances(), 0.0);
+    y_.assign(nl_.num_instances(), 0.0);
+    for (std::size_t i = 0; i < sinks; ++i) {
+      x_[drv + 1 + i] =
+          length * static_cast<double>(i + 1) / static_cast<double>(sinks);
+    }
+    hpwl_.assign(nl_.num_nets(), 0.0);
+    hpwl_[net] = length;
+    return net;
+  }
+
+  CellLibrary lib_;
+  Netlist nl_;
+  std::vector<double> x_, y_, hpwl_;
+};
+
+TEST_F(OptimizerTest, FanoutViolationFixedByBuffering) {
+  const NetId net = build_star(40, 10.0);
+  OptimizerOptions opt;
+  opt.limits.max_fanout = 16;
+  opt.limits.max_transition_ns = 10.0;   // only fanout binds
+  opt.limits.max_capacitance_ff = 1e9;
+  opt.limits.max_length_um = 1e9;
+  opt.max_repair_passes = 4;
+  opt.sizing_passes = 0;
+  const auto result = optimize(nl_, x_, y_, hpwl_, TimingOptions{}, opt);
+  EXPECT_GT(result.buffers_inserted, 0u);
+  EXPECT_LE(nl_.net(net).sinks.size(), 16u);
+  // Every net respects the limit after repair.
+  for (NetId n = 0; n < nl_.num_nets(); ++n) {
+    EXPECT_LE(nl_.net(n).sinks.size(), 16u) << "net " << n;
+  }
+  nl_.validate();
+  EXPECT_EQ(x_.size(), nl_.num_instances());
+  EXPECT_EQ(hpwl_.size(), nl_.num_nets());
+}
+
+TEST_F(OptimizerTest, CapViolationFixedByLoadSplitting) {
+  build_star(30, 50.0);
+  OptimizerOptions opt;
+  opt.limits.max_fanout = 1000;
+  opt.limits.max_transition_ns = 10.0;
+  opt.limits.max_capacitance_ff = 15.0;  // well below 30 pins + wire
+  opt.limits.max_length_um = 1e9;
+  opt.max_repair_passes = 6;
+  opt.sizing_passes = 0;
+  const auto result = optimize(nl_, x_, y_, hpwl_, TimingOptions{}, opt);
+  EXPECT_GT(result.buffers_inserted, 0u);
+  EXPECT_GT(result.initial_drv_violations, 0u);
+  nl_.validate();
+}
+
+TEST_F(OptimizerTest, SlewViolationFixedByUpsizing) {
+  // Single sink (no splitting possible), heavy wire -> slew violation that
+  // only upsizing can mitigate.
+  build_star(1, 200.0);
+  OptimizerOptions opt;
+  opt.limits.max_fanout = 1000;
+  opt.limits.max_transition_ns = 0.05;
+  opt.limits.max_capacitance_ff = 1e9;
+  opt.limits.max_length_um = 1e9;
+  opt.max_repair_passes = 3;
+  opt.sizing_passes = 0;
+  const auto result = optimize(nl_, x_, y_, hpwl_, TimingOptions{}, opt);
+  EXPECT_GT(result.cells_upsized, 0u);
+}
+
+TEST_F(OptimizerTest, LongNetGetsRepeater) {
+  build_star(4, 500.0);
+  OptimizerOptions opt;
+  opt.limits.max_fanout = 1000;
+  opt.limits.max_transition_ns = 10.0;
+  opt.limits.max_capacitance_ff = 1e9;
+  opt.limits.max_length_um = 100.0;
+  opt.max_repair_passes = 2;
+  opt.sizing_passes = 0;
+  const auto result = optimize(nl_, x_, y_, hpwl_, TimingOptions{}, opt);
+  EXPECT_GT(result.buffers_inserted, 0u);
+}
+
+TEST_F(OptimizerTest, CleanDesignUntouched) {
+  build_star(3, 5.0);
+  OptimizerOptions opt;  // default generous limits
+  opt.limits.max_fanout = 100;
+  opt.limits.max_transition_ns = 5.0;
+  opt.limits.max_capacitance_ff = 1e6;
+  opt.limits.max_length_um = 1e6;
+  opt.sizing_passes = 0;
+  const std::size_t before = nl_.num_instances();
+  const auto result = optimize(nl_, x_, y_, hpwl_, TimingOptions{}, opt);
+  EXPECT_EQ(result.buffers_inserted, 0u);
+  EXPECT_EQ(result.initial_drv_violations, 0u);
+  EXPECT_EQ(nl_.num_instances(), before);
+}
+
+TEST_F(OptimizerTest, SizingImprovesCriticalDelay) {
+  // Chain with loads: sizing should reduce the endpoint delay.
+  NetId net = nl_.add_primary_input();
+  for (int i = 0; i < 12; ++i) {
+    const InstanceId g =
+        nl_.add_instance(lib_.find(CellFunction::kInv, 0), {net});
+    net = nl_.instance(g).fanout;
+    // Side loads make upsizing worthwhile.
+    nl_.add_instance(lib_.find(CellFunction::kInv, 0), {net});
+    nl_.add_instance(lib_.find(CellFunction::kInv, 0), {net});
+  }
+  nl_.mark_primary_output(net);
+  x_.assign(nl_.num_instances(), 0.0);
+  y_.assign(nl_.num_instances(), 0.0);
+  hpwl_.assign(nl_.num_nets(), 5.0);
+
+  TimingOptions topt;
+  topt.clock_period_ns = 0.05;  // heavy pressure
+  OptimizerOptions no_sizing;
+  no_sizing.limits.max_fanout = 1000;
+  no_sizing.limits.max_transition_ns = 10.0;
+  no_sizing.limits.max_capacitance_ff = 1e9;
+  no_sizing.limits.max_length_um = 1e9;
+  no_sizing.sizing_passes = 0;
+  OptimizerOptions sizing = no_sizing;
+  sizing.sizing_passes = 4;
+
+  Netlist nl_copy = nl_;
+  auto x2 = x_;
+  auto y2 = y_;
+  auto h2 = hpwl_;
+  const auto r_no = optimize(nl_copy, x2, y2, h2, topt, no_sizing);
+  const auto r_yes = optimize(nl_, x_, y_, hpwl_, topt, sizing);
+  EXPECT_GT(r_yes.cells_upsized, 0u);
+  EXPECT_LT(r_yes.final_timing.critical_delay_ns,
+            r_no.final_timing.critical_delay_ns);
+}
+
+TEST_F(OptimizerTest, AllowedDelayStopsSizing) {
+  NetId net = nl_.add_primary_input();
+  for (int i = 0; i < 6; ++i) {
+    net = nl_.instance(nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                                        {net}))
+              .fanout;
+  }
+  nl_.mark_primary_output(net);
+  x_.assign(nl_.num_instances(), 0.0);
+  y_.assign(nl_.num_instances(), 0.0);
+  hpwl_.assign(nl_.num_nets(), 1.0);
+  TimingOptions topt;
+  topt.clock_period_ns = 1.0;  // easily met... except:
+  OptimizerOptions opt;
+  opt.limits.max_fanout = 1000;
+  opt.limits.max_transition_ns = 10.0;
+  opt.limits.max_capacitance_ff = 1e9;
+  opt.limits.max_length_um = 1e9;
+  opt.sizing_passes = 5;
+  opt.max_allowed_delay_ns = 10.0;  // any violation tolerated
+  const auto result = optimize(nl_, x_, y_, hpwl_, topt, opt);
+  EXPECT_EQ(result.cells_upsized, 0u);  // sizer never engaged
+}
+
+}  // namespace
+}  // namespace ppat::sta

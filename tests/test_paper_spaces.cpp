@@ -1,0 +1,107 @@
+// Property sweeps over the four paper parameter spaces (Table 1): encoding
+// round-trips, LHS-decoded configurations validate, and the shared-name
+// parameters align across source/target spaces — the structural property
+// the transfer GP's unit-cube alignment relies on.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "flow/benchmark.hpp"
+#include "sample/sampling.hpp"
+
+namespace ppat::flow {
+namespace {
+
+struct SpaceCase {
+  const char* name;
+  ParameterSpace (*make)();
+  std::size_t expected_params;
+};
+
+class PaperSpaces : public ::testing::TestWithParam<SpaceCase> {};
+
+TEST_P(PaperSpaces, ParameterCountMatchesTable1) {
+  const auto space = GetParam().make();
+  EXPECT_EQ(space.size(), GetParam().expected_params);
+}
+
+TEST_P(PaperSpaces, LhsDecodedConfigsValidate) {
+  const auto space = GetParam().make();
+  common::Rng rng(7);
+  for (const auto& u : sample::latin_hypercube(100, space.size(), rng)) {
+    const Config c = space.decode(u);
+    space.validate(c);  // must not throw
+  }
+}
+
+TEST_P(PaperSpaces, EncodeDecodeStableOnRandomPoints) {
+  const auto space = GetParam().make();
+  common::Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    linalg::Vector u(space.size());
+    for (auto& v : u) v = rng.uniform01();
+    const Config c1 = space.decode(u);
+    const Config c2 = space.decode(space.encode(c1));
+    for (std::size_t p = 0; p < c1.size(); ++p) {
+      EXPECT_NEAR(c1[p], c2[p], 1e-9)
+          << GetParam().name << " parameter " << space.spec(p).name;
+    }
+  }
+}
+
+TEST_P(PaperSpaces, FormatValueNeverThrows) {
+  const auto space = GetParam().make();
+  common::Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    linalg::Vector u(space.size());
+    for (auto& v : u) v = rng.uniform01();
+    const Config c = space.decode(u);
+    for (std::size_t p = 0; p < space.size(); ++p) {
+      EXPECT_FALSE(space.format_value(p, c[p]).empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, PaperSpaces,
+    ::testing::Values(SpaceCase{"source1", source1_space, 12},
+                      SpaceCase{"target1", target1_space, 12},
+                      SpaceCase{"source2", source2_space, 9},
+                      SpaceCase{"target2", target2_space, 9}),
+    [](const ::testing::TestParamInfo<SpaceCase>& info) {
+      return info.param.name;
+    });
+
+TEST(PaperSpacePairs, SharedParametersHaveSameTypeAndOrder) {
+  // Scenario pairs tune the same named parameters (over different ranges);
+  // unit-cube dimension i must mean the same knob in source and target.
+  const auto pairs = {std::pair{source1_space(), target1_space()},
+                      std::pair{source2_space(), target2_space()}};
+  for (const auto& [src, tgt] : pairs) {
+    ASSERT_EQ(src.size(), tgt.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      EXPECT_EQ(src.spec(i).name, tgt.spec(i).name);
+      EXPECT_EQ(static_cast<int>(src.spec(i).type),
+                static_cast<int>(tgt.spec(i).type));
+    }
+  }
+}
+
+TEST(PaperSpacePairs, RangesDifferAsInTable1) {
+  const auto s1 = source1_space();
+  const auto t1 = target1_space();
+  // freq: 950-1050 vs 1000-1300; place_uncertainty: 50-200 vs 20-100.
+  EXPECT_NE(s1.spec(s1.index_of("freq")).max_value,
+            t1.spec(t1.index_of("freq")).max_value);
+  EXPECT_NE(s1.spec(s1.index_of("place_uncertainty")).min_value,
+            t1.spec(t1.index_of("place_uncertainty")).min_value);
+  const auto s2 = source2_space();
+  const auto t2 = target2_space();
+  // max_AllowedDelay: 0.06-0.12 vs 0.00-0.12; max_fanout: 25-40 vs 25-39.
+  EXPECT_NE(s2.spec(s2.index_of("max_AllowedDelay")).min_value,
+            t2.spec(t2.index_of("max_AllowedDelay")).min_value);
+  EXPECT_NE(s2.spec(s2.index_of("max_fanout")).max_value,
+            t2.spec(t2.index_of("max_fanout")).max_value);
+}
+
+}  // namespace
+}  // namespace ppat::flow

@@ -1,0 +1,120 @@
+#include "flow/parameter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ppat::flow {
+namespace {
+
+ParameterSpace make_space() {
+  return ParameterSpace({
+      ParamSpec::real("freq", 1000, 1300),
+      ParamSpec::integer("max_fanout", 25, 50),
+      ParamSpec::enumeration("effort", {"standard", "high", "extreme"}),
+      ParamSpec::boolean("uniform"),
+  });
+}
+
+TEST(ParamSpec, FactoriesValidate) {
+  EXPECT_THROW(ParamSpec::real("x", 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ParamSpec::integer("x", 5, 4), std::invalid_argument);
+  EXPECT_THROW(ParamSpec::enumeration("x", {"only"}), std::invalid_argument);
+}
+
+TEST(ParameterSpace, DuplicateNamesRejected) {
+  EXPECT_THROW(ParameterSpace({ParamSpec::boolean("a"),
+                               ParamSpec::boolean("a")}),
+               std::invalid_argument);
+}
+
+TEST(ParameterSpace, IndexLookup) {
+  const auto space = make_space();
+  EXPECT_EQ(space.index_of("freq"), 0u);
+  EXPECT_EQ(space.index_of("uniform"), 3u);
+  EXPECT_EQ(space.index_of("missing"), ParameterSpace::npos);
+  EXPECT_TRUE(space.has("effort"));
+  EXPECT_FALSE(space.has("nope"));
+}
+
+TEST(ParameterSpace, Cardinality) {
+  const auto space = make_space();
+  EXPECT_EQ(space.cardinality(0), 0u);   // continuous
+  EXPECT_EQ(space.cardinality(1), 26u);  // 25..50
+  EXPECT_EQ(space.cardinality(2), 3u);
+  EXPECT_EQ(space.cardinality(3), 2u);
+}
+
+TEST(ParameterSpace, DecodeBoundsAndQuantization) {
+  const auto space = make_space();
+  const Config lo = space.decode({0.0, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(lo[0], 1000.0);
+  EXPECT_DOUBLE_EQ(lo[1], 25.0);
+  EXPECT_DOUBLE_EQ(lo[2], 0.0);
+  EXPECT_DOUBLE_EQ(lo[3], 0.0);
+  const Config hi = space.decode({1.0, 1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(hi[0], 1300.0);
+  EXPECT_DOUBLE_EQ(hi[1], 50.0);
+  EXPECT_DOUBLE_EQ(hi[2], 2.0);
+  EXPECT_DOUBLE_EQ(hi[3], 1.0);
+}
+
+TEST(ParameterSpace, DecodeClampsOutOfRange) {
+  const auto space = make_space();
+  const Config c = space.decode({-0.5, 2.0, -1.0, 3.0});
+  space.validate(c);  // must be in range
+}
+
+TEST(ParameterSpace, EncodeDecodeIsIdempotentOnCells) {
+  const auto space = make_space();
+  const linalg::Vector u = {0.37, 0.61, 0.45, 0.9};
+  const Config c1 = space.decode(u);
+  const linalg::Vector e = space.encode(c1);
+  const Config c2 = space.decode(e);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-9) << "param " << i;
+  }
+}
+
+TEST(ParameterSpace, EncodeMapsDiscreteToCellMidpoints) {
+  const auto space = make_space();
+  Config c = space.decode({0.0, 0.0, 0.0, 0.0});
+  const auto u = space.encode(c);
+  // Boolean FALSE should map to the middle of [0, 0.5).
+  EXPECT_NEAR(u[3], 0.25, 1e-12);
+  // Enum level 0 of 3 -> midpoint of [0, 1/3).
+  EXPECT_NEAR(u[2], 1.0 / 6.0, 1e-12);
+}
+
+TEST(ParameterSpace, ValidateCatchesErrors) {
+  const auto space = make_space();
+  Config ok = space.decode({0.5, 0.5, 0.5, 0.5});
+  space.validate(ok);
+  Config bad_range = ok;
+  bad_range[0] = 2000.0;
+  EXPECT_THROW(space.validate(bad_range), std::invalid_argument);
+  Config bad_integral = ok;
+  bad_integral[1] = 30.5;
+  EXPECT_THROW(space.validate(bad_integral), std::invalid_argument);
+  Config bad_dim(3, 0.0);
+  EXPECT_THROW(space.validate(bad_dim), std::invalid_argument);
+}
+
+TEST(ParameterSpace, ValueOrFallsBack) {
+  const auto space = make_space();
+  const Config c = space.decode({0.5, 0.5, 0.5, 0.5});
+  EXPECT_DOUBLE_EQ(space.value_or(c, "freq", -1.0), c[0]);
+  EXPECT_DOUBLE_EQ(space.value_or(c, "absent", -1.0), -1.0);
+}
+
+TEST(ParameterSpace, FormatValue) {
+  const auto space = make_space();
+  EXPECT_EQ(space.format_value(0, 1150.0), "1150.000");
+  EXPECT_EQ(space.format_value(1, 30.0), "30");
+  EXPECT_EQ(space.format_value(2, 2.0), "extreme");
+  EXPECT_EQ(space.format_value(3, 1.0), "TRUE");
+  EXPECT_EQ(space.format_value(3, 0.0), "FALSE");
+}
+
+}  // namespace
+}  // namespace ppat::flow

@@ -1,0 +1,177 @@
+#include "pareto/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ppat::pareto {
+namespace {
+
+TEST(Dominance, StrictAndWeakCases) {
+  EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 3.0}));
+  EXPECT_TRUE(dominates({1.0, 3.0}, {2.0, 3.0}));  // equal in one dim
+  EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 2.0}));  // equal: not strict
+  EXPECT_FALSE(dominates({1.0, 4.0}, {2.0, 3.0}));  // incomparable
+}
+
+TEST(Dominance, WithSlack) {
+  const std::vector<double> delta = {0.5, 0.5};
+  EXPECT_TRUE(dominates_with_slack({2.4, 3.4}, {2.0, 3.0}, delta));
+  EXPECT_FALSE(dominates_with_slack({2.6, 3.0}, {2.0, 3.0}, delta));
+}
+
+TEST(ParetoFront, ExtractsNonDominated) {
+  const std::vector<Point> pts = {
+      {1.0, 5.0}, {2.0, 4.0}, {3.0, 3.0}, {2.5, 4.5}, {5.0, 5.0}};
+  const auto idx = pareto_front_indices(pts);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParetoFront, DuplicatesKeepFirst) {
+  const std::vector<Point> pts = {{1.0, 1.0}, {1.0, 1.0}};
+  const auto idx = pareto_front_indices(pts);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0}));
+}
+
+TEST(ParetoFront, SinglePointIsFront) {
+  const std::vector<Point> pts = {{3.0, 3.0, 3.0}};
+  EXPECT_EQ(pareto_front(pts).size(), 1u);
+}
+
+TEST(ReferencePoint, MaxWithMargin) {
+  const std::vector<Point> pts = {{1.0, 4.0}, {3.0, 2.0}};
+  const Point ref = reference_point(pts, 1.1);
+  EXPECT_NEAR(ref[0], 3.3, 1e-9);
+  EXPECT_NEAR(ref[1], 4.4, 1e-9);
+  EXPECT_THROW(reference_point({}, 1.1), std::invalid_argument);
+}
+
+TEST(Hypervolume, OneDimensional) {
+  EXPECT_DOUBLE_EQ(hypervolume({{2.0}, {4.0}}, {10.0}), 8.0);
+  EXPECT_DOUBLE_EQ(hypervolume({{12.0}}, {10.0}), 0.0);
+}
+
+TEST(Hypervolume, TwoDimensionalKnown) {
+  // Classic staircase.
+  const std::vector<Point> pts = {{1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}};
+  // ref (4,4): union area = 3*1 + 2*1 + 1*... compute: boxes
+  // [1,4]x[3,4]=3, [2,4]x[2,4]=4 (adds 2), [3,4]x[1,4]=3 (adds 1) -> 3+2+1=6.
+  EXPECT_DOUBLE_EQ(hypervolume(pts, {4.0, 4.0}), 6.0);
+}
+
+TEST(Hypervolume, DominatedPointsDoNotAdd) {
+  const std::vector<Point> front = {{1.0, 3.0}, {3.0, 1.0}};
+  const double base = hypervolume(front, {4.0, 4.0});
+  std::vector<Point> with_dominated = front;
+  with_dominated.push_back({3.5, 3.5});  // dominated by both
+  EXPECT_DOUBLE_EQ(hypervolume(with_dominated, {4.0, 4.0}), base);
+}
+
+TEST(Hypervolume, ThreeDimensionalKnown) {
+  // Single point: box volume.
+  EXPECT_DOUBLE_EQ(hypervolume({{1.0, 1.0, 1.0}}, {2.0, 3.0, 4.0}), 6.0);
+  // Two disjoint-ish points.
+  const std::vector<Point> pts = {{1.0, 2.0, 2.0}, {2.0, 1.0, 2.0}};
+  // Union: vol(A)+vol(B)-vol(A∩B); A=[1,3]x[2,3]x[2,3]=2, B=2,
+  // A∩B=[2,3]x[2,3]x[2,3]=1 with ref (3,3,3): 2+2-1=3.
+  EXPECT_DOUBLE_EQ(hypervolume(pts, {3.0, 3.0, 3.0}), 3.0);
+}
+
+TEST(Hypervolume, AgreesAcrossDimensionsOnProducts) {
+  // A 3-D problem whose third coordinate is constant reduces to 2-D x slab.
+  const std::vector<Point> p2 = {{1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}};
+  std::vector<Point> p3;
+  for (const auto& p : p2) p3.push_back({p[0], p[1], 5.0});
+  const double hv2 = hypervolume(p2, {4.0, 4.0});
+  const double hv3 = hypervolume(p3, {4.0, 4.0, 7.0});
+  EXPECT_NEAR(hv3, hv2 * 2.0, 1e-9);
+}
+
+TEST(Hypervolume, PointsOutsideReferenceClipped) {
+  const std::vector<Point> pts = {{5.0, 1.0}, {1.0, 5.0}, {2.0, 2.0}};
+  // Only (2,2) is inside ref (4,4) -> 4. Points with one coordinate beyond
+  // the reference are dropped entirely (their region does not intersect the
+  // reference box in this minimization convention).
+  EXPECT_DOUBLE_EQ(hypervolume(pts, {4.0, 4.0}), 4.0);
+}
+
+TEST(Hypervolume, MonotoneUnderImprovement) {
+  const std::vector<Point> worse = {{2.0, 2.0}};
+  const std::vector<Point> better = {{1.0, 1.5}};
+  const Point ref = {4.0, 4.0};
+  EXPECT_GT(hypervolume(better, ref), hypervolume(worse, ref));
+}
+
+TEST(HypervolumeError, ZeroForGoldenItself) {
+  const std::vector<Point> golden = {{1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}};
+  EXPECT_NEAR(hypervolume_error(golden, golden), 0.0, 1e-12);
+}
+
+TEST(HypervolumeError, PositiveForWorseApproximation) {
+  const std::vector<Point> golden = {{1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}};
+  const std::vector<Point> approx = {{2.0, 2.0}};
+  const double e = hypervolume_error(golden, approx);
+  EXPECT_GT(e, 0.0);
+  EXPECT_LT(e, 1.0);
+}
+
+TEST(HypervolumeError, EmptyApproxIsTotalError) {
+  const std::vector<Point> golden = {{1.0, 1.0}};
+  EXPECT_NEAR(hypervolume_error(golden, {}), 1.0, 1e-12);
+}
+
+TEST(Adrs, ZeroWhenApproxCoversGolden) {
+  const std::vector<Point> golden = {{1.0, 3.0}, {3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(adrs(golden, golden), 0.0);
+}
+
+TEST(Adrs, KnownValue) {
+  const std::vector<Point> golden = {{1.0, 1.0}};
+  const std::vector<Point> approx = {{1.1, 1.2}};
+  // delta = max(|1-1.1|/1, |1-1.2|/1) = 0.2
+  EXPECT_NEAR(adrs(golden, approx), 0.2, 1e-12);
+}
+
+TEST(Adrs, TakesBestApproximationPerGoldenPoint) {
+  const std::vector<Point> golden = {{1.0, 1.0}, {2.0, 2.0}};
+  const std::vector<Point> approx = {{1.0, 1.0}, {10.0, 10.0}};
+  // First golden point matched exactly (0); second best-matched by (1,1):
+  // max(1/2, 1/2) = 0.5 -> mean 0.25.
+  EXPECT_NEAR(adrs(golden, approx), 0.25, 1e-12);
+}
+
+TEST(Adrs, EmptyInputsThrow) {
+  EXPECT_THROW(adrs({}, {{1.0}}), std::invalid_argument);
+  EXPECT_THROW(adrs({{1.0}}, {}), std::invalid_argument);
+}
+
+// Property sweep: hypervolume of random fronts is invariant to point order
+// and never decreases when a point is added.
+class HvProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HvProperty, OrderInvarianceAndMonotonicity) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<Point> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0),
+                   rng.uniform(0.0, 1.0)});
+  }
+  const Point ref = {1.2, 1.2, 1.2};
+  const double hv = hypervolume(pts, ref);
+  auto shuffled = pts;
+  rng.shuffle(shuffled);
+  EXPECT_NEAR(hypervolume(shuffled, ref), hv, 1e-9);
+  shuffled.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0),
+                      rng.uniform(0.0, 1.0)});
+  EXPECT_GE(hypervolume(shuffled, ref) + 1e-12, hv);
+  // Against the 2-D reduction: dropping one coordinate can only grow the
+  // dominated area of the projection (sanity cross-check <= product bound).
+  EXPECT_LE(hv, 1.2 * 1.2 * 1.2 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HvProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ppat::pareto

@@ -1,0 +1,148 @@
+#include "flow/pd_tool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "flow/benchmark.hpp"
+
+namespace ppat::flow {
+namespace {
+
+class PdToolTest : public ::testing::Test {
+ protected:
+  PdToolTest() : lib_(netlist::CellLibrary::make_default()) {
+    // Large enough that the DRV parameter ranges genuinely bind (broadcast
+    // fanout 60, loads tens of fF), small enough that each flow run is
+    // a few milliseconds.
+    cfg_.operand_bits = 10;
+    cfg_.lanes = 6;
+    cfg_.pipeline_stages = 1;
+  }
+  netlist::CellLibrary lib_;
+  netlist::MacConfig cfg_;
+};
+
+TEST_F(PdToolTest, QorAccessors) {
+  QoR q{10.0, 2.0, 0.5};
+  EXPECT_DOUBLE_EQ(q.metric(0), 10.0);
+  EXPECT_DOUBLE_EQ(q.metric(1), 2.0);
+  EXPECT_DOUBLE_EQ(q.metric(2), 0.5);
+  EXPECT_STREQ(QoR::metric_name(0), "area");
+  EXPECT_STREQ(QoR::metric_name(2), "delay");
+  EXPECT_THROW(q.metric(3), std::out_of_range);
+}
+
+TEST_F(PdToolTest, DeterministicAcrossRuns) {
+  PDTool tool(&lib_, cfg_, 7);
+  const auto space = source1_space();
+  const Config c = space.decode(linalg::Vector(space.size(), 0.5));
+  const QoR q1 = tool.evaluate(space, c);
+  const QoR q2 = tool.evaluate(space, c);
+  EXPECT_DOUBLE_EQ(q1.area_um2, q2.area_um2);
+  EXPECT_DOUBLE_EQ(q1.power_mw, q2.power_mw);
+  EXPECT_DOUBLE_EQ(q1.delay_ns, q2.delay_ns);
+}
+
+TEST_F(PdToolTest, DeterministicAcrossInstances) {
+  PDTool tool1(&lib_, cfg_, 7);
+  PDTool tool2(&lib_, cfg_, 7);
+  const auto space = target2_space();
+  const Config c = space.decode(linalg::Vector(space.size(), 0.3));
+  const QoR q1 = tool1.evaluate(space, c);
+  const QoR q2 = tool2.evaluate(space, c);
+  EXPECT_DOUBLE_EQ(q1.delay_ns, q2.delay_ns);
+}
+
+TEST_F(PdToolTest, RunCounterIncrements) {
+  PDTool tool(&lib_, cfg_, 7);
+  const auto space = source2_space();
+  const Config c = space.decode(linalg::Vector(space.size(), 0.5));
+  EXPECT_EQ(tool.run_count(), 0u);
+  tool.evaluate(space, c);
+  tool.evaluate(space, c);
+  EXPECT_EQ(tool.run_count(), 2u);
+}
+
+TEST_F(PdToolTest, QorValuesArePhysical) {
+  PDTool tool(&lib_, cfg_, 7);
+  const auto space = target1_space();
+  common::Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    linalg::Vector u(space.size());
+    for (auto& v : u) v = rng.uniform01();
+    const QoR q = tool.evaluate(space, space.decode(u));
+    EXPECT_GT(q.area_um2, 0.0);
+    EXPECT_GT(q.power_mw, 0.0);
+    EXPECT_GT(q.delay_ns, 0.0);
+    EXPECT_LT(q.delay_ns, 100.0);  // sanity: ns-scale paths
+  }
+}
+
+TEST_F(PdToolTest, TightTransitionLimitTradesAreaForDelay) {
+  PDTool tool(&lib_, cfg_, 7);
+  const auto space = target1_space();
+  linalg::Vector mid(space.size(), 0.5);
+  const std::size_t idx = space.index_of("max_transition");
+  ASSERT_NE(idx, ParameterSpace::npos);
+  auto tight_u = mid;
+  tight_u[idx] = 0.0;
+  auto loose_u = mid;
+  loose_u[idx] = 1.0;
+  const QoR tight = tool.evaluate(space, space.decode(tight_u));
+  const QoR loose = tool.evaluate(space, space.decode(loose_u));
+  EXPECT_LT(tight.delay_ns, loose.delay_ns);
+  EXPECT_GT(tight.area_um2, loose.area_um2);
+}
+
+TEST_F(PdToolTest, HigherUtilizationShrinksArea) {
+  PDTool tool(&lib_, cfg_, 7);
+  const auto space = target2_space();
+  linalg::Vector mid(space.size(), 0.5);
+  const std::size_t idx = space.index_of("max_Density");
+  ASSERT_NE(idx, ParameterSpace::npos);
+  auto low_u = mid;
+  low_u[idx] = 0.05;
+  auto high_u = mid;
+  high_u[idx] = 0.95;
+  const QoR low = tool.evaluate(space, space.decode(low_u));
+  const QoR high = tool.evaluate(space, space.decode(high_u));
+  EXPECT_GT(low.area_um2, high.area_um2);
+}
+
+TEST_F(PdToolTest, HigherFrequencyCostsPower) {
+  PDTool tool(&lib_, cfg_, 7);
+  const auto space = target1_space();
+  linalg::Vector mid(space.size(), 0.5);
+  const std::size_t idx = space.index_of("freq");
+  ASSERT_NE(idx, ParameterSpace::npos);
+  auto slow_u = mid;
+  slow_u[idx] = 0.0;
+  auto fast_u = mid;
+  fast_u[idx] = 1.0;
+  const QoR slow = tool.evaluate(space, space.decode(slow_u));
+  const QoR fast = tool.evaluate(space, space.decode(fast_u));
+  EXPECT_GT(fast.power_mw, slow.power_mw);
+}
+
+TEST_F(PdToolTest, DetailedReportPopulated) {
+  PDTool tool(&lib_, cfg_, 7);
+  const auto space = source1_space();
+  const Config c = space.decode(linalg::Vector(space.size(), 0.2));
+  FlowDetails det;
+  tool.evaluate_detailed(space, c, &det);
+  EXPECT_GT(det.total_hpwl_um, 0.0);
+  EXPECT_GE(det.final_cell_count, tool.base_netlist().num_instances());
+  EXPECT_GE(det.congestion_overflow, 0.0);
+  EXPECT_LE(det.congestion_overflow, 1.0);
+}
+
+TEST_F(PdToolTest, InvalidConfigRejected) {
+  PDTool tool(&lib_, cfg_, 7);
+  const auto space = source1_space();
+  Config c = space.decode(linalg::Vector(space.size(), 0.5));
+  c[0] = 1e9;  // way out of range
+  EXPECT_THROW(tool.evaluate(space, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppat::flow

@@ -1,0 +1,126 @@
+#include "place/placer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/mac_generator.hpp"
+
+namespace ppat::place {
+namespace {
+
+class PlacerTest : public ::testing::Test {
+ protected:
+  PlacerTest() : lib_(netlist::CellLibrary::make_default()) {
+    netlist::MacConfig cfg;
+    cfg.operand_bits = 6;
+    cfg.lanes = 3;
+    nl_ = std::make_unique<netlist::Netlist>(
+        netlist::generate_mac(lib_, cfg));
+  }
+  netlist::CellLibrary lib_;
+  std::unique_ptr<netlist::Netlist> nl_;
+};
+
+TEST_F(PlacerTest, AllCellsInsideDie) {
+  PlacerOptions opt;
+  const Placement p = place(*nl_, opt);
+  ASSERT_EQ(p.x.size(), nl_->num_instances());
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    EXPECT_GE(p.x[i], 0.0);
+    EXPECT_LE(p.x[i], p.die_width_um);
+    EXPECT_GE(p.y[i], 0.0);
+    EXPECT_LE(p.y[i], p.die_height_um);
+  }
+}
+
+TEST_F(PlacerTest, DieSizedFromUtilization) {
+  PlacerOptions opt;
+  opt.target_utilization = 0.5;
+  const Placement p = place(*nl_, opt);
+  const double die_area = p.die_width_um * p.die_height_um;
+  EXPECT_NEAR(die_area, nl_->total_cell_area() / 0.5, 1e-6);
+}
+
+TEST_F(PlacerTest, DeterministicForSameSeed) {
+  PlacerOptions opt;
+  opt.seed = 99;
+  const Placement a = place(*nl_, opt);
+  const Placement b = place(*nl_, opt);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.net_hpwl_um, b.net_hpwl_um);
+}
+
+TEST_F(PlacerTest, SeedChangesPlacement) {
+  PlacerOptions opt;
+  opt.seed = 1;
+  const Placement a = place(*nl_, opt);
+  opt.seed = 2;
+  const Placement b = place(*nl_, opt);
+  EXPECT_NE(a.x, b.x);
+}
+
+TEST_F(PlacerTest, HpwlSizedAndNonNegative) {
+  const Placement p = place(*nl_, PlacerOptions{});
+  ASSERT_EQ(p.net_hpwl_um.size(), nl_->num_nets());
+  double total = 0.0;
+  for (double h : p.net_hpwl_um) {
+    EXPECT_GE(h, 0.0);
+    total += h;
+  }
+  EXPECT_GT(total, 0.0);
+  EXPECT_NEAR(p.total_hpwl_um(), total, 1e-9);
+}
+
+TEST_F(PlacerTest, RelaxationReducesWirelength) {
+  PlacerOptions few;
+  few.effort_iterations = 2;
+  PlacerOptions many = few;
+  many.effort_iterations = 20;
+  const double hpwl_few = place(*nl_, few).total_hpwl_um();
+  const double hpwl_many = place(*nl_, many).total_hpwl_um();
+  EXPECT_LT(hpwl_many, hpwl_few);
+}
+
+TEST_F(PlacerTest, DensityCapLimitsBinFill) {
+  PlacerOptions tight;
+  tight.max_density = 0.70;
+  tight.effort_iterations = 16;
+  const Placement p = place(*nl_, tight);
+  // Spreading is iterative, not exact legalization: allow headroom, but the
+  // peak must come down toward the cap (random start peaks are much higher).
+  EXPECT_LT(p.max_bin_density(), 3.0 * tight.max_density);
+}
+
+TEST_F(PlacerTest, UniformDensitySpreadsMore) {
+  PlacerOptions base;
+  base.uniform_density = false;
+  PlacerOptions uniform = base;
+  uniform.uniform_density = true;
+  const double peak_base = place(*nl_, base).max_bin_density();
+  const double peak_uniform = place(*nl_, uniform).max_bin_density();
+  EXPECT_LE(peak_uniform, peak_base + 1e-9);
+}
+
+TEST_F(PlacerTest, CongestionMapShapeAndRange) {
+  const Placement p = place(*nl_, PlacerOptions{});
+  EXPECT_EQ(p.bin_congestion.size(), p.grid_nx * p.grid_ny);
+  for (double c : p.bin_congestion) EXPECT_GE(c, 0.0);
+  EXPECT_GE(p.hot_congestion(), 0.0);
+  EXPECT_GE(p.congestion_overflow(0.0), 0.0);
+  EXPECT_LE(p.congestion_overflow(0.0), 1.0);
+  // Threshold monotonicity.
+  EXPECT_GE(p.congestion_overflow(0.5), p.congestion_overflow(1.5));
+}
+
+TEST_F(PlacerTest, HighCongestionEffortReducesHotspots) {
+  PlacerOptions autoeffort;
+  autoeffort.congestion_effort = CongestionEffort::kAuto;
+  PlacerOptions high = autoeffort;
+  high.congestion_effort = CongestionEffort::kHigh;
+  const double hot_auto = place(*nl_, autoeffort).hot_congestion();
+  const double hot_high = place(*nl_, high).hot_congestion();
+  EXPECT_LE(hot_high, hot_auto * 1.05);  // at least not worse
+}
+
+}  // namespace
+}  // namespace ppat::place

@@ -1,0 +1,136 @@
+#include "power/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/mac_generator.hpp"
+
+namespace ppat::power {
+namespace {
+
+using netlist::CellFunction;
+using netlist::CellLibrary;
+using netlist::InstanceId;
+using netlist::Netlist;
+using netlist::NetId;
+
+class PowerTest : public ::testing::Test {
+ protected:
+  PowerTest() : lib_(CellLibrary::make_default()), nl_(&lib_) {}
+
+  sta::WireParasitics zero_wires() {
+    sta::WireParasitics p;
+    p.res_kohm.assign(nl_.num_nets(), 0.0);
+    p.cap_ff.assign(nl_.num_nets(), 0.0);
+    return p;
+  }
+
+  CellLibrary lib_;
+  Netlist nl_;
+};
+
+TEST_F(PowerTest, ActivityBoundedAndAttenuatedByAnd) {
+  const NetId a = nl_.add_primary_input();
+  const NetId b = nl_.add_primary_input();
+  const InstanceId g =
+      nl_.add_instance(lib_.find(CellFunction::kAnd2, 0), {a, b});
+  PowerOptions opt;
+  const auto act = propagate_activity(nl_, opt);
+  EXPECT_DOUBLE_EQ(act[a], opt.pi_activity);
+  EXPECT_LT(act[nl_.instance(g).fanout], opt.pi_activity);
+  for (double v : act) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST_F(PowerTest, XorAmplifiesActivity) {
+  const NetId a = nl_.add_primary_input();
+  const NetId b = nl_.add_primary_input();
+  const InstanceId x =
+      nl_.add_instance(lib_.find(CellFunction::kXor2, 0), {a, b});
+  PowerOptions opt;
+  const auto act = propagate_activity(nl_, opt);
+  EXPECT_GT(act[nl_.instance(x).fanout], opt.pi_activity);
+}
+
+TEST_F(PowerTest, FlipFlopOutputsUseFfActivity) {
+  const NetId a = nl_.add_primary_input();
+  const InstanceId ff =
+      nl_.add_instance(lib_.find(CellFunction::kDff, 0), {a});
+  PowerOptions opt;
+  opt.ff_activity = 0.33;
+  const auto act = propagate_activity(nl_, opt);
+  EXPECT_DOUBLE_EQ(act[nl_.instance(ff).fanout], 0.33);
+}
+
+TEST_F(PowerTest, LeakageMatchesLibrarySum) {
+  const NetId a = nl_.add_primary_input();
+  nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  nl_.add_instance(lib_.find(CellFunction::kInv, 1), {a});
+  const auto report = estimate_power(nl_, zero_wires(), 100.0, PowerOptions{});
+  const double expected_nw =
+      lib_.cell(lib_.find(CellFunction::kInv, 0)).leakage_nw +
+      lib_.cell(lib_.find(CellFunction::kInv, 1)).leakage_nw;
+  EXPECT_NEAR(report.leakage_mw, expected_nw * 1e-6, 1e-15);
+}
+
+TEST_F(PowerTest, DynamicPowerScalesWithFrequency) {
+  const NetId a = nl_.add_primary_input();
+  nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  PowerOptions slow;
+  slow.clock_freq_ghz = 0.5;
+  PowerOptions fast;
+  fast.clock_freq_ghz = 2.0;
+  const auto p_slow = estimate_power(nl_, zero_wires(), 100.0, slow);
+  const auto p_fast = estimate_power(nl_, zero_wires(), 100.0, fast);
+  EXPECT_NEAR(p_fast.dynamic_mw, 4.0 * p_slow.dynamic_mw, 1e-12);
+  EXPECT_DOUBLE_EQ(p_fast.leakage_mw, p_slow.leakage_mw);
+}
+
+TEST_F(PowerTest, WireCapAddsDynamicPower) {
+  const NetId a = nl_.add_primary_input();
+  const InstanceId g =
+      nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  auto wires = zero_wires();
+  const auto base = estimate_power(nl_, wires, 100.0, PowerOptions{});
+  wires.cap_ff[nl_.instance(g).fanout] = 50.0;
+  const auto loaded = estimate_power(nl_, wires, 100.0, PowerOptions{});
+  EXPECT_GT(loaded.dynamic_mw, base.dynamic_mw);
+}
+
+TEST_F(PowerTest, ClockTreePowerScalesWithFlops) {
+  PowerOptions opt;
+  const double p_small = clock_tree_power_mw(100, 200.0, opt);
+  const double p_big = clock_tree_power_mw(1000, 200.0, opt);
+  EXPECT_GT(p_big, p_small);
+  EXPECT_DOUBLE_EQ(clock_tree_power_mw(0, 200.0, opt), 0.0);
+}
+
+TEST_F(PowerTest, ClockPowerDrivenCtsSavesPower) {
+  PowerOptions base;
+  PowerOptions opt_cts = base;
+  opt_cts.clock_power_driven = true;
+  const double p_base = clock_tree_power_mw(500, 300.0, base);
+  const double p_opt = clock_tree_power_mw(500, 300.0, opt_cts);
+  EXPECT_NEAR(p_opt, 0.80 * p_base, 1e-12);
+}
+
+TEST_F(PowerTest, FullMacReportIsConsistent) {
+  netlist::MacConfig cfg;
+  cfg.operand_bits = 6;
+  cfg.lanes = 2;
+  Netlist mac = netlist::generate_mac(lib_, cfg);
+  sta::WireParasitics wires;
+  wires.res_kohm.assign(mac.num_nets(), 0.1);
+  wires.cap_ff.assign(mac.num_nets(), 5.0);
+  const auto report = estimate_power(mac, wires, 150.0, PowerOptions{});
+  EXPECT_GT(report.dynamic_mw, 0.0);
+  EXPECT_GT(report.leakage_mw, 0.0);
+  EXPECT_GT(report.clock_mw, 0.0);
+  EXPECT_NEAR(report.total_mw,
+              report.dynamic_mw + report.leakage_mw + report.clock_mw, 1e-12);
+  EXPECT_EQ(report.net_activity.size(), mac.num_nets());
+}
+
+}  // namespace
+}  // namespace ppat::power

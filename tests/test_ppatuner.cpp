@@ -1,0 +1,149 @@
+#include "tuner/ppatuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_benchmark.hpp"
+
+namespace ppat::tuner {
+namespace {
+
+class PpaTunerTest : public ::testing::Test {
+ protected:
+  PpaTunerTest()
+      : source_(testing::synthetic_benchmark("src", 150, 11, 0.15)),
+        target_(testing::synthetic_benchmark("tgt", 200, 12, 0.0)) {}
+
+  SourceData source_data(const std::vector<std::size_t>& objectives) {
+    return SourceData::from_benchmark(source_, objectives, 100, 5);
+  }
+
+  flow::BenchmarkSet source_, target_;
+};
+
+TEST_F(PpaTunerTest, FindsNearOptimalFront) {
+  CandidatePool pool(&target_, kPowerDelay);
+  PPATunerOptions opt;
+  opt.seed = 1;
+  opt.max_runs = 60;
+  PPATunerDiagnostics diag;
+  const auto result = run_ppatuner(
+      pool, make_transfer_gp_factory(source_data(kPowerDelay)), opt, &diag);
+  ASSERT_FALSE(result.pareto_indices.empty());
+  const auto q = evaluate_result(pool, result);
+  EXPECT_LT(q.hv_error, 0.25);
+  EXPECT_LT(q.adrs, 0.15);
+  EXPECT_GT(diag.rounds, 0u);
+}
+
+TEST_F(PpaTunerTest, RespectsRunBudget) {
+  CandidatePool pool(&target_, kPowerDelay);
+  PPATunerOptions opt;
+  opt.seed = 2;
+  opt.max_runs = 25;
+  const auto result = run_ppatuner(
+      pool, make_transfer_gp_factory(source_data(kPowerDelay)), opt);
+  EXPECT_LE(result.tool_runs, 25u);
+  EXPECT_EQ(result.tool_runs, pool.runs());
+}
+
+TEST_F(PpaTunerTest, WorksWithPlainGp) {
+  CandidatePool pool(&target_, kPowerDelay);
+  PPATunerOptions opt;
+  opt.seed = 3;
+  opt.max_runs = 60;
+  PPATunerDiagnostics diag;
+  const auto result =
+      run_ppatuner(pool, make_plain_gp_factory(), opt, &diag);
+  ASSERT_FALSE(result.pareto_indices.empty());
+  EXPECT_TRUE(diag.task_correlations.empty());  // no transfer models
+  const auto q = evaluate_result(pool, result);
+  EXPECT_LT(q.hv_error, 0.35);
+}
+
+TEST_F(PpaTunerTest, ThreeObjectiveSpace) {
+  CandidatePool pool(&target_, kAreaPowerDelay);
+  PPATunerOptions opt;
+  opt.seed = 4;
+  opt.max_runs = 70;
+  const auto result = run_ppatuner(
+      pool, make_transfer_gp_factory(source_data(kAreaPowerDelay)), opt);
+  ASSERT_FALSE(result.pareto_indices.empty());
+  const auto q = evaluate_result(pool, result);
+  EXPECT_LT(q.hv_error, 0.35);
+}
+
+TEST_F(PpaTunerTest, DiagnosticsPartitionThePool) {
+  CandidatePool pool(&target_, kPowerDelay);
+  PPATunerOptions opt;
+  opt.seed = 5;
+  opt.max_runs = 50;
+  PPATunerDiagnostics diag;
+  run_ppatuner(pool, make_transfer_gp_factory(source_data(kPowerDelay)),
+               opt, &diag);
+  EXPECT_EQ(diag.dropped + diag.classified_pareto + diag.undecided,
+            pool.size());
+  EXPECT_EQ(diag.task_correlations.size(), 2u);
+  for (double rho : diag.task_correlations) {
+    EXPECT_GT(rho, -1.0);
+    EXPECT_LT(rho, 1.0);
+  }
+}
+
+TEST_F(PpaTunerTest, DeterministicGivenSeed) {
+  PPATunerOptions opt;
+  opt.seed = 6;
+  opt.max_runs = 40;
+  CandidatePool pool_a(&target_, kPowerDelay);
+  CandidatePool pool_b(&target_, kPowerDelay);
+  const auto ra = run_ppatuner(
+      pool_a, make_transfer_gp_factory(source_data(kPowerDelay)), opt);
+  const auto rb = run_ppatuner(
+      pool_b, make_transfer_gp_factory(source_data(kPowerDelay)), opt);
+  EXPECT_EQ(ra.pareto_indices, rb.pareto_indices);
+  EXPECT_EQ(ra.tool_runs, rb.tool_runs);
+}
+
+TEST_F(PpaTunerTest, BatchSizeOneStillWorks) {
+  CandidatePool pool(&target_, kPowerDelay);
+  PPATunerOptions opt;
+  opt.seed = 7;
+  opt.max_runs = 30;
+  opt.batch_size = 1;
+  const auto result = run_ppatuner(
+      pool, make_transfer_gp_factory(source_data(kPowerDelay)), opt);
+  ASSERT_FALSE(result.pareto_indices.empty());
+  EXPECT_LE(result.tool_runs, 30u);
+}
+
+TEST_F(PpaTunerTest, LooseDeltaConvergesFaster) {
+  PPATunerOptions tight;
+  tight.seed = 8;
+  tight.max_runs = 200;
+  tight.delta_rel = 0.002;
+  PPATunerOptions loose = tight;
+  loose.delta_rel = 0.10;
+  CandidatePool pool_tight(&target_, kPowerDelay);
+  CandidatePool pool_loose(&target_, kPowerDelay);
+  const auto r_tight = run_ppatuner(
+      pool_tight, make_transfer_gp_factory(source_data(kPowerDelay)), tight);
+  const auto r_loose = run_ppatuner(
+      pool_loose, make_transfer_gp_factory(source_data(kPowerDelay)), loose);
+  // A looser precision target can only need fewer (or equal) tool runs.
+  EXPECT_LE(r_loose.tool_runs, r_tight.tool_runs);
+}
+
+TEST_F(PpaTunerTest, ResultIndicesAreValidAndUnique) {
+  CandidatePool pool(&target_, kPowerDelay);
+  PPATunerOptions opt;
+  opt.seed = 9;
+  opt.max_runs = 40;
+  const auto result = run_ppatuner(
+      pool, make_transfer_gp_factory(source_data(kPowerDelay)), opt);
+  std::set<std::size_t> unique(result.pareto_indices.begin(),
+                               result.pareto_indices.end());
+  EXPECT_EQ(unique.size(), result.pareto_indices.size());
+  for (std::size_t i : result.pareto_indices) EXPECT_LT(i, pool.size());
+}
+
+}  // namespace
+}  // namespace ppat::tuner

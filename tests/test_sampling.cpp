@@ -1,0 +1,130 @@
+#include "sample/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ppat::sample {
+namespace {
+
+TEST(LatinHypercube, PointsInUnitCube) {
+  common::Rng rng(1);
+  const auto pts = latin_hypercube(50, 4, rng);
+  ASSERT_EQ(pts.size(), 50u);
+  for (const auto& p : pts) {
+    ASSERT_EQ(p.size(), 4u);
+    for (double x : p) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+}
+
+TEST(LatinHypercube, OnePointPerStratumPerDimension) {
+  common::Rng rng(2);
+  const std::size_t n = 40;
+  const auto pts = latin_hypercube(n, 3, rng);
+  for (std::size_t dim = 0; dim < 3; ++dim) {
+    std::set<std::size_t> strata;
+    for (const auto& p : pts) {
+      strata.insert(static_cast<std::size_t>(p[dim] * static_cast<double>(n)));
+    }
+    EXPECT_EQ(strata.size(), n) << "dimension " << dim;
+  }
+}
+
+TEST(LatinHypercube, MaxGapBound) {
+  common::Rng rng(3);
+  const std::size_t n = 100;
+  const auto pts = latin_hypercube(n, 5, rng);
+  // LHS guarantees at most one empty stratum between consecutive points:
+  // the largest coordinate gap is < 2/n (plus boundary gaps < 1/n each).
+  EXPECT_LE(max_coordinate_gap(pts), 2.0 / static_cast<double>(n) + 1e-12);
+}
+
+TEST(LatinHypercube, DeterministicGivenSeed) {
+  common::Rng a(7), b(7);
+  const auto pa = latin_hypercube(10, 2, a);
+  const auto pb = latin_hypercube(10, 2, b);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(UniformRandom, RangeAndCount) {
+  common::Rng rng(4);
+  const auto pts = uniform_random(200, 3, rng);
+  ASSERT_EQ(pts.size(), 200u);
+  double mean = 0.0;
+  for (const auto& p : pts) {
+    for (double x : p) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+      mean += x;
+    }
+  }
+  EXPECT_NEAR(mean / (200.0 * 3.0), 0.5, 0.05);
+}
+
+TEST(FullGrid, SizeAndCenters) {
+  const auto pts = full_grid(3, 2);
+  ASSERT_EQ(pts.size(), 9u);
+  // Levels at stratum centers 1/6, 3/6, 5/6.
+  std::set<double> levels;
+  for (const auto& p : pts) levels.insert(p[0]);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_NEAR(*levels.begin(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(FullGrid, TooLargeThrows) {
+  EXPECT_THROW(full_grid(100, 8), std::invalid_argument);
+}
+
+TEST(Sobol, PointsInUnitInterval) {
+  const auto pts = SobolSequence::generate(64, 6, 11);
+  for (const auto& p : pts) {
+    for (double x : p) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+}
+
+TEST(Sobol, BalancedInHalves) {
+  // A power-of-two prefix of a (scrambled) Sobol sequence puts exactly half
+  // the points in each half-interval, per dimension.
+  const auto pts = SobolSequence::generate(64, 4, 5);
+  for (std::size_t dim = 0; dim < 4; ++dim) {
+    std::size_t low = 0;
+    for (const auto& p : pts) {
+      if (p[dim] < 0.5) ++low;
+    }
+    EXPECT_EQ(low, 32u) << "dimension " << dim;
+  }
+}
+
+TEST(Sobol, DeterministicAndSeedSensitive) {
+  const auto a = SobolSequence::generate(16, 3, 1);
+  const auto b = SobolSequence::generate(16, 3, 1);
+  const auto c = SobolSequence::generate(16, 3, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Sobol, RejectsBadDimensions) {
+  EXPECT_THROW(SobolSequence(0, 1), std::invalid_argument);
+  EXPECT_THROW(SobolSequence(17, 1), std::invalid_argument);
+}
+
+TEST(MaxCoordinateGap, KnownConfiguration) {
+  // Two points at 0.25 and 0.75: gaps are 0.25 (to 0), 0.5 (between),
+  // 0.25 (to 1) -> max 0.5.
+  std::vector<linalg::Vector> pts = {{0.25}, {0.75}};
+  EXPECT_NEAR(max_coordinate_gap(pts), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(max_coordinate_gap({}), 1.0);
+}
+
+}  // namespace
+}  // namespace ppat::sample

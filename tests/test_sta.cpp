@@ -1,0 +1,194 @@
+#include "sta/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+
+namespace ppat::sta {
+namespace {
+
+using netlist::CellFunction;
+using netlist::CellLibrary;
+using netlist::InstanceId;
+using netlist::Netlist;
+using netlist::NetId;
+
+class StaTest : public ::testing::Test {
+ protected:
+  StaTest() : lib_(CellLibrary::make_default()), nl_(&lib_) {}
+
+  /// Chain of `n` inverters from a fresh PI; returns the final net.
+  NetId build_inverter_chain(std::size_t n) {
+    NetId net = nl_.add_primary_input();
+    for (std::size_t i = 0; i < n; ++i) {
+      net = nl_.instance(nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                                          {net}))
+                .fanout;
+    }
+    nl_.mark_primary_output(net);
+    return net;
+  }
+
+  WireParasitics zero_wires() {
+    WireParasitics p;
+    p.res_kohm.assign(nl_.num_nets(), 0.0);
+    p.cap_ff.assign(nl_.num_nets(), 0.0);
+    return p;
+  }
+
+  CellLibrary lib_;
+  Netlist nl_;
+};
+
+TEST_F(StaTest, ExtractParasiticsScalesWithLengthAndRcFactor) {
+  Netlist nl(&lib_);
+  nl.add_primary_input();
+  std::vector<double> hpwl = {100.0};
+  const auto p1 = extract_parasitics(nl, hpwl, 1.0);
+  const auto p2 = extract_parasitics(nl, hpwl, 1.3);
+  EXPECT_NEAR(p1.res_kohm[0], kWireResKohmPerUm * 100.0, 1e-12);
+  EXPECT_NEAR(p1.cap_ff[0], kWireCapFfPerUm * 100.0, 1e-12);
+  EXPECT_NEAR(p2.res_kohm[0], p1.res_kohm[0] * 1.3, 1e-12);
+  EXPECT_NEAR(p2.cap_ff[0], p1.cap_ff[0] * 1.3, 1e-12);
+}
+
+TEST_F(StaTest, ArrivalGrowsAlongChain) {
+  const NetId out = build_inverter_chain(10);
+  const auto par = zero_wires();
+  TimingOptions opt;
+  const auto report = run_sta(nl_, par, opt);
+  // Arrival at the output exceeds input delay by at least 10 intrinsic
+  // delays.
+  const double intrinsic =
+      lib_.cell(lib_.find(CellFunction::kInv, 0)).intrinsic_delay_ns;
+  EXPECT_GT(report.arrival_ns[out], opt.input_delay_ns + 10 * intrinsic);
+  EXPECT_EQ(report.critical_delay_ns, report.arrival_ns[out]);
+}
+
+TEST_F(StaTest, LongerChainIsSlower) {
+  const NetId short_out = build_inverter_chain(5);
+  const NetId long_out = build_inverter_chain(20);
+  const auto report = run_sta(nl_, zero_wires(), TimingOptions{});
+  EXPECT_GT(report.arrival_ns[long_out], report.arrival_ns[short_out]);
+}
+
+TEST_F(StaTest, LoadIncreasesDelayAndSlew) {
+  // One inverter driving 1 sink vs an identical one driving 8 sinks.
+  const NetId a = nl_.add_primary_input();
+  const InstanceId light =
+      nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  const InstanceId heavy =
+      nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                   {nl_.instance(light).fanout});
+  for (int i = 0; i < 8; ++i) {
+    nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                     {nl_.instance(heavy).fanout});
+  }
+  const auto report = run_sta(nl_, zero_wires(), TimingOptions{});
+  EXPECT_GT(report.arrival_ns[nl_.instance(heavy).fanout],
+            report.arrival_ns[nl_.instance(light).fanout]);
+  EXPECT_GT(report.slew_ns[nl_.instance(heavy).fanout],
+            report.slew_ns[nl_.instance(light).fanout]);
+}
+
+TEST_F(StaTest, StrongerDriverIsFaster) {
+  const NetId a = nl_.add_primary_input();
+  const InstanceId weak =
+      nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  const InstanceId strong =
+      nl_.add_instance(lib_.find(CellFunction::kInv, 2), {a});
+  for (int i = 0; i < 6; ++i) {
+    nl_.add_instance(lib_.find(CellFunction::kBuf, 0),
+                     {nl_.instance(weak).fanout});
+    nl_.add_instance(lib_.find(CellFunction::kBuf, 0),
+                     {nl_.instance(strong).fanout});
+  }
+  const auto report = run_sta(nl_, zero_wires(), TimingOptions{});
+  EXPECT_LT(report.arrival_ns[nl_.instance(strong).fanout],
+            report.arrival_ns[nl_.instance(weak).fanout]);
+}
+
+TEST_F(StaTest, WnsReflectsClockPeriod) {
+  build_inverter_chain(10);
+  TimingOptions fast;
+  fast.clock_period_ns = 0.05;  // impossible
+  TimingOptions slow;
+  slow.clock_period_ns = 100.0;  // trivially met
+  const auto r_fast = run_sta(nl_, zero_wires(), fast);
+  const auto r_slow = run_sta(nl_, zero_wires(), slow);
+  EXPECT_LT(r_fast.wns_ns, 0.0);
+  EXPECT_GT(r_fast.violating_endpoints, 0u);
+  EXPECT_GT(r_slow.wns_ns, 0.0);
+  EXPECT_EQ(r_slow.violating_endpoints, 0u);
+  EXPECT_LE(r_fast.tns_ns, 0.0);
+  EXPECT_DOUBLE_EQ(r_slow.tns_ns, 0.0);
+}
+
+TEST_F(StaTest, UncertaintyTightensRequiredTime) {
+  // Endpoint at a flip-flop: required = period - setup - uncertainty.
+  const NetId a = nl_.add_primary_input();
+  const InstanceId inv =
+      nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  nl_.add_instance(lib_.find(CellFunction::kDff, 0),
+                   {nl_.instance(inv).fanout});
+  TimingOptions small_u;
+  small_u.clock_uncertainty_ns = 0.0;
+  TimingOptions big_u;
+  big_u.clock_uncertainty_ns = 0.2;
+  const auto r_small = run_sta(nl_, zero_wires(), small_u);
+  const auto r_big = run_sta(nl_, zero_wires(), big_u);
+  EXPECT_NEAR(r_small.wns_ns - r_big.wns_ns, 0.2, 1e-9);
+}
+
+TEST_F(StaTest, FlipFlopsLaunchFreshPaths) {
+  // PI -> 10 inv -> DFF -> 2 inv -> PO: the post-FF path is short, so its
+  // endpoint arrival is clk_to_q + 2 gate delays, independent of the long
+  // pre-FF cone.
+  NetId net = nl_.add_primary_input();
+  for (int i = 0; i < 10; ++i) {
+    net = nl_.instance(nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                                        {net}))
+              .fanout;
+  }
+  const InstanceId ff =
+      nl_.add_instance(lib_.find(CellFunction::kDff, 0), {net});
+  NetId post = nl_.instance(ff).fanout;
+  for (int i = 0; i < 2; ++i) {
+    post = nl_.instance(nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                                         {post}))
+               .fanout;
+  }
+  nl_.mark_primary_output(post);
+  TimingOptions opt;
+  const auto report = run_sta(nl_, zero_wires(), opt);
+  EXPECT_LT(report.arrival_ns[post], report.arrival_ns[net]);
+  EXPECT_GT(report.arrival_ns[post], opt.clk_to_q_ns);
+}
+
+TEST_F(StaTest, WireRcAddsDelay) {
+  const NetId out = build_inverter_chain(5);
+  WireParasitics wires = zero_wires();
+  const auto base = run_sta(nl_, wires, TimingOptions{});
+  for (auto& r : wires.res_kohm) r = 0.5;
+  for (auto& c : wires.cap_ff) c = 20.0;
+  const auto loaded = run_sta(nl_, wires, TimingOptions{});
+  EXPECT_GT(loaded.arrival_ns[out], base.arrival_ns[out]);
+}
+
+TEST_F(StaTest, NetLoadSumsWireAndPins) {
+  const NetId a = nl_.add_primary_input();
+  const InstanceId inv =
+      nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  nl_.add_instance(lib_.find(CellFunction::kInv, 1),
+                   {nl_.instance(inv).fanout});
+  WireParasitics wires = zero_wires();
+  wires.cap_ff[nl_.instance(inv).fanout] = 7.0;
+  const double expected =
+      7.0 + lib_.cell(lib_.find(CellFunction::kInv, 1)).input_cap_ff;
+  EXPECT_NEAR(net_load_ff(nl_, wires, nl_.instance(inv).fanout), expected,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace ppat::sta

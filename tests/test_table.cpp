@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppat::common {
+namespace {
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable t("Title");
+  t.set_header({"name", "v"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  // Each data line should be as wide as the widest cell per column.
+  EXPECT_NE(out.find("a      | 1"), std::string::npos);
+  EXPECT_NE(out.find("longer | 22"), std::string::npos);
+}
+
+TEST(AsciiTable, SeparatorProducesRule) {
+  AsciiTable t;
+  t.set_header({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Two rules: one under the header, one inserted.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("-\n", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_GE(rules, 2u);
+}
+
+TEST(AsciiTable, RowCount) {
+  AsciiTable t;
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"a"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Format, FixedDigits) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 3), "2.000");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Format, General) {
+  EXPECT_EQ(fmt_general(12345.678), "1.23e+04");
+  EXPECT_EQ(fmt_general(0.25), "0.25");
+}
+
+}  // namespace
+}  // namespace ppat::common

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "netlist/mac_generator.hpp"
+#include "sta/sta.hpp"
+
+namespace ppat::sta {
+namespace {
+
+using netlist::CellFunction;
+using netlist::CellLibrary;
+using netlist::InstanceId;
+using netlist::Netlist;
+using netlist::NetId;
+
+class TimingPathsTest : public ::testing::Test {
+ protected:
+  TimingPathsTest() : lib_(CellLibrary::make_default()), nl_(&lib_) {}
+
+  WireParasitics zero_wires() {
+    WireParasitics p;
+    p.res_kohm.assign(nl_.num_nets(), 0.0);
+    p.cap_ff.assign(nl_.num_nets(), 0.0);
+    return p;
+  }
+
+  CellLibrary lib_;
+  Netlist nl_;
+};
+
+TEST_F(TimingPathsTest, TracesChainToLaunchPoint) {
+  // PI -> 4 inverters -> PO: the worst (only) path lists all five nets.
+  NetId net = nl_.add_primary_input();
+  const NetId launch = net;
+  for (int i = 0; i < 4; ++i) {
+    net = nl_.instance(nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                                        {net}))
+              .fanout;
+  }
+  nl_.mark_primary_output(net);
+
+  const auto wires = zero_wires();
+  TimingOptions opt;
+  const auto report = run_sta(nl_, wires, opt);
+  const auto paths = worst_paths(nl_, wires, opt, report, 3);
+  ASSERT_EQ(paths.size(), 1u);  // single endpoint
+  const auto& p = paths[0];
+  EXPECT_EQ(p.nets.size(), 5u);
+  EXPECT_EQ(p.nets.front(), launch);
+  EXPECT_EQ(p.nets.back(), net);
+  EXPECT_FALSE(p.ends_at_flop);
+  EXPECT_NEAR(p.arrival_ns, report.critical_delay_ns, 1e-12);
+  // Arrivals are monotone along the reported path.
+  for (std::size_t i = 1; i < p.nets.size(); ++i) {
+    EXPECT_GE(report.arrival_ns[p.nets[i]], report.arrival_ns[p.nets[i - 1]]);
+  }
+}
+
+TEST_F(TimingPathsTest, WorstPathComesFirst) {
+  // Two cones of different depth ending at two POs.
+  NetId a = nl_.add_primary_input();
+  NetId deep = a;
+  for (int i = 0; i < 8; ++i) {
+    deep = nl_.instance(nl_.add_instance(lib_.find(CellFunction::kInv, 0),
+                                         {deep}))
+               .fanout;
+  }
+  NetId shallow = nl_.instance(nl_.add_instance(
+                                   lib_.find(CellFunction::kInv, 0), {a}))
+                      .fanout;
+  nl_.mark_primary_output(deep);
+  nl_.mark_primary_output(shallow);
+
+  const auto wires = zero_wires();
+  TimingOptions opt;
+  const auto report = run_sta(nl_, wires, opt);
+  const auto paths = worst_paths(nl_, wires, opt, report, 2);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_LE(paths[0].slack_ns, paths[1].slack_ns);
+  EXPECT_EQ(paths[0].nets.back(), deep);
+}
+
+TEST_F(TimingPathsTest, PathsStopAtFlipFlops) {
+  // PI -> inv -> DFF -> inv -> PO: the PO path launches at the FF, not the
+  // PI.
+  const NetId a = nl_.add_primary_input();
+  const InstanceId g1 =
+      nl_.add_instance(lib_.find(CellFunction::kInv, 0), {a});
+  const InstanceId ff = nl_.add_instance(lib_.find(CellFunction::kDff, 0),
+                                         {nl_.instance(g1).fanout});
+  const NetId q = nl_.instance(ff).fanout;
+  const InstanceId g2 =
+      nl_.add_instance(lib_.find(CellFunction::kInv, 0), {q});
+  const NetId out = nl_.instance(g2).fanout;
+  nl_.mark_primary_output(out);
+
+  const auto wires = zero_wires();
+  TimingOptions opt;
+  const auto report = run_sta(nl_, wires, opt);
+  const auto paths = worst_paths(nl_, wires, opt, report, 10);
+  // Endpoints: the FF's D pin and the PO.
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    if (p.ends_at_flop) {
+      EXPECT_EQ(p.nets.front(), a);
+    } else {
+      EXPECT_EQ(p.nets.front(), q);  // launched at the flop output
+      EXPECT_EQ(p.nets.back(), out);
+    }
+  }
+}
+
+TEST_F(TimingPathsTest, WorksOnFullMac) {
+  netlist::MacConfig cfg;
+  cfg.operand_bits = 6;
+  cfg.lanes = 2;
+  Netlist mac = netlist::generate_mac(lib_, cfg);
+  WireParasitics wires;
+  wires.res_kohm.assign(mac.num_nets(), 0.05);
+  wires.cap_ff.assign(mac.num_nets(), 2.0);
+  TimingOptions opt;
+  const auto report = run_sta(mac, wires, opt);
+  const auto paths = worst_paths(mac, wires, opt, report, 5);
+  ASSERT_EQ(paths.size(), 5u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].slack_ns, paths[i].slack_ns);
+  }
+  // The worst path's arrival matches the report's critical delay.
+  EXPECT_NEAR(paths[0].arrival_ns, report.critical_delay_ns, 1e-9);
+}
+
+}  // namespace
+}  // namespace ppat::sta

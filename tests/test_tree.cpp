@@ -1,0 +1,159 @@
+#include "tree/regression_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ppat::tree {
+namespace {
+
+struct Data {
+  std::vector<linalg::Vector> xs;
+  linalg::Vector ys;
+};
+
+Data step_data(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  Data d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform01();
+    const double x1 = rng.uniform01();
+    d.xs.push_back({x0, x1});
+    d.ys.push_back(x0 > 0.5 ? 10.0 : -10.0);  // depends only on feature 0
+  }
+  return d;
+}
+
+TEST(RegressionTree, LearnsStepFunction) {
+  const auto d = step_data(200, 1);
+  RegressionTree tree;
+  tree.fit(d.xs, d.ys);
+  EXPECT_NEAR(tree.predict({0.9, 0.5}), 10.0, 1e-9);
+  EXPECT_NEAR(tree.predict({0.1, 0.5}), -10.0, 1e-9);
+}
+
+TEST(RegressionTree, CreditsInformativeFeature) {
+  const auto d = step_data(200, 2);
+  RegressionTree tree;
+  tree.fit(d.xs, d.ys);
+  const auto& gains = tree.feature_gains();
+  ASSERT_EQ(gains.size(), 2u);
+  EXPECT_GT(gains[0], gains[1] * 10.0);
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+  const auto d = step_data(100, 3);
+  RegressionTree tree;
+  TreeOptions opt;
+  opt.max_depth = 0;  // leaf only
+  tree.fit(d.xs, d.ys, opt);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  // Leaf predicts the mean.
+  double mean = 0.0;
+  for (double y : d.ys) mean += y;
+  mean /= static_cast<double>(d.ys.size());
+  EXPECT_NEAR(tree.predict({0.3, 0.3}), mean, 1e-9);
+}
+
+TEST(RegressionTree, MinLeafSizeHonored) {
+  Data d;
+  // Nine identical points and one outlier: min_samples_leaf=3 forbids
+  // isolating the outlier alone.
+  for (int i = 0; i < 9; ++i) {
+    d.xs.push_back({0.1});
+    d.ys.push_back(0.0);
+  }
+  d.xs.push_back({0.9});
+  d.ys.push_back(100.0);
+  RegressionTree tree;
+  TreeOptions opt;
+  opt.min_samples_leaf = 3;
+  tree.fit(d.xs, d.ys, opt);
+  // Prediction at the outlier cannot be the pure outlier value.
+  EXPECT_LT(tree.predict({0.9}), 100.0);
+}
+
+TEST(RegressionTree, RejectsEmptyInput) {
+  RegressionTree tree;
+  EXPECT_THROW(tree.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(tree.predict({0.0}), std::runtime_error);
+}
+
+TEST(GradientBoosting, ReducesTrainingError) {
+  common::Rng rng(4);
+  Data d;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform01();
+    d.xs.push_back({x});
+    d.ys.push_back(std::sin(6.0 * x) + 0.5 * x);
+  }
+  auto rmse_of = [&d](std::size_t trees) {
+    GradientBoosting model;
+    BoostingOptions opt;
+    opt.num_trees = trees;
+    opt.row_subsample = 1.0;
+    model.fit(d.xs, d.ys, opt);
+    double sse = 0.0;
+    for (std::size_t i = 0; i < d.xs.size(); ++i) {
+      const double e = model.predict(d.xs[i]) - d.ys[i];
+      sse += e * e;
+    }
+    return std::sqrt(sse / static_cast<double>(d.xs.size()));
+  };
+  const double rmse_few = rmse_of(5);
+  const double rmse_many = rmse_of(150);
+  EXPECT_LT(rmse_many, rmse_few * 0.5);
+  EXPECT_LT(rmse_many, 0.1);
+}
+
+TEST(GradientBoosting, FeatureImportancesSumToOne) {
+  const auto d = step_data(200, 5);
+  GradientBoosting model;
+  model.fit(d.xs, d.ys);
+  const auto imp = model.feature_importances();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+  EXPECT_GT(imp[0], 0.9);  // feature 0 carries all the signal
+}
+
+TEST(GradientBoosting, DeterministicGivenSeed) {
+  const auto d = step_data(150, 6);
+  BoostingOptions opt;
+  opt.seed = 42;
+  GradientBoosting a, b;
+  a.fit(d.xs, d.ys, opt);
+  b.fit(d.xs, d.ys, opt);
+  for (int i = 0; i < 10; ++i) {
+    const linalg::Vector q = {0.1 * i, 0.5};
+    EXPECT_DOUBLE_EQ(a.predict(q), b.predict(q));
+  }
+}
+
+TEST(GradientBoosting, PredictBatchMatchesSingle) {
+  const auto d = step_data(100, 7);
+  GradientBoosting model;
+  model.fit(d.xs, d.ys);
+  const auto batch = model.predict_batch(d.xs);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], model.predict(d.xs[i]));
+  }
+}
+
+TEST(GradientBoosting, ConstantTargetGivesUniformImportance) {
+  Data d;
+  for (int i = 0; i < 50; ++i) {
+    d.xs.push_back({static_cast<double>(i) / 50.0, 0.5});
+    d.ys.push_back(3.0);
+  }
+  GradientBoosting model;
+  model.fit(d.xs, d.ys);
+  EXPECT_NEAR(model.predict({0.5, 0.5}), 3.0, 1e-9);
+  const auto imp = model.feature_importances();
+  EXPECT_NEAR(imp[0], 0.5, 1e-9);
+  EXPECT_NEAR(imp[1], 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace ppat::tree

@@ -1,0 +1,170 @@
+#include "netlist/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/mac_generator.hpp"
+#include "netlist_sim.hpp"
+
+namespace ppat::netlist {
+namespace {
+
+/// Structural equivalence: same instance sequence (cell + where each pin's
+/// signal comes from: a PI index, a driver instance, or nothing).
+void expect_isomorphic(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.num_instances(), b.num_instances());
+  ASSERT_EQ(a.primary_inputs().size(), b.primary_inputs().size());
+
+  auto signal_source = [](const Netlist& nl, NetId net) -> std::string {
+    const auto& pis = nl.primary_inputs();
+    for (std::size_t k = 0; k < pis.size(); ++k) {
+      if (pis[k] == net) return "pi" + std::to_string(k);
+    }
+    const InstanceId drv = nl.net(net).driver;
+    if (drv == kInvalidId) return "floating";
+    return "u" + std::to_string(drv);
+  };
+
+  for (InstanceId i = 0; i < a.num_instances(); ++i) {
+    const auto& ia = a.instance(i);
+    const auto& ib = b.instance(i);
+    EXPECT_EQ(a.library().cell(ia.cell).name, b.library().cell(ib.cell).name)
+        << "instance " << i;
+    ASSERT_EQ(ia.fanins.size(), ib.fanins.size()) << "instance " << i;
+    for (std::size_t pin = 0; pin < ia.fanins.size(); ++pin) {
+      EXPECT_EQ(signal_source(a, ia.fanins[pin]),
+                signal_source(b, ib.fanins[pin]))
+          << "instance " << i << " pin " << pin;
+    }
+    EXPECT_EQ(a.net(ia.fanout).is_primary_output,
+              b.net(ib.fanout).is_primary_output)
+        << "instance " << i;
+  }
+}
+
+class VerilogTest : public ::testing::Test {
+ protected:
+  VerilogTest() : lib_(CellLibrary::make_default()) {}
+  CellLibrary lib_;
+};
+
+TEST_F(VerilogTest, EmitsExpectedShape) {
+  Netlist nl(&lib_);
+  const NetId a = nl.add_primary_input();
+  const NetId b = nl.add_primary_input();
+  const InstanceId g =
+      nl.add_instance(lib_.find(CellFunction::kNand2, 1), {a, b});
+  const InstanceId ff = nl.add_instance(lib_.find(CellFunction::kDff, 0),
+                                        {nl.instance(g).fanout});
+  nl.mark_primary_output(nl.instance(ff).fanout);
+
+  const std::string v = to_verilog(nl, "top");
+  EXPECT_NE(v.find("module top (clk, pi0, pi1"), std::string::npos);
+  EXPECT_NE(v.find("NAND2_X2 u0 (.A(pi0), .B(pi1)"), std::string::npos);
+  EXPECT_NE(v.find(".CK(clk)"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST_F(VerilogTest, RoundTripSmallNetlist) {
+  Netlist nl(&lib_);
+  const NetId a = nl.add_primary_input();
+  const NetId b = nl.add_primary_input();
+  const InstanceId x =
+      nl.add_instance(lib_.find(CellFunction::kXor2, 0), {a, b});
+  const InstanceId y = nl.add_instance(lib_.find(CellFunction::kAoi21, 0),
+                                       {a, b, nl.instance(x).fanout});
+  nl.mark_primary_output(nl.instance(y).fanout);
+
+  const Netlist parsed = parse_verilog(lib_, to_verilog(nl, "t"));
+  expect_isomorphic(nl, parsed);
+}
+
+TEST_F(VerilogTest, RoundTripMacWithFeedback) {
+  MacConfig cfg;
+  cfg.operand_bits = 4;
+  cfg.lanes = 2;
+  cfg.pipeline_stages = 1;
+  const Netlist nl = generate_mac(lib_, cfg);
+  const Netlist parsed = parse_verilog(lib_, to_verilog(nl, "mac"));
+  expect_isomorphic(nl, parsed);
+}
+
+TEST_F(VerilogTest, RoundTripPreservesFunction) {
+  MacConfig cfg;
+  cfg.operand_bits = 3;
+  cfg.lanes = 1;
+  cfg.pipeline_stages = 0;
+  const Netlist nl = generate_mac(lib_, cfg);
+  const Netlist parsed = parse_verilog(lib_, to_verilog(nl, "mac"));
+
+  // Simulate both and compare accumulator outputs.
+  for (std::uint64_t a = 1; a < 8; a += 3) {
+    testing::Simulator s1(nl), s2(parsed);
+    const auto& pis1 = nl.primary_inputs();
+    const auto& pis2 = parsed.primary_inputs();
+    for (unsigned i = 0; i < 6; ++i) {
+      const bool bit = (0b110101 >> i) & 1;
+      s1.set_input(pis1[i], bit);
+      s2.set_input(pis2[i], bit);
+    }
+    s1.clock();
+    s1.clock();
+    s2.clock();
+    s2.clock();
+    EXPECT_EQ(s1.read_bus(nl.primary_outputs()),
+              s2.read_bus(parsed.primary_outputs()));
+  }
+}
+
+TEST_F(VerilogTest, ParserRejectsUnknownCell) {
+  const std::string v =
+      "module t (clk, pi0, n1);\n"
+      "  input clk;\n  input pi0;\n  output n1;\n"
+      "  BOGUS_X9 u0 (.A(pi0), .Y(n1));\n"
+      "endmodule\n";
+  EXPECT_THROW(parse_verilog(lib_, v), std::runtime_error);
+}
+
+TEST_F(VerilogTest, ParserRejectsMultipleDrivers) {
+  const std::string v =
+      "module t (clk, pi0, n1);\n"
+      "  input clk;\n  input pi0;\n  output n1;\n"
+      "  INV_X1 u0 (.A(pi0), .Y(n1));\n"
+      "  INV_X1 u1 (.A(pi0), .Y(n1));\n"
+      "endmodule\n";
+  EXPECT_THROW(parse_verilog(lib_, v), std::runtime_error);
+}
+
+TEST_F(VerilogTest, ParserRejectsMissingPin) {
+  const std::string v =
+      "module t (clk, pi0, n1);\n"
+      "  input clk;\n  input pi0;\n  output n1;\n"
+      "  NAND2_X1 u0 (.A(pi0), .Y(n1));\n"
+      "endmodule\n";
+  EXPECT_THROW(parse_verilog(lib_, v), std::runtime_error);
+}
+
+TEST_F(VerilogTest, ParserRejectsMissingSemicolon) {
+  const std::string v =
+      "module t (clk, pi0);\n"
+      "  input clk\n"
+      "endmodule\n";
+  EXPECT_THROW(parse_verilog(lib_, v), std::runtime_error);
+}
+
+TEST_F(VerilogTest, ForwardReferencesResolve) {
+  // u0 reads n2 before u1 (its driver) is declared.
+  const std::string v =
+      "module t (clk, pi0, n1);\n"
+      "  input clk;\n  input pi0;\n  output n1;\n"
+      "  wire n2;\n"
+      "  INV_X1 u0 (.A(n2), .Y(n1));\n"
+      "  INV_X1 u1 (.A(pi0), .Y(n2));\n"
+      "endmodule\n";
+  const Netlist parsed = parse_verilog(lib_, v);
+  EXPECT_EQ(parsed.num_instances(), 2u);
+  // u0's fanin must be driven by u1.
+  EXPECT_EQ(parsed.net(parsed.instance(0).fanins[0]).driver, 1u);
+}
+
+}  // namespace
+}  // namespace ppat::netlist

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Plots HV-error-vs-runs convergence curves from
+data/results_convergence.csv.
+
+Usage: tools/plot_convergence.py [csv_path] [output.png]
+"""
+import csv
+import sys
+from collections import defaultdict
+
+
+def main() -> None:
+    csv_path = (
+        sys.argv[1] if len(sys.argv) > 1 else "data/results_convergence.csv"
+    )
+    out_path = sys.argv[2] if len(sys.argv) > 2 else "convergence.png"
+
+    series = defaultdict(lambda: ([], []))
+    with open(csv_path, newline="") as f:
+        for row in csv.DictReader(f):
+            xs, ys = series[row["method"]]
+            xs.append(int(row["runs"]))
+            ys.append(float(row["hv_error"]))
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    plt.figure(figsize=(6, 4.5))
+    for name, (xs, ys) in sorted(series.items()):
+        pts = sorted(zip(xs, ys))
+        plt.plot([p[0] for p in pts], [p[1] for p in pts], marker="o",
+                 markersize=4, label=name)
+    plt.xlabel("tool runs")
+    plt.ylabel("hypervolume error of revealed front")
+    plt.title("Convergence on Target2 (power-delay)")
+    plt.legend(fontsize=8)
+    plt.grid(alpha=0.3)
+    plt.yscale("log")
+    plt.tight_layout()
+    plt.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

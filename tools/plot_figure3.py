@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Plots the paper's Figure 3 from data/results_figure3.csv.
+
+Usage: tools/plot_figure3.py [csv_path] [output.png]
+Requires matplotlib (not needed by the C++ build or benches).
+"""
+import csv
+import sys
+from collections import defaultdict
+
+
+def main() -> None:
+    csv_path = sys.argv[1] if len(sys.argv) > 1 else "data/results_figure3.csv"
+    out_path = sys.argv[2] if len(sys.argv) > 2 else "figure3.png"
+
+    series = defaultdict(lambda: ([], []))
+    with open(csv_path, newline="") as f:
+        for row in csv.DictReader(f):
+            xs, ys = series[row["series"]]
+            xs.append(float(row["power_mw"]))
+            ys.append(float(row["delay_ns"]))
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    markers = {
+        "Golden": ("*", "red"),
+        "PPATuner": ("o", "tab:green"),
+        "TCAD'19": ("s", "tab:blue"),
+        "MLCAD'19": ("^", "tab:orange"),
+        "DAC'19": ("v", "tab:purple"),
+        "ASPDAC'20": ("D", "tab:brown"),
+    }
+    plt.figure(figsize=(6, 4.5))
+    for name, (xs, ys) in series.items():
+        pts = sorted(zip(xs, ys))
+        marker, color = markers.get(name, ("x", "gray"))
+        plt.plot(
+            [p[0] for p in pts],
+            [p[1] for p in pts],
+            marker=marker,
+            color=color,
+            linestyle="--" if name == "Golden" else ":",
+            label=name,
+            markersize=7 if name == "Golden" else 5,
+        )
+    plt.xlabel("power (mW)")
+    plt.ylabel("delay (ns)")
+    plt.title("Pareto fronts in power vs delay space on Target2")
+    plt.legend(fontsize=8)
+    plt.grid(alpha=0.3)
+    plt.tight_layout()
+    plt.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()
