@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gp_microbench.dir/bench_gp_microbench.cpp.o"
+  "CMakeFiles/bench_gp_microbench.dir/bench_gp_microbench.cpp.o.d"
+  "bench_gp_microbench"
+  "bench_gp_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gp_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdsim_microbench.dir/bench_pdsim_microbench.cpp.o"
+  "CMakeFiles/bench_pdsim_microbench.dir/bench_pdsim_microbench.cpp.o.d"
+  "bench_pdsim_microbench"
+  "bench_pdsim_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdsim_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/ppat_bench_common.dir/bench_common.cpp.o.d"
+  "libppat_bench_common.a"
+  "libppat_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

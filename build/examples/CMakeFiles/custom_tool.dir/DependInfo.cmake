@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_tool.cpp" "examples/CMakeFiles/custom_tool.dir/custom_tool.cpp.o" "gcc" "examples/CMakeFiles/custom_tool.dir/custom_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/ppat_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ppat_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ppat_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/ppat_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ppat_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/ppat_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/ppat_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/ppat_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/ppat_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/ppat_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mf/CMakeFiles/ppat_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/ppat_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppat_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

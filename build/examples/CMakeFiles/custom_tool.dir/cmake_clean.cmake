@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_tool.dir/custom_tool.cpp.o"
+  "CMakeFiles/custom_tool.dir/custom_tool.cpp.o.d"
+  "custom_tool"
+  "custom_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_same_design.dir/scenario_same_design.cpp.o"
+  "CMakeFiles/scenario_same_design.dir/scenario_same_design.cpp.o.d"
+  "scenario_same_design"
+  "scenario_same_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_same_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_similar_designs.dir/scenario_similar_designs.cpp.o"
+  "CMakeFiles/scenario_similar_designs.dir/scenario_similar_designs.cpp.o.d"
+  "scenario_similar_designs"
+  "scenario_similar_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_similar_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_from_csv.dir/tune_from_csv.cpp.o"
+  "CMakeFiles/tune_from_csv.dir/tune_from_csv.cpp.o.d"
+  "tune_from_csv"
+  "tune_from_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_from_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

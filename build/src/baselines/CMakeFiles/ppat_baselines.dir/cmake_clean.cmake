@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_baselines.dir/aspdac20.cpp.o"
+  "CMakeFiles/ppat_baselines.dir/aspdac20.cpp.o.d"
+  "CMakeFiles/ppat_baselines.dir/dac19.cpp.o"
+  "CMakeFiles/ppat_baselines.dir/dac19.cpp.o.d"
+  "CMakeFiles/ppat_baselines.dir/mlcad19.cpp.o"
+  "CMakeFiles/ppat_baselines.dir/mlcad19.cpp.o.d"
+  "CMakeFiles/ppat_baselines.dir/tcad19.cpp.o"
+  "CMakeFiles/ppat_baselines.dir/tcad19.cpp.o.d"
+  "libppat_baselines.a"
+  "libppat_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

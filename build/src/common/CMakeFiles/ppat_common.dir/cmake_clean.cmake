@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_common.dir/csv.cpp.o"
+  "CMakeFiles/ppat_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ppat_common.dir/log.cpp.o"
+  "CMakeFiles/ppat_common.dir/log.cpp.o.d"
+  "CMakeFiles/ppat_common.dir/rng.cpp.o"
+  "CMakeFiles/ppat_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ppat_common.dir/stats.cpp.o"
+  "CMakeFiles/ppat_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ppat_common.dir/table.cpp.o"
+  "CMakeFiles/ppat_common.dir/table.cpp.o.d"
+  "libppat_common.a"
+  "libppat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

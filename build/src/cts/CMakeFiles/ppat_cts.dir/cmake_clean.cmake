@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_cts.dir/cts.cpp.o"
+  "CMakeFiles/ppat_cts.dir/cts.cpp.o.d"
+  "libppat_cts.a"
+  "libppat_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppat_cts.a"
+)

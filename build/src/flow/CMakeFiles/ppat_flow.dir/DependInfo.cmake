@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/benchmark.cpp" "src/flow/CMakeFiles/ppat_flow.dir/benchmark.cpp.o" "gcc" "src/flow/CMakeFiles/ppat_flow.dir/benchmark.cpp.o.d"
+  "/root/repo/src/flow/parameter.cpp" "src/flow/CMakeFiles/ppat_flow.dir/parameter.cpp.o" "gcc" "src/flow/CMakeFiles/ppat_flow.dir/parameter.cpp.o.d"
+  "/root/repo/src/flow/pd_tool.cpp" "src/flow/CMakeFiles/ppat_flow.dir/pd_tool.cpp.o" "gcc" "src/flow/CMakeFiles/ppat_flow.dir/pd_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppat_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/ppat_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/ppat_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/ppat_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/ppat_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ppat_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_flow.dir/benchmark.cpp.o"
+  "CMakeFiles/ppat_flow.dir/benchmark.cpp.o.d"
+  "CMakeFiles/ppat_flow.dir/parameter.cpp.o"
+  "CMakeFiles/ppat_flow.dir/parameter.cpp.o.d"
+  "CMakeFiles/ppat_flow.dir/pd_tool.cpp.o"
+  "CMakeFiles/ppat_flow.dir/pd_tool.cpp.o.d"
+  "libppat_flow.a"
+  "libppat_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

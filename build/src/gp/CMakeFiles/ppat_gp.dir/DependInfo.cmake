@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/gp.cpp" "src/gp/CMakeFiles/ppat_gp.dir/gp.cpp.o" "gcc" "src/gp/CMakeFiles/ppat_gp.dir/gp.cpp.o.d"
+  "/root/repo/src/gp/kernel.cpp" "src/gp/CMakeFiles/ppat_gp.dir/kernel.cpp.o" "gcc" "src/gp/CMakeFiles/ppat_gp.dir/kernel.cpp.o.d"
+  "/root/repo/src/gp/transfer_gp.cpp" "src/gp/CMakeFiles/ppat_gp.dir/transfer_gp.cpp.o" "gcc" "src/gp/CMakeFiles/ppat_gp.dir/transfer_gp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppat_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_gp.dir/gp.cpp.o"
+  "CMakeFiles/ppat_gp.dir/gp.cpp.o.d"
+  "CMakeFiles/ppat_gp.dir/kernel.cpp.o"
+  "CMakeFiles/ppat_gp.dir/kernel.cpp.o.d"
+  "CMakeFiles/ppat_gp.dir/transfer_gp.cpp.o"
+  "CMakeFiles/ppat_gp.dir/transfer_gp.cpp.o.d"
+  "libppat_gp.a"
+  "libppat_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/ppat_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/ppat_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/ppat_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/ppat_linalg.dir/neldermead.cpp.o"
+  "CMakeFiles/ppat_linalg.dir/neldermead.cpp.o.d"
+  "libppat_linalg.a"
+  "libppat_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_mf.dir/matrix_factorization.cpp.o"
+  "CMakeFiles/ppat_mf.dir/matrix_factorization.cpp.o.d"
+  "libppat_mf.a"
+  "libppat_mf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_mf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

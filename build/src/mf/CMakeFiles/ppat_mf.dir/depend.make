@@ -1,0 +1,2 @@
+# Empty dependencies file for ppat_mf.
+# This may be replaced when dependencies are built.

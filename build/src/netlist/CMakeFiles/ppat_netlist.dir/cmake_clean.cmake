@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_netlist.dir/cell_library.cpp.o"
+  "CMakeFiles/ppat_netlist.dir/cell_library.cpp.o.d"
+  "CMakeFiles/ppat_netlist.dir/mac_generator.cpp.o"
+  "CMakeFiles/ppat_netlist.dir/mac_generator.cpp.o.d"
+  "CMakeFiles/ppat_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/ppat_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/ppat_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/ppat_netlist.dir/verilog.cpp.o.d"
+  "libppat_netlist.a"
+  "libppat_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_pareto.dir/pareto.cpp.o"
+  "CMakeFiles/ppat_pareto.dir/pareto.cpp.o.d"
+  "libppat_pareto.a"
+  "libppat_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_place.dir/def_io.cpp.o"
+  "CMakeFiles/ppat_place.dir/def_io.cpp.o.d"
+  "CMakeFiles/ppat_place.dir/placer.cpp.o"
+  "CMakeFiles/ppat_place.dir/placer.cpp.o.d"
+  "libppat_place.a"
+  "libppat_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

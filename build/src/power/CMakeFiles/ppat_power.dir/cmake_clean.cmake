@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_power.dir/power.cpp.o"
+  "CMakeFiles/ppat_power.dir/power.cpp.o.d"
+  "libppat_power.a"
+  "libppat_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_sample.dir/sampling.cpp.o"
+  "CMakeFiles/ppat_sample.dir/sampling.cpp.o.d"
+  "libppat_sample.a"
+  "libppat_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

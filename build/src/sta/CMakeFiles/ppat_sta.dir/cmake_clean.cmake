@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_sta.dir/optimizer.cpp.o"
+  "CMakeFiles/ppat_sta.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ppat_sta.dir/sta.cpp.o"
+  "CMakeFiles/ppat_sta.dir/sta.cpp.o.d"
+  "libppat_sta.a"
+  "libppat_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_tree.dir/regression_tree.cpp.o"
+  "CMakeFiles/ppat_tree.dir/regression_tree.cpp.o.d"
+  "libppat_tree.a"
+  "libppat_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

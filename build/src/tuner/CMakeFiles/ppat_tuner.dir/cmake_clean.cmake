@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppat_tuner.dir/ppatuner.cpp.o"
+  "CMakeFiles/ppat_tuner.dir/ppatuner.cpp.o.d"
+  "CMakeFiles/ppat_tuner.dir/problem.cpp.o"
+  "CMakeFiles/ppat_tuner.dir/problem.cpp.o.d"
+  "CMakeFiles/ppat_tuner.dir/surrogate.cpp.o"
+  "CMakeFiles/ppat_tuner.dir/surrogate.cpp.o.d"
+  "libppat_tuner.a"
+  "libppat_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppat_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/ppat_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_benchmark.cpp" "tests/CMakeFiles/ppat_tests.dir/test_benchmark.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_benchmark.cpp.o.d"
+  "/root/repo/tests/test_cell_library.cpp" "tests/CMakeFiles/ppat_tests.dir/test_cell_library.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_cell_library.cpp.o.d"
+  "/root/repo/tests/test_cholesky.cpp" "tests/CMakeFiles/ppat_tests.dir/test_cholesky.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_cholesky.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/ppat_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_cts.cpp" "tests/CMakeFiles/ppat_tests.dir/test_cts.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_cts.cpp.o.d"
+  "/root/repo/tests/test_def_io.cpp" "tests/CMakeFiles/ppat_tests.dir/test_def_io.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_def_io.cpp.o.d"
+  "/root/repo/tests/test_gp.cpp" "tests/CMakeFiles/ppat_tests.dir/test_gp.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_gp.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/ppat_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/ppat_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/ppat_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_mac_generator.cpp" "tests/CMakeFiles/ppat_tests.dir/test_mac_generator.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_mac_generator.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/ppat_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_mf.cpp" "tests/CMakeFiles/ppat_tests.dir/test_mf.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_mf.cpp.o.d"
+  "/root/repo/tests/test_neldermead.cpp" "tests/CMakeFiles/ppat_tests.dir/test_neldermead.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_neldermead.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/ppat_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/ppat_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_paper_spaces.cpp" "tests/CMakeFiles/ppat_tests.dir/test_paper_spaces.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_paper_spaces.cpp.o.d"
+  "/root/repo/tests/test_parameter.cpp" "tests/CMakeFiles/ppat_tests.dir/test_parameter.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_parameter.cpp.o.d"
+  "/root/repo/tests/test_pareto.cpp" "tests/CMakeFiles/ppat_tests.dir/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_pareto.cpp.o.d"
+  "/root/repo/tests/test_pd_tool.cpp" "tests/CMakeFiles/ppat_tests.dir/test_pd_tool.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_pd_tool.cpp.o.d"
+  "/root/repo/tests/test_placer.cpp" "tests/CMakeFiles/ppat_tests.dir/test_placer.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_placer.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/ppat_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_ppatuner.cpp" "tests/CMakeFiles/ppat_tests.dir/test_ppatuner.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_ppatuner.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ppat_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/ppat_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/ppat_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/ppat_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_sta.cpp" "tests/CMakeFiles/ppat_tests.dir/test_sta.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_sta.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/ppat_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_surrogate.cpp" "tests/CMakeFiles/ppat_tests.dir/test_surrogate.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_surrogate.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/ppat_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_timing_paths.cpp" "tests/CMakeFiles/ppat_tests.dir/test_timing_paths.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_timing_paths.cpp.o.d"
+  "/root/repo/tests/test_transfer_gp.cpp" "tests/CMakeFiles/ppat_tests.dir/test_transfer_gp.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_transfer_gp.cpp.o.d"
+  "/root/repo/tests/test_tree.cpp" "tests/CMakeFiles/ppat_tests.dir/test_tree.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_tree.cpp.o.d"
+  "/root/repo/tests/test_tuner_problem.cpp" "tests/CMakeFiles/ppat_tests.dir/test_tuner_problem.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_tuner_problem.cpp.o.d"
+  "/root/repo/tests/test_verilog.cpp" "tests/CMakeFiles/ppat_tests.dir/test_verilog.cpp.o" "gcc" "tests/CMakeFiles/ppat_tests.dir/test_verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/ppat_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/ppat_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ppat_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/ppat_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/ppat_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/ppat_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/mf/CMakeFiles/ppat_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/ppat_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ppat_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/ppat_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/ppat_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/ppat_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/ppat_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppat_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
