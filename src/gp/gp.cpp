@@ -36,6 +36,20 @@ void GaussianProcess::fit(std::vector<linalg::Vector> xs, linalg::Vector ys) {
   factorize();
 }
 
+bool GaussianProcess::try_append_to_factor(const linalg::Vector& x) {
+  // The rank-1 path is only valid against a jitter-free factor: a full
+  // re-factorization restarts the jitter escalation at zero, so extending a
+  // jittered factor would diverge from it.
+  if (!incremental_updates_ || !chol_ || chol_->jitter_used() != 0.0) {
+    return false;
+  }
+  const std::size_t n = xs_.size() - 1;  // points before the append
+  linalg::Vector k_new(n);
+  for (std::size_t i = 0; i < n; ++i) k_new[i] = (*kernel_)(xs_[i], x);
+  const double k_self = (*kernel_)(x, x) + noise_variance_;
+  return chol_->append_row(k_new, k_self);
+}
+
 void GaussianProcess::add_observation(const linalg::Vector& x, double y) {
   if (xs_.empty()) {
     fit({x}, {y});
@@ -46,13 +60,48 @@ void GaussianProcess::add_observation(const linalg::Vector& x, double y) {
   // Keep the standardization frozen between refits so alpha stays coherent;
   // optimize_hyperparameters() re-standardizes from scratch via fit paths.
   ys_std_.push_back((y - y_mean_) / y_sd_);
-  factorize();
+  if (try_append_to_factor(x)) {
+    alpha_ = chol_->solve(ys_std_);
+  } else {
+    factorize();
+  }
+}
+
+void GaussianProcess::add_observation_batch(
+    const std::vector<linalg::Vector>& xs, const linalg::Vector& ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("GaussianProcess::add_observation_batch");
+  }
+  if (xs.empty()) return;
+  std::size_t next = 0;
+  if (xs_.empty()) {
+    fit({xs[0]}, {ys[0]});
+    next = 1;
+  }
+  bool appended = true;
+  for (; next < xs.size(); ++next) {
+    xs_.push_back(xs[next]);
+    ys_raw_.push_back(ys[next]);
+    ys_std_.push_back((ys[next] - y_mean_) / y_sd_);
+    if (appended) appended = try_append_to_factor(xs[next]);
+  }
+  // One posterior solve for the whole batch; the intermediate alphas a
+  // point-by-point caller would compute are dead values.
+  if (appended && chol_) {
+    alpha_ = chol_->solve(ys_std_);
+  } else {
+    factorize();
+  }
 }
 
 void GaussianProcess::factorize() {
   linalg::Matrix k = kernel_->gram(xs_);
   k.add_to_diagonal(noise_variance_);
-  auto chol = linalg::CholeskyFactor::compute_with_jitter(k);
+  // With incremental updates ablated we also factor with the reference
+  // elimination, so the switch reproduces the pre-PR cost model end to end
+  // (bench_surrogate_scaling's legacy side); the values are identical.
+  auto chol = linalg::CholeskyFactor::compute_with_jitter(
+      k, 0.0, 1e-2, /*use_reference=*/!incremental_updates_);
   if (!chol) {
     throw std::runtime_error(
         "GaussianProcess: kernel matrix not positive definite");
@@ -69,15 +118,18 @@ double GaussianProcess::log_marginal_likelihood() const {
 }
 
 double GaussianProcess::nll_for(const linalg::Vector& log_params,
-                                const std::vector<std::size_t>& subset) const {
-  // log_params = [kernel..., log noise]
-  auto k = kernel_->clone();
-  linalg::Vector kp(log_params.begin(), log_params.end() - 1);
+                                const std::vector<std::size_t>& subset,
+                                bool reference_chol) const {
+  // Reject out-of-range points before any allocation: hyper-parameter
+  // search probes many infeasible candidates and this path must stay cheap.
   for (double p : log_params) {
     if (!std::isfinite(p) || std::fabs(p) > 12.0) {
       return std::numeric_limits<double>::infinity();
     }
   }
+  // log_params = [kernel..., log noise]
+  auto k = kernel_->clone();
+  linalg::Vector kp(log_params.begin(), log_params.end() - 1);
   k->set_hyperparameters(kp);
   const double noise = std::exp(log_params.back());
 
@@ -91,7 +143,8 @@ double GaussianProcess::nll_for(const linalg::Vector& log_params,
   }
   linalg::Matrix gram = k->gram(xs);
   gram.add_to_diagonal(noise);
-  auto chol = linalg::CholeskyFactor::compute_with_jitter(gram);
+  auto chol = linalg::CholeskyFactor::compute_with_jitter(gram, 0.0, 1e-2,
+                                                          reference_chol);
   if (!chol) return std::numeric_limits<double>::infinity();
   const linalg::Vector alpha = chol->solve(ys);
   const double n = static_cast<double>(xs.size());
@@ -99,39 +152,94 @@ double GaussianProcess::nll_for(const linalg::Vector& log_params,
          0.5 * n * std::log(2.0 * std::numbers::pi);
 }
 
-void GaussianProcess::optimize_hyperparameters(common::Rng& rng,
-                                               const FitOptions& options) {
+double GaussianProcess::nll_from_cache(const linalg::Vector& log_params,
+                                       const linalg::Matrix& sqdist,
+                                       const linalg::Vector& ys_subset) const {
+  for (double p : log_params) {
+    if (!std::isfinite(p) || std::fabs(p) > 12.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  auto k = kernel_->clone();
+  linalg::Vector kp(log_params.begin(), log_params.end() - 1);
+  k->set_hyperparameters(kp);
+  const double noise = std::exp(log_params.back());
+
+  linalg::Matrix gram = k->gram_from_sqdist(sqdist);
+  gram.add_to_diagonal(noise);
+  auto chol = linalg::CholeskyFactor::compute_with_jitter(gram);
+  if (!chol) return std::numeric_limits<double>::infinity();
+  const linalg::Vector alpha = chol->solve(ys_subset);
+  const double n = static_cast<double>(ys_subset.size());
+  return 0.5 * linalg::dot(ys_subset, alpha) + 0.5 * chol->log_det() +
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+GaussianProcess::RefitPlan GaussianProcess::prepare_refit(
+    common::Rng& rng, const FitOptions& options) const {
   if (xs_.empty()) {
     throw std::runtime_error("GaussianProcess: fit before optimizing");
   }
+  RefitPlan plan;
+  plan.options = options;
   // Subsample for the objective if the dataset is large.
-  std::vector<std::size_t> subset;
   if (xs_.size() > options.max_points) {
-    subset = rng.sample_without_replacement(xs_.size(), options.max_points);
+    plan.subset = rng.sample_without_replacement(xs_.size(), options.max_points);
   } else {
-    subset.resize(xs_.size());
-    for (std::size_t i = 0; i < subset.size(); ++i) subset[i] = i;
+    plan.subset.resize(xs_.size());
+    for (std::size_t i = 0; i < plan.subset.size(); ++i) plan.subset[i] = i;
   }
 
-  auto objective = [this, &subset](const linalg::Vector& p) {
-    return nll_for(p, subset);
-  };
+  plan.current = kernel_->hyperparameters();
+  plan.current.push_back(std::log(std::max(options.min_noise_variance,
+                                           noise_variance_)));
+  plan.starts.reserve(options.restarts);
+  for (std::size_t s = 0; s < options.restarts; ++s) {
+    linalg::Vector x0 = plan.current;
+    if (s > 0) {
+      for (double& v : x0) v += rng.normal(0.0, 1.0);
+    }
+    plan.starts.push_back(std::move(x0));
+  }
+  return plan;
+}
 
-  linalg::Vector current = kernel_->hyperparameters();
-  current.push_back(std::log(std::max(options.min_noise_variance,
-                                      noise_variance_)));
+void GaussianProcess::execute_refit(const RefitPlan& plan) {
+  const FitOptions& options = plan.options;
+
+  // Isotropic kernels only depend on pairwise squared distances, which are
+  // hyper-parameter independent: compute them once for the subset, then each
+  // NLL evaluation is a scalar map + Cholesky instead of an O(n^2 d) Gram
+  // rebuild from raw inputs.
+  const bool cached = options.use_distance_cache && kernel_->supports_sqdist();
+  linalg::Matrix sqdist;
+  linalg::Vector ys_subset;
+  if (cached) {
+    std::vector<linalg::Vector> xs;
+    xs.reserve(plan.subset.size());
+    ys_subset.reserve(plan.subset.size());
+    for (std::size_t i : plan.subset) {
+      xs.push_back(xs_[i]);
+      ys_subset.push_back(ys_std_[i]);
+    }
+    sqdist = squared_distance_matrix(xs);
+  }
+  // When the cache is ablated by option (not merely unsupported by the
+  // kernel) the whole legacy refit is reproduced, reference factorization
+  // included, so the perf comparison is against the true pre-PR path.
+  const bool legacy = !options.use_distance_cache;
+  auto objective = [&](const linalg::Vector& p) {
+    return cached ? nll_from_cache(p, sqdist, ys_subset)
+                  : nll_for(p, plan.subset, legacy);
+  };
 
   linalg::NelderMeadOptions nm;
   nm.max_evals = options.max_evals;
   nm.initial_step = 0.7;
 
-  linalg::Vector best_x = current;
-  double best_f = objective(current);
-  for (std::size_t s = 0; s < options.restarts; ++s) {
-    linalg::Vector x0 = current;
-    if (s > 0) {
-      for (double& v : x0) v += rng.normal(0.0, 1.0);
-    }
+  linalg::Vector best_x = plan.current;
+  double best_f = objective(plan.current);
+  for (const linalg::Vector& x0 : plan.starts) {
     const auto result = linalg::nelder_mead(objective, x0, nm);
     if (result.f < best_f) {
       best_f = result.f;
@@ -152,6 +260,11 @@ void GaussianProcess::optimize_hyperparameters(common::Rng& rng,
     ys_std_[i] = (ys_raw_[i] - y_mean_) / y_sd_;
   }
   factorize();
+}
+
+void GaussianProcess::optimize_hyperparameters(common::Rng& rng,
+                                               const FitOptions& options) {
+  execute_refit(prepare_refit(rng, options));
 }
 
 Prediction GaussianProcess::predict(const linalg::Vector& x) const {

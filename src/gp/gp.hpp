@@ -6,6 +6,20 @@
 // variance — are fitted by maximizing the log marginal likelihood with
 // multi-start Nelder–Mead. Factorization failures escalate through jitter
 // (see linalg::CholeskyFactor) before giving up.
+//
+// Two performance paths keep surrogate maintenance off the tuner's critical
+// path (see DESIGN.md §8 for the invariants):
+//   * add_observation / add_observation_batch extend the Cholesky factor by
+//     rank-1 bordering (O(n^2) per point) whenever the current factor needed
+//     no jitter; the result is bit-identical to a full re-factorization.
+//   * optimize_hyperparameters precomputes the NLL subset's squared-distance
+//     matrix once and re-evaluates only the scalar kernel map per
+//     Nelder–Mead iteration for isotropic kernels.
+//
+// The randomized part of a hyper-parameter refit (subset choice, restart
+// perturbations) is split out as prepare_refit() so the tuner can draw the
+// randomness serially — preserving the shared-RNG stream exactly — and run
+// the deterministic optimization (execute_refit) on a thread pool.
 #pragma once
 
 #include <memory>
@@ -29,11 +43,26 @@ struct FitOptions {
   std::size_t max_evals = 80;        ///< NLL evaluations per start
   std::size_t max_points = 300;      ///< subsample cap for the NLL objective
   double min_noise_variance = 1e-6;  ///< lower clamp on fitted noise
+  /// Precompute the subset's squared-distance matrix once per refit and
+  /// evaluate only the scalar kernel map per NLL call (isotropic kernels
+  /// only; bit-identical to the direct path). Off switch exists for perf
+  /// ablation (bench_surrogate_scaling).
+  bool use_distance_cache = true;
 };
 
 /// Exact GP regressor with Gaussian observation noise.
 class GaussianProcess {
  public:
+  /// The randomness of one hyper-parameter refit, drawn up front: the NLL
+  /// subsample and one Nelder-Mead start point per restart (starts[0] is the
+  /// current hyper-parameter vector). Consuming this plan is deterministic.
+  struct RefitPlan {
+    std::vector<std::size_t> subset;
+    linalg::Vector current;              ///< incumbent [kernel..., log noise]
+    std::vector<linalg::Vector> starts;  ///< one per restart; starts[0]==current
+    FitOptions options;
+  };
+
   /// Takes ownership of the kernel. `noise_variance` is the initial value;
   /// optimize_hyperparameters() refines it.
   explicit GaussianProcess(std::unique_ptr<Kernel> kernel,
@@ -43,13 +72,29 @@ class GaussianProcess {
   /// kernel matrix cannot be factorized even with maximum jitter.
   void fit(std::vector<linalg::Vector> xs, linalg::Vector ys);
 
-  /// Appends one observation and re-factorizes.
+  /// Appends one observation; O(n^2) rank-1 factor update when the current
+  /// factor is jitter-free, full re-factorization otherwise.
   void add_observation(const linalg::Vector& x, double y);
 
+  /// Appends several observations with one posterior solve at the end.
+  /// Equivalent to (and bit-identical with) adding them one by one.
+  void add_observation_batch(const std::vector<linalg::Vector>& xs,
+                             const linalg::Vector& ys);
+
   /// Maximizes the log marginal likelihood over kernel + noise
-  /// hyper-parameters, then re-factorizes on the full data.
+  /// hyper-parameters, then re-factorizes on the full data. Equivalent to
+  /// execute_refit(prepare_refit(rng, options)).
   void optimize_hyperparameters(common::Rng& rng,
                                 const FitOptions& options = {});
+
+  /// Draws the refit randomness (cheap, serial). Does not modify the model.
+  RefitPlan prepare_refit(common::Rng& rng,
+                          const FitOptions& options = {}) const;
+
+  /// Runs the deterministic part of a refit: NLL minimization from the
+  /// plan's starts, hyper-parameter update, re-standardization and full
+  /// re-factorization. Thread-safe across distinct models.
+  void execute_refit(const RefitPlan& plan);
 
   Prediction predict(const linalg::Vector& x) const;
 
@@ -67,13 +112,28 @@ class GaussianProcess {
   const Kernel& kernel() const { return *kernel_; }
   double noise_variance() const { return noise_variance_; }
 
+  /// Perf ablation switch: disable the rank-1 factor update so every
+  /// add_observation re-factorizes from scratch (the pre-incremental code
+  /// path, timed by bench_surrogate_scaling).
+  void set_incremental_updates(bool enabled) { incremental_updates_ = enabled; }
+  bool incremental_updates() const { return incremental_updates_; }
+
  private:
   void factorize();
+  /// Rank-1 factor extension for the point just appended to xs_; returns
+  /// false when a full re-factorization is required (jitter in play or lost
+  /// positive definiteness).
+  bool try_append_to_factor(const linalg::Vector& x);
   double nll_for(const linalg::Vector& log_params,
-                 const std::vector<std::size_t>& subset) const;
+                 const std::vector<std::size_t>& subset,
+                 bool reference_chol = false) const;
+  double nll_from_cache(const linalg::Vector& log_params,
+                        const linalg::Matrix& sqdist,
+                        const linalg::Vector& ys_subset) const;
 
   std::unique_ptr<Kernel> kernel_;
   double noise_variance_;
+  bool incremental_updates_ = true;
 
   std::vector<linalg::Vector> xs_;
   linalg::Vector ys_raw_;   // original units

@@ -2,11 +2,20 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
 
 namespace ppat::gp {
 namespace {
 
-double sqdist(std::span<const double> a, std::span<const double> b) {
+// Gram/cross matrices smaller than this many entries are not worth a
+// fork/join round trip.
+constexpr std::size_t kParallelGramEntries = 4096;
+
+}  // namespace
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
   double s = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -16,17 +25,43 @@ double sqdist(std::span<const double> a, std::span<const double> b) {
   return s;
 }
 
-}  // namespace
+linalg::Matrix squared_distance_matrix(const std::vector<linalg::Vector>& xs) {
+  const std::size_t n = xs.size();
+  linalg::Matrix sq(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = squared_distance(xs[i], xs[j]);
+      sq(i, j) = v;
+      sq(j, i) = v;
+    }
+  }
+  return sq;
+}
+
+double Kernel::eval_from_sqdist(double) const {
+  throw std::logic_error("Kernel::eval_from_sqdist: " + name() +
+                         " is not an isotropic squared-distance kernel");
+}
 
 linalg::Matrix Kernel::gram(const std::vector<linalg::Vector>& xs) const {
   const std::size_t n = xs.size();
   linalg::Matrix k(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      const double v = (*this)(xs[i], xs[j]);
-      k(i, j) = v;
-      k(j, i) = v;
+  // Each row owner writes (i, j) and the mirror (j, i) for j >= i; every
+  // entry has exactly one writer, so row blocks race-free and the values do
+  // not depend on the partition.
+  auto fill_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const double v = (*this)(xs[i], xs[j]);
+        k(i, j) = v;
+        k(j, i) = v;
+      }
     }
+  };
+  if (n * n >= kParallelGramEntries) {
+    common::parallel_for_blocks(0, n, fill_rows, 8);
+  } else {
+    fill_rows(0, n);
   }
   return k;
 }
@@ -34,9 +69,32 @@ linalg::Matrix Kernel::gram(const std::vector<linalg::Vector>& xs) const {
 linalg::Matrix Kernel::cross(const std::vector<linalg::Vector>& xs,
                              const std::vector<linalg::Vector>& zs) const {
   linalg::Matrix k(xs.size(), zs.size());
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    for (std::size_t j = 0; j < zs.size(); ++j) {
-      k(i, j) = (*this)(xs[i], zs[j]);
+  auto fill_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = 0; j < zs.size(); ++j) {
+        k(i, j) = (*this)(xs[i], zs[j]);
+      }
+    }
+  };
+  if (xs.size() * zs.size() >= kParallelGramEntries) {
+    common::parallel_for_blocks(0, xs.size(), fill_rows, 8);
+  } else {
+    fill_rows(0, xs.size());
+  }
+  return k;
+}
+
+linalg::Matrix Kernel::gram_from_sqdist(const linalg::Matrix& sqdist) const {
+  assert(sqdist.rows() == sqdist.cols());
+  const std::size_t n = sqdist.rows();
+  linalg::Matrix k(n, n);
+  // Only the upper triangle is populated: the sole consumer is the cached-NLL
+  // path, which hands the matrix straight to CholeskyFactor::compute(), and
+  // that reads the upper triangle only. Skipping the mirror avoids n^2/2
+  // strided stores.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      k(i, j) = eval_from_sqdist(sqdist(i, j));
     }
   }
   return k;
@@ -52,8 +110,31 @@ SquaredExponentialKernel::SquaredExponentialKernel(double lengthscale,
 
 double SquaredExponentialKernel::operator()(std::span<const double> a,
                                             std::span<const double> b) const {
+  return eval_from_sqdist(squared_distance(a, b));
+}
+
+double SquaredExponentialKernel::eval_from_sqdist(double sqdist) const {
   return signal_variance_ *
-         std::exp(-0.5 * sqdist(a, b) / (lengthscale_ * lengthscale_));
+         std::exp(-0.5 * sqdist / (lengthscale_ * lengthscale_));
+}
+
+linalg::Matrix SquaredExponentialKernel::gram_from_sqdist(
+    const linalg::Matrix& sqdist) const {
+  assert(sqdist.rows() == sqdist.cols());
+  const std::size_t n = sqdist.rows();
+  linalg::Matrix k(n, n);
+  // Same chain as eval_from_sqdist() — (-0.5 * d), / l^2, exp, * s2 — with
+  // the virtual dispatch and member loads hoisted out of the n^2/2 loop.
+  const double sv = signal_variance_;
+  const double ll = lengthscale_ * lengthscale_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* sq = sqdist.row(i).data();
+    double* ki = k.row(i).data();
+    for (std::size_t j = i; j < n; ++j) {
+      ki[j] = sv * std::exp(-0.5 * sq[j] / ll);
+    }
+  }
+  return k;
 }
 
 linalg::Vector SquaredExponentialKernel::hyperparameters() const {
@@ -120,8 +201,31 @@ Matern52Kernel::Matern52Kernel(double lengthscale, double signal_variance)
 
 double Matern52Kernel::operator()(std::span<const double> a,
                                   std::span<const double> b) const {
-  const double r = std::sqrt(5.0 * sqdist(a, b)) / lengthscale_;
+  return eval_from_sqdist(squared_distance(a, b));
+}
+
+double Matern52Kernel::eval_from_sqdist(double sqdist) const {
+  const double r = std::sqrt(5.0 * sqdist) / lengthscale_;
   return signal_variance_ * (1.0 + r + r * r / 3.0) * std::exp(-r);
+}
+
+linalg::Matrix Matern52Kernel::gram_from_sqdist(
+    const linalg::Matrix& sqdist) const {
+  assert(sqdist.rows() == sqdist.cols());
+  const std::size_t n = sqdist.rows();
+  linalg::Matrix k(n, n);
+  // Verbatim eval_from_sqdist() expression with dispatch and loads hoisted.
+  const double sv = signal_variance_;
+  const double l = lengthscale_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* sq = sqdist.row(i).data();
+    double* ki = k.row(i).data();
+    for (std::size_t j = i; j < n; ++j) {
+      const double r = std::sqrt(5.0 * sq[j]) / l;
+      ki[j] = sv * (1.0 + r + r * r / 3.0) * std::exp(-r);
+    }
+  }
+  return k;
 }
 
 linalg::Vector Matern52Kernel::hyperparameters() const {

@@ -32,13 +32,42 @@ class Kernel {
   virtual std::unique_ptr<Kernel> clone() const = 0;
   virtual std::string name() const = 0;
 
-  /// Gram matrix K(X, X) (symmetric).
+  /// True when the kernel is an isotropic function of the squared Euclidean
+  /// distance, i.e. k(a, b) == eval_from_sqdist(||a - b||^2). Isotropic
+  /// kernels let the hyper-parameter search precompute the pairwise distance
+  /// matrix once and re-evaluate only the scalar map per candidate
+  /// hyper-parameter point (see gram_from_sqdist).
+  virtual bool supports_sqdist() const { return false; }
+
+  /// Scalar covariance from a squared distance. Only valid when
+  /// supports_sqdist(); implementations must guarantee the result is
+  /// bit-identical to operator() on a point pair with that squared distance.
+  virtual double eval_from_sqdist(double sqdist) const;
+
+  /// Gram matrix K(X, X) (symmetric). Rows are computed on the global
+  /// thread pool above a size threshold; entries are independent, so the
+  /// result is bit-identical for any thread count.
   linalg::Matrix gram(const std::vector<linalg::Vector>& xs) const;
 
   /// Cross-covariance K(X, Z): rows over xs, columns over zs.
   linalg::Matrix cross(const std::vector<linalg::Vector>& xs,
                        const std::vector<linalg::Vector>& zs) const;
+
+  /// Gram matrix from a precomputed symmetric squared-distance matrix
+  /// (see squared_distance_matrix). Requires supports_sqdist(). Only the
+  /// upper triangle (plus diagonal) is populated — enough for
+  /// linalg::CholeskyFactor::compute(), its sole consumer. The isotropic
+  /// kernels override this with a devirtualized loop (same arithmetic,
+  /// entry for entry) because this sits on the refit hot path.
+  virtual linalg::Matrix gram_from_sqdist(const linalg::Matrix& sqdist) const;
 };
+
+/// ||a - b||^2, accumulated in index order (the shared primitive behind the
+/// isotropic kernels and the distance cache — same code path, same bits).
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+/// Symmetric matrix of pairwise squared distances among xs.
+linalg::Matrix squared_distance_matrix(const std::vector<linalg::Vector>& xs);
 
 /// Isotropic squared-exponential: s2 * exp(-||a-b||^2 / (2 l^2)).
 /// Hyper-parameters (log-space): [log l, log s2].
@@ -49,6 +78,9 @@ class SquaredExponentialKernel final : public Kernel {
 
   double operator()(std::span<const double> a,
                     std::span<const double> b) const override;
+  bool supports_sqdist() const override { return true; }
+  double eval_from_sqdist(double sqdist) const override;
+  linalg::Matrix gram_from_sqdist(const linalg::Matrix& sqdist) const override;
   std::size_t num_hyperparameters() const override { return 2; }
   linalg::Vector hyperparameters() const override;
   void set_hyperparameters(const linalg::Vector& log_params) override;
@@ -94,6 +126,9 @@ class Matern52Kernel final : public Kernel {
 
   double operator()(std::span<const double> a,
                     std::span<const double> b) const override;
+  bool supports_sqdist() const override { return true; }
+  double eval_from_sqdist(double sqdist) const override;
+  linalg::Matrix gram_from_sqdist(const linalg::Matrix& sqdist) const override;
   std::size_t num_hyperparameters() const override { return 2; }
   linalg::Vector hyperparameters() const override;
   void set_hyperparameters(const linalg::Vector& log_params) override;

@@ -37,6 +37,32 @@ linalg::Matrix build_joint_kernel(const Kernel& kernel, double rho,
   return k;
 }
 
+/// Same matrix from a precomputed joint squared-distance matrix (rows 0..n-1
+/// are source points). Entry-for-entry the same arithmetic as
+/// build_joint_kernel, so results are bit-identical for isotropic kernels.
+/// Only the upper triangle is populated: the sole consumer is
+/// joint_nll_from_cache, whose CholeskyFactor::compute() reads the upper
+/// triangle only (skipping the mirror avoids n^2/2 strided stores).
+linalg::Matrix build_joint_kernel_from_sqdist(const Kernel& kernel,
+                                              const linalg::Matrix& sqdist,
+                                              std::size_t n_src, double rho,
+                                              double src_noise,
+                                              double tgt_noise) {
+  const std::size_t tot = sqdist.rows();
+  linalg::Matrix k(tot, tot);
+  for (std::size_t i = 0; i < tot; ++i) {
+    for (std::size_t j = i; j < tot; ++j) {
+      double v = kernel.eval_from_sqdist(sqdist(i, j));
+      const bool cross = (i < n_src) != (j < n_src);
+      if (cross) v *= rho;
+      k(i, j) = v;
+    }
+  }
+  for (std::size_t i = 0; i < n_src; ++i) k(i, i) += src_noise;
+  for (std::size_t i = n_src; i < tot; ++i) k(i, i) += tgt_noise;
+  return k;
+}
+
 }  // namespace
 
 TransferGaussianProcess::TransferGaussianProcess(std::unique_ptr<Kernel> kernel)
@@ -96,13 +122,37 @@ void TransferGaussianProcess::factorize() {
   linalg::Matrix k = build_joint_kernel(
       *kernel_, task_correlation(), 1.0 / beta_s_, 1.0 / beta_t_,
       source_xs_, target_xs_);
-  auto chol = linalg::CholeskyFactor::compute_with_jitter(k);
+  // Reference factorization when incremental updates are ablated, so the
+  // switch reproduces the pre-PR cost model (values are identical).
+  auto chol = linalg::CholeskyFactor::compute_with_jitter(
+      k, 0.0, 1e-2, /*use_reference=*/!incremental_updates_);
   if (!chol) {
     throw std::runtime_error(
         "TransferGaussianProcess: joint kernel not positive definite");
   }
   chol_ = std::move(chol);
   alpha_ = chol_->solve(ys_std_);
+}
+
+bool TransferGaussianProcess::try_append_to_factor(const linalg::Vector& x) {
+  // Only extend jitter-free factors: a full re-factorization restarts the
+  // jitter escalation from zero and would otherwise diverge (see
+  // GaussianProcess::try_append_to_factor).
+  if (!incremental_updates_ || !chol_ || chol_->jitter_used() != 0.0) {
+    return false;
+  }
+  const double rho = task_correlation();
+  const std::size_t n_src = source_xs_.size();
+  const std::size_t n_old = n_src + target_xs_.size() - 1;  // before append
+  linalg::Vector k_new(n_old);
+  for (std::size_t i = 0; i < n_old; ++i) {
+    const auto& xi = i < n_src ? source_xs_[i] : target_xs_[i - n_src];
+    double v = (*kernel_)(xi, x);
+    if (i < n_src) v *= rho;  // cross-task attenuation
+    k_new[i] = v;
+  }
+  const double k_self = (*kernel_)(x, x) + 1.0 / beta_t_;
+  return chol_->append_row(k_new, k_self);
 }
 
 void TransferGaussianProcess::add_target_observation(const linalg::Vector& x,
@@ -115,7 +165,35 @@ void TransferGaussianProcess::add_target_observation(const linalg::Vector& x,
   // Standardization is frozen between refits (same reasoning as the plain
   // GP): the new point is standardized with the current target stats.
   ys_std_.push_back((y - tgt_mean_) / tgt_sd_);
-  factorize();
+  if (try_append_to_factor(x)) {
+    alpha_ = chol_->solve(ys_std_);
+  } else {
+    factorize();
+  }
+}
+
+void TransferGaussianProcess::add_target_observation_batch(
+    const std::vector<linalg::Vector>& xs, const linalg::Vector& ys) {
+  if (!chol_) {
+    throw std::runtime_error("TransferGaussianProcess: fit before adding");
+  }
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument(
+        "TransferGaussianProcess::add_target_observation_batch");
+  }
+  if (xs.empty()) return;
+  bool appended = true;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    target_xs_.push_back(xs[i]);
+    target_ys_raw_.push_back(ys[i]);
+    ys_std_.push_back((ys[i] - tgt_mean_) / tgt_sd_);
+    if (appended) appended = try_append_to_factor(xs[i]);
+  }
+  if (appended) {
+    alpha_ = chol_->solve(ys_std_);
+  } else {
+    factorize();
+  }
 }
 
 double TransferGaussianProcess::log_marginal_likelihood() const {
@@ -128,7 +206,7 @@ double TransferGaussianProcess::log_marginal_likelihood() const {
 double TransferGaussianProcess::joint_nll(
     const linalg::Vector& log_params,
     const std::vector<std::size_t>& src_subset,
-    const std::vector<std::size_t>& tgt_subset) const {
+    const std::vector<std::size_t>& tgt_subset, bool reference_chol) const {
   for (double p : log_params) {
     if (!std::isfinite(p) || std::fabs(p) > 12.0) {
       return std::numeric_limits<double>::infinity();
@@ -159,7 +237,8 @@ double TransferGaussianProcess::joint_nll(
   }
   linalg::Matrix gram =
       build_joint_kernel(*k, rho, src_noise, tgt_noise, xs_s, xs_t);
-  auto chol = linalg::CholeskyFactor::compute_with_jitter(gram);
+  auto chol = linalg::CholeskyFactor::compute_with_jitter(gram, 0.0, 1e-2,
+                                                          reference_chol);
   if (!chol) return std::numeric_limits<double>::infinity();
   const linalg::Vector alpha = chol->solve(ys);
   const double n = static_cast<double>(ys.size());
@@ -167,8 +246,37 @@ double TransferGaussianProcess::joint_nll(
          0.5 * n * std::log(2.0 * std::numbers::pi);
 }
 
-void TransferGaussianProcess::optimize_hyperparameters(
-    common::Rng& rng, const TransferFitOptions& options) {
+double TransferGaussianProcess::joint_nll_from_cache(
+    const linalg::Vector& log_params, const linalg::Matrix& sqdist,
+    std::size_t n_src, const linalg::Vector& ys_subset) const {
+  for (double p : log_params) {
+    if (!std::isfinite(p) || std::fabs(p) > 12.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  const std::size_t kdim = kernel_->num_hyperparameters();
+  auto k = kernel_->clone();
+  linalg::Vector kp(log_params.begin(),
+                    log_params.begin() + static_cast<std::ptrdiff_t>(kdim));
+  k->set_hyperparameters(kp);
+  const double a = std::exp(log_params[kdim]);
+  const double b = std::exp(log_params[kdim + 1]);
+  const double src_noise = std::exp(log_params[kdim + 2]);
+  const double tgt_noise = std::exp(log_params[kdim + 3]);
+  const double rho = rho_from(a, b);
+
+  linalg::Matrix gram = build_joint_kernel_from_sqdist(*k, sqdist, n_src, rho,
+                                                       src_noise, tgt_noise);
+  auto chol = linalg::CholeskyFactor::compute_with_jitter(gram);
+  if (!chol) return std::numeric_limits<double>::infinity();
+  const linalg::Vector alpha = chol->solve(ys_subset);
+  const double n = static_cast<double>(ys_subset.size());
+  return 0.5 * linalg::dot(ys_subset, alpha) + 0.5 * chol->log_det() +
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+TransferGaussianProcess::RefitPlan TransferGaussianProcess::prepare_refit(
+    common::Rng& rng, const TransferFitOptions& options) const {
   if (!chol_) throw std::runtime_error("TransferGaussianProcess: not fitted");
 
   auto subset_of = [&rng](std::size_t total, std::size_t cap) {
@@ -182,32 +290,67 @@ void TransferGaussianProcess::optimize_hyperparameters(
     }
     return idx;
   };
-  const auto src_subset =
-      subset_of(source_xs_.size(), options.max_source_points);
-  const auto tgt_subset =
-      subset_of(target_xs_.size(), options.max_target_points);
+  RefitPlan plan;
+  plan.options = options;
+  plan.src_subset = subset_of(source_xs_.size(), options.max_source_points);
+  plan.tgt_subset = subset_of(target_xs_.size(), options.max_target_points);
 
+  plan.current = kernel_->hyperparameters();
+  plan.current.push_back(std::log(gamma_a_));
+  plan.current.push_back(std::log(gamma_b_));
+  plan.current.push_back(std::log(1.0 / beta_s_));
+  plan.current.push_back(std::log(1.0 / beta_t_));
+
+  plan.starts.reserve(options.restarts);
+  for (std::size_t s = 0; s < options.restarts; ++s) {
+    linalg::Vector x0 = plan.current;
+    if (s > 0) {
+      for (double& v : x0) v += rng.normal(0.0, 1.0);
+    }
+    plan.starts.push_back(std::move(x0));
+  }
+  return plan;
+}
+
+void TransferGaussianProcess::execute_refit(const RefitPlan& plan) {
+  const TransferFitOptions& options = plan.options;
+
+  // Distance cache over the joint subset (source rows first): squared
+  // distances are hyper-parameter independent, so each NLL evaluation only
+  // re-applies the scalar kernel map and the cross-task factor.
+  const bool cached = options.use_distance_cache && kernel_->supports_sqdist();
+  linalg::Matrix sqdist;
+  linalg::Vector ys_subset;
+  if (cached) {
+    std::vector<linalg::Vector> pts;
+    pts.reserve(plan.src_subset.size() + plan.tgt_subset.size());
+    ys_subset.reserve(plan.src_subset.size() + plan.tgt_subset.size());
+    for (std::size_t i : plan.src_subset) {
+      pts.push_back(source_xs_[i]);
+      ys_subset.push_back(ys_std_[i]);
+    }
+    for (std::size_t i : plan.tgt_subset) {
+      pts.push_back(target_xs_[i]);
+      ys_subset.push_back(ys_std_[source_xs_.size() + i]);
+    }
+    sqdist = squared_distance_matrix(pts);
+  }
+  // Option-ablated (vs kernel-unsupported) cache selects the full legacy
+  // refit, reference factorization included (see GaussianProcess).
+  const bool legacy = !options.use_distance_cache;
   auto objective = [&](const linalg::Vector& p) {
-    return joint_nll(p, src_subset, tgt_subset);
+    return cached ? joint_nll_from_cache(p, sqdist, plan.src_subset.size(),
+                                         ys_subset)
+                  : joint_nll(p, plan.src_subset, plan.tgt_subset, legacy);
   };
-
-  linalg::Vector current = kernel_->hyperparameters();
-  current.push_back(std::log(gamma_a_));
-  current.push_back(std::log(gamma_b_));
-  current.push_back(std::log(1.0 / beta_s_));
-  current.push_back(std::log(1.0 / beta_t_));
 
   linalg::NelderMeadOptions nm;
   nm.max_evals = options.max_evals;
   nm.initial_step = 0.7;
 
-  linalg::Vector best_x = current;
-  double best_f = objective(current);
-  for (std::size_t s = 0; s < options.restarts; ++s) {
-    linalg::Vector x0 = current;
-    if (s > 0) {
-      for (double& v : x0) v += rng.normal(0.0, 1.0);
-    }
+  linalg::Vector best_x = plan.current;
+  double best_f = objective(plan.current);
+  for (const linalg::Vector& x0 : plan.starts) {
     const auto result = linalg::nelder_mead(objective, x0, nm);
     if (result.f < best_f) {
       best_f = result.f;
@@ -229,6 +372,11 @@ void TransferGaussianProcess::optimize_hyperparameters(
   }
   restandardize();
   factorize();
+}
+
+void TransferGaussianProcess::optimize_hyperparameters(
+    common::Rng& rng, const TransferFitOptions& options) {
+  execute_refit(prepare_refit(rng, options));
 }
 
 Prediction TransferGaussianProcess::predict(const linalg::Vector& x) const {

@@ -42,11 +42,25 @@ struct TransferFitOptions {
   std::size_t max_source_points = 200;  ///< subsample cap for the objective
   std::size_t max_target_points = 200;
   double min_noise_variance = 1e-6;
+  /// Precompute the joint subset's squared-distance matrix once per refit;
+  /// each NLL evaluation then applies only the scalar kernel map and the
+  /// cross-task attenuation rho (isotropic kernels only; bit-identical to
+  /// the direct path). Off switch for perf ablation.
+  bool use_distance_cache = true;
 };
 
 /// GP regression on a target task assisted by source-task observations.
 class TransferGaussianProcess {
  public:
+  /// Randomness of one joint-likelihood refit, drawn up front so the
+  /// deterministic search can run off-thread (see GaussianProcess::RefitPlan).
+  struct RefitPlan {
+    std::vector<std::size_t> src_subset, tgt_subset;
+    linalg::Vector current;
+    std::vector<linalg::Vector> starts;
+    TransferFitOptions options;
+  };
+
   /// Takes ownership of the base kernel (shared across tasks).
   explicit TransferGaussianProcess(std::unique_ptr<Kernel> kernel);
 
@@ -56,13 +70,33 @@ class TransferGaussianProcess {
   void fit(std::vector<linalg::Vector> source_xs, linalg::Vector source_ys,
            std::vector<linalg::Vector> target_xs, linalg::Vector target_ys);
 
-  /// Appends one target-task observation and re-factorizes.
+  /// Appends one target-task observation; O(n^2) rank-1 factor update when
+  /// the current joint factor is jitter-free, full re-factorization
+  /// otherwise (target rows sit at the bottom of the joint system, so a
+  /// target append is exactly a bordered extension).
   void add_target_observation(const linalg::Vector& x, double y);
+
+  /// Appends several target observations with one posterior solve at the
+  /// end. Bit-identical to adding them one by one.
+  void add_target_observation_batch(const std::vector<linalg::Vector>& xs,
+                                    const linalg::Vector& ys);
 
   /// Learns base-kernel hyper-parameters, the Gamma-prior parameters (a, b),
   /// and per-task noises by maximizing the joint marginal likelihood.
+  /// Equivalent to execute_refit(prepare_refit(rng, options)).
   void optimize_hyperparameters(common::Rng& rng,
                                 const TransferFitOptions& options = {});
+
+  /// Draws the refit randomness (cheap, serial). Does not modify the model.
+  RefitPlan prepare_refit(common::Rng& rng,
+                          const TransferFitOptions& options = {}) const;
+
+  /// Deterministic part of a refit; thread-safe across distinct models.
+  void execute_refit(const RefitPlan& plan);
+
+  /// Perf ablation switch (see GaussianProcess::set_incremental_updates).
+  void set_incremental_updates(bool enabled) { incremental_updates_ = enabled; }
+  bool incremental_updates() const { return incremental_updates_; }
 
   /// Posterior at a target-task input (paper Eq. (8), without the
   /// observation-noise term in the variance; the tuner reasons about the
@@ -88,12 +122,18 @@ class TransferGaussianProcess {
  private:
   void factorize();
   void restandardize();
+  bool try_append_to_factor(const linalg::Vector& x);
   double joint_nll(const linalg::Vector& log_params,
                    const std::vector<std::size_t>& src_subset,
-                   const std::vector<std::size_t>& tgt_subset) const;
+                   const std::vector<std::size_t>& tgt_subset,
+                   bool reference_chol = false) const;
+  double joint_nll_from_cache(const linalg::Vector& log_params,
+                              const linalg::Matrix& sqdist, std::size_t n_src,
+                              const linalg::Vector& ys_subset) const;
   static double rho_from(double a, double b);
 
   std::unique_ptr<Kernel> kernel_;
+  bool incremental_updates_ = true;
   double gamma_a_ = 0.5;  ///< Gamma scale (paper's a)
   double gamma_b_ = 0.5;  ///< Gamma shape (paper's b)
   double beta_s_ = 1e4;   ///< source noise precision

@@ -18,16 +18,32 @@ namespace ppat::linalg {
 /// Lower-triangular Cholesky factor L with A = L * L^T, plus solve helpers.
 class CholeskyFactor {
  public:
-  /// Factors `a` (must be square, symmetric). Returns nullopt if `a` is not
-  /// positive definite to working precision.
+  /// Factors `a` (must be square and symmetric). Only the upper triangle
+  /// (including the diagonal) is read, so callers that build symmetric
+  /// matrices may skip populating the strictly-lower part. Returns nullopt if
+  /// `a` is not positive definite to working precision.
+  ///
+  /// The elimination works column-major on panels of eight columns: each
+  /// already-factored column is streamed once per panel (instead of once per
+  /// column) through vectorizable elementwise sweeps, with AVX-512 and AVX2
+  /// clones dispatched at runtime where available. Every element still performs
+  /// exactly the reference sequence s -= l(i,k) * l(j,k) with k ascending and
+  /// no FMA contraction, so the factor is bit-for-bit identical to
+  /// compute_reference() (asserted by tests).
   static std::optional<CholeskyFactor> compute(const Matrix& a);
+
+  /// Textbook scalar elimination — the pre-optimization implementation,
+  /// retained as the bit-exactness oracle for tests and as the timing
+  /// baseline for bench_surrogate_scaling's legacy ablation.
+  static std::optional<CholeskyFactor> compute_reference(const Matrix& a);
 
   /// Factors `a + jitter*I`, escalating jitter by 10x up to `max_jitter`
   /// starting at `initial_jitter` (0 means: first try no jitter). Returns
-  /// nullopt only if even the maximum jitter fails.
+  /// nullopt only if even the maximum jitter fails. `use_reference` selects
+  /// compute_reference() (legacy-ablation timing; identical values).
   static std::optional<CholeskyFactor> compute_with_jitter(
       const Matrix& a, double initial_jitter = 0.0,
-      double max_jitter = 1e-2);
+      double max_jitter = 1e-2, bool use_reference = false);
 
   std::size_t size() const { return l_.rows(); }
   const Matrix& lower() const { return l_; }
@@ -45,8 +61,29 @@ class CholeskyFactor {
 
   /// Solves L V = B for many right-hand sides at once (B is n x m). The
   /// inner loop runs contiguously over columns, which is what makes batched
-  /// GP variance prediction affordable.
+  /// GP variance prediction affordable. Column blocks run on the global
+  /// thread pool above a size threshold; each column's arithmetic is
+  /// independent of the partition, so results are bit-identical for any
+  /// thread count.
   Matrix solve_lower_multi(const Matrix& b) const;
+
+  /// Extends the factor of A (n x n) to the factor of the bordered matrix
+  /// [[A, k_new], [k_new^T, k_self]] in O(n^2): the existing n x n block of
+  /// L is unchanged (Cholesky is leading-minor local) and the new row is one
+  /// forward substitution plus a square root. Performs the identical
+  /// floating-point operations a full re-factorization would, so the
+  /// resulting factor is bit-for-bit the same.
+  ///
+  /// Any diagonal regularization (observation noise, jitter) must already be
+  /// folded into `k_new`/`k_self` by the caller; callers that factored with
+  /// jitter > 0 should re-factorize from scratch instead, because a fresh
+  /// factorization would restart the jitter escalation from zero.
+  ///
+  /// Returns false and leaves the factor unchanged when the new diagonal
+  /// pivot is not positive to working precision (the bordered matrix is not
+  /// positive definite); the caller must fall back to a full
+  /// re-factorization with jitter.
+  bool append_row(std::span<const double> k_new, double k_self);
 
   /// log(det(A)) = 2 * sum(log(L_ii)).
   double log_det() const;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <thread>
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 
 namespace ppat::tuner {
 namespace {
@@ -57,6 +59,16 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   const std::size_t n_obj = pool.num_objectives();
   common::Rng rng(options.seed);
 
+  // Surrogate maintenance threads. All randomness is drawn on this thread
+  // (prepare_refit) and all parallel partitions are bit-stable, so the
+  // results are identical for every thread count.
+  std::size_t num_threads = options.num_threads;
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  common::set_global_thread_count(num_threads);
+
   // ---- Initialization (Alg. 1 lines 1-2) ----
   const std::size_t init_count = std::min(
       {n, std::max(options.min_init,
@@ -100,17 +112,34 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   update_scales();
 
   // Surrogates: one per objective (paper: independent GPs per QoR metric).
+  // The per-metric models are independent, so their fits and the
+  // deterministic half of their refits run concurrently; prepare_refit
+  // consumes the shared RNG serially, in objective order, exactly like a
+  // sequential loop would.
   std::vector<std::unique_ptr<Surrogate>> models;
   models.reserve(n_obj);
-  for (std::size_t k = 0; k < n_obj; ++k) {
-    models.push_back(factory(k));
-    models[k]->fit(train_x, train_y[k]);
-    models[k]->refit_hyperparameters(rng);
+  for (std::size_t k = 0; k < n_obj; ++k) models.push_back(factory(k));
+  {
+    common::TaskGroup group;
+    for (std::size_t k = 0; k < n_obj; ++k) {
+      group.run([&models, &train_x, &train_y, k] {
+        models[k]->fit(train_x, train_y[k]);
+      });
+    }
+    group.wait();
   }
+  auto refit_all = [&] {
+    for (auto& m : models) m->prepare_refit(rng);
+    common::TaskGroup group;
+    for (auto& m : models) {
+      group.run([&m] { m->execute_refit(); });
+    }
+    group.wait();
+  };
+  refit_all();
 
   const double half_width = std::sqrt(options.tau);
   std::vector<std::size_t> alive_unrevealed;
-  linalg::Vector means, vars;
   std::size_t rounds = 0;
 
   // ---- Main loop (Alg. 1 lines 3-13) ----
@@ -137,23 +166,33 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
     std::vector<linalg::Vector> inputs;
     inputs.reserve(alive_unrevealed.size());
     for (std::size_t i : alive_unrevealed) inputs.push_back(pool.encoded()[i]);
-    for (std::size_t k = 0; k < n_obj; ++k) {
-      models[k]->predict_batch(inputs, means, vars);
-      for (std::size_t c = 0; c < alive_unrevealed.size(); ++c) {
-        const std::size_t i = alive_unrevealed[c];
-        const double sd = std::sqrt(std::max(0.0, vars[c]));
-        const double new_lo = means[c] - half_width * sd;
-        const double new_hi = means[c] + half_width * sd;
-        lo[i][k] = std::max(lo[i][k], new_lo);
-        hi[i][k] = std::min(hi[i][k], new_hi);
-        if (lo[i][k] > hi[i][k]) {
-          // Intersection vanished (model shifted between rounds): collapse
-          // to the midpoint to preserve monotone, non-empty regions.
-          const double mid = 0.5 * (lo[i][k] + hi[i][k]);
-          lo[i][k] = mid;
-          hi[i][k] = mid;
-        }
+    {
+      // Each objective touches only component k of every region, so the
+      // per-objective tasks write disjoint doubles.
+      common::TaskGroup group;
+      for (std::size_t k = 0; k < n_obj; ++k) {
+        group.run([&, k] {
+          linalg::Vector means, vars;
+          models[k]->predict_batch(inputs, means, vars);
+          for (std::size_t c = 0; c < alive_unrevealed.size(); ++c) {
+            const std::size_t i = alive_unrevealed[c];
+            const double sd = std::sqrt(std::max(0.0, vars[c]));
+            const double new_lo = means[c] - half_width * sd;
+            const double new_hi = means[c] + half_width * sd;
+            lo[i][k] = std::max(lo[i][k], new_lo);
+            hi[i][k] = std::min(hi[i][k], new_hi);
+            if (lo[i][k] > hi[i][k]) {
+              // Intersection vanished (model shifted between rounds):
+              // collapse to the midpoint to preserve monotone, non-empty
+              // regions.
+              const double mid = 0.5 * (lo[i][k] + hi[i][k]);
+              lo[i][k] = mid;
+              hi[i][k] = mid;
+            }
+          }
+        });
       }
+      group.wait();
     }
 
     // ---- Decision-making (Eqs. (11)-(12)) ----
@@ -221,18 +260,30 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
                       ranked.begin() + static_cast<std::ptrdiff_t>(batch),
                       ranked.end(),
                       [](const auto& a, const auto& b) { return a.first > b.first; });
+    // Reveal the whole batch first, then fold it into each model with one
+    // batched update (one rank-1 append per point, one posterior solve per
+    // model — not batch x n_obj separate refactorizations).
+    std::vector<linalg::Vector> batch_xs;
+    batch_xs.reserve(batch);
+    std::vector<linalg::Vector> batch_ys(n_obj);
     for (std::size_t b = 0; b < batch; ++b) {
       const std::size_t i = ranked[b].second;
       const pareto::Point y = reveal_candidate(i);
+      batch_xs.push_back(pool.encoded()[i]);
+      for (std::size_t k = 0; k < n_obj; ++k) batch_ys[k].push_back(y[k]);
+    }
+    {
+      common::TaskGroup group;
       for (std::size_t k = 0; k < n_obj; ++k) {
-        models[k]->add_observation(pool.encoded()[i], y[k]);
+        group.run([&models, &batch_xs, &batch_ys, k] {
+          models[k]->add_observation_batch(batch_xs, batch_ys[k]);
+        });
       }
+      group.wait();
     }
     update_scales();
 
-    if (rounds % options.refit_every == 0) {
-      for (auto& m : models) m->refit_hyperparameters(rng);
-    }
+    if (rounds % options.refit_every == 0) refit_all();
 
     if (options.on_round) {
       PPATunerProgress progress;

@@ -54,6 +54,12 @@ struct PPATunerOptions {
   /// T_max, in rounds.
   std::size_t max_rounds = 200;
   std::uint64_t seed = 1;
+  /// Threads for surrogate maintenance (per-objective fits/refits/predictions
+  /// plus row-parallel linear algebra); 0 means hardware concurrency. Every
+  /// value produces identical results — randomness is drawn serially and the
+  /// parallel partitions are bit-stable — and 1 runs the work inline with no
+  /// pool at all.
+  std::size_t num_threads = 0;
   /// Optional per-round observer (convergence studies); called after each
   /// round's selection step.
   std::function<void(const PPATunerProgress&)> on_round;

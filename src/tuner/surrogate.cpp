@@ -30,8 +30,22 @@ void TransferGpSurrogate::add_observation(const linalg::Vector& x, double y) {
   model_.add_target_observation(x, y);
 }
 
-void TransferGpSurrogate::refit_hyperparameters(common::Rng& rng) {
-  model_.optimize_hyperparameters(rng);
+void TransferGpSurrogate::add_observation_batch(
+    const std::vector<linalg::Vector>& xs, const linalg::Vector& ys) {
+  model_.add_target_observation_batch(xs, ys);
+}
+
+void TransferGpSurrogate::prepare_refit(common::Rng& rng) {
+  plan_ = model_.prepare_refit(rng);
+  has_plan_ = true;
+}
+
+void TransferGpSurrogate::execute_refit() {
+  if (!has_plan_) {
+    throw std::logic_error("TransferGpSurrogate: prepare_refit first");
+  }
+  has_plan_ = false;
+  model_.execute_refit(plan_);
 }
 
 void TransferGpSurrogate::predict_batch(const std::vector<linalg::Vector>& xs,
@@ -52,8 +66,22 @@ void PlainGpSurrogate::add_observation(const linalg::Vector& x, double y) {
   model_.add_observation(x, y);
 }
 
-void PlainGpSurrogate::refit_hyperparameters(common::Rng& rng) {
-  model_.optimize_hyperparameters(rng);
+void PlainGpSurrogate::add_observation_batch(
+    const std::vector<linalg::Vector>& xs, const linalg::Vector& ys) {
+  model_.add_observation_batch(xs, ys);
+}
+
+void PlainGpSurrogate::prepare_refit(common::Rng& rng) {
+  plan_ = model_.prepare_refit(rng);
+  has_plan_ = true;
+}
+
+void PlainGpSurrogate::execute_refit() {
+  if (!has_plan_) {
+    throw std::logic_error("PlainGpSurrogate: prepare_refit first");
+  }
+  has_plan_ = false;
+  model_.execute_refit(plan_);
 }
 
 void PlainGpSurrogate::predict_batch(const std::vector<linalg::Vector>& xs,

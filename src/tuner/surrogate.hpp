@@ -17,6 +17,12 @@
 namespace ppat::tuner {
 
 /// One scalar-output surrogate over unit-cube configuration encodings.
+///
+/// A hyper-parameter refit is split into a cheap randomized phase
+/// (prepare_refit — draws subsamples / restart perturbations from the shared
+/// RNG) and an expensive deterministic phase (execute_refit). The tuner
+/// prepares all objectives serially — so the RNG stream is consumed exactly
+/// as a sequential implementation would — and executes them concurrently.
 class Surrogate {
  public:
   virtual ~Surrogate() = default;
@@ -26,11 +32,27 @@ class Surrogate {
   virtual void fit(const std::vector<linalg::Vector>& xs,
                    const linalg::Vector& ys) = 0;
 
-  /// Incorporates one new target observation (cheap refactorization).
+  /// Incorporates one new target observation (incremental factor update).
   virtual void add_observation(const linalg::Vector& x, double y) = 0;
 
+  /// Incorporates a round's reveals with one posterior solve; bit-identical
+  /// to (but cheaper than) adding the points one by one.
+  virtual void add_observation_batch(const std::vector<linalg::Vector>& xs,
+                                     const linalg::Vector& ys) = 0;
+
+  /// Draws the randomness of the next execute_refit(). Cheap; must be
+  /// called from one thread at a time.
+  virtual void prepare_refit(common::Rng& rng) = 0;
+
+  /// Runs the refit prepared by the latest prepare_refit(). Deterministic;
+  /// distinct surrogates may execute concurrently.
+  virtual void execute_refit() = 0;
+
   /// Re-learns hyper-parameters (expensive; the tuner schedules this).
-  virtual void refit_hyperparameters(common::Rng& rng) = 0;
+  void refit_hyperparameters(common::Rng& rng) {
+    prepare_refit(rng);
+    execute_refit();
+  }
 
   /// Posterior mean/variance at many inputs.
   virtual void predict_batch(const std::vector<linalg::Vector>& xs,
@@ -65,7 +87,10 @@ class TransferGpSurrogate final : public Surrogate {
   void fit(const std::vector<linalg::Vector>& xs,
            const linalg::Vector& ys) override;
   void add_observation(const linalg::Vector& x, double y) override;
-  void refit_hyperparameters(common::Rng& rng) override;
+  void add_observation_batch(const std::vector<linalg::Vector>& xs,
+                             const linalg::Vector& ys) override;
+  void prepare_refit(common::Rng& rng) override;
+  void execute_refit() override;
   void predict_batch(const std::vector<linalg::Vector>& xs,
                      linalg::Vector& means,
                      linalg::Vector& variances) const override;
@@ -80,6 +105,8 @@ class TransferGpSurrogate final : public Surrogate {
   std::vector<linalg::Vector> source_xs_;
   linalg::Vector source_ys_;
   gp::TransferGaussianProcess model_;
+  gp::TransferGaussianProcess::RefitPlan plan_;
+  bool has_plan_ = false;
 };
 
 /// Target-only GP (no transfer).
@@ -91,7 +118,10 @@ class PlainGpSurrogate final : public Surrogate {
   void fit(const std::vector<linalg::Vector>& xs,
            const linalg::Vector& ys) override;
   void add_observation(const linalg::Vector& x, double y) override;
-  void refit_hyperparameters(common::Rng& rng) override;
+  void add_observation_batch(const std::vector<linalg::Vector>& xs,
+                             const linalg::Vector& ys) override;
+  void prepare_refit(common::Rng& rng) override;
+  void execute_refit() override;
   void predict_batch(const std::vector<linalg::Vector>& xs,
                      linalg::Vector& means,
                      linalg::Vector& variances) const override;
@@ -101,6 +131,8 @@ class PlainGpSurrogate final : public Surrogate {
 
  private:
   gp::GaussianProcess model_;
+  gp::GaussianProcess::RefitPlan plan_;
+  bool has_plan_ = false;
 };
 
 /// Convenience factories.

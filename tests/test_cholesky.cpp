@@ -129,6 +129,130 @@ TEST(Cholesky, InverseTimesMatrixIsIdentity) {
   EXPECT_LT(Matrix::max_abs_diff(a * inv, Matrix::identity(5)), 1e-8);
 }
 
+TEST(Cholesky, UnrolledComputeMatchesReferenceBitwise) {
+  // The unroll-and-jam elimination must be a pure scheduling change: same
+  // per-element operation sequence, so bit-identical factors at every size
+  // (covering all remainder cases of the 4-row unroll).
+  common::Rng rng(12);
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 13u, 32u, 65u}) {
+    const Matrix a = random_spd(n, rng);
+    const auto fast = CholeskyFactor::compute(a);
+    const auto ref = CholeskyFactor::compute_reference(a);
+    ASSERT_TRUE(fast.has_value());
+    ASSERT_TRUE(ref.has_value());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        EXPECT_EQ(fast->lower()(i, j), ref->lower()(i, j))
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Cholesky, UnrolledComputeRejectsSameMatrices) {
+  const Matrix indefinite = {{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_FALSE(CholeskyFactor::compute(indefinite).has_value());
+  EXPECT_FALSE(CholeskyFactor::compute_reference(indefinite).has_value());
+}
+
+TEST(CholeskyAppend, MatchesFullFactorizationBitwise) {
+  common::Rng rng(8);
+  const std::size_t n = 12;
+  // Leading principal submatrices of an SPD matrix are SPD, so factoring the
+  // leading (n-1) block and appending the last row must land exactly where a
+  // full factorization of the whole matrix does.
+  const Matrix full = random_spd(n, rng);
+  Matrix lead(n - 1, n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = 0; j + 1 < n; ++j) lead(i, j) = full(i, j);
+  }
+  auto f = CholeskyFactor::compute(lead);
+  ASSERT_TRUE(f.has_value());
+  Vector k_new(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) k_new[i] = full(i, n - 1);
+  ASSERT_TRUE(f->append_row(k_new, full(n - 1, n - 1)));
+  EXPECT_DOUBLE_EQ(f->jitter_used(), 0.0);
+
+  const auto g = CholeskyFactor::compute(full);
+  ASSERT_TRUE(g.has_value());
+  ASSERT_EQ(f->size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      // Bit-identical, not merely close: append_row replicates compute()'s
+      // exact floating-point operation order.
+      EXPECT_EQ(f->lower()(i, j), g->lower()(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(CholeskyAppend, RepeatedAppendsStayBitIdentical) {
+  common::Rng rng(9);
+  const std::size_t n = 10;
+  const Matrix full = random_spd(n, rng);
+  Matrix lead(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) lead(i, j) = full(i, j);
+  }
+  auto f = CholeskyFactor::compute(lead);
+  ASSERT_TRUE(f.has_value());
+  for (std::size_t m = 4; m < n; ++m) {
+    Vector k_new(m);
+    for (std::size_t i = 0; i < m; ++i) k_new[i] = full(i, m);
+    ASSERT_TRUE(f->append_row(k_new, full(m, m))) << "append " << m;
+  }
+  const auto g = CholeskyFactor::compute(full);
+  ASSERT_TRUE(g.has_value());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_EQ(f->lower()(i, j), g->lower()(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(CholeskyAppend, RejectsNonPositiveBorderAndLeavesFactorIntact) {
+  common::Rng rng(10);
+  const Matrix a = random_spd(6, rng);
+  auto f = CholeskyFactor::compute(a);
+  ASSERT_TRUE(f.has_value());
+  const Matrix before = f->lower();
+  // Duplicating an existing column makes the bordered matrix singular: the
+  // Schur complement is exactly zero, so the new pivot is not positive.
+  Vector dup(6);
+  for (std::size_t i = 0; i < 6; ++i) dup[i] = a(i, 2);
+  EXPECT_FALSE(f->append_row(dup, a(2, 2)));
+  ASSERT_EQ(f->size(), 6u);
+  EXPECT_EQ(Matrix::max_abs_diff(f->lower(), before), 0.0);
+}
+
+TEST(CholeskyAppend, FailedAppendFallsBackToJitteredRefactorization) {
+  // The GP fallback path: when append_row refuses the border, re-factorize
+  // the full bordered matrix with jitter escalation.
+  common::Rng rng(11);
+  const Matrix a = random_spd(5, rng);
+  auto f = CholeskyFactor::compute(a);
+  ASSERT_TRUE(f.has_value());
+  // Duplicate column 0 but shave the diagonal: the new pivot is -1e-9 up to
+  // rounding noise (~1e-14), so the append must refuse deterministically,
+  // while a ~1e-9 jitter restores definiteness.
+  Vector dup(5);
+  for (std::size_t i = 0; i < 5; ++i) dup[i] = a(i, 0);
+  const double k_self = a(0, 0) - 1e-9;
+  ASSERT_FALSE(f->append_row(dup, k_self));
+
+  Matrix bordered(6, 6);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) bordered(i, j) = a(i, j);
+    bordered(i, 5) = dup[i];
+    bordered(5, i) = dup[i];
+  }
+  bordered(5, 5) = k_self;
+  const auto g = CholeskyFactor::compute_with_jitter(bordered);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_GT(g->jitter_used(), 0.0);
+  // Appending onto a jittered factor is the caller's responsibility to avoid;
+  // the contract is documented, and GP code re-factorizes instead.
+}
+
 TEST(SolveLu, SingularReturnsNullopt) {
   const Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
   EXPECT_FALSE(solve_lu(a, {1.0, 1.0}).has_value());

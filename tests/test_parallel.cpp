@@ -1,0 +1,174 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "synthetic_benchmark.hpp"
+#include "tuner/ppatuner.hpp"
+
+namespace ppat::common {
+namespace {
+
+// Tests share one process-wide pool; always hand it back single-threaded so
+// unrelated tests are not affected by a resize.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_global_thread_count(1); }
+};
+
+TEST_F(ParallelTest, ParallelForCoversEveryIndexExactlyOnce) {
+  set_global_thread_count(4);
+  ASSERT_EQ(global_thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelTest, ParallelForBlocksPartitionIsExact) {
+  set_global_thread_count(3);
+  std::atomic<long> total{0};
+  parallel_for_blocks(
+      5, 105,
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LT(lo, hi);
+        long s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += static_cast<long>(i);
+        total.fetch_add(s);
+      },
+      8);
+  long expect = 0;
+  for (long i = 5; i < 105; ++i) expect += i;
+  EXPECT_EQ(total.load(), expect);
+}
+
+TEST_F(ParallelTest, ParallelForPropagatesExceptions) {
+  set_global_thread_count(4);
+  EXPECT_THROW(parallel_for(0, 100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool must remain usable after a throwing run.
+  std::atomic<int> ok{0};
+  parallel_for(0, 10, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST_F(ParallelTest, TaskGroupPropagatesFirstException) {
+  set_global_thread_count(4);
+  TaskGroup group;
+  std::atomic<int> done{0};
+  group.run([&] { done.fetch_add(1); });
+  group.run([] { throw std::logic_error("task failed"); });
+  group.run([&] { done.fetch_add(1); });
+  EXPECT_THROW(group.wait(), std::logic_error);
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST_F(ParallelTest, NestedParallelWorkRunsInlineWithoutDeadlock) {
+  set_global_thread_count(4);
+  std::atomic<int> total{0};
+  TaskGroup group;
+  for (int t = 0; t < 4; ++t) {
+    group.run([&total] {
+      // A pool task issuing its own parallel_for must not re-enter the
+      // queue (deadlock risk with all workers busy); it runs inline.
+      parallel_for(0, 100, [&total](std::size_t) { total.fetch_add(1); });
+    });
+  }
+  group.wait();
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST_F(ParallelTest, SingleThreadRunsInlineInOrder) {
+  set_global_thread_count(1);
+  std::vector<std::size_t> order;
+  // No pool threads exist, so unsynchronized appends are safe iff the work
+  // really runs inline — and in ascending order.
+  parallel_for(0, 50, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+
+  std::vector<int> sequence;
+  TaskGroup group;
+  for (int t = 0; t < 5; ++t) {
+    group.run([&sequence, t] { sequence.push_back(t); });
+  }
+  group.wait();
+  EXPECT_EQ(sequence, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(ParallelTest, EmptyRangeAndEmptyGroupAreNoOps) {
+  set_global_thread_count(4);
+  parallel_for(10, 10, [](std::size_t) { FAIL() << "must not run"; });
+  TaskGroup group;
+  group.wait();  // nothing scheduled
+}
+
+}  // namespace
+}  // namespace ppat::common
+
+namespace ppat::tuner {
+namespace {
+
+// The acceptance property for the threaded tuner: thread count is invisible
+// in the results. Randomness is drawn serially in prepare_refit and all
+// parallel partitions are bit-stable, so any num_threads must reproduce the
+// single-threaded run exactly.
+TEST(PpaTunerThreading, ThreadCountDoesNotChangeResults) {
+  const flow::BenchmarkSet source =
+      testing::synthetic_benchmark("src", 150, 11, 0.15);
+  const flow::BenchmarkSet target =
+      testing::synthetic_benchmark("tgt", 200, 12, 0.0);
+  const SourceData source_data =
+      SourceData::from_benchmark(source, kPowerDelay, 100, 5);
+
+  PPATunerOptions serial;
+  serial.seed = 21;
+  serial.max_runs = 40;
+  serial.num_threads = 1;
+  PPATunerOptions threaded = serial;
+  threaded.num_threads = 4;
+
+  CandidatePool pool_serial(&target, kPowerDelay);
+  CandidatePool pool_threaded(&target, kPowerDelay);
+  const auto rs = run_ppatuner(
+      pool_serial, make_transfer_gp_factory(source_data), serial);
+  const auto rt = run_ppatuner(
+      pool_threaded, make_transfer_gp_factory(source_data), threaded);
+  common::set_global_thread_count(1);
+
+  EXPECT_EQ(rs.pareto_indices, rt.pareto_indices);
+  EXPECT_EQ(rs.tool_runs, rt.tool_runs);
+}
+
+TEST(PpaTunerThreading, PlainGpThreadCountDoesNotChangeResults) {
+  const flow::BenchmarkSet target =
+      testing::synthetic_benchmark("tgt", 160, 13, 0.0);
+
+  PPATunerOptions serial;
+  serial.seed = 22;
+  serial.max_runs = 30;
+  serial.num_threads = 1;
+  PPATunerOptions threaded = serial;
+  threaded.num_threads = 3;
+
+  CandidatePool pool_serial(&target, kPowerDelay);
+  CandidatePool pool_threaded(&target, kPowerDelay);
+  const auto rs = run_ppatuner(pool_serial, make_plain_gp_factory(), serial);
+  const auto rt = run_ppatuner(pool_threaded, make_plain_gp_factory(),
+                               threaded);
+  common::set_global_thread_count(1);
+
+  EXPECT_EQ(rs.pareto_indices, rt.pareto_indices);
+  EXPECT_EQ(rs.tool_runs, rt.tool_runs);
+}
+
+}  // namespace
+}  // namespace ppat::tuner
