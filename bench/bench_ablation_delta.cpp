@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
       "Ablation: delta relaxation sweep (Target2, power-delay)");
   table.set_header({"delta_rel", "HV", "ADRS", "Runs"});
   for (double delta : {0.002, 0.005, 0.01, 0.02, 0.05, 0.10}) {
-    tuner::CandidatePool pool(&target, tuner::kPowerDelay);
+    tuner::BenchmarkCandidatePool pool(&target, tuner::kPowerDelay);
     tuner::PPATunerOptions opt;
     opt.delta_rel = delta;
     opt.max_runs = 150;

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   for (const auto& [name, kind] : kernels) {
     double hv = 0.0, adrs = 0.0, runs = 0.0;
     for (int s = 0; s < kSeeds; ++s) {
-      tuner::CandidatePool pool(&target, tuner::kPowerDelay);
+      tuner::BenchmarkCandidatePool pool(&target, tuner::kPowerDelay);
       tuner::PPATunerOptions opt;
       opt.max_runs = 70;
       opt.seed = seed0 + static_cast<std::uint64_t>(s);

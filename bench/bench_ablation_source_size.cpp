@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     double hv = 0.0, adrs = 0.0, runs = 0.0;
     for (int s = 0; s < kSeeds; ++s) {
       const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(s);
-      tuner::CandidatePool pool(&target, tuner::kPowerDelay);
+      tuner::BenchmarkCandidatePool pool(&target, tuner::kPowerDelay);
       tuner::PPATunerOptions opt;
       opt.max_runs = 40;
       opt.seed = seed;

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     for (const bool use_transfer : {true, false}) {
       double hv = 0.0, adrs = 0.0, runs = 0.0;
       for (int s = 0; s < kSeeds; ++s) {
-        tuner::CandidatePool pool(&target, tuner::kPowerDelay);
+        tuner::BenchmarkCandidatePool pool(&target, tuner::kPowerDelay);
         tuner::PPATunerOptions opt;
         opt.max_runs = sc.cap;
         opt.seed = seed0 + static_cast<std::uint64_t>(s);

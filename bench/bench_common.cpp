@@ -91,7 +91,7 @@ std::vector<MethodScore> run_all_methods(
   std::vector<MethodScore> scores;
 
   {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     baselines::Tcad19Options opt;
     opt.max_runs = budgets.tcad19;
     opt.seed = seed;
@@ -99,7 +99,7 @@ std::vector<MethodScore> run_all_methods(
         {"TCAD'19", evaluate_result(pool, baselines::run_tcad19(pool, opt))});
   }
   {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     baselines::Mlcad19Options opt;
     opt.budget = budgets.mlcad19;
     opt.seed = seed;
@@ -107,7 +107,7 @@ std::vector<MethodScore> run_all_methods(
                       evaluate_result(pool, baselines::run_mlcad19(pool, opt))});
   }
   {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     baselines::Dac19Options opt;
     opt.budget = budgets.dac19;
     opt.seed = seed;
@@ -116,7 +116,7 @@ std::vector<MethodScore> run_all_methods(
          evaluate_result(pool, baselines::run_dac19(pool, &source_data, opt))});
   }
   {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     baselines::Aspdac20Options opt;
     opt.budget = budgets.aspdac20;
     opt.seed = seed;
@@ -125,7 +125,7 @@ std::vector<MethodScore> run_all_methods(
                                                 pool, &source_data, opt))});
   }
   {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     tuner::PPATunerOptions opt;
     opt.max_runs = budgets.ppatuner_cap;
     opt.seed = seed;

@@ -18,7 +18,7 @@ namespace {
 using namespace ppat;
 
 /// HV error of the front of the points revealed so far.
-double revealed_hv_error(const tuner::CandidatePool& pool,
+double revealed_hv_error(const tuner::BenchmarkCandidatePool& pool,
                          const std::vector<pareto::Point>& golden) {
   std::vector<pareto::Point> revealed;
   for (std::size_t i = 0; i < pool.size(); ++i) {
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
 
   // PAL-loop methods: trace every round through the callback.
   for (const bool transfer : {true, false}) {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     const auto golden = pool.golden_front();
     const std::string name = transfer ? "PPATuner" : "TCAD'19";
     tuner::PPATunerOptions opt;
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   const std::size_t budgets[] = {20, 35, 50, 70};
   for (std::size_t budget : budgets) {
     {
-      tuner::CandidatePool pool(&target, objectives);
+      tuner::BenchmarkCandidatePool pool(&target, objectives);
       const auto golden = pool.golden_front();
       baselines::Mlcad19Options opt;
       opt.budget = budget;
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
       emit("MLCAD'19", pool.runs(), revealed_hv_error(pool, golden));
     }
     {
-      tuner::CandidatePool pool(&target, objectives);
+      tuner::BenchmarkCandidatePool pool(&target, objectives);
       const auto golden = pool.golden_front();
       baselines::Dac19Options opt;
       opt.budget = budget;
@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
       emit("DAC'19", pool.runs(), revealed_hv_error(pool, golden));
     }
     {
-      tuner::CandidatePool pool(&target, objectives);
+      tuner::BenchmarkCandidatePool pool(&target, objectives);
       const auto golden = pool.golden_front();
       baselines::Aspdac20Options opt;
       opt.budget = budget;

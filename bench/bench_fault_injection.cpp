@@ -1,0 +1,109 @@
+// Fault-injection stress bench for the live evaluation path: runs PPATuner
+// over a LiveCandidatePool whose EvalService dispatches to a deterministic
+// fault-injecting oracle (transient failures that retries absorb, permanent
+// failures that quarantine candidates), and reports result quality against
+// the fault-free run at the same successful-run budget.
+//
+// The tool runs themselves replay the cached Target2 golden table — the
+// bench measures the fault-tolerance machinery (retry, quarantine,
+// budget accounting), not PD-flow runtime.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "flow/eval_service.hpp"
+#include "flow/oracle_decorators.hpp"
+#include "tuner/live_pool.hpp"
+#include "tuner/ppatuner.hpp"
+#include "tuner/surrogate.hpp"
+
+namespace {
+
+using namespace ppat;
+
+/// Replays a fully evaluated benchmark as a "live" tool: exact QoR lookup by
+/// configuration. Thread-safe (the table is immutable after construction).
+class ReplayOracle final : public flow::QorOracle {
+ public:
+  explicit ReplayOracle(const flow::BenchmarkSet& set) {
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      table_.emplace(set.configs[i], set.qor[i]);
+    }
+  }
+
+  flow::QoR evaluate(const flow::ParameterSpace&,
+                     const flow::Config& config) override {
+    ++runs_;
+    return table_.at(config);
+  }
+  std::size_t run_count() const override { return runs_; }
+
+ private:
+  std::map<flow::Config, flow::QoR> table_;
+  std::atomic<std::size_t> runs_{0};
+};
+
+struct Scenario {
+  const char* name;
+  double transient_rate;
+  double permanent_rate;
+  std::size_t licenses;
+};
+
+}  // namespace
+
+int main() {
+  const auto source = bench::load_paper_benchmark("source2");
+  const auto target = bench::load_paper_benchmark("target2");
+  const auto objectives = tuner::kPowerDelay;
+  const auto source_data =
+      tuner::SourceData::from_benchmark(source, objectives, 200, 1);
+  tuner::BenchmarkCandidatePool scorer(&target, objectives);
+
+  tuner::PPATunerOptions options;
+  options.max_runs = 150;
+  options.seed = 7;
+
+  const Scenario scenarios[] = {
+      {"fault-free, 1 license", 0.00, 0.00, 1},
+      {"fault-free, 4 licenses", 0.00, 0.00, 4},
+      {"10% transient, 4 licenses", 0.10, 0.00, 4},
+      {"20% transient + 5% permanent", 0.20, 0.05, 4},
+      {"40% transient + 10% permanent", 0.40, 0.10, 4},
+  };
+
+  std::printf("Fault-injection bench: PPATuner over EvalService on Target2 "
+              "(%zu candidates, power-delay, max_runs=%zu)\n\n",
+              target.size(), options.max_runs);
+  std::printf("%-32s %8s %8s %6s %8s %8s %8s\n", "scenario", "HV err", "ADRS",
+              "runs", "failed", "attempts", "retries");
+
+  for (const Scenario& s : scenarios) {
+    ReplayOracle replay(target);
+    flow::FaultInjectionOptions fopt;
+    fopt.transient_failure_rate = s.transient_rate;
+    fopt.permanent_failure_rate = s.permanent_rate;
+    fopt.seed = 0x5eedu;
+    flow::FaultInjectingOracle fault(replay, fopt);
+    flow::CachingOracle cache(fault);
+
+    flow::EvalServiceOptions eopt;
+    eopt.licenses = s.licenses;
+    eopt.max_attempts = 4;
+    flow::EvalService service(cache, target.space, eopt);
+    tuner::LiveCandidatePool pool(target.configs, objectives, service);
+
+    const auto result = tuner::run_ppatuner(
+        pool, tuner::make_transfer_gp_factory(source_data), options);
+    const auto quality = tuner::evaluate_result(scorer, result);
+    const auto stats = service.stats();
+
+    std::printf("%-32s %8.4f %8.4f %6zu %8zu %8zu %8zu\n", s.name,
+                quality.hv_error, quality.adrs, result.tool_runs,
+                result.failed_runs, stats.attempts, stats.retries);
+  }
+
+  std::puts("\nFailed candidates are quarantined (never re-selected, never "
+            "returned) and do not consume the successful-run budget.");
+  return 0;
+}

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     }
   };
 
-  auto front_of = [](const tuner::CandidatePool& pool,
+  auto front_of = [](const tuner::BenchmarkCandidatePool& pool,
                      const tuner::TuningResult& result) {
     std::vector<pareto::Point> pts;
     for (std::size_t i : result.pareto_indices) pts.push_back(pool.golden(i));
@@ -48,25 +48,25 @@ int main(int argc, char** argv) {
       "(units: mW and ns, as in the paper)");
 
   {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     emit_series("Golden", pool.golden_front());
   }
   {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     baselines::Tcad19Options opt;
     opt.max_runs = budgets.tcad19;
     opt.seed = seed;
     emit_series("TCAD'19", front_of(pool, baselines::run_tcad19(pool, opt)));
   }
   {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     baselines::Mlcad19Options opt;
     opt.budget = budgets.mlcad19;
     opt.seed = seed;
     emit_series("MLCAD'19", front_of(pool, baselines::run_mlcad19(pool, opt)));
   }
   {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     baselines::Dac19Options opt;
     opt.budget = budgets.dac19;
     opt.seed = seed;
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
                 front_of(pool, baselines::run_dac19(pool, &source_data, opt)));
   }
   {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     baselines::Aspdac20Options opt;
     opt.budget = budgets.aspdac20;
     opt.seed = seed;
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
                                                 pool, &source_data, opt)));
   }
   {
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     tuner::PPATunerOptions opt;
     opt.max_runs = budgets.ppatuner_cap;
     opt.seed = seed;

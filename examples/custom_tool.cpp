@@ -79,7 +79,7 @@ int main() {
   const auto objectives = tuner::kAreaPowerDelay;  // tune all three metrics
   const auto source_data =
       tuner::SourceData::from_benchmark(source_bench, objectives, 200, 3);
-  tuner::CandidatePool pool(&target_bench, objectives);
+  tuner::BenchmarkCandidatePool pool(&target_bench, objectives);
 
   tuner::PPATunerOptions options;
   options.max_runs = 60;

@@ -1,0 +1,115 @@
+// Tuning against a live, UNRELIABLE tool: production EDA runs crash, hang,
+// and are limited to a handful of parallel licenses. This example drives
+// PPATuner's loop through the fault-tolerant live stack
+//
+//   run_ppatuner -> LiveCandidatePool -> EvalService
+//                       -> CachingOracle -> FaultInjectingOracle -> tool
+//
+// where EvalService bounds runs in flight to the license count, retries
+// transient crashes with backoff, and reports permanent failures as
+// first-class outcomes the tuner quarantines instead of aborting on.
+// The injected faults stand in for a real tool's flakiness and make the
+// example reproducible.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "flow/eval_service.hpp"
+#include "flow/oracle_decorators.hpp"
+#include "sample/sampling.hpp"
+#include "tuner/live_pool.hpp"
+#include "tuner/ppatuner.hpp"
+
+namespace {
+
+using namespace ppat;
+
+/// A mock place-and-route tool: three knobs trade off area/power/delay.
+class MockPdTool final : public flow::QorOracle {
+ public:
+  flow::QoR evaluate(const flow::ParameterSpace& space,
+                     const flow::Config& config) override {
+    ++runs_;
+    const double effort = space.value_or(config, "effort", 0.5);
+    const double density = space.value_or(config, "target_density", 0.7);
+    const double slack = space.value_or(config, "clock_margin", 0.1);
+
+    flow::QoR q;
+    q.area_um2 = 40000.0 * (1.2 - 0.3 * density) + 5000.0 * effort;
+    q.power_mw = 12.0 + 8.0 * effort + 6.0 * density * density;
+    q.delay_ns = 2.4 - 1.1 * effort + 0.9 * slack * density;
+    return q;
+  }
+  std::size_t run_count() const override { return runs_; }
+
+ private:
+  std::size_t runs_ = 0;
+};
+
+flow::ParameterSpace pd_space() {
+  return flow::ParameterSpace({
+      flow::ParamSpec::real("effort", 0.0, 1.0),
+      flow::ParamSpec::real("target_density", 0.5, 0.95),
+      flow::ParamSpec::real("clock_margin", 0.0, 0.3),
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Tuning a flaky live tool through flow::EvalService.\n");
+
+  const auto space = pd_space();
+  MockPdTool tool;
+
+  // Make the tool unreliable, deterministically: 15% of attempts crash
+  // transiently (a retry may succeed), 6% of configurations crash on every
+  // attempt (bad input for this tool version).
+  flow::FaultInjectionOptions faults;
+  faults.transient_failure_rate = 0.15;
+  faults.permanent_failure_rate = 0.06;
+  faults.seed = 42;
+  flow::FaultInjectingOracle flaky(tool, faults);
+  flow::CachingOracle cached(flaky);  // never pay twice for one config
+
+  flow::EvalServiceOptions eopt;
+  eopt.licenses = 4;       // four tool licenses -> four runs in flight
+  eopt.max_attempts = 3;   // two retries per configuration
+  flow::EvalService service(cached, space, eopt);
+
+  // Candidate pool: 200 Latin-hypercube configurations.
+  common::Rng rng(2);
+  std::vector<flow::Config> candidates;
+  for (const auto& u : sample::latin_hypercube(200, space.size(), rng)) {
+    candidates.push_back(space.decode(u));
+  }
+  tuner::LiveCandidatePool pool(candidates, tuner::kAreaPowerDelay, service);
+
+  tuner::PPATunerOptions options;
+  options.max_runs = 60;
+  options.batch_size = eopt.licenses;  // one selection batch per license set
+  options.seed = 3;
+  tuner::PPATunerDiagnostics diag;
+  const auto result = tuner::run_ppatuner(
+      pool, tuner::make_plain_gp_factory(), options, &diag);
+
+  const auto stats = service.stats();
+  std::printf("tool runs: %zu successful, %zu candidates quarantined after "
+              "failures\n",
+              result.tool_runs, result.failed_runs);
+  std::printf("service:   %zu attempts (%zu retries), %zu failed, "
+              "%zu cache hits\n\n",
+              stats.attempts, stats.retries, stats.runs_failed,
+              cached.hits());
+
+  std::printf("predicted Pareto set (%zu configurations):\n",
+              result.pareto_indices.size());
+  std::puts("effort  density  margin       area    power    delay");
+  for (std::size_t idx : result.pareto_indices) {
+    const auto& c = pool.config(idx);
+    const auto* rec = pool.record(idx);
+    if (rec == nullptr || !rec->ok()) continue;  // midpoint-classified
+    std::printf("%6.2f %8.2f %7.2f  %9.0f %8.2f %8.3f\n", c[0], c[1], c[2],
+                rec->qor.area_um2, rec->qor.power_mw, rec->qor.delay_ns);
+  }
+  return 0;
+}

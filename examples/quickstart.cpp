@@ -42,7 +42,7 @@ int main() {
   const auto objectives = tuner::kPowerDelay;
   const auto source_data =
       tuner::SourceData::from_benchmark(source_bench, objectives, 200, 7);
-  tuner::CandidatePool pool(&target_bench, objectives);
+  tuner::BenchmarkCandidatePool pool(&target_bench, objectives);
 
   tuner::PPATunerOptions options;
   options.max_runs = 60;  // tool-run budget

@@ -40,7 +40,7 @@ int main() {
        {tuner::kAreaDelay, tuner::kPowerDelay, tuner::kAreaPowerDelay}) {
     const auto source_data =
         tuner::SourceData::from_benchmark(source_bench, objectives, 200, 7);
-    tuner::CandidatePool pool(&target_bench, objectives);
+    tuner::BenchmarkCandidatePool pool(&target_bench, objectives);
     tuner::PPATunerOptions options;
     options.max_runs = 80;
     options.seed = 5;

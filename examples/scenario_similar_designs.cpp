@@ -48,7 +48,7 @@ int main() {
     double hv = 0.0, adrs = 0.0, runs = 0.0, rho = 0.0;
     const int n_seeds = 3;
     for (std::uint64_t seed = 1; seed <= n_seeds; ++seed) {
-      tuner::CandidatePool pool(&target_bench, objectives);
+      tuner::BenchmarkCandidatePool pool(&target_bench, objectives);
       tuner::PPATunerOptions options;
       options.max_runs = 40;
       options.seed = seed;

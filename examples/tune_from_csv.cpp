@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
     const auto source_data =
         tuner::SourceData::from_benchmark(source, objectives, 200, seed + 1);
 
-    tuner::CandidatePool pool(&target, objectives);
+    tuner::BenchmarkCandidatePool pool(&target, objectives);
     tuner::PPATunerOptions opt;
     opt.max_runs = budget;
     opt.seed = seed;
@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
                 result.pareto_indices.size());
 
     if (compare) {
-      tuner::CandidatePool ref_pool(&target, objectives);
+      tuner::BenchmarkCandidatePool ref_pool(&target, objectives);
       baselines::Tcad19Options ref;
       ref.max_runs = budget + budget / 3;
       ref.seed = seed;

@@ -151,7 +151,7 @@ tuner::TuningResult run_aspdac20(tuner::CandidatePool& pool,
   // ---- Answer: Pareto front of the evaluated set ----
   std::vector<pareto::Point> evaluated;
   evaluated.reserve(revealed_list.size());
-  for (std::size_t i : revealed_list) evaluated.push_back(pool.golden(i));
+  for (std::size_t i : revealed_list) evaluated.push_back(pool.reveal(i));
   tuner::TuningResult result;
   for (std::size_t f : pareto::pareto_front_indices(evaluated)) {
     result.pareto_indices.push_back(revealed_list[f]);

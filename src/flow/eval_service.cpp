@@ -1,0 +1,133 @@
+#include "flow/eval_service.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/parallel.hpp"
+
+namespace ppat::flow {
+
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kFailed:
+      return "failed";
+    case RunStatus::kTimedOut:
+      return "timed_out";
+  }
+  return "unknown";
+}
+
+EvalService::EvalService(QorOracle& oracle, ParameterSpace space,
+                         EvalServiceOptions options)
+    : oracle_(oracle), space_(std::move(space)), options_(options) {
+  if (options_.licenses == 0) options_.licenses = 1;
+  if (options_.max_attempts == 0) options_.max_attempts = 1;
+  if (options_.licenses > 1) {
+    pool_ = std::make_unique<common::ThreadPool>(options_.licenses);
+  }
+}
+
+EvalService::~EvalService() = default;
+
+RunRecord EvalService::run_one(const Config& config) {
+  using clock = std::chrono::steady_clock;
+  RunRecord rec;
+  const auto batch_t0 = clock::now();
+  for (std::size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    rec.attempts = attempt;
+    if (attempt > 1 && options_.retry_backoff.count() > 0) {
+      // Exponential backoff: base * 2^(retry-1).
+      std::this_thread::sleep_for(options_.retry_backoff *
+                                  (std::int64_t{1} << (attempt - 2)));
+    }
+    const auto t0 = clock::now();
+    try {
+      const QoR qor = oracle_.evaluate(space_, config);
+      const auto elapsed = std::chrono::duration<double, std::milli>(
+          clock::now() - t0);
+      if (options_.run_deadline.count() > 0 &&
+          elapsed > options_.run_deadline) {
+        rec.status = RunStatus::kTimedOut;
+        rec.error = "run exceeded deadline";
+        continue;  // a hung run is retried like a crash
+      }
+      rec.status = RunStatus::kOk;
+      rec.qor = qor;
+      rec.error.clear();
+      break;
+    } catch (const std::exception& e) {
+      rec.status = RunStatus::kFailed;
+      rec.error = e.what();
+    }
+  }
+  rec.elapsed_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - batch_t0)
+          .count();
+  return rec;
+}
+
+std::vector<RunRecord> EvalService::evaluate_batch(
+    const std::vector<Config>& configs) {
+  std::vector<RunRecord> records(configs.size());
+  if (configs.empty()) return records;
+
+  const std::size_t workers =
+      std::min(options_.licenses, configs.size());
+  if (workers <= 1 || pool_ == nullptr) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      records[i] = run_one(configs[i]);
+    }
+  } else {
+    // Work-stealing over a shared cursor: each license pulls the next
+    // pending configuration, so a slow run never blocks the rest of the
+    // batch behind it. Records land at their batch index — the result is
+    // independent of completion order and therefore of the license count.
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+      for (std::size_t i; (i = next.fetch_add(1)) < configs.size();) {
+        records[i] = run_one(configs[i]);
+      }
+    };
+    common::TaskGroup group(pool_.get());
+    // licenses - 1 pool workers plus the calling thread.
+    for (std::size_t t = 0; t + 1 < workers; ++t) group.run(drain);
+    drain();
+    group.wait();
+  }
+  fold_into_stats(records);
+  return records;
+}
+
+RunRecord EvalService::evaluate(const Config& config) {
+  return evaluate_batch({config}).front();
+}
+
+void EvalService::fold_into_stats(const std::vector<RunRecord>& records) {
+  std::lock_guard lock(stats_mutex_);
+  ++stats_.batches;
+  for (const RunRecord& rec : records) {
+    stats_.attempts += rec.attempts;
+    stats_.retries += rec.retries();
+    switch (rec.status) {
+      case RunStatus::kOk:
+        ++stats_.runs_ok;
+        break;
+      case RunStatus::kFailed:
+        ++stats_.runs_failed;
+        break;
+      case RunStatus::kTimedOut:
+        ++stats_.runs_timed_out;
+        break;
+    }
+  }
+}
+
+EvalServiceStats EvalService::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace ppat::flow

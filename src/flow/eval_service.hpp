@@ -1,0 +1,125 @@
+// Fault-tolerant dispatch of tool runs to a live QorOracle.
+//
+// The paper's selection step assumes every chosen configuration comes back
+// with a golden QoR; a production flow does not cooperate. Real tool runs
+// crash, hang, and are issued concurrently across a bounded number of tool
+// licenses (the paper's own batch-selection motivation). EvalService is the
+// layer that absorbs this: it takes a batch of configurations, fans them out
+// over common::ThreadPool with at most `licenses` runs in flight, applies a
+// per-run deadline and bounded retry with exponential backoff, and returns a
+// per-run outcome record instead of throwing — run failure is a first-class
+// outcome (as in FIST, ICCAD'20, and GC-Tuner'24, which discard or penalize
+// failed configurations rather than aborting the search).
+//
+// Determinism: records are stored by batch index, so result order never
+// depends on completion order. As long as the oracle's outcome for a
+// configuration does not depend on scheduling (true for PDTool and for the
+// seeded FaultInjectingOracle), the returned records are identical for every
+// license count.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "flow/pd_tool.hpp"
+
+namespace ppat::common {
+class ThreadPool;
+}  // namespace ppat::common
+
+namespace ppat::flow {
+
+/// Thrown by oracles to signal that a tool run failed (crash, license loss,
+/// injected fault). EvalService treats any exception from evaluate() as a
+/// failed attempt; this type exists so wrappers can signal failures
+/// explicitly.
+class ToolRunError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct EvalServiceOptions {
+  /// Maximum tool runs in flight at once (parallel tool licenses). With one
+  /// license the batch runs inline on the calling thread. When > 1 the
+  /// oracle must tolerate concurrent evaluate() calls.
+  std::size_t licenses = 1;
+  /// Total attempts per configuration (1 = no retry).
+  std::size_t max_attempts = 3;
+  /// Backoff before retry r (1-based): retry_backoff * 2^(r-1). Zero
+  /// disables waiting (tests).
+  std::chrono::milliseconds retry_backoff{0};
+  /// Wall-clock deadline per attempt; an attempt exceeding it is recorded as
+  /// timed out (and retried like a failure). Zero disables the deadline.
+  /// Cooperative: the attempt is classified after the oracle returns — a
+  /// real tool wrapper should also enforce a hard kill on its side.
+  std::chrono::milliseconds run_deadline{0};
+};
+
+enum class RunStatus : unsigned char { kOk, kFailed, kTimedOut };
+const char* run_status_name(RunStatus status);
+
+/// Outcome of one configuration's evaluation (all attempts folded in).
+struct RunRecord {
+  RunStatus status = RunStatus::kFailed;
+  QoR qor{};               ///< valid iff status == kOk
+  std::size_t attempts = 0;  ///< total attempts made (>= 1)
+  std::string error;       ///< last failure reason iff status != kOk
+  double elapsed_ms = 0.0;  ///< wall time across all attempts
+
+  bool ok() const { return status == RunStatus::kOk; }
+  std::size_t retries() const { return attempts > 0 ? attempts - 1 : 0; }
+};
+
+/// Aggregate counters across all batches (monitoring / bench output).
+struct EvalServiceStats {
+  std::size_t batches = 0;
+  std::size_t runs_ok = 0;
+  std::size_t runs_failed = 0;
+  std::size_t runs_timed_out = 0;
+  std::size_t attempts = 0;
+  std::size_t retries = 0;
+};
+
+/// License-bounded, retrying, deadline-aware batch evaluator over a
+/// QorOracle. The oracle and parameter space must outlive the service.
+class EvalService {
+ public:
+  EvalService(QorOracle& oracle, ParameterSpace space,
+              EvalServiceOptions options = {});
+  ~EvalService();
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Evaluates one configuration (all retries included). Never throws for
+  /// run failures.
+  RunRecord evaluate(const Config& config);
+
+  /// Evaluates a batch with at most `licenses` runs in flight. Record i
+  /// corresponds to configs[i] regardless of completion order.
+  std::vector<RunRecord> evaluate_batch(const std::vector<Config>& configs);
+
+  const EvalServiceOptions& options() const { return options_; }
+  const ParameterSpace& space() const { return space_; }
+  EvalServiceStats stats() const;
+
+ private:
+  RunRecord run_one(const Config& config);
+  void fold_into_stats(const std::vector<RunRecord>& records);
+
+  QorOracle& oracle_;
+  ParameterSpace space_;
+  EvalServiceOptions options_;
+  /// Private pool sized to the license count (absent when licenses <= 1);
+  /// kept across batches so workers are not re-spawned every round.
+  std::unique_ptr<common::ThreadPool> pool_;
+  mutable std::mutex stats_mutex_;
+  EvalServiceStats stats_;
+};
+
+}  // namespace ppat::flow

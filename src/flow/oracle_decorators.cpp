@@ -1,0 +1,108 @@
+#include "flow/oracle_decorators.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace ppat::flow {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Order-sensitive fingerprint of the canonical parameter values. Only used
+/// to seed per-configuration fault streams, so a (vanishingly unlikely)
+/// collision merely makes two configs share a fault pattern.
+std::uint64_t config_fingerprint(const Config& config) {
+  std::uint64_t h = 0x243F6A8885A308D3ull;
+  for (const double d : config) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    h = mix(h, bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjectingOracle::FaultInjectingOracle(QorOracle& inner,
+                                           FaultInjectionOptions options)
+    : inner_(inner), options_(options) {}
+
+bool FaultInjectingOracle::is_permanently_failing(const Config& config) const {
+  if (options_.permanent_failure_rate <= 0.0) return false;
+  common::Rng rng(mix(options_.seed, config_fingerprint(config)));
+  return rng.uniform01() < options_.permanent_failure_rate;
+}
+
+QoR FaultInjectingOracle::evaluate(const ParameterSpace& space,
+                                   const Config& config) {
+  ++calls_;
+  std::size_t attempt;
+  {
+    std::lock_guard lock(mutex_);
+    attempt = ++attempt_counts_[config];
+  }
+  if (is_permanently_failing(config)) {
+    ++permanents_;
+    std::ostringstream msg;
+    msg << "injected permanent failure (attempt " << attempt << ")";
+    throw ToolRunError(msg.str());
+  }
+  // Per-(config, attempt) stream: outcomes are pure functions of the seed,
+  // the configuration, and how many times it has been attempted — never of
+  // scheduling. Draw order (latency, then transient) is fixed.
+  common::Rng rng(
+      mix(mix(options_.seed, config_fingerprint(config)), attempt));
+  if (options_.latency_rate > 0.0 &&
+      options_.injected_latency.count() > 0 &&
+      rng.uniform01() < options_.latency_rate) {
+    ++latencies_;
+    std::this_thread::sleep_for(options_.injected_latency);
+  }
+  if (options_.transient_failure_rate > 0.0 &&
+      rng.uniform01() < options_.transient_failure_rate) {
+    ++transients_;
+    std::ostringstream msg;
+    msg << "injected transient failure (attempt " << attempt << ")";
+    throw ToolRunError(msg.str());
+  }
+  return inner_.evaluate(space, config);
+}
+
+QoR CachingOracle::evaluate(const ParameterSpace& space,
+                            const Config& config) {
+  std::shared_future<QoR> future;
+  std::promise<QoR> promise;
+  bool owner = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = cache_.find(config);
+    if (it != cache_.end()) {
+      future = it->second;
+      ++hits_;
+    } else {
+      owner = true;
+      future = promise.get_future().share();
+      cache_.emplace(config, future);
+      ++misses_;
+    }
+  }
+  if (owner) {
+    try {
+      promise.set_value(inner_.evaluate(space, config));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      // Failures are not memoized: a later retry must re-attempt the tool.
+      std::lock_guard lock(mutex_);
+      cache_.erase(config);
+    }
+  }
+  return future.get();  // rethrows the owner's exception for all waiters
+}
+
+}  // namespace ppat::flow

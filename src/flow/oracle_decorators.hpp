@@ -1,0 +1,101 @@
+// Composable QorOracle decorators for the live evaluation path.
+//
+//   FaultInjectingOracle — wraps an oracle with seeded, deterministic
+//     failure and latency injection. Which configurations fail permanently,
+//     which attempts fail transiently, and which runs are slowed are all
+//     pure functions of (seed, configuration, attempt number), so tests and
+//     benches get reproducible fault patterns that do not depend on thread
+//     scheduling or license count.
+//
+//   CachingOracle — config-keyed memo in front of an oracle, so retries of
+//     a successful run and duplicate reveals never double-spend tool runs.
+//     Concurrent requests for the same configuration are deduplicated
+//     (waiters block on the in-flight run); failed runs are NOT cached, so
+//     a retry genuinely re-attempts the tool.
+//
+// Typical live stack, outermost first:
+//   EvalService -> CachingOracle -> FaultInjectingOracle -> PDTool
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+
+#include "flow/eval_service.hpp"
+
+namespace ppat::flow {
+
+struct FaultInjectionOptions {
+  /// Probability that any given attempt fails transiently (a retry may
+  /// succeed).
+  double transient_failure_rate = 0.0;
+  /// Probability that a configuration fails on EVERY attempt (a crash the
+  /// tool reproduces deterministically on that input).
+  double permanent_failure_rate = 0.0;
+  /// Probability that an attempt is slowed by `injected_latency`.
+  double latency_rate = 0.0;
+  std::chrono::milliseconds injected_latency{0};
+  std::uint64_t seed = 0x5eedu;
+};
+
+/// Deterministic failure/latency injection around an inner oracle.
+/// Thread-safe; safe under EvalService with any license count.
+class FaultInjectingOracle final : public QorOracle {
+ public:
+  FaultInjectingOracle(QorOracle& inner, FaultInjectionOptions options);
+
+  /// Throws ToolRunError on injected failures; otherwise forwards to the
+  /// inner oracle (after any injected latency).
+  QoR evaluate(const ParameterSpace& space, const Config& config) override;
+
+  /// Attempts that reached this oracle (including ones that failed here).
+  std::size_t run_count() const override { return calls_; }
+
+  std::size_t injected_transient_failures() const { return transients_; }
+  std::size_t injected_permanent_failures() const { return permanents_; }
+  std::size_t injected_latencies() const { return latencies_; }
+
+  /// True when `config` is destined to fail every attempt under this seed
+  /// (test introspection: lets assertions know the ground truth).
+  bool is_permanently_failing(const Config& config) const;
+
+ private:
+  QorOracle& inner_;
+  FaultInjectionOptions options_;
+  mutable std::mutex mutex_;
+  /// Per-configuration attempt counter (deterministic regardless of the
+  /// interleaving across licenses: attempts on one config are sequential).
+  std::map<Config, std::size_t> attempt_counts_;
+  std::atomic<std::size_t> calls_{0};
+  std::atomic<std::size_t> transients_{0};
+  std::atomic<std::size_t> permanents_{0};
+  std::atomic<std::size_t> latencies_{0};
+};
+
+/// Config-keyed memoization of successful runs. Thread-safe.
+class CachingOracle final : public QorOracle {
+ public:
+  explicit CachingOracle(QorOracle& inner) : inner_(inner) {}
+
+  QoR evaluate(const ParameterSpace& space, const Config& config) override;
+
+  /// Actual tool invocations (cache hits spend nothing).
+  std::size_t run_count() const override { return inner_.run_count(); }
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  QorOracle& inner_;
+  std::mutex mutex_;
+  /// Completed or in-flight runs; a waiter shares the owner's future.
+  /// Entries whose run failed are erased so retries re-attempt the tool.
+  std::map<Config, std::shared_future<QoR>> cache_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace ppat::flow

@@ -54,16 +54,23 @@ Point reference_point(const std::vector<Point>& points, double margin) {
   if (points.empty()) {
     throw std::invalid_argument("reference_point: empty point set");
   }
-  Point ref = points.front();
+  Point lo = points.front(), hi = points.front();
   for (const Point& p : points) {
-    assert(p.size() == ref.size());
-    for (std::size_t i = 0; i < ref.size(); ++i) {
-      ref[i] = std::max(ref[i], p[i]);
+    assert(p.size() == lo.size());
+    for (std::size_t i = 0; i < lo.size(); ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
     }
   }
-  for (double& r : ref) {
-    // Scale away from the origin; handles negative coordinates too.
-    r += std::fabs(r) * (margin - 1.0) + 1e-12;
+  Point ref(hi);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    // Pad by a scale the dimension actually has: its magnitude or, when the
+    // maximum sits at 0 (e.g. zero-WNS metrics), the set's spread. A fully
+    // degenerate dimension (all points equal 0) falls back to unit scale so
+    // the hypervolume never collapses along it.
+    double scale = std::max(std::fabs(hi[i]), hi[i] - lo[i]);
+    if (scale <= 0.0) scale = 1.0;
+    ref[i] += (margin - 1.0) * scale;
   }
   return ref;
 }
@@ -182,7 +189,10 @@ double adrs(const std::vector<Point>& golden,
       double worst = 0.0;
       for (std::size_t k = 0; k < a.size(); ++k) {
         const double denom = std::fabs(a[k]) > 1e-300 ? std::fabs(a[k]) : 1.0;
-        worst = std::max(worst, std::fabs(a[k] - p[k]) / denom);
+        // One-sided distance (paper Eq. (3)): only being WORSE than the
+        // reference point costs; an approximation point that dominates a
+        // golden point is at distance 0 from it, not penalized.
+        worst = std::max(worst, (p[k] - a[k]) / denom);
       }
       best = std::min(best, worst);
     }

@@ -35,8 +35,10 @@ std::vector<std::size_t> pareto_front_indices(
 /// The non-dominated subset itself.
 std::vector<Point> pareto_front(const std::vector<Point>& points);
 
-/// Reference point for hypervolume: componentwise maximum over `points`
-/// scaled by `margin` (> 1). Throws std::invalid_argument on empty input.
+/// Reference point for hypervolume: componentwise maximum over `points`,
+/// padded by (margin - 1) times a per-dimension scale (the coordinate's
+/// magnitude, or the set's spread when the maximum sits at 0, so no
+/// dimension ever collapses). Throws std::invalid_argument on empty input.
 Point reference_point(const std::vector<Point>& points, double margin = 1.1);
 
 /// Exact hypervolume of the region dominated by `points` and bounded by
@@ -56,7 +58,9 @@ double hypervolume_error(const std::vector<Point>& golden,
 
 /// Average Distance from Reference Set (paper Eq. (3)): for each golden
 /// point, the minimum over approximation points of the worst relative
-/// per-objective deviation, averaged over the golden set.
+/// per-objective shortfall max(0, (p_k - a_k) / |a_k|), averaged over the
+/// golden set. One-sided: approximation points that dominate a golden point
+/// are at distance 0 from it.
 double adrs(const std::vector<Point>& golden,
             const std::vector<Point>& approx);
 

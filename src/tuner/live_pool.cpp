@@ -1,0 +1,98 @@
+#include "tuner/live_pool.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppat::tuner {
+
+LiveCandidatePool::LiveCandidatePool(std::vector<flow::Config> candidates,
+                                     std::vector<std::size_t> objectives,
+                                     flow::EvalService& service)
+    : candidates_(std::move(candidates)),
+      objectives_(std::move(objectives)),
+      service_(&service) {
+  if (candidates_.empty()) {
+    throw std::invalid_argument("LiveCandidatePool: no candidates");
+  }
+  if (objectives_.empty()) {
+    throw std::invalid_argument("LiveCandidatePool: no objectives selected");
+  }
+  encoded_.reserve(candidates_.size());
+  for (const flow::Config& c : candidates_) {
+    encoded_.push_back(service_->space().encode(c));
+  }
+  state_.assign(candidates_.size(), State::kUnknown);
+  values_.resize(candidates_.size());
+  records_.resize(candidates_.size());
+  has_record_.assign(candidates_.size(), false);
+}
+
+const flow::RunRecord* LiveCandidatePool::record(std::size_t i) const {
+  return has_record_.at(i) ? &records_[i] : nullptr;
+}
+
+std::vector<CandidatePool::RevealOutcome> LiveCandidatePool::reveal_batch(
+    const std::vector<std::size_t>& indices) {
+  std::vector<RevealOutcome> outcomes(indices.size());
+
+  // Dispatch only candidates with no known outcome yet, each at most once
+  // even if duplicated inside `indices` — a reveal never double-spends runs.
+  std::vector<std::size_t> pending;
+  for (std::size_t i : indices) {
+    if (state_.at(i) == State::kUnknown &&
+        std::find(pending.begin(), pending.end(), i) == pending.end()) {
+      pending.push_back(i);
+    }
+  }
+  if (!pending.empty()) {
+    std::vector<flow::Config> configs;
+    configs.reserve(pending.size());
+    for (std::size_t i : pending) configs.push_back(candidates_[i]);
+    const std::vector<flow::RunRecord> records =
+        service_->evaluate_batch(configs);
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      const std::size_t i = pending[j];
+      records_[i] = records[j];
+      has_record_[i] = true;
+      if (records[j].ok()) {
+        state_[i] = State::kRevealed;
+        ++runs_;
+        pareto::Point p(objectives_.size());
+        for (std::size_t k = 0; k < objectives_.size(); ++k) {
+          p[k] = records[j].qor.metric(objectives_[k]);
+        }
+        values_[i] = std::move(p);
+      } else {
+        state_[i] = State::kFailed;
+        ++failed_;
+      }
+    }
+  }
+
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const std::size_t i = indices[j];
+    if (state_[i] == State::kRevealed) {
+      outcomes[j].ok = true;
+      outcomes[j].value = values_[i];
+    } else {
+      outcomes[j].ok = false;
+      std::ostringstream msg;
+      msg << "candidate " << i << " "
+          << flow::run_status_name(records_[i].status) << " after "
+          << records_[i].attempts << " attempt(s): " << records_[i].error;
+      outcomes[j].error = msg.str();
+    }
+  }
+  return outcomes;
+}
+
+pareto::Point LiveCandidatePool::reveal(std::size_t i) {
+  const auto outcomes = reveal_batch({i});
+  if (!outcomes.front().ok) {
+    throw PoolEvaluationError(outcomes.front().error);
+  }
+  return outcomes.front().value;
+}
+
+}  // namespace ppat::tuner

@@ -70,10 +70,21 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   common::set_global_thread_count(num_threads);
 
   // ---- Initialization (Alg. 1 lines 1-2) ----
+  if (n == 0) {
+    throw std::invalid_argument("run_ppatuner: empty candidate pool");
+  }
+  if (options.max_runs == 0) {
+    throw std::invalid_argument(
+        "run_ppatuner: max_runs must be > 0 (the surrogates need at least "
+        "one revealed observation to fit)");
+  }
+  // At least one initial reveal: a small init_fraction with min_init = 0
+  // must not produce an empty training set.
   const std::size_t init_count = std::min(
-      {n, std::max(options.min_init,
-                   static_cast<std::size_t>(options.init_fraction *
-                                            static_cast<double>(n))),
+      {n, std::max<std::size_t>(
+              {1, options.min_init,
+               static_cast<std::size_t>(options.init_fraction *
+                                        static_cast<double>(n))}),
        options.max_runs});
   const auto init_idx = rng.sample_without_replacement(n, init_count);
 
@@ -85,9 +96,9 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   std::vector<linalg::Vector> train_x;
   std::vector<linalg::Vector> train_y(n_obj);
   linalg::Vector obj_min(n_obj, 1e300), obj_max(n_obj, -1e300);
+  std::size_t failed_evals = 0;
 
-  auto reveal_candidate = [&](std::size_t i) {
-    const pareto::Point y = pool.reveal(i);
+  auto record_observation = [&](std::size_t i, const pareto::Point& y) {
     lo[i] = y;
     hi[i] = y;
     collapsed[i] = true;
@@ -97,9 +108,50 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
       obj_min[k] = std::min(obj_min[k], y[k]);
       obj_max[k] = std::max(obj_max[k], y[k]);
     }
-    return y;
   };
-  for (std::size_t i : init_idx) reveal_candidate(i);
+  // Reveals a batch through the pool (live pools dispatch it concurrently
+  // across tool licenses). Successful reveals become observations; a
+  // candidate whose evaluation permanently failed is quarantined — dropped
+  // and never re-selected. Returns the successfully revealed indices.
+  auto reveal_many = [&](const std::vector<std::size_t>& indices) {
+    std::vector<std::size_t> revealed;
+    revealed.reserve(indices.size());
+    const auto outcomes = pool.reveal_batch(indices);
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      if (outcomes[j].ok) {
+        record_observation(indices[j], outcomes[j].value);
+        revealed.push_back(indices[j]);
+      } else {
+        status[indices[j]] = Status::kDropped;
+        ++failed_evals;
+        PPAT_WARN << "candidate " << indices[j]
+                  << " quarantined: " << outcomes[j].error;
+      }
+    }
+    return revealed;
+  };
+  reveal_many(init_idx);
+  // If every initial evaluation failed (live tool misbehaving), keep
+  // sampling fresh candidates until one run succeeds or the pool is
+  // exhausted — the surrogates cannot fit on an empty training set.
+  while (train_x.empty()) {
+    std::vector<std::size_t> remaining;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (status[i] != Status::kDropped && !collapsed[i]) remaining.push_back(i);
+    }
+    if (remaining.empty()) {
+      throw PoolEvaluationError(
+          "run_ppatuner: every candidate evaluation failed during "
+          "initialization");
+    }
+    const auto pick =
+        rng.sample_without_replacement(remaining.size(),
+                                       std::min(init_count, remaining.size()));
+    std::vector<std::size_t> retry_idx;
+    retry_idx.reserve(pick.size());
+    for (std::size_t p : pick) retry_idx.push_back(remaining[p]);
+    reveal_many(retry_idx);
+  }
 
   // Per-objective scale (for delta and diameter normalization).
   linalg::Vector scale(n_obj, 1.0), delta(n_obj, 0.0);
@@ -256,23 +308,33 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
         std::min({options.batch_size, ranked.size(),
                   options.max_runs - pool.runs()});
     if (batch == 0) break;
+    // Largest diameter first; ties broken by candidate index so the
+    // selection is identical across standard-library partial_sort
+    // implementations.
     std::partial_sort(ranked.begin(),
                       ranked.begin() + static_cast<std::ptrdiff_t>(batch),
-                      ranked.end(),
-                      [](const auto& a, const auto& b) { return a.first > b.first; });
-    // Reveal the whole batch first, then fold it into each model with one
-    // batched update (one rank-1 append per point, one posterior solve per
-    // model — not batch x n_obj separate refactorizations).
-    std::vector<linalg::Vector> batch_xs;
-    batch_xs.reserve(batch);
-    std::vector<linalg::Vector> batch_ys(n_obj);
-    for (std::size_t b = 0; b < batch; ++b) {
-      const std::size_t i = ranked[b].second;
-      const pareto::Point y = reveal_candidate(i);
-      batch_xs.push_back(pool.encoded()[i]);
-      for (std::size_t k = 0; k < n_obj; ++k) batch_ys[k].push_back(y[k]);
-    }
-    {
+                      ranked.end(), [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    // Reveal the whole batch first (one concurrent dispatch on live pools),
+    // then fold it into each model with one batched update (one rank-1
+    // append per point, one posterior solve per model — not batch x n_obj
+    // separate refactorizations). Permanently failed candidates were
+    // quarantined by reveal_many; only the successful part of the batch is
+    // folded in.
+    std::vector<std::size_t> batch_idx;
+    batch_idx.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) batch_idx.push_back(ranked[b].second);
+    const auto revealed_now = reveal_many(batch_idx);
+    if (!revealed_now.empty()) {
+      std::vector<linalg::Vector> batch_xs;
+      batch_xs.reserve(revealed_now.size());
+      std::vector<linalg::Vector> batch_ys(n_obj);
+      for (std::size_t i : revealed_now) {
+        batch_xs.push_back(pool.encoded()[i]);
+        for (std::size_t k = 0; k < n_obj; ++k) batch_ys[k].push_back(lo[i][k]);
+      }
       common::TaskGroup group;
       for (std::size_t k = 0; k < n_obj; ++k) {
         group.run([&models, &batch_xs, &batch_ys, k] {
@@ -353,9 +415,11 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
     }
   }
   result.tool_runs = pool.runs();
+  result.failed_runs = failed_evals;
 
   if (diagnostics != nullptr) {
     diagnostics->rounds = rounds;
+    diagnostics->failed_evaluations = failed_evals;
     diagnostics->dropped = 0;
     diagnostics->classified_pareto = 0;
     diagnostics->undecided = 0;

@@ -70,6 +70,9 @@ struct PPATunerDiagnostics {
   std::size_t dropped = 0;
   std::size_t classified_pareto = 0;
   std::size_t undecided = 0;
+  /// Candidates quarantined because their evaluation permanently failed
+  /// (counted inside `dropped` as well; 0 on benchmark replay).
+  std::size_t failed_evaluations = 0;
   /// Learned source-target correlation per objective (transfer GP only;
   /// empty otherwise).
   std::vector<double> task_correlations;
@@ -77,6 +80,14 @@ struct PPATunerDiagnostics {
 
 /// Runs the loop on `pool` with surrogates from `factory` (one per
 /// objective). Returns the predicted Pareto-optimal candidate set.
+///
+/// Works against any CandidatePool. Reveals go through reveal_batch, so a
+/// LiveCandidatePool dispatches each round's batch concurrently across tool
+/// licenses; a candidate whose evaluation permanently fails is quarantined
+/// (dropped, never re-selected) and the successful part of the batch is
+/// still folded into the surrogates. Throws std::invalid_argument when
+/// max_runs == 0 or the pool is empty, and PoolEvaluationError when every
+/// initialization run fails.
 TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
                           const PPATunerOptions& options,
                           PPATunerDiagnostics* diagnostics = nullptr);

@@ -13,20 +13,36 @@ const char* objective_space_name(const std::vector<std::size_t>& objectives) {
   return "custom";
 }
 
-CandidatePool::CandidatePool(const flow::BenchmarkSet* benchmark,
-                             std::vector<std::size_t> objectives)
+std::vector<CandidatePool::RevealOutcome> CandidatePool::reveal_batch(
+    const std::vector<std::size_t>& indices) {
+  std::vector<RevealOutcome> outcomes(indices.size());
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    try {
+      outcomes[j].value = reveal(indices[j]);
+      outcomes[j].ok = true;
+    } catch (const PoolEvaluationError& e) {
+      outcomes[j].ok = false;
+      outcomes[j].error = e.what();
+    }
+  }
+  return outcomes;
+}
+
+BenchmarkCandidatePool::BenchmarkCandidatePool(
+    const flow::BenchmarkSet* benchmark, std::vector<std::size_t> objectives)
     : benchmark_(benchmark), objectives_(std::move(objectives)) {
   if (benchmark_ == nullptr || benchmark_->size() == 0) {
-    throw std::invalid_argument("CandidatePool: empty benchmark");
+    throw std::invalid_argument("BenchmarkCandidatePool: empty benchmark");
   }
   if (objectives_.empty()) {
-    throw std::invalid_argument("CandidatePool: no objectives selected");
+    throw std::invalid_argument(
+        "BenchmarkCandidatePool: no objectives selected");
   }
   encoded_ = benchmark_->encoded_configs();
   revealed_.assign(encoded_.size(), false);
 }
 
-pareto::Point CandidatePool::golden(std::size_t i) const {
+pareto::Point BenchmarkCandidatePool::golden(std::size_t i) const {
   const flow::QoR& q = benchmark_->qor.at(i);
   pareto::Point p(objectives_.size());
   for (std::size_t k = 0; k < objectives_.size(); ++k) {
@@ -35,7 +51,7 @@ pareto::Point CandidatePool::golden(std::size_t i) const {
   return p;
 }
 
-pareto::Point CandidatePool::reveal(std::size_t i) {
+pareto::Point BenchmarkCandidatePool::reveal(std::size_t i) {
   if (!revealed_.at(i)) {
     revealed_[i] = true;
     ++runs_;
@@ -43,14 +59,14 @@ pareto::Point CandidatePool::reveal(std::size_t i) {
   return golden(i);
 }
 
-std::vector<pareto::Point> CandidatePool::golden_front() const {
+std::vector<pareto::Point> BenchmarkCandidatePool::golden_front() const {
   std::vector<pareto::Point> all;
   all.reserve(size());
   for (std::size_t i = 0; i < size(); ++i) all.push_back(golden(i));
   return pareto::pareto_front(all);
 }
 
-ResultQuality evaluate_result(const CandidatePool& pool,
+ResultQuality evaluate_result(const BenchmarkCandidatePool& pool,
                               const TuningResult& result) {
   if (result.pareto_indices.empty()) {
     throw std::invalid_argument("evaluate_result: empty predicted set");

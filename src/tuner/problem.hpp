@@ -1,15 +1,25 @@
 // The shared tuning-problem harness every method (PPATuner and the four
 // baselines) runs against.
 //
-// Following the paper's evaluation protocol (§4.1), a tuning task is a
-// finite pool of pre-enumerated parameter configurations whose golden QoR
-// values exist offline; a "tool run" reveals one configuration's golden QoR
-// (in the paper: actually invoking Innovus; here: looking up the benchmark
-// table — the tuner cannot tell the difference). Methods are compared on
-// (a) hypervolume error, (b) ADRS, and (c) the number of tool runs.
+// A tuning task is a finite pool of enumerated parameter configurations; a
+// "tool run" reveals one configuration's QoR. Two pool implementations
+// exist:
+//
+//   * BenchmarkCandidatePool — the paper's evaluation protocol (§4.1): a
+//     fully pre-evaluated BenchmarkSet replayed as a lookup table. Reveals
+//     never fail; golden values are available offline for scoring.
+//   * LiveCandidatePool (live_pool.hpp) — a production pool driving a real
+//     tool through flow::EvalService, where runs can crash, hang, or time
+//     out; a permanently failed evaluation is a first-class outcome.
+//
+// Tuners only see the abstract CandidatePool, so the same loop drives both.
+// Methods are compared on (a) hypervolume error, (b) ADRS, and (c) the
+// number of tool runs.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "flow/benchmark.hpp"
@@ -23,26 +33,77 @@ inline const std::vector<std::size_t> kPowerDelay = {1, 2};
 inline const std::vector<std::size_t> kAreaPowerDelay = {0, 1, 2};
 const char* objective_space_name(const std::vector<std::size_t>& objectives);
 
-/// Read-once access to a benchmark's candidates with run accounting.
+/// Thrown by CandidatePool::reveal when a candidate's evaluation has
+/// permanently failed (exhausted retries). Batch users should prefer
+/// reveal_batch, which reports failures as per-candidate outcomes instead.
+class PoolEvaluationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Read-once access to a tuning task's candidates with run accounting.
+///
+/// Contract: the first successful reveal of each candidate counts as one
+/// tool run; repeats are free (cached result). A candidate whose evaluation
+/// permanently fails never counts as a run and stays failed on every later
+/// reveal attempt.
 class CandidatePool {
+ public:
+  virtual ~CandidatePool() = default;
+
+  virtual std::size_t size() const = 0;
+  virtual std::size_t num_objectives() const = 0;
+  /// Unit-cube encodings of all candidates (surrogate model inputs).
+  virtual const std::vector<linalg::Vector>& encoded() const = 0;
+  /// QoR metric indices forming the objective vector.
+  virtual const std::vector<std::size_t>& objectives() const = 0;
+
+  /// Reveals candidate i's golden objective vector. Throws
+  /// PoolEvaluationError if the evaluation permanently failed.
+  virtual pareto::Point reveal(std::size_t i) = 0;
+
+  /// Outcome of one candidate in a batch reveal.
+  struct RevealOutcome {
+    bool ok = false;
+    pareto::Point value;  ///< valid iff ok
+    std::string error;    ///< failure reason iff !ok
+  };
+
+  /// Reveals many candidates; failures come back as per-candidate outcomes
+  /// (never throws for run failures). Live pools dispatch the whole batch
+  /// concurrently across tool licenses; the default implementation reveals
+  /// sequentially.
+  virtual std::vector<RevealOutcome> reveal_batch(
+      const std::vector<std::size_t>& indices);
+
+  virtual bool is_revealed(std::size_t i) const = 0;
+  /// Successful first reveals so far ("tool runs" in the paper's metric).
+  virtual std::size_t runs() const = 0;
+  /// Candidates whose evaluation permanently failed.
+  virtual std::size_t failed_evaluations() const { return 0; }
+};
+
+/// The paper's offline pool: replays a fully pre-evaluated BenchmarkSet.
+class BenchmarkCandidatePool final : public CandidatePool {
  public:
   /// `objectives` selects which QoR metrics form the objective vector
   /// (indices into flow::QoR::metric).
-  CandidatePool(const flow::BenchmarkSet* benchmark,
-                std::vector<std::size_t> objectives);
+  BenchmarkCandidatePool(const flow::BenchmarkSet* benchmark,
+                         std::vector<std::size_t> objectives);
 
-  std::size_t size() const { return encoded_.size(); }
-  std::size_t num_objectives() const { return objectives_.size(); }
-  const std::vector<linalg::Vector>& encoded() const { return encoded_; }
+  std::size_t size() const override { return encoded_.size(); }
+  std::size_t num_objectives() const override { return objectives_.size(); }
+  const std::vector<linalg::Vector>& encoded() const override {
+    return encoded_;
+  }
   const flow::BenchmarkSet& benchmark() const { return *benchmark_; }
-  const std::vector<std::size_t>& objectives() const { return objectives_; }
+  const std::vector<std::size_t>& objectives() const override {
+    return objectives_;
+  }
 
-  /// Reveals candidate i's golden objective vector. The first reveal of each
-  /// candidate counts as one tool run; repeats are free (cached result).
-  pareto::Point reveal(std::size_t i);
-
-  bool is_revealed(std::size_t i) const { return revealed_[i]; }
-  std::size_t runs() const { return runs_; }
+  pareto::Point reveal(std::size_t i) override;
+  bool is_revealed(std::size_t i) const override { return revealed_[i]; }
+  std::size_t runs() const override { return runs_; }
 
   /// Golden objective vector WITHOUT counting a run. Only for evaluation
   /// code (computing HV/ADRS of a final answer), never for tuners.
@@ -64,6 +125,9 @@ struct TuningResult {
   /// Candidate indices the method declares (approximately) Pareto-optimal.
   std::vector<std::size_t> pareto_indices;
   std::size_t tool_runs = 0;
+  /// Candidates whose evaluation permanently failed during the run (live
+  /// pools only; always 0 for benchmark replay).
+  std::size_t failed_runs = 0;
 };
 
 /// Paper's quality indicators for a result.
@@ -76,7 +140,7 @@ struct ResultQuality {
 /// Scores a result against the pool's golden front. The predicted set is
 /// evaluated at its golden QoR values (the paper feeds the predicted
 /// configurations through the PD flow for final measurement).
-ResultQuality evaluate_result(const CandidatePool& pool,
+ResultQuality evaluate_result(const BenchmarkCandidatePool& pool,
                               const TuningResult& result);
 
 /// Source-task data handed to transfer-capable methods: encoded configs and

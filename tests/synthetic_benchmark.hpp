@@ -3,6 +3,7 @@
 // tuner tests run in milliseconds instead of invoking the PD flow.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 
 #include "common/rng.hpp"
@@ -33,6 +34,26 @@ inline flow::QoR synthetic_qor(const linalg::Vector& u, double shift = 0.0) {
   q.delay_ns = 1.0 + u1 + 0.15 * std::sin(4.0 * u0) + shift * 0.1 * u2;
   return q;
 }
+
+/// Live-oracle counterpart of synthetic_qor: what a BenchmarkSet built from
+/// the same space/shift would contain, but computed on demand — so live-pool
+/// runs can be compared point-for-point against benchmark replay.
+/// Thread-safe (EvalService may call it from several licenses at once).
+class SyntheticOracle final : public flow::QorOracle {
+ public:
+  explicit SyntheticOracle(double shift = 0.0) : shift_(shift) {}
+
+  flow::QoR evaluate(const flow::ParameterSpace& space,
+                     const flow::Config& config) override {
+    ++runs_;
+    return synthetic_qor(space.encode(config), shift_);
+  }
+  std::size_t run_count() const override { return runs_; }
+
+ private:
+  double shift_;
+  std::atomic<std::size_t> runs_{0};
+};
 
 inline flow::BenchmarkSet synthetic_benchmark(const std::string& name,
                                               std::size_t n,

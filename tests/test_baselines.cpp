@@ -11,7 +11,7 @@
 namespace ppat::baselines {
 namespace {
 
-using tuner::CandidatePool;
+using tuner::BenchmarkCandidatePool;
 using tuner::evaluate_result;
 using tuner::kPowerDelay;
 using tuner::SourceData;
@@ -29,7 +29,7 @@ class BaselinesTest : public ::testing::Test {
 };
 
 TEST_F(BaselinesTest, Tcad19FindsReasonableFront) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   Tcad19Options opt;
   opt.seed = 1;
   opt.max_runs = 80;
@@ -41,7 +41,7 @@ TEST_F(BaselinesTest, Tcad19FindsReasonableFront) {
 }
 
 TEST_F(BaselinesTest, Mlcad19RunsToBudget) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   Mlcad19Options opt;
   opt.seed = 2;
   opt.budget = 60;
@@ -53,7 +53,7 @@ TEST_F(BaselinesTest, Mlcad19RunsToBudget) {
 }
 
 TEST_F(BaselinesTest, Mlcad19AnswerIsNonDominatedSubsetOfRevealed) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   Mlcad19Options opt;
   opt.seed = 3;
   opt.budget = 40;
@@ -71,7 +71,7 @@ TEST_F(BaselinesTest, Mlcad19AnswerIsNonDominatedSubsetOfRevealed) {
 }
 
 TEST_F(BaselinesTest, Dac19UsesSourceAndImproves) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   Dac19Options opt;
   opt.seed = 4;
   opt.budget = 60;
@@ -82,7 +82,7 @@ TEST_F(BaselinesTest, Dac19UsesSourceAndImproves) {
 }
 
 TEST_F(BaselinesTest, Dac19WorksWithoutSource) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   Dac19Options opt;
   opt.seed = 5;
   opt.budget = 50;
@@ -92,7 +92,7 @@ TEST_F(BaselinesTest, Dac19WorksWithoutSource) {
 }
 
 TEST_F(BaselinesTest, Aspdac20RunsBothPhases) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   Aspdac20Options opt;
   opt.seed = 6;
   opt.budget = 60;
@@ -104,7 +104,7 @@ TEST_F(BaselinesTest, Aspdac20RunsBothPhases) {
 }
 
 TEST_F(BaselinesTest, Aspdac20WorksWithoutSource) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   Aspdac20Options opt;
   opt.seed = 7;
   opt.budget = 40;
@@ -114,26 +114,26 @@ TEST_F(BaselinesTest, Aspdac20WorksWithoutSource) {
 
 TEST_F(BaselinesTest, AllBaselinesDeterministicGivenSeed) {
   auto run_twice_and_compare = [this](auto&& runner) {
-    CandidatePool pool_a(&target_, kPowerDelay);
-    CandidatePool pool_b(&target_, kPowerDelay);
+    BenchmarkCandidatePool pool_a(&target_, kPowerDelay);
+    BenchmarkCandidatePool pool_b(&target_, kPowerDelay);
     const auto ra = runner(pool_a);
     const auto rb = runner(pool_b);
     EXPECT_EQ(ra.pareto_indices, rb.pareto_indices);
     EXPECT_EQ(ra.tool_runs, rb.tool_runs);
   };
-  run_twice_and_compare([](CandidatePool& p) {
+  run_twice_and_compare([](BenchmarkCandidatePool& p) {
     Mlcad19Options o;
     o.seed = 8;
     o.budget = 30;
     return run_mlcad19(p, o);
   });
-  run_twice_and_compare([this](CandidatePool& p) {
+  run_twice_and_compare([this](BenchmarkCandidatePool& p) {
     Dac19Options o;
     o.seed = 8;
     o.budget = 30;
     return run_dac19(p, &source_data_, o);
   });
-  run_twice_and_compare([this](CandidatePool& p) {
+  run_twice_and_compare([this](BenchmarkCandidatePool& p) {
     Aspdac20Options o;
     o.seed = 8;
     o.budget = 30;
@@ -142,7 +142,7 @@ TEST_F(BaselinesTest, AllBaselinesDeterministicGivenSeed) {
 }
 
 TEST_F(BaselinesTest, ResultIndicesValid) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   Aspdac20Options opt;
   opt.seed = 9;
   opt.budget = 35;

@@ -1,0 +1,295 @@
+// flow::EvalService: license-bounded batch dispatch, bounded retry,
+// cooperative deadlines, and the oracle decorators (fault injection,
+// caching). The load-bearing property is determinism: record i always
+// describes configs[i], and outcomes never depend on the license count.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "flow/eval_service.hpp"
+#include "flow/oracle_decorators.hpp"
+#include "sample/sampling.hpp"
+#include "synthetic_benchmark.hpp"
+
+namespace ppat {
+namespace {
+
+std::vector<flow::Config> make_configs(const flow::ParameterSpace& space,
+                                       std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  const auto unit = sample::latin_hypercube(n, space.size(), rng);
+  std::vector<flow::Config> configs;
+  configs.reserve(n);
+  for (const auto& u : unit) configs.push_back(space.decode(u));
+  return configs;
+}
+
+/// Fails the first `failures` attempts of every configuration, then
+/// delegates to the inner oracle.
+class FlakyOracle final : public flow::QorOracle {
+ public:
+  FlakyOracle(flow::QorOracle& inner, std::size_t failures)
+      : inner_(inner), failures_(failures) {}
+
+  flow::QoR evaluate(const flow::ParameterSpace& space,
+                     const flow::Config& config) override {
+    std::size_t attempt;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      attempt = ++attempts_[config];
+    }
+    if (attempt <= failures_) {
+      throw flow::ToolRunError("flaky: injected attempt failure");
+    }
+    return inner_.evaluate(space, config);
+  }
+  std::size_t run_count() const override { return inner_.run_count(); }
+
+  std::size_t attempts_seen(const flow::Config& config) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return attempts_[config];
+  }
+
+ private:
+  flow::QorOracle& inner_;
+  std::size_t failures_;
+  std::mutex mutex_;
+  std::map<flow::Config, std::size_t> attempts_;
+};
+
+/// Sleeps before every evaluation (deadline tests).
+class SlowOracle final : public flow::QorOracle {
+ public:
+  SlowOracle(flow::QorOracle& inner, std::chrono::milliseconds delay)
+      : inner_(inner), delay_(delay) {}
+
+  flow::QoR evaluate(const flow::ParameterSpace& space,
+                     const flow::Config& config) override {
+    std::this_thread::sleep_for(delay_);
+    return inner_.evaluate(space, config);
+  }
+  std::size_t run_count() const override { return inner_.run_count(); }
+
+ private:
+  flow::QorOracle& inner_;
+  std::chrono::milliseconds delay_;
+};
+
+TEST(EvalService, RecordsIndexedByBatchPosition) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 12, 42);
+  testing::SyntheticOracle oracle;
+  flow::EvalServiceOptions opt;
+  opt.licenses = 4;
+  flow::EvalService service(oracle, space, opt);
+
+  const auto records = service.evaluate_batch(configs);
+  ASSERT_EQ(records.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ASSERT_TRUE(records[i].ok()) << records[i].error;
+    EXPECT_EQ(records[i].attempts, 1u);
+    const flow::QoR want = testing::synthetic_qor(space.encode(configs[i]));
+    EXPECT_EQ(records[i].qor.area_um2, want.area_um2);
+    EXPECT_EQ(records[i].qor.power_mw, want.power_mw);
+    EXPECT_EQ(records[i].qor.delay_ns, want.delay_ns);
+  }
+  EXPECT_EQ(oracle.run_count(), configs.size());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.runs_ok, configs.size());
+  EXPECT_EQ(stats.runs_failed, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST(EvalService, RetriesTransientFailuresUpToMaxAttempts) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 1, 1);
+  testing::SyntheticOracle inner;
+  FlakyOracle flaky(inner, 2);  // attempts 1 and 2 fail, attempt 3 succeeds
+  flow::EvalServiceOptions opt;
+  opt.max_attempts = 3;
+  flow::EvalService service(flaky, space, opt);
+
+  const auto record = service.evaluate(configs[0]);
+  EXPECT_TRUE(record.ok()) << record.error;
+  EXPECT_EQ(record.attempts, 3u);
+  EXPECT_EQ(record.retries(), 2u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.runs_ok, 1u);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+}
+
+TEST(EvalService, ExhaustedRetriesRecordPermanentFailure) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 1, 2);
+  testing::SyntheticOracle inner;
+  FlakyOracle flaky(inner, 1000);  // never succeeds
+  flow::EvalServiceOptions opt;
+  opt.max_attempts = 3;
+  flow::EvalService service(flaky, space, opt);
+
+  const auto record = service.evaluate(configs[0]);
+  EXPECT_FALSE(record.ok());
+  EXPECT_EQ(record.status, flow::RunStatus::kFailed);
+  EXPECT_EQ(record.attempts, 3u);
+  EXPECT_FALSE(record.error.empty());
+  EXPECT_EQ(inner.run_count(), 0u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.runs_failed, 1u);
+  EXPECT_EQ(stats.runs_ok, 0u);
+}
+
+TEST(EvalService, SingleAttemptDisablesRetry) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 1, 3);
+  testing::SyntheticOracle inner;
+  FlakyOracle flaky(inner, 1);
+  flow::EvalServiceOptions opt;
+  opt.max_attempts = 1;
+  flow::EvalService service(flaky, space, opt);
+
+  const auto record = service.evaluate(configs[0]);
+  EXPECT_EQ(record.status, flow::RunStatus::kFailed);
+  EXPECT_EQ(record.attempts, 1u);
+  EXPECT_EQ(flaky.attempts_seen(configs[0]), 1u);
+}
+
+TEST(EvalService, DeadlineClassifiesSlowRunsAsTimedOut) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 1, 4);
+  testing::SyntheticOracle inner;
+  SlowOracle slow(inner, std::chrono::milliseconds(25));
+  flow::EvalServiceOptions opt;
+  opt.max_attempts = 2;
+  opt.run_deadline = std::chrono::milliseconds(1);
+  flow::EvalService service(slow, space, opt);
+
+  const auto record = service.evaluate(configs[0]);
+  EXPECT_EQ(record.status, flow::RunStatus::kTimedOut);
+  EXPECT_EQ(record.attempts, 2u);
+  EXPECT_GT(record.elapsed_ms, 0.0);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.runs_timed_out, 1u);
+}
+
+TEST(EvalService, DeterministicAcrossLicenseCounts) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 24, 99);
+  flow::FaultInjectionOptions fopt;
+  fopt.transient_failure_rate = 0.3;
+  fopt.permanent_failure_rate = 0.1;
+  fopt.seed = 0xfeedu;
+
+  std::vector<std::vector<flow::RunRecord>> per_license;
+  for (std::size_t licenses : {std::size_t{1}, std::size_t{4},
+                               std::size_t{16}}) {
+    testing::SyntheticOracle inner;
+    flow::FaultInjectingOracle fault(inner, fopt);
+    flow::EvalServiceOptions opt;
+    opt.licenses = licenses;
+    opt.max_attempts = 4;
+    flow::EvalService service(fault, space, opt);
+    per_license.push_back(service.evaluate_batch(configs));
+  }
+  for (std::size_t l = 1; l < per_license.size(); ++l) {
+    ASSERT_EQ(per_license[l].size(), per_license[0].size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const auto& a = per_license[0][i];
+      const auto& b = per_license[l][i];
+      EXPECT_EQ(a.status, b.status) << "config " << i;
+      EXPECT_EQ(a.attempts, b.attempts) << "config " << i;
+      EXPECT_EQ(a.qor.area_um2, b.qor.area_um2) << "config " << i;
+      EXPECT_EQ(a.qor.power_mw, b.qor.power_mw) << "config " << i;
+      EXPECT_EQ(a.qor.delay_ns, b.qor.delay_ns) << "config " << i;
+    }
+  }
+}
+
+TEST(FaultInjectingOracle, PermanentDecisionMatchesOutcome) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 30, 17);
+  testing::SyntheticOracle inner;
+  flow::FaultInjectionOptions fopt;
+  fopt.permanent_failure_rate = 0.2;
+  fopt.seed = 0xabcu;
+  flow::FaultInjectingOracle fault(inner, fopt);
+  flow::EvalServiceOptions opt;
+  opt.max_attempts = 3;
+  flow::EvalService service(fault, space, opt);
+
+  const auto records = service.evaluate_batch(configs);
+  std::size_t doomed = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (fault.is_permanently_failing(configs[i])) {
+      ++doomed;
+      EXPECT_EQ(records[i].status, flow::RunStatus::kFailed);
+      EXPECT_EQ(records[i].attempts, opt.max_attempts);
+    } else {
+      EXPECT_TRUE(records[i].ok()) << records[i].error;
+    }
+  }
+  // With rate 0.2 over 30 configs a seed producing zero (or all) permanent
+  // failures would make the test vacuous.
+  EXPECT_GT(doomed, 0u);
+  EXPECT_LT(doomed, configs.size());
+  EXPECT_EQ(fault.injected_permanent_failures(), doomed * opt.max_attempts);
+}
+
+TEST(CachingOracle, DeduplicatesRepeatRuns) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 1, 5);
+  testing::SyntheticOracle inner;
+  flow::CachingOracle cache(inner);
+
+  const flow::QoR first = cache.evaluate(space, configs[0]);
+  const flow::QoR second = cache.evaluate(space, configs[0]);
+  EXPECT_EQ(inner.run_count(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.area_um2, second.area_um2);
+  EXPECT_EQ(first.power_mw, second.power_mw);
+  EXPECT_EQ(first.delay_ns, second.delay_ns);
+}
+
+TEST(CachingOracle, FailuresAreNotCached) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 1, 6);
+  testing::SyntheticOracle inner;
+  FlakyOracle flaky(inner, 1);  // first attempt fails, second succeeds
+  flow::CachingOracle cache(flaky);
+
+  EXPECT_THROW(cache.evaluate(space, configs[0]), flow::ToolRunError);
+  const flow::QoR qor = cache.evaluate(space, configs[0]);
+  EXPECT_EQ(flaky.attempts_seen(configs[0]), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  const flow::QoR want = testing::synthetic_qor(space.encode(configs[0]));
+  EXPECT_EQ(qor.area_um2, want.area_um2);
+}
+
+TEST(CachingOracle, MakesRepeatBatchesFree) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 8, 7);
+  testing::SyntheticOracle inner;
+  flow::CachingOracle cache(inner);
+  flow::EvalServiceOptions opt;
+  opt.licenses = 4;
+  flow::EvalService service(cache, space, opt);
+
+  const auto first = service.evaluate_batch(configs);
+  const auto second = service.evaluate_batch(configs);
+  EXPECT_EQ(inner.run_count(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ASSERT_TRUE(first[i].ok());
+    ASSERT_TRUE(second[i].ok());
+    EXPECT_EQ(first[i].qor.area_um2, second[i].qor.area_um2);
+  }
+}
+
+}  // namespace
+}  // namespace ppat

@@ -58,12 +58,12 @@ TEST_F(IntegrationTest, BenchmarkTablesAreSane) {
   }
   // The golden front must contain more than one trade-off point in the
   // power-delay plane for the tuning problem to be meaningful.
-  tuner::CandidatePool pool(target_, tuner::kPowerDelay);
+  tuner::BenchmarkCandidatePool pool(target_, tuner::kPowerDelay);
   EXPECT_GE(pool.golden_front().size(), 3u);
 }
 
 TEST_F(IntegrationTest, PpatunerBeatsRandomSubset) {
-  tuner::CandidatePool pool(target_, tuner::kPowerDelay);
+  tuner::BenchmarkCandidatePool pool(target_, tuner::kPowerDelay);
   const auto source_data =
       tuner::SourceData::from_benchmark(*source_, tuner::kPowerDelay, 100, 7);
   tuner::PPATunerOptions opt;
@@ -76,7 +76,7 @@ TEST_F(IntegrationTest, PpatunerBeatsRandomSubset) {
   // Reference: the front of a random subset of the same size as the number
   // of tool runs the tuner used.
   common::Rng rng(99);
-  tuner::CandidatePool rand_pool(target_, tuner::kPowerDelay);
+  tuner::BenchmarkCandidatePool rand_pool(target_, tuner::kPowerDelay);
   std::vector<std::size_t> rand_idx =
       rng.sample_without_replacement(rand_pool.size(), result.tool_runs);
   std::vector<pareto::Point> rand_pts;
@@ -102,7 +102,7 @@ TEST_F(IntegrationTest, AllMethodsProduceValidResultsOnRealFlow) {
   std::vector<Row> rows;
 
   {
-    tuner::CandidatePool pool(target_, tuner::kPowerDelay);
+    tuner::BenchmarkCandidatePool pool(target_, tuner::kPowerDelay);
     tuner::PPATunerOptions o;
     o.seed = 1;
     o.max_runs = 50;
@@ -114,21 +114,21 @@ TEST_F(IntegrationTest, AllMethodsProduceValidResultsOnRealFlow) {
                                                  o))});
   }
   {
-    tuner::CandidatePool pool(target_, tuner::kPowerDelay);
+    tuner::BenchmarkCandidatePool pool(target_, tuner::kPowerDelay);
     baselines::Tcad19Options o;
     o.seed = 1;
     o.max_runs = 60;
     rows.push_back({"tcad19", evaluate_result(pool, run_tcad19(pool, o))});
   }
   {
-    tuner::CandidatePool pool(target_, tuner::kPowerDelay);
+    tuner::BenchmarkCandidatePool pool(target_, tuner::kPowerDelay);
     baselines::Mlcad19Options o;
     o.seed = 1;
     o.budget = 50;
     rows.push_back({"mlcad19", evaluate_result(pool, run_mlcad19(pool, o))});
   }
   {
-    tuner::CandidatePool pool(target_, tuner::kPowerDelay);
+    tuner::BenchmarkCandidatePool pool(target_, tuner::kPowerDelay);
     baselines::Dac19Options o;
     o.seed = 1;
     o.budget = 60;
@@ -136,7 +136,7 @@ TEST_F(IntegrationTest, AllMethodsProduceValidResultsOnRealFlow) {
         {"dac19", evaluate_result(pool, run_dac19(pool, &source_data, o))});
   }
   {
-    tuner::CandidatePool pool(target_, tuner::kPowerDelay);
+    tuner::BenchmarkCandidatePool pool(target_, tuner::kPowerDelay);
     baselines::Aspdac20Options o;
     o.seed = 1;
     o.budget = 50;

@@ -136,8 +136,8 @@ TEST(PpaTunerThreading, ThreadCountDoesNotChangeResults) {
   PPATunerOptions threaded = serial;
   threaded.num_threads = 4;
 
-  CandidatePool pool_serial(&target, kPowerDelay);
-  CandidatePool pool_threaded(&target, kPowerDelay);
+  BenchmarkCandidatePool pool_serial(&target, kPowerDelay);
+  BenchmarkCandidatePool pool_threaded(&target, kPowerDelay);
   const auto rs = run_ppatuner(
       pool_serial, make_transfer_gp_factory(source_data), serial);
   const auto rt = run_ppatuner(
@@ -159,8 +159,8 @@ TEST(PpaTunerThreading, PlainGpThreadCountDoesNotChangeResults) {
   PPATunerOptions threaded = serial;
   threaded.num_threads = 3;
 
-  CandidatePool pool_serial(&target, kPowerDelay);
-  CandidatePool pool_threaded(&target, kPowerDelay);
+  BenchmarkCandidatePool pool_serial(&target, kPowerDelay);
+  BenchmarkCandidatePool pool_threaded(&target, kPowerDelay);
   const auto rs = run_ppatuner(pool_serial, make_plain_gp_factory(), serial);
   const auto rt = run_ppatuner(pool_threaded, make_plain_gp_factory(),
                                threaded);

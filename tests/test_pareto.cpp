@@ -48,6 +48,25 @@ TEST(ReferencePoint, MaxWithMargin) {
   EXPECT_THROW(reference_point({}, 1.1), std::invalid_argument);
 }
 
+TEST(ReferencePoint, ZeroMaximumUsesRangeScale) {
+  // Dimension 0 has maximum 0 (e.g. a zero-WNS metric): the pad must come
+  // from the set's spread, not from |max| (which would collapse the
+  // hypervolume along that dimension).
+  const std::vector<Point> pts = {{0.0, 1.0}, {-2.0, 3.0}};
+  const Point ref = reference_point(pts, 1.1);
+  EXPECT_NEAR(ref[0], 0.2, 1e-9);  // 0 + 0.1 * range(2.0)
+  EXPECT_NEAR(ref[1], 3.3, 1e-9);
+  // The hypervolume along dimension 0 is no longer degenerate.
+  EXPECT_GT(hypervolume(pts, ref), 0.1);
+}
+
+TEST(ReferencePoint, FullyDegenerateDimensionFallsBackToUnitScale) {
+  const std::vector<Point> pts = {{0.0, 1.0}, {0.0, 2.0}};
+  const Point ref = reference_point(pts, 1.1);
+  EXPECT_NEAR(ref[0], 0.1, 1e-9);  // 0 + 0.1 * fallback scale 1.0
+  EXPECT_GT(hypervolume(pts, ref), 0.0);
+}
+
 TEST(Hypervolume, OneDimensional) {
   EXPECT_DOUBLE_EQ(hypervolume({{2.0}, {4.0}}, {10.0}), 8.0);
   EXPECT_DOUBLE_EQ(hypervolume({{12.0}}, {10.0}), 0.0);
@@ -135,11 +154,24 @@ TEST(Adrs, KnownValue) {
 }
 
 TEST(Adrs, TakesBestApproximationPerGoldenPoint) {
-  const std::vector<Point> golden = {{1.0, 1.0}, {2.0, 2.0}};
+  const std::vector<Point> golden = {{1.0, 1.0}, {2.0, 1.0}};
   const std::vector<Point> approx = {{1.0, 1.0}, {10.0, 10.0}};
-  // First golden point matched exactly (0); second best-matched by (1,1):
-  // max(1/2, 1/2) = 0.5 -> mean 0.25.
-  EXPECT_NEAR(adrs(golden, approx), 0.25, 1e-12);
+  // First golden point matched exactly; the second is dominated by (1,1)
+  // (one-sided distance 0), while (10,10) would cost max(8/2, 9/1) = 9.
+  EXPECT_NEAR(adrs(golden, approx), 0.0, 1e-12);
+  // A genuinely worse-only approximation still pays the full deviation.
+  const std::vector<Point> worse = {{2.5, 1.5}};
+  // vs (1,1): max(1.5/1, 0.5/1) = 1.5; vs (2,1): max(0.5/2, 0.5/1) = 0.5.
+  EXPECT_NEAR(adrs(golden, worse), (1.5 + 0.5) / 2.0, 1e-12);
+}
+
+TEST(Adrs, ZeroWhenApproxDominatesGolden) {
+  // Regression: an approximate front that strictly DOMINATES the reference
+  // front is at least as good everywhere, so ADRS must be exactly 0 (the old
+  // symmetric |a-p| distance wrongly penalized it as if it were worse).
+  const std::vector<Point> golden = {{1.0, 3.0}, {3.0, 1.0}};
+  const std::vector<Point> approx = {{0.5, 2.5}, {2.0, 0.5}};
+  EXPECT_DOUBLE_EQ(adrs(golden, approx), 0.0);
 }
 
 TEST(Adrs, EmptyInputsThrow) {

@@ -21,7 +21,7 @@ class PpaTunerTest : public ::testing::Test {
 };
 
 TEST_F(PpaTunerTest, FindsNearOptimalFront) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   PPATunerOptions opt;
   opt.seed = 1;
   opt.max_runs = 60;
@@ -36,7 +36,7 @@ TEST_F(PpaTunerTest, FindsNearOptimalFront) {
 }
 
 TEST_F(PpaTunerTest, RespectsRunBudget) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   PPATunerOptions opt;
   opt.seed = 2;
   opt.max_runs = 25;
@@ -47,7 +47,7 @@ TEST_F(PpaTunerTest, RespectsRunBudget) {
 }
 
 TEST_F(PpaTunerTest, WorksWithPlainGp) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   PPATunerOptions opt;
   opt.seed = 3;
   opt.max_runs = 60;
@@ -61,7 +61,7 @@ TEST_F(PpaTunerTest, WorksWithPlainGp) {
 }
 
 TEST_F(PpaTunerTest, ThreeObjectiveSpace) {
-  CandidatePool pool(&target_, kAreaPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kAreaPowerDelay);
   PPATunerOptions opt;
   opt.seed = 4;
   opt.max_runs = 70;
@@ -73,7 +73,7 @@ TEST_F(PpaTunerTest, ThreeObjectiveSpace) {
 }
 
 TEST_F(PpaTunerTest, DiagnosticsPartitionThePool) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   PPATunerOptions opt;
   opt.seed = 5;
   opt.max_runs = 50;
@@ -93,8 +93,8 @@ TEST_F(PpaTunerTest, DeterministicGivenSeed) {
   PPATunerOptions opt;
   opt.seed = 6;
   opt.max_runs = 40;
-  CandidatePool pool_a(&target_, kPowerDelay);
-  CandidatePool pool_b(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool_a(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool_b(&target_, kPowerDelay);
   const auto ra = run_ppatuner(
       pool_a, make_transfer_gp_factory(source_data(kPowerDelay)), opt);
   const auto rb = run_ppatuner(
@@ -104,7 +104,7 @@ TEST_F(PpaTunerTest, DeterministicGivenSeed) {
 }
 
 TEST_F(PpaTunerTest, BatchSizeOneStillWorks) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   PPATunerOptions opt;
   opt.seed = 7;
   opt.max_runs = 30;
@@ -122,8 +122,8 @@ TEST_F(PpaTunerTest, LooseDeltaConvergesFaster) {
   tight.delta_rel = 0.002;
   PPATunerOptions loose = tight;
   loose.delta_rel = 0.10;
-  CandidatePool pool_tight(&target_, kPowerDelay);
-  CandidatePool pool_loose(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool_tight(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool_loose(&target_, kPowerDelay);
   const auto r_tight = run_ppatuner(
       pool_tight, make_transfer_gp_factory(source_data(kPowerDelay)), tight);
   const auto r_loose = run_ppatuner(
@@ -133,7 +133,7 @@ TEST_F(PpaTunerTest, LooseDeltaConvergesFaster) {
 }
 
 TEST_F(PpaTunerTest, ResultIndicesAreValidAndUnique) {
-  CandidatePool pool(&target_, kPowerDelay);
+  BenchmarkCandidatePool pool(&target_, kPowerDelay);
   PPATunerOptions opt;
   opt.seed = 9;
   opt.max_runs = 40;

@@ -87,7 +87,7 @@ TEST(Robustness, TunerHandlesConstantObjectivePool) {
     bench.configs.push_back(bench.space.decode(u));
     bench.qor.push_back({100.0, 10.0, 1.0});
   }
-  tuner::CandidatePool pool(&bench, tuner::kPowerDelay);
+  tuner::BenchmarkCandidatePool pool(&bench, tuner::kPowerDelay);
   tuner::PPATunerOptions opt;
   opt.max_runs = 25;
   opt.seed = 4;
@@ -118,7 +118,7 @@ TEST(Robustness, TunerHandlesDuplicateConfigurations) {
     bench.qor.push_back(
         ppat::testing::synthetic_qor(bench.space.encode(bench.configs.back())));
   }
-  tuner::CandidatePool pool(&bench, tuner::kPowerDelay);
+  tuner::BenchmarkCandidatePool pool(&bench, tuner::kPowerDelay);
   tuner::PPATunerOptions opt;
   opt.max_runs = 30;
   opt.seed = 6;
@@ -129,7 +129,7 @@ TEST(Robustness, TunerHandlesDuplicateConfigurations) {
 
 TEST(Robustness, TinyPoolTerminates) {
   const auto bench = ppat::testing::synthetic_benchmark("tiny", 3, 7);
-  tuner::CandidatePool pool(&bench, tuner::kPowerDelay);
+  tuner::BenchmarkCandidatePool pool(&bench, tuner::kPowerDelay);
   tuner::PPATunerOptions opt;
   opt.min_init = 2;
   opt.max_runs = 3;

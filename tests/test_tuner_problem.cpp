@@ -21,7 +21,7 @@ class PoolTest : public ::testing::Test {
 };
 
 TEST_F(PoolTest, RevealCountsFirstTimeOnly) {
-  CandidatePool pool(&bench_, kPowerDelay);
+  BenchmarkCandidatePool pool(&bench_, kPowerDelay);
   EXPECT_EQ(pool.runs(), 0u);
   EXPECT_FALSE(pool.is_revealed(5));
   const auto y1 = pool.reveal(5);
@@ -33,19 +33,19 @@ TEST_F(PoolTest, RevealCountsFirstTimeOnly) {
 }
 
 TEST_F(PoolTest, GoldenProjectsObjectives) {
-  CandidatePool pool(&bench_, kPowerDelay);
+  BenchmarkCandidatePool pool(&bench_, kPowerDelay);
   const auto p = pool.golden(7);
   ASSERT_EQ(p.size(), 2u);
   EXPECT_DOUBLE_EQ(p[0], bench_.qor[7].power_mw);
   EXPECT_DOUBLE_EQ(p[1], bench_.qor[7].delay_ns);
 
-  CandidatePool pool3(&bench_, kAreaPowerDelay);
+  BenchmarkCandidatePool pool3(&bench_, kAreaPowerDelay);
   EXPECT_EQ(pool3.golden(7).size(), 3u);
   EXPECT_EQ(pool3.num_objectives(), 3u);
 }
 
 TEST_F(PoolTest, GoldenFrontIsNonDominated) {
-  CandidatePool pool(&bench_, kPowerDelay);
+  BenchmarkCandidatePool pool(&bench_, kPowerDelay);
   const auto front = pool.golden_front();
   ASSERT_FALSE(front.empty());
   for (const auto& a : front) {
@@ -56,12 +56,12 @@ TEST_F(PoolTest, GoldenFrontIsNonDominated) {
 }
 
 TEST_F(PoolTest, ConstructorValidates) {
-  EXPECT_THROW(CandidatePool(nullptr, kPowerDelay), std::invalid_argument);
-  EXPECT_THROW(CandidatePool(&bench_, {}), std::invalid_argument);
+  EXPECT_THROW(BenchmarkCandidatePool(nullptr, kPowerDelay), std::invalid_argument);
+  EXPECT_THROW(BenchmarkCandidatePool(&bench_, {}), std::invalid_argument);
 }
 
 TEST_F(PoolTest, EvaluatePerfectResultScoresZero) {
-  CandidatePool pool(&bench_, kPowerDelay);
+  BenchmarkCandidatePool pool(&bench_, kPowerDelay);
   // The indices of the true front form a perfect answer.
   std::vector<pareto::Point> all;
   for (std::size_t i = 0; i < pool.size(); ++i) all.push_back(pool.golden(i));
@@ -75,7 +75,7 @@ TEST_F(PoolTest, EvaluatePerfectResultScoresZero) {
 }
 
 TEST_F(PoolTest, EvaluateWorseResultScoresPositive) {
-  CandidatePool pool(&bench_, kPowerDelay);
+  BenchmarkCandidatePool pool(&bench_, kPowerDelay);
   // Deliberately pick a dominated point as the whole answer.
   std::vector<pareto::Point> all;
   for (std::size_t i = 0; i < pool.size(); ++i) all.push_back(pool.golden(i));
@@ -95,7 +95,7 @@ TEST_F(PoolTest, EvaluateWorseResultScoresPositive) {
 }
 
 TEST_F(PoolTest, EvaluateRejectsEmptyAnswer) {
-  CandidatePool pool(&bench_, kPowerDelay);
+  BenchmarkCandidatePool pool(&bench_, kPowerDelay);
   EXPECT_THROW(evaluate_result(pool, TuningResult{}), std::invalid_argument);
 }
 
