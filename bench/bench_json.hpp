@@ -1,0 +1,38 @@
+// Locale-independent JSON number formatting for the bench emitters.
+//
+// fprintf("%f"/"%g") obeys LC_NUMERIC: under a decimal-comma locale (de_DE,
+// fr_FR, ...) it prints "1,5", which is invalid JSON and silently corrupts
+// every BENCH_*.json a localized CI runner produces. Benches therefore
+// format numbers through json_double(), which normalizes the separator and
+// maps non-finite values (no JSON representation) to null.
+#pragma once
+
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace ppat::bench {
+
+/// `v` as a JSON number token. `precision` is the %.*g significant-digit
+/// count; the default 17 round-trips any double exactly. NaN/inf become
+/// "null" (JSON has no spelling for them).
+inline std::string json_double(double v, int precision = 17) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  std::string s(buf);
+  // Replace the active locale's decimal separator (possibly multi-byte)
+  // with '.'. localeconv() never returns null; decimal_point is never empty.
+  const char* dp = std::localeconv()->decimal_point;
+  if (std::strcmp(dp, ".") != 0) {
+    const std::size_t dplen = std::strlen(dp);
+    for (std::size_t pos; (pos = s.find(dp)) != std::string::npos;) {
+      s.replace(pos, dplen, ".");
+    }
+  }
+  return s;
+}
+
+}  // namespace ppat::bench

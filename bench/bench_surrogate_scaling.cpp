@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "gp/gp.hpp"
 #include "gp/kernel.hpp"
@@ -190,10 +191,12 @@ void write_json(const std::vector<PhaseResult>& results, const char* path) {
     const auto& r = results[i];
     std::fprintf(f,
                  "    {\"model\": \"%s\", \"phase\": \"%s\", \"n\": %zu, "
-                 "\"ops_per_sec_new\": %.4f, \"ops_per_sec_legacy\": %.4f, "
-                 "\"speedup\": %.2f}%s\n",
-                 r.model.c_str(), r.phase.c_str(), r.n, r.ops_per_sec_new,
-                 r.ops_per_sec_legacy, r.speedup(),
+                 "\"ops_per_sec_new\": %s, \"ops_per_sec_legacy\": %s, "
+                 "\"speedup\": %s}%s\n",
+                 r.model.c_str(), r.phase.c_str(), r.n,
+                 bench::json_double(r.ops_per_sec_new, 6).c_str(),
+                 bench::json_double(r.ops_per_sec_legacy, 6).c_str(),
+                 bench::json_double(r.speedup(), 4).c_str(),
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -7,6 +7,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "linalg/neldermead.hpp"
 
@@ -108,6 +109,22 @@ void GaussianProcess::factorize() {
   }
   chol_ = std::move(chol);
   alpha_ = chol_->solve(ys_std_);
+  // Cached whitened posterior solves are against the old factor; a full
+  // re-factorization (unlike a rank-1 append) invalidates them.
+  ++posterior_epoch_;
+}
+
+const linalg::CholeskyFactor& GaussianProcess::factor() const {
+  if (!chol_) throw std::runtime_error("GaussianProcess: not fitted");
+  return *chol_;
+}
+
+void GaussianProcess::cross_rows(const linalg::Vector& x, std::size_t row0,
+                                 std::size_t row1, double* out) const {
+  assert(row1 <= xs_.size());
+  for (std::size_t i = row0; i < row1; ++i) {
+    out[i - row0] = (*kernel_)(xs_[i], x);
+  }
 }
 
 double GaussianProcess::log_marginal_likelihood() const {
@@ -287,25 +304,67 @@ void GaussianProcess::predict_batch(const std::vector<linalg::Vector>& xs,
                                     bool include_noise) const {
   if (!chol_) throw std::runtime_error("GaussianProcess: not fitted");
   const std::size_t m = xs.size();
+  const std::size_t n = xs_.size();
   means.resize(m);
   variances.resize(m);
   if (m == 0) return;
-  // K_star: train rows x candidate columns.
-  linalg::Matrix k_star = kernel_->cross(xs_, xs);
-  for (std::size_t j = 0; j < m; ++j) {
-    double mu = 0.0;
-    for (std::size_t i = 0; i < xs_.size(); ++i) {
-      mu += k_star(i, j) * alpha_[i];
+  if (!tiled_prediction_) {
+    // Legacy path: one monolithic n x m cross-covariance block.
+    linalg::Matrix k_star = kernel_->cross(xs_, xs);
+    for (std::size_t j = 0; j < m; ++j) {
+      double mu = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        mu += k_star(i, j) * alpha_[i];
+      }
+      means[j] = y_mean_ + y_sd_ * mu;
     }
-    means[j] = y_mean_ + y_sd_ * mu;
+    const linalg::Matrix v = chol_->solve_lower_multi(k_star);
+    for (std::size_t j = 0; j < m; ++j) {
+      double vv = 0.0;
+      for (std::size_t i = 0; i < n; ++i) vv += v(i, j) * v(i, j);
+      double var_std = (*kernel_)(xs[j], xs[j]) - vv;
+      if (include_noise) var_std += noise_variance_;
+      variances[j] = std::max(0.0, var_std) * y_sd_ * y_sd_;
+    }
+    return;
   }
-  const linalg::Matrix v = chol_->solve_lower_multi(k_star);
-  for (std::size_t j = 0; j < m; ++j) {
-    double vv = 0.0;
-    for (std::size_t i = 0; i < xs_.size(); ++i) vv += v(i, j) * v(i, j);
-    double var_std = (*kernel_)(xs[j], xs[j]) - vv;
-    if (include_noise) var_std += noise_variance_;
-    variances[j] = std::max(0.0, var_std) * y_sd_ * y_sd_;
+  // Tiled path: candidate columns are independent, so they process in
+  // fixed-width panels — the cross-covariance block, triangular solve, and
+  // reductions for one panel stay cache-resident instead of streaming an
+  // n x m block three times — and panels fan out across the thread pool.
+  // Each column's arithmetic is the one-shot sequence exactly, so results
+  // are bit-identical for every tile width and thread count.
+  constexpr std::size_t kTile = 256;
+  auto process = [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t t0 = c0; t0 < c1; t0 += kTile) {
+      const std::size_t t1 = std::min(t0 + kTile, c1);
+      const std::size_t w = t1 - t0;
+      linalg::Matrix panel(n, w);
+      for (std::size_t i = 0; i < n; ++i) {
+        double* row = panel.row(i).data();
+        for (std::size_t j = 0; j < w; ++j) {
+          row[j] = (*kernel_)(xs_[i], xs[t0 + j]);
+        }
+      }
+      for (std::size_t j = 0; j < w; ++j) {
+        double mu = 0.0;
+        for (std::size_t i = 0; i < n; ++i) mu += panel(i, j) * alpha_[i];
+        means[t0 + j] = y_mean_ + y_sd_ * mu;
+      }
+      const linalg::Matrix v = chol_->solve_lower_multi(panel);
+      for (std::size_t j = 0; j < w; ++j) {
+        double vv = 0.0;
+        for (std::size_t i = 0; i < n; ++i) vv += v(i, j) * v(i, j);
+        double var_std = (*kernel_)(xs[t0 + j], xs[t0 + j]) - vv;
+        if (include_noise) var_std += noise_variance_;
+        variances[t0 + j] = std::max(0.0, var_std) * y_sd_ * y_sd_;
+      }
+    }
+  };
+  if (m >= 2 * kTile) {
+    common::parallel_for_blocks(0, m, process, kTile);
+  } else {
+    process(0, m);
   }
 }
 

@@ -22,6 +22,7 @@
 // the deterministic optimization (execute_refit) on a thread pool.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -118,6 +119,35 @@ class GaussianProcess {
   void set_incremental_updates(bool enabled) { incremental_updates_ = enabled; }
   bool incremental_updates() const { return incremental_updates_; }
 
+  /// Perf ablation switch: process predict_batch candidates in fixed-width
+  /// panels fanned across the thread pool instead of one monolithic
+  /// cross-covariance block. Bit-identical results either way.
+  void set_tiled_prediction(bool enabled) { tiled_prediction_ = enabled; }
+  bool tiled_prediction() const { return tiled_prediction_; }
+
+  // ---- Posterior internals for gp::PosteriorCache ----
+  // A cached whitened solve v = L^-1 k_star stays valid as long as no full
+  // re-factorization happened; rank-1 appends only add rows to L, so cached
+  // vectors extend in O(new rows) per candidate.
+
+  /// Monotone counter bumped by every full re-factorization (fit, refit,
+  /// jitter fallback). Rank-1 appends leave it unchanged.
+  std::uint64_t posterior_epoch() const { return posterior_epoch_; }
+  /// Current factor of K + noise*I. Throws std::runtime_error if unfitted.
+  const linalg::CholeskyFactor& factor() const;
+  /// Posterior weights (K + noise*I)^-1 y_std, standardized units.
+  const linalg::Vector& alpha() const { return alpha_; }
+  double output_mean() const { return y_mean_; }
+  double output_sd() const { return y_sd_; }
+  /// Cross-covariances k(x_i, x) against training rows [row0, row1), written
+  /// to `out` — the exact per-element arithmetic predict_batch uses.
+  void cross_rows(const linalg::Vector& x, std::size_t row0, std::size_t row1,
+                  double* out) const;
+  /// Prior variance k(x, x).
+  double prior_variance(const linalg::Vector& x) const {
+    return (*kernel_)(x, x);
+  }
+
  private:
   void factorize();
   /// Rank-1 factor extension for the point just appended to xs_; returns
@@ -134,6 +164,8 @@ class GaussianProcess {
   std::unique_ptr<Kernel> kernel_;
   double noise_variance_;
   bool incremental_updates_ = true;
+  bool tiled_prediction_ = true;
+  std::uint64_t posterior_epoch_ = 0;
 
   std::vector<linalg::Vector> xs_;
   linalg::Vector ys_raw_;   // original units

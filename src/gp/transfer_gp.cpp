@@ -7,6 +7,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "linalg/neldermead.hpp"
 
@@ -132,6 +133,27 @@ void TransferGaussianProcess::factorize() {
   }
   chol_ = std::move(chol);
   alpha_ = chol_->solve(ys_std_);
+  // Full re-factorizations invalidate cached whitened posterior solves;
+  // rank-1 target appends (try_append_to_factor) do not.
+  ++posterior_epoch_;
+}
+
+const linalg::CholeskyFactor& TransferGaussianProcess::factor() const {
+  if (!chol_) throw std::runtime_error("TransferGaussianProcess: not fitted");
+  return *chol_;
+}
+
+void TransferGaussianProcess::cross_rows(const linalg::Vector& x,
+                                         std::size_t row0, std::size_t row1,
+                                         double* out) const {
+  const std::size_t n_src = source_xs_.size();
+  assert(row1 <= n_src + target_xs_.size());
+  const double rho = task_correlation();
+  for (std::size_t i = row0; i < row1; ++i) {
+    const auto& xi = i < n_src ? source_xs_[i] : target_xs_[i - n_src];
+    const double scale = i < n_src ? rho : 1.0;
+    out[i - row0] = scale * (*kernel_)(xi, x);
+  }
 }
 
 bool TransferGaussianProcess::try_append_to_factor(const linalg::Vector& x) {
@@ -398,28 +420,68 @@ void TransferGaussianProcess::predict_batch(
   const std::size_t n_tot = n_src + target_xs_.size();
   const double rho = task_correlation();
 
-  // k_star: (n_src + n_tgt) rows x m candidate columns; source rows carry
-  // the cross-task factor (candidates are target-task points).
-  linalg::Matrix k_star(n_tot, m);
-  for (std::size_t i = 0; i < n_tot; ++i) {
-    const auto& xi = i < n_src ? source_xs_[i] : target_xs_[i - n_src];
-    const double scale = i < n_src ? rho : 1.0;
-    double* row = k_star.row(i).data();
-    for (std::size_t j = 0; j < m; ++j) {
-      row[j] = scale * (*kernel_)(xi, xs[j]);
+  if (!tiled_prediction_) {
+    // Legacy path: one monolithic cross-covariance block. k_star:
+    // (n_src + n_tgt) rows x m candidate columns; source rows carry the
+    // cross-task factor (candidates are target-task points).
+    linalg::Matrix k_star(n_tot, m);
+    for (std::size_t i = 0; i < n_tot; ++i) {
+      const auto& xi = i < n_src ? source_xs_[i] : target_xs_[i - n_src];
+      const double scale = i < n_src ? rho : 1.0;
+      double* row = k_star.row(i).data();
+      for (std::size_t j = 0; j < m; ++j) {
+        row[j] = scale * (*kernel_)(xi, xs[j]);
+      }
     }
+    for (std::size_t j = 0; j < m; ++j) {
+      double mu = 0.0;
+      for (std::size_t i = 0; i < n_tot; ++i) mu += k_star(i, j) * alpha_[i];
+      means[j] = tgt_mean_ + tgt_sd_ * mu;
+    }
+    const linalg::Matrix v = chol_->solve_lower_multi(k_star);
+    for (std::size_t j = 0; j < m; ++j) {
+      double vv = 0.0;
+      for (std::size_t i = 0; i < n_tot; ++i) vv += v(i, j) * v(i, j);
+      const double var_std = (*kernel_)(xs[j], xs[j]) - vv;
+      variances[j] = std::max(0.0, var_std) * tgt_sd_ * tgt_sd_;
+    }
+    return;
   }
-  for (std::size_t j = 0; j < m; ++j) {
-    double mu = 0.0;
-    for (std::size_t i = 0; i < n_tot; ++i) mu += k_star(i, j) * alpha_[i];
-    means[j] = tgt_mean_ + tgt_sd_ * mu;
-  }
-  const linalg::Matrix v = chol_->solve_lower_multi(k_star);
-  for (std::size_t j = 0; j < m; ++j) {
-    double vv = 0.0;
-    for (std::size_t i = 0; i < n_tot; ++i) vv += v(i, j) * v(i, j);
-    const double var_std = (*kernel_)(xs[j], xs[j]) - vv;
-    variances[j] = std::max(0.0, var_std) * tgt_sd_ * tgt_sd_;
+  // Tiled path: candidate panels fanned across the thread pool; per-column
+  // arithmetic is identical to the one-shot block (see
+  // GaussianProcess::predict_batch), so the results are bit-identical.
+  constexpr std::size_t kTile = 256;
+  auto process = [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t t0 = c0; t0 < c1; t0 += kTile) {
+      const std::size_t t1 = std::min(t0 + kTile, c1);
+      const std::size_t w = t1 - t0;
+      linalg::Matrix panel(n_tot, w);
+      for (std::size_t i = 0; i < n_tot; ++i) {
+        const auto& xi = i < n_src ? source_xs_[i] : target_xs_[i - n_src];
+        const double scale = i < n_src ? rho : 1.0;
+        double* row = panel.row(i).data();
+        for (std::size_t j = 0; j < w; ++j) {
+          row[j] = scale * (*kernel_)(xi, xs[t0 + j]);
+        }
+      }
+      for (std::size_t j = 0; j < w; ++j) {
+        double mu = 0.0;
+        for (std::size_t i = 0; i < n_tot; ++i) mu += panel(i, j) * alpha_[i];
+        means[t0 + j] = tgt_mean_ + tgt_sd_ * mu;
+      }
+      const linalg::Matrix v = chol_->solve_lower_multi(panel);
+      for (std::size_t j = 0; j < w; ++j) {
+        double vv = 0.0;
+        for (std::size_t i = 0; i < n_tot; ++i) vv += v(i, j) * v(i, j);
+        const double var_std = (*kernel_)(xs[t0 + j], xs[t0 + j]) - vv;
+        variances[t0 + j] = std::max(0.0, var_std) * tgt_sd_ * tgt_sd_;
+      }
+    }
+  };
+  if (m >= 2 * kTile) {
+    common::parallel_for_blocks(0, m, process, kTile);
+  } else {
+    process(0, m);
   }
 }
 

@@ -25,6 +25,7 @@
 // across designs" observation the paper builds on.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -98,6 +99,34 @@ class TransferGaussianProcess {
   void set_incremental_updates(bool enabled) { incremental_updates_ = enabled; }
   bool incremental_updates() const { return incremental_updates_; }
 
+  /// Perf ablation switch (see GaussianProcess::set_tiled_prediction).
+  void set_tiled_prediction(bool enabled) { tiled_prediction_ = enabled; }
+  bool tiled_prediction() const { return tiled_prediction_; }
+
+  // ---- Posterior internals for gp::PosteriorCache ----
+  // Same contract as GaussianProcess: the joint factor only grows between
+  // full re-factorizations (target appends border the bottom of the joint
+  // system), so cached whitened solves extend row by row.
+
+  /// Monotone counter bumped by every full re-factorization of the joint
+  /// system (fit, refit, jitter fallback); rank-1 target appends keep it.
+  std::uint64_t posterior_epoch() const { return posterior_epoch_; }
+  /// Current factor of the joint kernel matrix. Throws if unfitted.
+  const linalg::CholeskyFactor& factor() const;
+  /// Joint posterior weights, standardized units.
+  const linalg::Vector& alpha() const { return alpha_; }
+  double output_mean() const { return tgt_mean_; }
+  double output_sd() const { return tgt_sd_; }
+  /// Scaled cross-covariances of target-task input `x` against joint rows
+  /// [row0, row1): source rows carry the cross-task factor rho, exactly as
+  /// predict_batch computes them.
+  void cross_rows(const linalg::Vector& x, std::size_t row0, std::size_t row1,
+                  double* out) const;
+  /// Prior variance k(x, x) (within-task, no cross scaling).
+  double prior_variance(const linalg::Vector& x) const {
+    return (*kernel_)(x, x);
+  }
+
   /// Posterior at a target-task input (paper Eq. (8), without the
   /// observation-noise term in the variance; the tuner reasons about the
   /// latent response surface).
@@ -134,6 +163,8 @@ class TransferGaussianProcess {
 
   std::unique_ptr<Kernel> kernel_;
   bool incremental_updates_ = true;
+  bool tiled_prediction_ = true;
+  std::uint64_t posterior_epoch_ = 0;
   double gamma_a_ = 0.5;  ///< Gamma scale (paper's a)
   double gamma_b_ = 0.5;  ///< Gamma shape (paper's b)
   double beta_s_ = 1e4;   ///< source noise precision

@@ -299,6 +299,25 @@ Matrix CholeskyFactor::solve_lower_multi(const Matrix& b) const {
   return v;
 }
 
+void CholeskyFactor::extend_solve_lower(Vector& y,
+                                        std::span<const double> b_tail) const {
+  const std::size_t old = y.size();
+  const std::size_t rows = old + b_tail.size();
+  assert(rows <= size());
+  y.reserve(rows);
+  for (std::size_t i = old; i < rows; ++i) {
+    const auto li = l_.row(i);
+    double acc = b_tail[i - old];
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = li[k];
+      if (lik == 0.0) continue;
+      acc -= lik * y[k];
+    }
+    const double inv = 1.0 / li[i];
+    y.push_back(acc * inv);
+  }
+}
+
 bool CholeskyFactor::append_row(std::span<const double> k_new, double k_self) {
   const std::size_t n = size();
   assert(k_new.size() == n);

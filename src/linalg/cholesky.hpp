@@ -67,6 +67,19 @@ class CholeskyFactor {
   /// thread count.
   Matrix solve_lower_multi(const Matrix& b) const;
 
+  /// Extends a forward-substitution solution of L y = b in place: `y`
+  /// already holds the first y.size() rows of the solution; `b_tail` holds
+  /// the next entries of b, and the call appends the matching solution rows.
+  /// Each new row replicates solve_lower_multi's per-column operation
+  /// sequence exactly (ascending-k accumulation, zero-coefficient skip,
+  /// multiply by the reciprocal diagonal), so growing a solution row by row
+  /// across append_row calls is bit-identical to re-solving the final
+  /// system in one shot. With `y` empty this IS a full forward solve in
+  /// solve_lower_multi's bits (solve_lower divides by the diagonal instead
+  /// of multiplying by its reciprocal, which rounds differently). The
+  /// gp::PosteriorCache rank-1 prediction update is built on this.
+  void extend_solve_lower(Vector& y, std::span<const double> b_tail) const;
+
   /// Extends the factor of A (n x n) to the factor of the bordered matrix
   /// [[A, k_new], [k_new^T, k_self]] in O(n^2): the existing n x n block of
   /// L is unchanged (Cholesky is leading-minor local) and the new row is one

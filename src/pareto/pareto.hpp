@@ -4,6 +4,13 @@
 //
 // Convention: ALL objectives are minimized (the paper's QoR metrics — area,
 // power, delay — are all costs). A point is a vector of objective values.
+//
+// Front extraction and the batched dominance queries run as sort-based
+// sweeps for 2 and 3 objectives (the paper's area/power/delay case):
+// O(n log n) instead of the pairwise O(n^2), with results identical to the
+// pairwise reference (which is retained for >= 4 objectives and as the test
+// oracle). That is what lets the tuner's per-round decision passes scale to
+// 10^5-candidate pools.
 #pragma once
 
 #include <cstddef>
@@ -27,9 +34,39 @@ bool dominates_with_slack(const Point& a, const Point& b,
 /// a < b in at least one component.
 bool dominates(const Point& a, const Point& b);
 
+/// How exact duplicates are treated by nondominated_positions: the tuner's
+/// corner fronts keep every copy of a non-dominated corner (any of them can
+/// veto a drop), while pareto_front_indices reports each distinct optimum
+/// once (earliest position wins).
+enum class DuplicatePolicy { kKeepAll, kFirstOnly };
+
+/// Positions of the points not strictly dominated by any other point
+/// (minimization), in ascending position order. Sort-based sweep for 2 and 3
+/// objectives; pairwise reference otherwise. Identical output to
+/// nondominated_positions_reference for every input.
+std::vector<std::size_t> nondominated_positions(const std::vector<Point>& points,
+                                                DuplicatePolicy policy);
+
+/// Pairwise O(n^2) oracle for nondominated_positions (any dimensionality).
+std::vector<std::size_t> nondominated_positions_reference(
+    const std::vector<Point>& points, DuplicatePolicy policy);
+
+/// For each query point, whether some `set` point weakly dominates it
+/// (componentwise <=, minimization). Offline merge sweep for 2 and 3
+/// objectives — O((|set| + |queries|) log) — pairwise scan otherwise.
+/// The tuner phrases both delta-dominance passes as these queries against
+/// the corner fronts.
+std::vector<char> weakly_dominated_queries(const std::vector<Point>& set,
+                                           const std::vector<Point>& queries);
+
 /// Indices of the non-dominated points (first occurrence wins among exact
-/// duplicates). O(n^2 d) — fronts in this library are small.
+/// duplicates). Sweep-based for 2/3 objectives, pairwise otherwise; always
+/// identical to pareto_front_indices_reference.
 std::vector<std::size_t> pareto_front_indices(
+    const std::vector<Point>& points);
+
+/// The original pairwise implementation, kept as the test oracle.
+std::vector<std::size_t> pareto_front_indices_reference(
     const std::vector<Point>& points);
 
 /// The non-dominated subset itself.
@@ -43,9 +80,17 @@ Point reference_point(const std::vector<Point>& points, double margin = 1.1);
 
 /// Exact hypervolume of the region dominated by `points` and bounded by
 /// `ref` (minimization). Points beyond the reference contribute only their
-/// clipped part. Dimensions supported: 1 and up (2-D fast sweep; >= 3-D by
-/// recursive slicing).
+/// clipped part. Dimensions supported: 1 and up. 2-D and 3-D run closed-form
+/// sweeps (O(n log n)); >= 4-D falls back to recursive slicing. The 3-D
+/// sweep accumulates in a different order than the slicer, so it agrees with
+/// hypervolume_reference to rounding (~1e-12 relative), not bitwise.
 double hypervolume(const std::vector<Point>& points, const Point& ref);
+
+/// The recursive-slicing implementation for every dimensionality >= 3 (2-D
+/// and 1-D are shared closed forms) — the pre-sweep code path, kept as the
+/// test oracle.
+double hypervolume_reference(const std::vector<Point>& points,
+                             const Point& ref);
 
 /// Hypervolume error of an approximation vs the golden front (paper
 /// Eq. (2)): (H(P) - H(P_hat)) / H(P), computed against a shared reference

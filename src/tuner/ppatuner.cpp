@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 #include <thread>
 
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "pareto/pareto.hpp"
 
 namespace ppat::tuner {
 namespace {
@@ -30,8 +32,21 @@ bool leq(const linalg::Vector& a, const linalg::Vector& b) {
   return true;
 }
 
+/// x' (optimistic corner lo_j) could still delta-dominate x (pessimistic
+/// corner hi_i) in the optimistic/pessimistic worst case:
+/// lo_j <= hi_i - delta componentwise (paper Eq. (12)'s negation).
+bool dominates_with_margin(const linalg::Vector& lo_j,
+                           const linalg::Vector& hi_i,
+                           const linalg::Vector& delta) {
+  for (std::size_t k = 0; k < hi_i.size(); ++k) {
+    if (lo_j[k] > hi_i[k] - delta[k]) return false;
+  }
+  return true;
+}
+
 /// Indices (into `subset`) whose corner vectors are non-dominated (weak
-/// domination, minimization) among the subset.
+/// domination, minimization) among the subset. Pairwise O(|subset|^2)
+/// reference; the legacy-ablation path and the >= 4-objective fallback.
 std::vector<std::size_t> corner_front(
     const std::vector<std::size_t>& subset,
     const std::vector<linalg::Vector>& corners) {
@@ -47,6 +62,25 @@ std::vector<std::size_t> corner_front(
     }
     if (!dominated) front.push_back(i);
   }
+  return front;
+}
+
+/// Sweep-based corner_front: the survivor set is exactly "not strictly
+/// dominated by a distinct corner, every duplicate copy kept", which is
+/// pareto::nondominated_positions with kKeepAll. Positions come back
+/// ascending, so mapping through `subset` reproduces the reference's
+/// subset-order output.
+std::vector<std::size_t> corner_front_fast(
+    const std::vector<std::size_t>& subset,
+    const std::vector<linalg::Vector>& corners) {
+  std::vector<pareto::Point> pts;
+  pts.reserve(subset.size());
+  for (std::size_t i : subset) pts.push_back(corners[i]);
+  const auto positions =
+      pareto::nondominated_positions(pts, pareto::DuplicatePolicy::kKeepAll);
+  std::vector<std::size_t> front;
+  front.reserve(positions.size());
+  for (std::size_t pos : positions) front.push_back(subset[pos]);
   return front;
 }
 
@@ -117,6 +151,11 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
     std::vector<std::size_t> revealed;
     revealed.reserve(indices.size());
     const auto outcomes = pool.reveal_batch(indices);
+    // One quarantine summary per batch: a high-fault live run would
+    // otherwise emit one warning per failed candidate per round.
+    std::size_t batch_failures = 0;
+    std::size_t first_failed = 0;
+    std::string first_error;
     for (std::size_t j = 0; j < indices.size(); ++j) {
       if (outcomes[j].ok) {
         record_observation(indices[j], outcomes[j].value);
@@ -124,9 +163,17 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
       } else {
         status[indices[j]] = Status::kDropped;
         ++failed_evals;
-        PPAT_WARN << "candidate " << indices[j]
-                  << " quarantined: " << outcomes[j].error;
+        if (batch_failures == 0) {
+          first_failed = indices[j];
+          first_error = outcomes[j].error;
+        }
+        ++batch_failures;
       }
+    }
+    if (batch_failures > 0) {
+      PPAT_WARN << batch_failures << " of " << indices.size()
+                << " evaluations failed; candidates quarantined (first: "
+                << "candidate " << first_failed << ": " << first_error << ")";
     }
     return revealed;
   };
@@ -170,7 +217,10 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   // sequential loop would.
   std::vector<std::unique_ptr<Surrogate>> models;
   models.reserve(n_obj);
-  for (std::size_t k = 0; k < n_obj; ++k) models.push_back(factory(k));
+  for (std::size_t k = 0; k < n_obj; ++k) {
+    models.push_back(factory(k));
+    models.back()->set_tiled_prediction(options.tiled_prediction);
+  }
   {
     common::TaskGroup group;
     for (std::size_t k = 0; k < n_obj; ++k) {
@@ -191,6 +241,24 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   refit_all();
 
   const double half_width = std::sqrt(options.tau);
+  const bool fast_fronts = options.use_fast_fronts;
+  auto front_of = [fast_fronts](const std::vector<std::size_t>& subset,
+                                const std::vector<linalg::Vector>& corners) {
+    return fast_fronts ? corner_front_fast(subset, corners)
+                       : corner_front(subset, corners);
+  };
+  // Alive candidates (not dropped), ascending. Pruned in place as
+  // candidates drop — the set only ever shrinks, so per-round work tracks
+  // the surviving pool instead of rescanning all n candidates.
+  std::vector<std::size_t> alive;
+  alive.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (status[i] != Status::kDropped) alive.push_back(i);
+  }
+  auto prune_dropped = [&] {
+    std::erase_if(alive,
+                  [&](std::size_t i) { return status[i] == Status::kDropped; });
+  };
   std::vector<std::size_t> alive_unrevealed;
   std::size_t rounds = 0;
 
@@ -198,15 +266,15 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   while (rounds < options.max_rounds && pool.runs() < options.max_runs) {
     ++rounds;
 
+    // Quarantines from the previous round's reveals leave the alive set.
+    prune_dropped();
     // Alive & not yet revealed: these need fresh predictions.
     alive_unrevealed.clear();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (status[i] != Status::kDropped && !collapsed[i]) {
-        alive_unrevealed.push_back(i);
-      }
+    for (std::size_t i : alive) {
+      if (!collapsed[i]) alive_unrevealed.push_back(i);
     }
     bool any_undecided = false;
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i : alive) {
       if (status[i] == Status::kUndecided) {
         any_undecided = true;
         break;
@@ -225,7 +293,14 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
       for (std::size_t k = 0; k < n_obj; ++k) {
         group.run([&, k] {
           linalg::Vector means, vars;
-          models[k]->predict_batch(inputs, means, vars);
+          if (options.use_prediction_cache) {
+            // Candidate indices are stable round to round, so the cache
+            // extends last round's forward solves instead of re-solving.
+            models[k]->predict_batch_cached(alive_unrevealed, inputs, means,
+                                            vars);
+          } else {
+            models[k]->predict_batch(inputs, means, vars);
+          }
           for (std::size_t c = 0; c < alive_unrevealed.size(); ++c) {
             const std::size_t i = alive_unrevealed[c];
             const double sd = std::sqrt(std::max(0.0, vars[c]));
@@ -248,47 +323,108 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
     }
 
     // ---- Decision-making (Eqs. (11)-(12)) ----
-    std::vector<std::size_t> alive;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (status[i] != Status::kDropped) alive.push_back(i);
-    }
-    // Dominance checks only need the alive sets' corner fronts.
-    const std::vector<std::size_t> pess_front = corner_front(alive, hi);
-    for (std::size_t i : alive) {
-      if (status[i] != Status::kUndecided) continue;
-      for (std::size_t j : pess_front) {
-        if (j == i) continue;
-        if (leq_with_slack(hi[j], lo[i], delta)) {
-          status[i] = Status::kDropped;
-          break;
-        }
+    // Dominance checks only need the alive set's corner fronts, and both
+    // delta passes are batched weak-dominance queries against a front:
+    // candidate i DROPS when some other front member's pessimistic corner
+    // satisfies hi_j <= lo_i + delta, and classifies PARETO when no other
+    // front member's optimistic corner satisfies lo_j <= hi_i - delta. The
+    // sweep path answers every query in one O((F + Q) log) pass; its only
+    // subtlety is self-exclusion (j != i) — when the staircase hit could be
+    // the candidate's own corner, a linear re-scan of the front settles it,
+    // which stays cheap because only near-collapsed regions are ambiguous.
+    const std::vector<std::size_t> pess_front = front_of(alive, hi);
+    if (fast_fronts) {
+      std::vector<char> in_front(n, 0);
+      for (std::size_t j : pess_front) in_front[j] = 1;
+      std::vector<pareto::Point> front_pts;
+      front_pts.reserve(pess_front.size());
+      for (std::size_t j : pess_front) front_pts.push_back(hi[j]);
+      std::vector<std::size_t> query_idx;
+      std::vector<pareto::Point> queries;
+      for (std::size_t i : alive) {
+        if (status[i] != Status::kUndecided) continue;
+        query_idx.push_back(i);
+        pareto::Point q(n_obj);
+        // Same fp sum leq_with_slack compares against, precomputed once.
+        for (std::size_t k = 0; k < n_obj; ++k) q[k] = lo[i][k] + delta[k];
+        queries.push_back(std::move(q));
       }
-    }
-    alive.clear();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (status[i] != Status::kDropped) alive.push_back(i);
-    }
-    const std::vector<std::size_t> opt_front = corner_front(alive, lo);
-    for (std::size_t i : alive) {
-      if (status[i] != Status::kUndecided) continue;
-      bool blocked = false;
-      for (std::size_t j : opt_front) {
-        if (j == i) continue;
-        // x' could still delta-dominate x in the optimistic/pessimistic
-        // worst case -> x cannot be declared Pareto yet.
-        bool dominates_with_margin = true;
-        for (std::size_t k = 0; k < n_obj; ++k) {
-          if (lo[j][k] > hi[i][k] - delta[k]) {
-            dominates_with_margin = false;
+      const auto hit = pareto::weakly_dominated_queries(front_pts, queries);
+      for (std::size_t c = 0; c < query_idx.size(); ++c) {
+        if (hit[c] == 0) continue;
+        const std::size_t i = query_idx[c];
+        bool drop = true;
+        if (in_front[i] != 0 && leq_with_slack(hi[i], lo[i], delta)) {
+          drop = false;
+          for (std::size_t j : pess_front) {
+            if (j != i && leq_with_slack(hi[j], lo[i], delta)) {
+              drop = true;
+              break;
+            }
+          }
+        }
+        if (drop) status[i] = Status::kDropped;
+      }
+    } else {
+      for (std::size_t i : alive) {
+        if (status[i] != Status::kUndecided) continue;
+        for (std::size_t j : pess_front) {
+          if (j == i) continue;
+          if (leq_with_slack(hi[j], lo[i], delta)) {
+            status[i] = Status::kDropped;
             break;
           }
         }
-        if (dominates_with_margin) {
-          blocked = true;
-          break;
-        }
       }
-      if (!blocked) status[i] = Status::kPareto;
+    }
+    prune_dropped();
+    const std::vector<std::size_t> opt_front = front_of(alive, lo);
+    if (fast_fronts) {
+      std::vector<char> in_front(n, 0);
+      for (std::size_t j : opt_front) in_front[j] = 1;
+      std::vector<pareto::Point> front_pts;
+      front_pts.reserve(opt_front.size());
+      for (std::size_t j : opt_front) front_pts.push_back(lo[j]);
+      std::vector<std::size_t> query_idx;
+      std::vector<pareto::Point> queries;
+      for (std::size_t i : alive) {
+        if (status[i] != Status::kUndecided) continue;
+        query_idx.push_back(i);
+        pareto::Point q(n_obj);
+        for (std::size_t k = 0; k < n_obj; ++k) q[k] = hi[i][k] - delta[k];
+        queries.push_back(std::move(q));
+      }
+      const auto hit = pareto::weakly_dominated_queries(front_pts, queries);
+      for (std::size_t c = 0; c < query_idx.size(); ++c) {
+        const std::size_t i = query_idx[c];
+        bool blocked = hit[c] != 0;
+        if (blocked && in_front[i] != 0 &&
+            dominates_with_margin(lo[i], hi[i], delta)) {
+          blocked = false;
+          for (std::size_t j : opt_front) {
+            if (j != i && dominates_with_margin(lo[j], hi[i], delta)) {
+              blocked = true;
+              break;
+            }
+          }
+        }
+        if (!blocked) status[i] = Status::kPareto;
+      }
+    } else {
+      for (std::size_t i : alive) {
+        if (status[i] != Status::kUndecided) continue;
+        bool blocked = false;
+        for (std::size_t j : opt_front) {
+          if (j == i) continue;
+          // x' could still delta-dominate x in the optimistic/pessimistic
+          // worst case -> x cannot be declared Pareto yet.
+          if (dominates_with_margin(lo[j], hi[i], delta)) {
+            blocked = true;
+            break;
+          }
+        }
+        if (!blocked) status[i] = Status::kPareto;
+      }
     }
 
     // ---- Selection (Eq. (13)) ----
@@ -371,10 +507,7 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   // ---- Finalize ----
   // Any still-undecided candidates (budget stop) are classified by the
   // non-domination of their region midpoints among alive candidates.
-  std::vector<std::size_t> alive;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (status[i] != Status::kDropped) alive.push_back(i);
-  }
+  prune_dropped();
   std::vector<linalg::Vector> mid(n);
   for (std::size_t i : alive) {
     mid[i].resize(n_obj);
@@ -382,7 +515,7 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
       mid[i][k] = 0.5 * (lo[i][k] + hi[i][k]);
     }
   }
-  const std::vector<std::size_t> mid_front = corner_front(alive, mid);
+  const std::vector<std::size_t> mid_front = front_of(alive, mid);
 
   TuningResult result;
   std::vector<bool> in_result(n, false);

@@ -60,6 +60,19 @@ struct PPATunerOptions {
   /// parallel partitions are bit-stable — and 1 runs the work inline with no
   /// pool at all.
   std::size_t num_threads = 0;
+  // Perf ablation switches for the decision loop (bench_pal_scaling legacy
+  // configurations). Every combination produces bit-identical tuner output;
+  // the fast paths only change HOW the same values are computed.
+  /// Cross-round posterior cache: serve each candidate's prediction in
+  /// O(new observations) via rank-1 forward-substitution extension instead
+  /// of a fresh O(observations^2) solve (gp::PosteriorCache).
+  bool use_prediction_cache = true;
+  /// Sort-based sweeps for the corner fronts and both delta-dominance
+  /// passes: O(N log N) per round instead of the pairwise O(N^2).
+  bool use_fast_fronts = true;
+  /// Blocked predict_batch panels fanned across the thread pool (used by
+  /// the non-cached prediction paths; see GaussianProcess).
+  bool tiled_prediction = true;
   /// Optional per-round observer (convergence studies); called after each
   /// round's selection step.
   std::function<void(const PPATunerProgress&)> on_round;

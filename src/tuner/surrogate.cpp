@@ -54,6 +54,13 @@ void TransferGpSurrogate::predict_batch(const std::vector<linalg::Vector>& xs,
   model_.predict_batch(xs, means, variances);
 }
 
+void TransferGpSurrogate::predict_batch_cached(
+    const std::vector<std::size_t>& ids,
+    const std::vector<linalg::Vector>& xs, linalg::Vector& means,
+    linalg::Vector& variances) {
+  cache_.predict(model_, ids, xs, means, variances);
+}
+
 PlainGpSurrogate::PlainGpSurrogate(KernelKind kind)
     : model_(make_kernel(kind)) {}
 
@@ -88,6 +95,13 @@ void PlainGpSurrogate::predict_batch(const std::vector<linalg::Vector>& xs,
                                      linalg::Vector& means,
                                      linalg::Vector& variances) const {
   model_.predict_batch(xs, means, variances);
+}
+
+void PlainGpSurrogate::predict_batch_cached(
+    const std::vector<std::size_t>& ids,
+    const std::vector<linalg::Vector>& xs, linalg::Vector& means,
+    linalg::Vector& variances) {
+  cache_.predict(model_, ids, xs, means, variances);
 }
 
 SurrogateFactory make_transfer_gp_factory(const SourceData& source,

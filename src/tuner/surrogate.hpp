@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "gp/posterior_cache.hpp"
 #include "gp/transfer_gp.hpp"
 #include "linalg/matrix.hpp"
 #include "tuner/problem.hpp"
@@ -59,6 +60,25 @@ class Surrogate {
                              linalg::Vector& means,
                              linalg::Vector& variances) const = 0;
 
+  /// Posterior over a stable candidate pool: `ids[c]` names `xs[c]`
+  /// consistently across rounds, which lets implementations keep
+  /// per-candidate solve state between hyper-parameter refits
+  /// (gp::PosteriorCache) and serve each round in O(new observations) per
+  /// candidate instead of O(observations^2). Results are bit-identical to
+  /// predict_batch on the same inputs; the default forwards there and
+  /// ignores the ids.
+  virtual void predict_batch_cached(const std::vector<std::size_t>& ids,
+                                    const std::vector<linalg::Vector>& xs,
+                                    linalg::Vector& means,
+                                    linalg::Vector& variances) {
+    (void)ids;
+    predict_batch(xs, means, variances);
+  }
+
+  /// Toggles the tiled predict_batch fast path where the implementation has
+  /// one (perf ablation; served values are bit-identical either way).
+  virtual void set_tiled_prediction(bool /*enabled*/) {}
+
   virtual std::size_t num_target_points() const = 0;
 };
 
@@ -94,6 +114,13 @@ class TransferGpSurrogate final : public Surrogate {
   void predict_batch(const std::vector<linalg::Vector>& xs,
                      linalg::Vector& means,
                      linalg::Vector& variances) const override;
+  void predict_batch_cached(const std::vector<std::size_t>& ids,
+                            const std::vector<linalg::Vector>& xs,
+                            linalg::Vector& means,
+                            linalg::Vector& variances) override;
+  void set_tiled_prediction(bool enabled) override {
+    model_.set_tiled_prediction(enabled);
+  }
   std::size_t num_target_points() const override {
     return model_.num_target_points();
   }
@@ -106,6 +133,7 @@ class TransferGpSurrogate final : public Surrogate {
   linalg::Vector source_ys_;
   gp::TransferGaussianProcess model_;
   gp::TransferGaussianProcess::RefitPlan plan_;
+  gp::PosteriorCache<gp::TransferGaussianProcess> cache_;
   bool has_plan_ = false;
 };
 
@@ -125,6 +153,13 @@ class PlainGpSurrogate final : public Surrogate {
   void predict_batch(const std::vector<linalg::Vector>& xs,
                      linalg::Vector& means,
                      linalg::Vector& variances) const override;
+  void predict_batch_cached(const std::vector<std::size_t>& ids,
+                            const std::vector<linalg::Vector>& xs,
+                            linalg::Vector& means,
+                            linalg::Vector& variances) override;
+  void set_tiled_prediction(bool enabled) override {
+    model_.set_tiled_prediction(enabled);
+  }
   std::size_t num_target_points() const override {
     return model_.num_points();
   }
@@ -132,6 +167,7 @@ class PlainGpSurrogate final : public Surrogate {
  private:
   gp::GaussianProcess model_;
   gp::GaussianProcess::RefitPlan plan_;
+  gp::PosteriorCache<gp::GaussianProcess> cache_;
   bool has_plan_ = false;
 };
 

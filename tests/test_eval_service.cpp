@@ -4,7 +4,9 @@
 // describes configs[i], and outcomes never depend on the license count.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <latch>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -270,6 +272,119 @@ TEST(CachingOracle, FailuresAreNotCached) {
   EXPECT_EQ(cache.misses(), 2u);
   const flow::QoR want = testing::synthetic_qor(space.encode(configs[0]));
   EXPECT_EQ(qor.area_um2, want.area_um2);
+}
+
+TEST(CachingOracle, InFlightRunsDeduplicateAcrossThreads) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 1, 8);
+  constexpr std::size_t kThreads = 8;
+
+  // Holds its (single) caller inside evaluate until released, so every
+  // worker thread piles onto the same in-flight cache entry instead of
+  // finding a completed line.
+  class HoldingOracle final : public flow::QorOracle {
+   public:
+    flow::QoR evaluate(const flow::ParameterSpace& space,
+                       const flow::Config& config) override {
+      ++calls_;
+      release.wait();
+      return testing::synthetic_qor(space.encode(config));
+    }
+    std::size_t run_count() const override { return calls_; }
+    std::latch release{1};
+
+   private:
+    std::atomic<std::size_t> calls_{0};
+  };
+  HoldingOracle inner;
+  flow::CachingOracle cache(inner);
+
+  std::latch started(static_cast<std::ptrdiff_t>(kThreads));
+  std::vector<flow::QoR> results(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      started.count_down();
+      started.wait();  // all threads race the same entry together
+      results[t] = cache.evaluate(space, configs[0]);
+    });
+  }
+  started.wait();
+  // Give the losers time to reach the cache while the run is in flight,
+  // then let the single inner call finish. (Correctness does not depend on
+  // this timing — a late arrival is an ordinary cache hit.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  inner.release.count_down();
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(inner.run_count(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), kThreads - 1);
+  const flow::QoR want = testing::synthetic_qor(space.encode(configs[0]));
+  for (const auto& qor : results) {
+    EXPECT_EQ(qor.area_um2, want.area_um2);
+    EXPECT_EQ(qor.power_mw, want.power_mw);
+    EXPECT_EQ(qor.delay_ns, want.delay_ns);
+  }
+}
+
+TEST(CachingOracle, ConcurrentFailureDoesNotPoisonCache) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 1, 9);
+  constexpr std::size_t kThreads = 6;
+
+  class SwitchableOracle final : public flow::QorOracle {
+   public:
+    flow::QoR evaluate(const flow::ParameterSpace& space,
+                       const flow::Config& config) override {
+      ++calls_;
+      // Widen the in-flight window so concurrent callers share the flight.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (failing.load()) throw flow::ToolRunError("injected failure");
+      return testing::synthetic_qor(space.encode(config));
+    }
+    std::size_t run_count() const override { return calls_; }
+    std::atomic<bool> failing{true};
+
+   private:
+    std::atomic<std::size_t> calls_{0};
+  };
+  SwitchableOracle inner;
+  flow::CachingOracle cache(inner);
+
+  // Phase 1: every attempt fails. Whether a thread owns a flight or waits
+  // on another's, the failure must propagate to it — and must NOT be
+  // memoized.
+  std::atomic<std::size_t> throws{0};
+  std::latch started(static_cast<std::ptrdiff_t>(kThreads));
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      started.count_down();
+      started.wait();
+      try {
+        (void)cache.evaluate(space, configs[0]);
+      } catch (const flow::ToolRunError&) {
+        ++throws;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(throws, kThreads);
+
+  // Phase 2: the tool recovers. The failed flights must not have been
+  // cached: the next evaluate re-attempts the tool and succeeds...
+  inner.failing = false;
+  const std::size_t calls_before = inner.run_count();
+  const flow::QoR qor = cache.evaluate(space, configs[0]);
+  EXPECT_EQ(inner.run_count(), calls_before + 1);
+  const flow::QoR want = testing::synthetic_qor(space.encode(configs[0]));
+  EXPECT_EQ(qor.area_um2, want.area_um2);
+  // ...and THAT success is memoized.
+  (void)cache.evaluate(space, configs[0]);
+  EXPECT_EQ(inner.run_count(), calls_before + 1);
 }
 
 TEST(CachingOracle, MakesRepeatBatchesFree) {

@@ -1,0 +1,126 @@
+// End-to-end bit-parity of the tuner's perf ablation switches: every
+// combination of {posterior cache, sweep fronts, tiled prediction} must
+// produce the SAME TuningResult (identical pareto indices, run counts,
+// diagnostics) as the all-off legacy path — across batch sizes, objective
+// counts, surrogate families, and refit cadences. This is the acceptance
+// gate that lets the fast paths ship default-on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "synthetic_benchmark.hpp"
+#include "tuner/ppatuner.hpp"
+
+namespace ppat::tuner {
+namespace {
+
+struct Flags {
+  bool cache;
+  bool fronts;
+  bool tiled;
+};
+
+struct Observed {
+  TuningResult result;
+  PPATunerDiagnostics diag;
+};
+
+class FastPathParityTest : public ::testing::Test {
+ protected:
+  FastPathParityTest()
+      : source_(testing::synthetic_benchmark("src", 300, 11, 0.3)),
+        target_(testing::synthetic_benchmark("tgt", 400, 12, 0.0)) {}
+
+  SourceData source_data(const std::vector<std::size_t>& objectives) {
+    return SourceData::from_benchmark(source_, objectives, 150, 5);
+  }
+
+  static PPATunerOptions base_options(std::size_t batch) {
+    PPATunerOptions opt;
+    opt.seed = 42;
+    opt.batch_size = batch;
+    opt.min_init = 15;
+    opt.init_fraction = 0.0;
+    opt.refit_every = 4;  // several refits per run: epoch invalidation runs
+    opt.max_runs = 60;
+    opt.max_rounds = 20;
+    return opt;
+  }
+
+  Observed run(const std::vector<std::size_t>& objectives,
+               const SurrogateFactory& factory, PPATunerOptions opt,
+               Flags flags) {
+    opt.use_prediction_cache = flags.cache;
+    opt.use_fast_fronts = flags.fronts;
+    opt.tiled_prediction = flags.tiled;
+    BenchmarkCandidatePool pool(&target_, objectives);
+    Observed out;
+    out.result = run_ppatuner(pool, factory, opt, &out.diag);
+    return out;
+  }
+
+  static void expect_identical(const Observed& fast, const Observed& legacy) {
+    EXPECT_EQ(fast.result.pareto_indices, legacy.result.pareto_indices);
+    EXPECT_EQ(fast.result.tool_runs, legacy.result.tool_runs);
+    EXPECT_EQ(fast.result.failed_runs, legacy.result.failed_runs);
+    EXPECT_EQ(fast.diag.rounds, legacy.diag.rounds);
+    EXPECT_EQ(fast.diag.dropped, legacy.diag.dropped);
+    EXPECT_EQ(fast.diag.classified_pareto, legacy.diag.classified_pareto);
+    EXPECT_EQ(fast.diag.undecided, legacy.diag.undecided);
+    ASSERT_EQ(fast.diag.task_correlations.size(),
+              legacy.diag.task_correlations.size());
+    for (std::size_t k = 0; k < fast.diag.task_correlations.size(); ++k) {
+      EXPECT_EQ(fast.diag.task_correlations[k],
+                legacy.diag.task_correlations[k]);
+    }
+  }
+
+  flow::BenchmarkSet source_, target_;
+};
+
+constexpr Flags kAllOn{true, true, true};
+constexpr Flags kAllOff{false, false, false};
+
+TEST_F(FastPathParityTest, TransferThreeObjectivesAcrossBatchSizes) {
+  const auto factory = make_transfer_gp_factory(source_data(kAreaPowerDelay));
+  for (std::size_t batch : {1u, 4u, 16u}) {
+    const auto opt = base_options(batch);
+    const auto fast = run(kAreaPowerDelay, factory, opt, kAllOn);
+    const auto legacy = run(kAreaPowerDelay, factory, opt, kAllOff);
+    SCOPED_TRACE(::testing::Message() << "batch=" << batch);
+    expect_identical(fast, legacy);
+    EXPECT_FALSE(fast.result.pareto_indices.empty());
+  }
+}
+
+TEST_F(FastPathParityTest, TransferTwoObjectives) {
+  // 2-objective fronts take the running-min sweep instead of the staircase.
+  const auto factory = make_transfer_gp_factory(source_data(kAreaDelay));
+  const auto opt = base_options(4);
+  expect_identical(run(kAreaDelay, factory, opt, kAllOn),
+                   run(kAreaDelay, factory, opt, kAllOff));
+}
+
+TEST_F(FastPathParityTest, PlainGpSurrogates) {
+  const auto factory = make_plain_gp_factory();
+  const auto opt = base_options(4);
+  expect_identical(run(kPowerDelay, factory, opt, kAllOn),
+                   run(kPowerDelay, factory, opt, kAllOff));
+}
+
+TEST_F(FastPathParityTest, EachFlagIndependently) {
+  // Each switch alone must already be bit-neutral, not just the ensemble.
+  const auto factory = make_transfer_gp_factory(source_data(kAreaPowerDelay));
+  const auto opt = base_options(4);
+  const auto legacy = run(kAreaPowerDelay, factory, opt, kAllOff);
+  const Flags singles[] = {
+      {true, false, false}, {false, true, false}, {false, false, true}};
+  for (const Flags& f : singles) {
+    SCOPED_TRACE(::testing::Message() << "cache=" << f.cache << " fronts="
+                                      << f.fronts << " tiled=" << f.tiled);
+    expect_identical(run(kAreaPowerDelay, factory, opt, f), legacy);
+  }
+}
+
+}  // namespace
+}  // namespace ppat::tuner
