@@ -1,24 +1,33 @@
 #include "common/csv.hpp"
 
+#include <charconv>
+#include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
 namespace ppat::common {
+namespace {
 
-std::size_t CsvTable::column(const std::string& name) const {
-  for (std::size_t i = 0; i < header.size(); ++i) {
-    if (header[i] == name) return i;
-  }
-  return npos;
+std::string error_prefix(std::size_t line, std::size_t field) {
+  std::string out = "CSV";
+  if (line != 0) out += " line " + std::to_string(line);
+  if (field != CsvError::npos) out += " field " + std::to_string(field + 1);
+  if (out.size() > 3) out += ": ";
+  else out += " ";
+  return out;
 }
 
-std::vector<std::string> split_csv_line(const std::string& line) {
+std::vector<std::string> split_line_at(const std::string& line,
+                                       std::size_t line_no) {
   std::vector<std::string> fields;
   std::string cur;
   bool in_quotes = false;
   for (std::size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
+    if (c == '\0') {
+      throw CsvError("embedded NUL byte", line_no, fields.size());
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {
@@ -39,8 +48,61 @@ std::vector<std::string> split_csv_line(const std::string& line) {
       cur.push_back(c);
     }
   }
+  if (in_quotes) {
+    throw CsvError("unterminated quoted field", line_no, fields.size());
+  }
   fields.push_back(std::move(cur));
   return fields;
+}
+
+}  // namespace
+
+CsvError::CsvError(const std::string& message, std::size_t line,
+                   std::size_t field)
+    : std::runtime_error(error_prefix(line, field) + message),
+      line_(line),
+      field_(field) {}
+
+CsvError::CsvError(RawTag, const std::string& message, std::size_t line,
+                   std::size_t field)
+    : std::runtime_error(message), line_(line), field_(field) {}
+
+CsvError CsvError::raw(const std::string& message, std::size_t line,
+                       std::size_t field) {
+  return CsvError(RawTag{}, message, line, field);
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return npos;
+}
+
+double CsvTable::numeric(std::size_t row, std::size_t col) const {
+  if (row >= rows.size()) {
+    throw CsvError("row " + std::to_string(row) + " out of range (" +
+                   std::to_string(rows.size()) + " rows)");
+  }
+  const std::size_t line = row < row_lines.size() ? row_lines[row] : 0;
+  if (col >= rows[row].size()) {
+    throw CsvError("column " + std::to_string(col) + " out of range (" +
+                       std::to_string(rows[row].size()) + " fields)",
+                   line, col);
+  }
+  const std::string& s = rows[row][col];
+  double value = 0.0;
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || s.empty()) {
+    throw CsvError("expected a number, got \"" + s + "\"", line, col);
+  }
+  return value;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  return split_line_at(line, 0);
 }
 
 std::string csv_escape(const std::string& field) {
@@ -66,29 +128,45 @@ CsvTable parse_csv(const std::string& text) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line == "\r") continue;
-    auto fields = split_csv_line(line);
+    auto fields = split_line_at(line, line_no);
     if (first) {
       table.header = std::move(fields);
       first = false;
     } else {
       if (fields.size() != table.header.size()) {
-        throw std::runtime_error("CSV row " + std::to_string(line_no) +
-                                 " has " + std::to_string(fields.size()) +
-                                 " fields, header has " +
-                                 std::to_string(table.header.size()));
+        throw CsvError("row has " + std::to_string(fields.size()) +
+                           " fields, header has " +
+                           std::to_string(table.header.size()) +
+                           " (truncated or ragged row)",
+                       line_no);
       }
       table.rows.push_back(std::move(fields));
+      table.row_lines.push_back(line_no);
     }
   }
   return table;
 }
 
 CsvTable read_csv_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  // Corrupt-size guard: a multi-gigabyte "benchmark table" is a damaged or
+  // mis-pointed file, and buffering it would OOM long before parsing fails.
+  constexpr std::uintmax_t kMaxBytes = std::uintmax_t{4} << 30;
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (!ec && size > kMaxBytes) {
+    throw CsvError("file " + path + " is " + std::to_string(size) +
+                   " bytes, exceeding the 4 GiB sanity limit");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CsvError("cannot open file: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_csv(buf.str());
+  try {
+    return parse_csv(buf.str());
+  } catch (const CsvError& e) {
+    throw CsvError::raw(std::string(e.what()) + " [in " + path + "]",
+                        e.line(), e.field());
+  }
 }
 
 std::string to_csv(const CsvTable& table) {

@@ -4,36 +4,82 @@
 // Scope is deliberately narrow: comma separator, optional quoting with ""
 // escapes, no embedded newlines inside quoted fields. That covers everything
 // this repository writes and keeps the parser easy to verify exhaustively in
-// tests.
+// tests. Malformed input (ragged/truncated rows, unterminated quotes,
+// embedded NUL bytes, non-numeric fields where numbers are expected,
+// implausibly huge files) is rejected with a structured CsvError carrying
+// the 1-based source line — benchmark caches sit on disk between runs, and
+// a silently half-parsed table would corrupt every experiment built on it.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace ppat::common {
 
+/// Structured CSV failure: what went wrong, and where.
+class CsvError : public std::runtime_error {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  CsvError(const std::string& message, std::size_t line = 0,
+           std::size_t field = npos);
+
+  /// Builds an error whose message is used verbatim (no "CSV line N"
+  /// prefix); used when annotating an already-formatted error.
+  static CsvError raw(const std::string& message, std::size_t line,
+                      std::size_t field);
+
+  /// 1-based line in the source text (0 when no line context exists).
+  std::size_t line() const { return line_; }
+  /// 0-based field index within the line (npos when not field-specific).
+  std::size_t field() const { return field_; }
+
+ private:
+  struct RawTag {};
+  CsvError(RawTag, const std::string& message, std::size_t line,
+           std::size_t field);
+
+  std::size_t line_;
+  std::size_t field_;
+};
+
 /// One parsed CSV table: a header row plus data rows, all as strings.
 struct CsvTable {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
+  /// 1-based source line of each data row (parallel to `rows`); lets
+  /// numeric() and callers report errors against the original file even
+  /// when blank lines were skipped. Empty for hand-built tables.
+  std::vector<std::size_t> row_lines;
 
   /// Index of the named column, or npos if absent.
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::size_t column(const std::string& name) const;
+
+  /// Strictly parses rows[row][col] as a double (the ENTIRE field must be a
+  /// number; "1.5x", "", and "1,5" all fail). Throws CsvError with the
+  /// original source line and field index on out-of-range indices or
+  /// non-numeric content.
+  double numeric(std::size_t row, std::size_t col) const;
 };
 
 /// Splits one CSV line into fields, honoring double-quoted fields with ""
-/// escapes.
+/// escapes. Throws CsvError on an unterminated quoted field or an embedded
+/// NUL byte (with line context 0; parse_csv reports real line numbers).
 std::vector<std::string> split_csv_line(const std::string& line);
 
 /// Quotes a field if it contains a comma, quote, or leading/trailing space.
 std::string csv_escape(const std::string& field);
 
-/// Parses CSV text (first line is the header). Throws std::runtime_error on
-/// ragged rows.
+/// Parses CSV text (first line is the header). Throws CsvError on ragged
+/// rows, unterminated quotes, or embedded NUL bytes, with 1-based line
+/// numbers.
 CsvTable parse_csv(const std::string& text);
 
-/// Reads and parses a CSV file. Throws std::runtime_error if unreadable.
+/// Reads and parses a CSV file. Throws CsvError if the file is unreadable,
+/// larger than 4 GiB (corrupt-size guard: nothing this library writes comes
+/// within orders of magnitude of that), or malformed.
 CsvTable read_csv_file(const std::string& path);
 
 /// Serializes a table back to CSV text (with trailing newline).

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace ppat::common {
 namespace {
@@ -23,6 +24,19 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 void Rng::reseed(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& w : state_) w = splitmix64(sm);
+  has_spare_normal_ = false;
+}
+
+std::array<std::uint64_t, 4> Rng::state() const {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0) {
+    throw std::invalid_argument(
+        "Rng::set_state: the all-zero state is a fixed point of xoshiro256++");
+  }
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
   has_spare_normal_ = false;
 }
 

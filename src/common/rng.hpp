@@ -11,6 +11,7 @@
 // change across standard-library implementations.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -33,6 +34,19 @@ class Rng {
 
   /// Re-initializes the state from `seed` (same expansion as the ctor).
   void reseed(std::uint64_t seed);
+
+  /// The four raw xoshiro256++ state words. Together with set_state() this
+  /// serializes/restores the exact stream position (journal resume), which
+  /// reseeding cannot do. The polar-method spare-normal cache is NOT part of
+  /// the serialized state: callers must only snapshot at points where no
+  /// spare is pending (set_state() clears any cached spare so a restored
+  /// generator replays the raw stream exactly).
+  std::array<std::uint64_t, 4> state() const;
+
+  /// Restores a state previously obtained from state(). Throws
+  /// std::invalid_argument on the all-zero state (a fixed point of
+  /// xoshiro256++, never produced by reseed()).
+  void set_state(const std::array<std::uint64_t, 4>& state);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {

@@ -149,14 +149,17 @@ BenchmarkSet load_benchmark_csv(const std::string& path,
   set.space = space;
   set.configs.reserve(table.rows.size());
   set.qor.reserve(table.rows.size());
-  for (const auto& row : table.rows) {
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    // CsvTable::numeric is strict (whole field must parse) and reports the
+    // original file line on malformed cells, so a damaged cache fails loud
+    // instead of feeding half-parsed QoR into the surrogates.
     Config c(d);
-    for (std::size_t i = 0; i < d; ++i) c[i] = std::stod(row[i]);
+    for (std::size_t i = 0; i < d; ++i) c[i] = table.numeric(r, i);
     space.validate(c);
     QoR q;
-    q.area_um2 = std::stod(row[d]);
-    q.power_mw = std::stod(row[d + 1]);
-    q.delay_ns = std::stod(row[d + 2]);
+    q.area_um2 = table.numeric(r, d);
+    q.power_mw = table.numeric(r, d + 1);
+    q.delay_ns = table.numeric(r, d + 2);
     set.configs.push_back(std::move(c));
     set.qor.push_back(q);
   }

@@ -1,12 +1,19 @@
 #include "flow/eval_service.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <thread>
 
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 
 namespace ppat::flow {
+namespace {
+
+/// Rolling-median window; large enough to smooth flaky runs, small enough
+/// to track a drifting tool version.
+constexpr std::size_t kMedianWindow = 64;
+
+}  // namespace
 
 const char* run_status_name(RunStatus status) {
   switch (status) {
@@ -28,58 +35,167 @@ EvalService::EvalService(QorOracle& oracle, ParameterSpace space,
   if (options_.licenses > 1) {
     pool_ = std::make_unique<common::ThreadPool>(options_.licenses);
   }
+  if (options_.watchdog_multiple > 0.0) {
+    if (options_.watchdog_poll.count() <= 0) {
+      options_.watchdog_poll = std::chrono::milliseconds(50);
+    }
+    cancellable_ = dynamic_cast<CancellableOracle*>(&oracle_);
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
-EvalService::~EvalService() = default;
+EvalService::~EvalService() {
+  if (watchdog_thread_.joinable()) {
+    {
+      std::lock_guard lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_thread_.join();
+  }
+}
 
-RunRecord EvalService::run_one(const Config& config) {
-  using clock = std::chrono::steady_clock;
+void EvalService::record_success_duration(double ms) {
+  std::lock_guard lock(watchdog_mutex_);
+  if (recent_ok_ms_.size() < kMedianWindow) {
+    recent_ok_ms_.push_back(ms);
+  } else {
+    recent_ok_ms_[recent_pos_] = ms;
+    recent_pos_ = (recent_pos_ + 1) % kMedianWindow;
+  }
+}
+
+void EvalService::watchdog_loop() {
+  std::unique_lock lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, options_.watchdog_poll);
+    if (watchdog_stop_) break;
+    if (recent_ok_ms_.size() < options_.watchdog_min_samples) continue;
+    std::vector<double> window = recent_ok_ms_;
+    const std::size_t mid = window.size() / 2;
+    std::nth_element(window.begin(), window.begin() + mid, window.end());
+    const double median_ms = window[mid];
+    const double threshold_ms =
+        std::max(static_cast<double>(options_.watchdog_floor.count()),
+                 options_.watchdog_multiple * median_ms);
+    const auto now = clock::now();
+    for (auto& [id, flight] : in_flight_) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(now - flight.start)
+              .count();
+      if (elapsed_ms > threshold_ms && !flight.token->cancelled()) {
+        PPAT_WARN << "watchdog: cancelling hung run after " << elapsed_ms
+                  << " ms (threshold " << threshold_ms << " ms = "
+                  << options_.watchdog_multiple << " x median " << median_ms
+                  << " ms)";
+        flight.token->request_cancel();
+      }
+    }
+  }
+}
+
+RunRecord EvalService::run_one(const Config& config,
+                               clock::time_point batch_t0) {
   RunRecord rec;
-  const auto batch_t0 = clock::now();
+  const bool has_deadline = options_.run_deadline.count() > 0;
+  const auto run_t0 = clock::now();
   for (std::size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    // Deadline check BEFORE dispatching (including the first attempt): the
+    // deadline runs from batch submission, so a configuration stuck in the
+    // license queue past it is reported as kTimedOut with attempts == 0 —
+    // distinguishable from a tool failure and never worth a retry.
+    if (has_deadline && clock::now() - batch_t0 > options_.run_deadline) {
+      rec.status = RunStatus::kTimedOut;
+      rec.error = rec.attempts == 0 ? "deadline expired while queued"
+                                    : "run exceeded deadline";
+      break;
+    }
     rec.attempts = attempt;
     if (attempt > 1 && options_.retry_backoff.count() > 0) {
       // Exponential backoff: base * 2^(retry-1).
       std::this_thread::sleep_for(options_.retry_backoff *
                                   (std::int64_t{1} << (attempt - 2)));
     }
+    // Register this attempt with the watchdog (no-op when disabled).
+    CancelToken token;
+    std::uint64_t flight_id = 0;
+    const bool watched = watchdog_thread_.joinable();
     const auto t0 = clock::now();
+    if (watched) {
+      std::lock_guard lock(watchdog_mutex_);
+      flight_id = next_flight_id_++;
+      in_flight_.emplace(flight_id, InFlight{t0, &token});
+    }
     try {
-      const QoR qor = oracle_.evaluate(space_, config);
-      const auto elapsed = std::chrono::duration<double, std::milli>(
-          clock::now() - t0);
-      if (options_.run_deadline.count() > 0 &&
-          elapsed > options_.run_deadline) {
-        rec.status = RunStatus::kTimedOut;
-        rec.error = "run exceeded deadline";
-        continue;  // a hung run is retried like a crash
-      }
+      const QoR qor = cancellable_ != nullptr
+                          ? cancellable_->evaluate_with_cancel(space_, config,
+                                                               token)
+                          : oracle_.evaluate(space_, config);
       rec.status = RunStatus::kOk;
       rec.qor = qor;
       rec.error.clear();
-      break;
     } catch (const std::exception& e) {
       rec.status = RunStatus::kFailed;
       rec.error = e.what();
     }
+    const auto t1 = clock::now();
+    if (watched) {
+      std::lock_guard lock(watchdog_mutex_);
+      in_flight_.erase(flight_id);
+    }
+    // A watchdog cancellation is PERMANENT: the run is known-hung, its
+    // result (if the oracle returned one anyway) is not trusted, and
+    // retrying would hang again. Callers journal the kTimedOut record so a
+    // resumed run never re-selects this configuration.
+    if (token.cancelled()) {
+      rec.status = RunStatus::kTimedOut;
+      rec.error = "cancelled by watchdog (exceeded hard multiple of rolling "
+                  "median run time)";
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.runs_watchdog_cancelled;
+      }
+      break;
+    }
+    if (rec.status == RunStatus::kOk) {
+      // Post-hoc deadline classification (cooperative: the oracle already
+      // returned). Past-deadline results are discarded, not retried — any
+      // retry would finish even further past the deadline.
+      if (has_deadline && t1 - batch_t0 > options_.run_deadline) {
+        rec.status = RunStatus::kTimedOut;
+        rec.error = "run exceeded deadline";
+        break;
+      }
+      record_success_duration(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+      break;
+    }
   }
   rec.elapsed_ms =
-      std::chrono::duration<double, std::milli>(clock::now() - batch_t0)
+      std::chrono::duration<double, std::milli>(clock::now() - run_t0)
           .count();
   return rec;
 }
 
 std::vector<RunRecord> EvalService::evaluate_batch(
     const std::vector<Config>& configs) {
+  return evaluate_batch(configs, RunObserver{});
+}
+
+std::vector<RunRecord> EvalService::evaluate_batch(
+    const std::vector<Config>& configs, const RunObserver& observer) {
   std::vector<RunRecord> records(configs.size());
   if (configs.empty()) return records;
 
+  const auto batch_t0 = clock::now();
+  auto finish_one = [&](std::size_t i) {
+    records[i] = run_one(configs[i], batch_t0);
+    if (observer) observer(i, records[i]);
+  };
   const std::size_t workers =
       std::min(options_.licenses, configs.size());
   if (workers <= 1 || pool_ == nullptr) {
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      records[i] = run_one(configs[i]);
-    }
+    for (std::size_t i = 0; i < configs.size(); ++i) finish_one(i);
   } else {
     // Work-stealing over a shared cursor: each license pulls the next
     // pending configuration, so a slow run never blocks the rest of the
@@ -88,7 +204,7 @@ std::vector<RunRecord> EvalService::evaluate_batch(
     std::atomic<std::size_t> next{0};
     auto drain = [&] {
       for (std::size_t i; (i = next.fetch_add(1)) < configs.size();) {
-        records[i] = run_one(configs[i]);
+        finish_one(i);
       }
     };
     common::TaskGroup group(pool_.get());

@@ -11,19 +11,35 @@
 // outcome (as in FIST, ICCAD'20, and GC-Tuner'24, which discard or penalize
 // failed configurations rather than aborting the search).
 //
+// Hung runs are handled by an optional heartbeat watchdog: a monitor thread
+// tracks every in-flight run and, once enough successful runs establish a
+// rolling median duration, cancels any run exceeding a hard multiple of that
+// median (CancelToken; oracles implementing CancellableOracle can abort the
+// underlying tool run cooperatively). A watchdog-cancelled run is a
+// PERMANENT kTimedOut — it is never retried, and callers that journal
+// outcomes (tuner::LiveCandidatePool) persist the cancellation so a resumed
+// run never re-selects a known-hung configuration.
+//
 // Determinism: records are stored by batch index, so result order never
 // depends on completion order. As long as the oracle's outcome for a
 // configuration does not depend on scheduling (true for PDTool and for the
 // seeded FaultInjectingOracle), the returned records are identical for every
-// license count.
+// license count. The watchdog (disabled by default) is the one knob that
+// trades this determinism for liveness: whether a run gets cancelled depends
+// on wall-clock behavior.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "flow/pd_tool.hpp"
@@ -43,6 +59,30 @@ class ToolRunError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Cooperative cancellation flag for one in-flight tool run. The watchdog
+/// sets it; the oracle (if cancellable) polls it and aborts.
+class CancelToken {
+ public:
+  void request_cancel() { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Opt-in interface for oracles that can abort an in-flight run. EvalService
+/// detects it via dynamic_cast and routes evaluations through
+/// evaluate_with_cancel; oracles that ignore the token still work — the
+/// run's RESULT is discarded once the token fires, the tool just isn't
+/// reclaimed until it returns on its own.
+class CancellableOracle {
+ public:
+  virtual ~CancellableOracle() = default;
+  virtual QoR evaluate_with_cancel(const ParameterSpace& space,
+                                   const Config& config,
+                                   const CancelToken& cancel) = 0;
+};
+
 struct EvalServiceOptions {
   /// Maximum tool runs in flight at once (parallel tool licenses). With one
   /// license the batch runs inline on the calling thread. When > 1 the
@@ -53,11 +93,29 @@ struct EvalServiceOptions {
   /// Backoff before retry r (1-based): retry_backoff * 2^(r-1). Zero
   /// disables waiting (tests).
   std::chrono::milliseconds retry_backoff{0};
-  /// Wall-clock deadline per attempt; an attempt exceeding it is recorded as
-  /// timed out (and retried like a failure). Zero disables the deadline.
-  /// Cooperative: the attempt is classified after the oracle returns — a
-  /// real tool wrapper should also enforce a hard kill on its side.
+  /// Wall-clock deadline per configuration, measured from BATCH SUBMISSION
+  /// (queueing time counts: a licensed-out run that never dispatched before
+  /// its deadline is as dead as a hung one). A run past its deadline is
+  /// recorded as kTimedOut and NOT retried — a retry that must finish inside
+  /// an already-blown deadline is wasted license time. attempts == 0 marks a
+  /// run whose deadline expired while still queued. Zero disables the
+  /// deadline. Cooperative: an attempt already in flight is classified after
+  /// the oracle returns — a real tool wrapper should also enforce a hard
+  /// kill on its side (see CancellableOracle + the watchdog).
   std::chrono::milliseconds run_deadline{0};
+
+  /// Hung-run watchdog: cancel any run whose wall-clock exceeds
+  /// watchdog_multiple * (rolling median of successful run durations).
+  /// 0 disables the watchdog (default: tool run times vary legitimately;
+  /// enabling this is a per-deployment decision).
+  double watchdog_multiple = 0.0;
+  /// Never cancel before this much wall-clock, regardless of the median
+  /// (guards the cold-start regime where the median is noisy).
+  std::chrono::milliseconds watchdog_floor{1000};
+  /// Successful runs required before the watchdog arms.
+  std::size_t watchdog_min_samples = 5;
+  /// Monitor thread poll interval.
+  std::chrono::milliseconds watchdog_poll{50};
 };
 
 enum class RunStatus : unsigned char { kOk, kFailed, kTimedOut };
@@ -67,7 +125,9 @@ const char* run_status_name(RunStatus status);
 struct RunRecord {
   RunStatus status = RunStatus::kFailed;
   QoR qor{};               ///< valid iff status == kOk
-  std::size_t attempts = 0;  ///< total attempts made (>= 1)
+  /// Total attempts made. 0 means the run was never dispatched (its
+  /// deadline expired while queued); otherwise >= 1.
+  std::size_t attempts = 0;
   std::string error;       ///< last failure reason iff status != kOk
   double elapsed_ms = 0.0;  ///< wall time across all attempts
 
@@ -81,6 +141,8 @@ struct EvalServiceStats {
   std::size_t runs_ok = 0;
   std::size_t runs_failed = 0;
   std::size_t runs_timed_out = 0;
+  /// Subset of runs_timed_out that the watchdog cancelled as hung.
+  std::size_t runs_watchdog_cancelled = 0;
   std::size_t attempts = 0;
   std::size_t retries = 0;
 };
@@ -96,6 +158,13 @@ class EvalService {
   EvalService(const EvalService&) = delete;
   EvalService& operator=(const EvalService&) = delete;
 
+  /// Called once per configuration as its record is finalized, from
+  /// whichever worker thread finished it (must be thread-safe). Lets callers
+  /// persist each outcome the moment it exists — a crash mid-batch then
+  /// loses only runs still in flight, not the whole batch.
+  using RunObserver = std::function<void(std::size_t index,
+                                         const RunRecord& record)>;
+
   /// Evaluates one configuration (all retries included). Never throws for
   /// run failures.
   RunRecord evaluate(const Config& config);
@@ -103,16 +172,24 @@ class EvalService {
   /// Evaluates a batch with at most `licenses` runs in flight. Record i
   /// corresponds to configs[i] regardless of completion order.
   std::vector<RunRecord> evaluate_batch(const std::vector<Config>& configs);
+  /// Same, invoking `observer` as each configuration completes.
+  std::vector<RunRecord> evaluate_batch(const std::vector<Config>& configs,
+                                        const RunObserver& observer);
 
   const EvalServiceOptions& options() const { return options_; }
   const ParameterSpace& space() const { return space_; }
   EvalServiceStats stats() const;
 
  private:
-  RunRecord run_one(const Config& config);
+  using clock = std::chrono::steady_clock;
+
+  RunRecord run_one(const Config& config, clock::time_point batch_t0);
   void fold_into_stats(const std::vector<RunRecord>& records);
+  void watchdog_loop();
+  void record_success_duration(double ms);
 
   QorOracle& oracle_;
+  CancellableOracle* cancellable_ = nullptr;  ///< &oracle_ if it opts in
   ParameterSpace space_;
   EvalServiceOptions options_;
   /// Private pool sized to the license count (absent when licenses <= 1);
@@ -120,6 +197,22 @@ class EvalService {
   std::unique_ptr<common::ThreadPool> pool_;
   mutable std::mutex stats_mutex_;
   EvalServiceStats stats_;
+
+  // Watchdog state (all guarded by watchdog_mutex_).
+  struct InFlight {
+    clock::time_point start;
+    CancelToken* token = nullptr;
+  };
+  mutable std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  std::unordered_map<std::uint64_t, InFlight> in_flight_;
+  std::uint64_t next_flight_id_ = 0;
+  /// Ring buffer of recent successful attempt durations (ms) for the
+  /// rolling median.
+  std::vector<double> recent_ok_ms_;
+  std::size_t recent_pos_ = 0;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_thread_;
 };
 
 }  // namespace ppat::flow

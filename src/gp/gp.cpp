@@ -101,8 +101,11 @@ void GaussianProcess::factorize() {
   // With incremental updates ablated we also factor with the reference
   // elimination, so the switch reproduces the pre-PR cost model end to end
   // (bench_surrogate_scaling's legacy side); the values are identical.
-  auto chol = linalg::CholeskyFactor::compute_with_jitter(
-      k, 0.0, 1e-2, /*use_reference=*/!incremental_updates_);
+  // The final fit escalates jitter with a scale-aware cap (and logs what it
+  // needed): near-duplicate revealed points must degrade conditioning
+  // gracefully, not abort a long tuning run.
+  auto chol = linalg::CholeskyFactor::compute_with_adaptive_jitter(
+      k, /*use_reference=*/!incremental_updates_);
   if (!chol) {
     throw std::runtime_error(
         "GaussianProcess: kernel matrix not positive definite");

@@ -124,9 +124,11 @@ void TransferGaussianProcess::factorize() {
       *kernel_, task_correlation(), 1.0 / beta_s_, 1.0 / beta_t_,
       source_xs_, target_xs_);
   // Reference factorization when incremental updates are ablated, so the
-  // switch reproduces the pre-PR cost model (values are identical).
-  auto chol = linalg::CholeskyFactor::compute_with_jitter(
-      k, 0.0, 1e-2, /*use_reference=*/!incremental_updates_);
+  // switch reproduces the pre-PR cost model (values are identical). Scale-
+  // aware adaptive jitter on the final fit: an ill-conditioned joint kernel
+  // from near-duplicate reveals must not abort a long run.
+  auto chol = linalg::CholeskyFactor::compute_with_adaptive_jitter(
+      k, /*use_reference=*/!incremental_updates_);
   if (!chol) {
     throw std::runtime_error(
         "TransferGaussianProcess: joint kernel not positive definite");

@@ -1,0 +1,852 @@
+#include "journal/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/log.hpp"
+
+namespace ppat::journal {
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---- CRC32 (reflected, poly 0xEDB88320; same as zlib's crc32) ------------
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  static const Crc32Table table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---- Little-endian serialization -----------------------------------------
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.append(s);
+}
+
+/// Bounds-checked payload reader. An underflow inside a CRC-valid record
+/// means a writer bug or format skew, not a torn tail, so it throws.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<double> f64_vec() {
+    const std::uint64_t n = u64();
+    std::vector<double> v(n);
+    for (std::uint64_t i = 0; i < n; ++i) v[i] = f64();
+    return v;
+  }
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t n = u64();
+    std::vector<std::uint64_t> v(n);
+    for (std::uint64_t i = 0; i < n; ++i) v[i] = u64();
+    return v;
+  }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  void need(std::uint64_t n) {
+    if (n > size_ - pos_) {
+      throw JournalError("journal record payload underflow");
+    }
+  }
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Segment framing ------------------------------------------------------
+
+constexpr char kMagic[8] = {'P', 'P', 'A', 'T', 'J', 'N', 'L', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kSegmentHeaderBytes = 8 + 4 + 4;  // magic, version, seq
+constexpr std::size_t kFrameBytes = 4 + 4 + 1;          // len, crc, type
+/// Sanity bound on a single record payload; anything larger is corruption.
+constexpr std::uint32_t kMaxPayload = 256u << 20;
+
+std::string segment_header(std::uint32_t seq) {
+  std::string h(kMagic, sizeof(kMagic));
+  put_u32(h, kVersion);
+  put_u32(h, seq);
+  return h;
+}
+
+std::string segment_name(std::size_t seq, bool sealed) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06zu.%s", seq, sealed ? "seg" : "open");
+  return buf;
+}
+
+// ---- Entry payload encode/decode -----------------------------------------
+
+std::string encode_meta(const RunMeta& m) {
+  std::string p;
+  put_u64(p, m.seed);
+  put_f64(p, m.tau);
+  put_f64(p, m.delta_rel);
+  put_f64(p, m.init_fraction);
+  put_u64(p, m.batch_size);
+  put_u64(p, m.min_init);
+  put_u64(p, m.refit_every);
+  put_u64(p, m.max_runs);
+  put_u64(p, m.max_rounds);
+  put_u64(p, m.pool_size);
+  put_u64(p, m.num_objectives);
+  put_u64(p, m.objectives.size());
+  for (std::uint64_t o : m.objectives) put_u64(p, o);
+  put_u64(p, m.pool_fingerprint);
+  return p;
+}
+
+RunMeta decode_meta(Reader& r) {
+  RunMeta m;
+  m.seed = r.u64();
+  m.tau = r.f64();
+  m.delta_rel = r.f64();
+  m.init_fraction = r.f64();
+  m.batch_size = r.u64();
+  m.min_init = r.u64();
+  m.refit_every = r.u64();
+  m.max_runs = r.u64();
+  m.max_rounds = r.u64();
+  m.pool_size = r.u64();
+  m.num_objectives = r.u64();
+  m.objectives = r.u64_vec();
+  m.pool_fingerprint = r.u64();
+  return m;
+}
+
+std::string encode_reveal(const RevealRecord& rec) {
+  std::string p;
+  put_u64(p, rec.id);
+  put_u8(p, static_cast<std::uint8_t>(rec.status));
+  put_u32(p, rec.attempts);
+  put_f64(p, rec.elapsed_ms);
+  put_u64(p, rec.objectives.size());
+  for (double v : rec.objectives) put_f64(p, v);
+  put_string(p, rec.error);
+  return p;
+}
+
+RevealRecord decode_reveal(Reader& r) {
+  RevealRecord rec;
+  rec.id = r.u64();
+  rec.status = static_cast<RevealStatus>(r.u8());
+  rec.attempts = r.u32();
+  rec.elapsed_ms = r.f64();
+  rec.objectives = r.f64_vec();
+  rec.error = r.str();
+  return rec;
+}
+
+JournalEntry decode_entry(std::uint8_t type, const char* payload,
+                          std::size_t len) {
+  Reader r(payload, len);
+  JournalEntry e;
+  e.kind = static_cast<JournalEntry::Kind>(type);
+  switch (e.kind) {
+    case JournalEntry::Kind::kRunHeader:
+      e.meta = decode_meta(r);
+      break;
+    case JournalEntry::Kind::kSelection:
+      e.phase = static_cast<Phase>(r.u8());
+      e.round = r.u64();
+      e.ids = r.u64_vec();
+      break;
+    case JournalEntry::Kind::kReveal:
+      e.reveal = decode_reveal(r);
+      break;
+    case JournalEntry::Kind::kBatchCommit:
+      e.phase = static_cast<Phase>(r.u8());
+      e.round = r.u64();
+      e.runs_after = r.u64();
+      for (auto& w : e.rng_state) w = r.u64();
+      break;
+    case JournalEntry::Kind::kRegions: {
+      e.round = r.u64();
+      e.alive_count = r.u64();
+      e.region_digest = r.u64();
+      const std::uint8_t has_snapshot = r.u8();
+      if (has_snapshot != 0) {
+        const std::uint64_t count = r.u64();
+        e.snapshot.resize(count);
+        for (auto& entry : e.snapshot) {
+          entry.id = r.u64();
+          entry.lo = r.f64_vec();
+          entry.hi = r.f64_vec();
+        }
+      }
+      break;
+    }
+    case JournalEntry::Kind::kShutdown:
+      e.reason = static_cast<ShutdownReason>(r.u8());
+      e.round = r.u64();
+      break;
+    default:
+      throw JournalError("journal record has unknown type " +
+                         std::to_string(int(type)));
+  }
+  if (!r.done()) {
+    throw JournalError("journal record has trailing payload bytes");
+  }
+  return e;
+}
+
+// ---- Directory scan + parse ----------------------------------------------
+
+struct SegmentFile {
+  std::size_t seq = 0;
+  fs::path path;
+  bool sealed = false;
+  /// Bytes of this segment covered by valid records (header included);
+  /// equal to the file size for clean segments, the truncation point for a
+  /// torn one, and 0 for segments discarded after a corruption.
+  std::size_t valid_bytes = 0;
+};
+
+std::vector<SegmentFile> scan_segments(const std::string& dir) {
+  std::vector<SegmentFile> files;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    if (!de.is_regular_file()) continue;
+    const std::string name = de.path().filename().string();
+    const auto dot = name.find('.');
+    if (dot == std::string::npos || dot == 0) continue;
+    const std::string ext = name.substr(dot + 1);
+    const bool sealed = ext == "seg";
+    if (!sealed && ext != "open") continue;
+    const std::string stem = name.substr(0, dot);
+    if (stem.find_first_not_of("0123456789") != std::string::npos) continue;
+    files.push_back({std::stoul(stem), de.path(), sealed, 0});
+  }
+  if (ec) {
+    throw JournalError("cannot read journal directory " + dir + ": " +
+                       ec.message());
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.seq < b.seq;
+            });
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    if (files[i].seq == files[i - 1].seq) {
+      throw JournalError("journal has duplicate segment sequence " +
+                         std::to_string(files[i].seq));
+    }
+  }
+  return files;
+}
+
+struct ParseResult {
+  JournalContents contents;
+  std::vector<SegmentFile> files;  ///< with valid_bytes filled in
+};
+
+ParseResult parse_journal(const std::string& dir) {
+  ParseResult result;
+  result.files = scan_segments(dir);
+  bool corrupt = false;
+  for (std::size_t fi = 0; fi < result.files.size(); ++fi) {
+    SegmentFile& seg = result.files[fi];
+    if (corrupt) continue;  // discarded: everything after the torn point
+    std::ifstream in(seg.path, std::ios::binary);
+    if (!in) {
+      throw JournalError("cannot open journal segment " + seg.path.string());
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string data = ss.str();
+    auto truncate_here = [&](std::size_t offset, const std::string& why) {
+      corrupt = true;
+      result.contents.truncated = true;
+      result.contents.truncation_note = seg.path.filename().string() + " @" +
+                                        std::to_string(offset) + ": " + why;
+      seg.valid_bytes = offset;
+    };
+    if (data.size() < kSegmentHeaderBytes ||
+        std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+      if (fi == 0) {
+        throw JournalError("not a PPATuner journal: " + seg.path.string());
+      }
+      truncate_here(0, "bad segment header");
+      continue;
+    }
+    {
+      Reader hr(data.data() + sizeof(kMagic), 8);
+      const std::uint32_t version = hr.u32();
+      const std::uint32_t seq = hr.u32();
+      if (version != kVersion) {
+        throw JournalError("unsupported journal version " +
+                           std::to_string(version));
+      }
+      if (seq != seg.seq) {
+        if (fi == 0) {
+          throw JournalError("journal segment sequence mismatch in " +
+                             seg.path.string());
+        }
+        truncate_here(0, "segment sequence mismatch");
+        continue;
+      }
+    }
+    result.contents.segments += 1;
+    std::size_t pos = kSegmentHeaderBytes;
+    while (pos < data.size()) {
+      if (data.size() - pos < kFrameBytes) {
+        truncate_here(pos, "short record frame");
+        break;
+      }
+      Reader fr(data.data() + pos, kFrameBytes);
+      const std::uint32_t len = fr.u32();
+      const std::uint32_t stored_crc = fr.u32();
+      if (len > kMaxPayload || data.size() - pos - kFrameBytes < len) {
+        truncate_here(pos, "short record payload");
+        break;
+      }
+      // CRC covers type byte + payload, so a bit flip anywhere in the
+      // record body (including its type) is caught.
+      const char* body = data.data() + pos + 8;
+      if (crc32(body, 1 + len) != stored_crc) {
+        truncate_here(pos, "CRC mismatch");
+        break;
+      }
+      result.contents.entries.push_back(
+          decode_entry(static_cast<std::uint8_t>(body[0]), body + 1, len));
+      pos += kFrameBytes + len;
+    }
+    if (!corrupt) seg.valid_bytes = data.size();
+  }
+  return result;
+}
+
+void fsync_path(const fs::path& p) {
+  const int fd = ::open(p.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+// ---- Graceful shutdown flag ----------------------------------------------
+
+volatile std::sig_atomic_t g_shutdown_flag = 0;
+
+extern "C" void ppat_journal_signal_handler(int) { g_shutdown_flag = 1; }
+
+}  // namespace
+
+const char* reveal_status_name(RevealStatus status) {
+  switch (status) {
+    case RevealStatus::kOk:
+      return "ok";
+    case RevealStatus::kFailed:
+      return "failed";
+    case RevealStatus::kTimedOut:
+      return "timed_out";
+  }
+  return "unknown";
+}
+
+std::uint64_t hash_doubles(std::uint64_t h, std::span<const double> values) {
+  for (double v : values) h = mix_hash(h, std::bit_cast<std::uint64_t>(v));
+  return h;
+}
+
+JournalContents read_journal(const std::string& dir) {
+  if (!fs::exists(dir)) {
+    throw JournalError("journal directory does not exist: " + dir);
+  }
+  ParseResult parsed = parse_journal(dir);
+  if (parsed.files.empty()) {
+    throw JournalError("no journal segments in " + dir);
+  }
+  return std::move(parsed.contents);
+}
+
+// ---- RunJournal -----------------------------------------------------------
+
+RunJournal::RunJournal(std::string dir, JournalOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+RunJournal::~RunJournal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    flush_locked();
+    if (options_.fsync_each_commit) ::fdatasync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<RunJournal> RunJournal::create(const std::string& dir,
+                                               JournalOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw JournalError("cannot create journal directory " + dir + ": " +
+                       ec.message());
+  }
+  if (!scan_segments(dir).empty()) {
+    throw JournalError("journal directory already contains a journal: " + dir +
+                       " (use open_resume to continue it)");
+  }
+  std::unique_ptr<RunJournal> j(new RunJournal(dir, options));
+  std::lock_guard<std::mutex> lock(j->mutex_);
+  j->open_segment_locked(1);
+  return j;
+}
+
+std::unique_ptr<RunJournal> RunJournal::open_resume(const std::string& dir,
+                                                    JournalOptions options) {
+  std::unique_ptr<RunJournal> j(new RunJournal(dir, options));
+  j->load_for_resume();
+  return j;
+}
+
+void RunJournal::load_for_resume() {
+  if (!fs::exists(dir_)) {
+    throw JournalError("journal directory does not exist: " + dir_);
+  }
+  ParseResult parsed = parse_journal(dir_);
+  if (parsed.files.empty()) {
+    throw JournalError("no journal segments in " + dir_);
+  }
+  if (parsed.contents.truncated) {
+    PPAT_WARN << "journal " << dir_ << " has a torn/corrupt tail ("
+              << parsed.contents.truncation_note
+              << "); truncating to the last valid record ("
+              << parsed.contents.entries.size() << " entries survive)";
+  }
+  // Physically drop everything past the last valid record so a later resume
+  // (or an external reader) never re-parses the corrupt tail.
+  std::size_t last_seq = 0;
+  for (const SegmentFile& seg : parsed.files) {
+    if (seg.valid_bytes == 0 ||
+        (seg.valid_bytes <= kSegmentHeaderBytes && parsed.contents.truncated)) {
+      std::error_code ec;
+      fs::remove(seg.path, ec);
+      continue;
+    }
+    std::error_code ec;
+    if (seg.valid_bytes < fs::file_size(seg.path, ec)) {
+      const int fd = ::open(seg.path.c_str(), O_WRONLY);
+      if (fd < 0 ||
+          ::ftruncate(fd, static_cast<off_t>(seg.valid_bytes)) != 0) {
+        if (fd >= 0) ::close(fd);
+        throw JournalError("cannot truncate torn journal segment " +
+                           seg.path.string());
+      }
+      ::fsync(fd);
+      ::close(fd);
+    }
+    if (!seg.sealed) {
+      // Seal the surviving tail: its content is now known-valid, and the
+      // resumed run appends into a fresh segment.
+      fs::path sealed = seg.path.parent_path() / segment_name(seg.seq, true);
+      fs::rename(seg.path, sealed, ec);
+      if (ec) {
+        throw JournalError("cannot seal journal segment " + seg.path.string() +
+                           ": " + ec.message());
+      }
+      fsync_path(seg.path.parent_path());
+    }
+    last_seq = std::max(last_seq, seg.seq);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_ = std::move(parsed.contents.entries);
+  cursor_ = 0;
+  open_segment_locked(last_seq + 1);
+}
+
+void RunJournal::open_segment_locked(std::size_t seq) {
+  segment_seq_ = seq;
+  const fs::path path = fs::path(dir_) / segment_name(seq, false);
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) {
+    throw JournalError("cannot open journal segment " + path.string() + ": " +
+                       std::strerror(errno));
+  }
+  buffer_ = segment_header(static_cast<std::uint32_t>(seq));
+  segment_size_ = buffer_.size();
+}
+
+void RunJournal::flush_locked() {
+  std::size_t off = 0;
+  while (off < buffer_.size()) {
+    const ssize_t n = ::write(fd_, buffer_.data() + off, buffer_.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw JournalError(std::string("journal write failed: ") +
+                         std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  buffer_.clear();
+}
+
+void RunJournal::rotate_locked() {
+  flush_locked();
+  ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  const fs::path open_path = fs::path(dir_) / segment_name(segment_seq_, false);
+  const fs::path sealed_path =
+      fs::path(dir_) / segment_name(segment_seq_, true);
+  std::error_code ec;
+  fs::rename(open_path, sealed_path, ec);
+  if (ec) {
+    throw JournalError("cannot seal journal segment " + open_path.string() +
+                       ": " + ec.message());
+  }
+  fsync_path(fs::path(dir_));
+  open_segment_locked(segment_seq_ + 1);
+}
+
+void RunJournal::append_entry_bytes(std::uint8_t type,
+                                    const std::string& payload) {
+  std::string body;
+  body.reserve(1 + payload.size());
+  put_u8(body, type);
+  body.append(payload);
+  std::string frame;
+  frame.reserve(kFrameBytes + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(body.data(), body.size()));
+  frame.append(body);
+  buffer_.append(frame);
+  segment_size_ += frame.size();
+  if (segment_size_ >= options_.segment_bytes) {
+    rotate_locked();
+  }
+}
+
+const JournalEntry* RunJournal::peek() const {
+  return cursor_ < entries_.size() ? &entries_[cursor_] : nullptr;
+}
+
+void RunJournal::advance() {
+  ++cursor_;
+  if (cursor_ >= entries_.size()) {
+    // Replay finished: free the recorded entries eagerly (a long run's
+    // region snapshots can be large).
+    entries_.clear();
+    entries_.shrink_to_fit();
+    cursor_ = 0;
+  }
+}
+
+bool RunJournal::replaying() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cursor_ < entries_.size();
+}
+
+double RunJournal::write_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_seconds_;
+}
+
+namespace {
+/// Accumulates the enclosing scope's wall time into `acc`. Constructed after
+/// the journal mutex is taken, so the addition is race-free.
+class ScopedWriteTimer {
+ public:
+  explicit ScopedWriteTimer(double& acc)
+      : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
+  ~ScopedWriteTimer() {
+    acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0_)
+                .count();
+  }
+
+ private:
+  double& acc_;
+  std::chrono::steady_clock::time_point t0_;
+};
+}  // namespace
+
+void RunJournal::begin_run(const RunMeta& meta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedWriteTimer timer(write_seconds_);
+  const JournalEntry* e = peek();
+  if (e != nullptr) {
+    if (e->kind != JournalEntry::Kind::kRunHeader) {
+      throw JournalMismatchError("journal does not start with a run header");
+    }
+    if (!(e->meta == meta)) {
+      throw JournalMismatchError(
+          "journal was recorded under a different run configuration "
+          "(seed/options/objectives/pool mismatch); refusing to resume");
+    }
+    advance();
+    return;
+  }
+  append_entry_bytes(static_cast<std::uint8_t>(JournalEntry::Kind::kRunHeader),
+                     encode_meta(meta));
+  flush_locked();
+}
+
+RunJournal::BatchReplay RunJournal::begin_batch(
+    Phase phase, std::uint64_t round, std::span<const std::size_t> ids) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedWriteTimer timer(write_seconds_);
+  if (batch_open_) {
+    throw JournalError("begin_batch while a batch is already open");
+  }
+  batch_open_ = true;
+  batch_phase_ = phase;
+  batch_round_ = round;
+  batch_recorded_ids_.clear();
+  pending_commit_.reset();
+  BatchReplay replay;
+
+  const JournalEntry* e = peek();
+  while (e != nullptr && e->kind == JournalEntry::Kind::kShutdown) {
+    advance();
+    e = peek();
+  }
+  if (e != nullptr) {
+    if (e->kind != JournalEntry::Kind::kSelection || e->phase != phase ||
+        e->round != round || e->ids.size() != ids.size() ||
+        !std::equal(ids.begin(), ids.end(), e->ids.begin())) {
+      throw JournalMismatchError(
+          "replayed selection diverged from the journal at round " +
+          std::to_string(round) + "; refusing to resume");
+    }
+    advance();
+    // Consume this batch's recorded outcomes (possibly a strict subset when
+    // the run died mid-batch) and, if present, its commit marker.
+    while ((e = peek()) != nullptr &&
+           e->kind == JournalEntry::Kind::kReveal) {
+      replay.outcomes[e->reveal.id] = e->reveal;
+      batch_recorded_ids_.insert(e->reveal.id);
+      advance();
+    }
+    if (e != nullptr && e->kind == JournalEntry::Kind::kBatchCommit) {
+      if (e->phase != phase || e->round != round) {
+        throw JournalMismatchError(
+            "journal batch commit does not match its selection");
+      }
+      pending_commit_ = *e;
+      replay.committed = true;
+      advance();
+    }
+    replayed_reveals_ += replay.outcomes.size();
+    return replay;
+  }
+  // Recording: append the selection.
+  std::string p;
+  put_u8(p, static_cast<std::uint8_t>(phase));
+  put_u64(p, round);
+  put_u64(p, ids.size());
+  for (std::size_t id : ids) put_u64(p, id);
+  append_entry_bytes(static_cast<std::uint8_t>(JournalEntry::Kind::kSelection),
+                     p);
+  return replay;
+}
+
+void RunJournal::append_reveal(const RevealRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedWriteTimer timer(write_seconds_);
+  if (!batch_open_) return;
+  if (!batch_recorded_ids_.insert(record.id).second) return;  // already logged
+  append_entry_bytes(static_cast<std::uint8_t>(JournalEntry::Kind::kReveal),
+                     encode_reveal(record));
+}
+
+void RunJournal::commit_batch(Phase phase, std::uint64_t round,
+                              std::uint64_t runs_after,
+                              const std::array<std::uint64_t, 4>& rng_state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedWriteTimer timer(write_seconds_);
+  if (!batch_open_ || batch_phase_ != phase || batch_round_ != round) {
+    throw JournalError("commit_batch does not match the open batch");
+  }
+  batch_open_ = false;
+  if (pending_commit_.has_value()) {
+    // Replay verification: the resumed run must land on exactly the
+    // recorded budget and RNG stream, or it is not bit-identical.
+    if (pending_commit_->runs_after != runs_after ||
+        pending_commit_->rng_state != rng_state) {
+      throw JournalMismatchError(
+          "replayed run diverged from the journal (runs/RNG state mismatch "
+          "after batch at round " + std::to_string(round) + ")");
+    }
+    pending_commit_.reset();
+    return;
+  }
+  std::string p;
+  put_u8(p, static_cast<std::uint8_t>(phase));
+  put_u64(p, round);
+  put_u64(p, runs_after);
+  for (std::uint64_t w : rng_state) put_u64(p, w);
+  append_entry_bytes(
+      static_cast<std::uint8_t>(JournalEntry::Kind::kBatchCommit), p);
+  flush_locked();
+  if (options_.fsync_each_commit) ::fdatasync(fd_);
+}
+
+void RunJournal::record_regions(
+    std::uint64_t round, std::uint64_t alive_count, std::uint64_t digest,
+    const std::function<std::vector<RegionSnapshotEntry>()>& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedWriteTimer timer(write_seconds_);
+  const JournalEntry* e = peek();
+  while (e != nullptr && e->kind == JournalEntry::Kind::kShutdown) {
+    advance();
+    e = peek();
+  }
+  if (e != nullptr) {
+    if (e->kind != JournalEntry::Kind::kRegions || e->round != round) {
+      throw JournalMismatchError(
+          "journal is missing the uncertainty-region record for round " +
+          std::to_string(round));
+    }
+    if (e->alive_count != alive_count || e->region_digest != digest) {
+      throw JournalMismatchError(
+          "replayed uncertainty regions diverged from the journal at round " +
+          std::to_string(round) + "; refusing to resume");
+    }
+    advance();
+    return;
+  }
+  const bool snapshot_due = options_.region_snapshot_every > 0 &&
+                            round % options_.region_snapshot_every == 0 &&
+                            snapshot;
+  std::string p;
+  put_u64(p, round);
+  put_u64(p, alive_count);
+  put_u64(p, digest);
+  put_u8(p, snapshot_due ? 1 : 0);
+  if (snapshot_due) {
+    const std::vector<RegionSnapshotEntry> entries = snapshot();
+    put_u64(p, entries.size());
+    for (const RegionSnapshotEntry& entry : entries) {
+      put_u64(p, entry.id);
+      put_u64(p, entry.lo.size());
+      for (double v : entry.lo) put_f64(p, v);
+      put_u64(p, entry.hi.size());
+      for (double v : entry.hi) put_f64(p, v);
+    }
+    rounds_snapshotted_ += 1;
+  }
+  append_entry_bytes(static_cast<std::uint8_t>(JournalEntry::Kind::kRegions),
+                     p);
+}
+
+void RunJournal::record_shutdown(ShutdownReason reason, std::uint64_t rounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedWriteTimer timer(write_seconds_);
+  const JournalEntry* e = peek();
+  if (e != nullptr && e->kind == JournalEntry::Kind::kShutdown) {
+    advance();
+    return;
+  }
+  if (cursor_ < entries_.size()) return;  // still replaying: nothing to write
+  std::string p;
+  put_u8(p, static_cast<std::uint8_t>(reason));
+  put_u64(p, rounds);
+  append_entry_bytes(static_cast<std::uint8_t>(JournalEntry::Kind::kShutdown),
+                     p);
+  flush_locked();
+  if (options_.fsync_each_commit) ::fdatasync(fd_);
+}
+
+void RunJournal::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedWriteTimer timer(write_seconds_);
+  flush_locked();
+  if (options_.fsync_each_commit && fd_ >= 0) ::fdatasync(fd_);
+}
+
+// ---- Graceful shutdown ----------------------------------------------------
+
+void install_graceful_shutdown_handlers() {
+  std::signal(SIGINT, ppat_journal_signal_handler);
+  std::signal(SIGTERM, ppat_journal_signal_handler);
+}
+
+bool shutdown_requested() { return g_shutdown_flag != 0; }
+
+void reset_shutdown_flag() { g_shutdown_flag = 0; }
+
+}  // namespace ppat::journal

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "common/log.hpp"
 #include "common/parallel.hpp"
 
 namespace ppat::linalg {
@@ -223,6 +224,24 @@ std::optional<CholeskyFactor> CholeskyFactor::compute_with_jitter(
     }
     if (jitter > max_jitter) jitter = max_jitter;
   }
+}
+
+std::optional<CholeskyFactor> CholeskyFactor::compute_with_adaptive_jitter(
+    const Matrix& a, bool use_reference, double rel_cap, double abs_cap) {
+  assert(a.rows() == a.cols());
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    max_diag = std::max(max_diag, std::fabs(a(i, i)));
+  }
+  const double max_jitter = std::max(abs_cap, rel_cap * max_diag);
+  auto f = compute_with_jitter(a, 0.0, max_jitter, use_reference);
+  if (f && f->jitter_used() > 0.0) {
+    PPAT_WARN << "Cholesky factorization of " << a.rows() << "x" << a.cols()
+              << " matrix needed diagonal jitter " << f->jitter_used()
+              << " (max|diag| = " << max_diag
+              << "); revealed points may be nearly duplicate";
+  }
+  return f;
 }
 
 Vector CholeskyFactor::solve_lower(const Vector& b) const {

@@ -45,6 +45,20 @@ class CholeskyFactor {
       const Matrix& a, double initial_jitter = 0.0,
       double max_jitter = 1e-2, bool use_reference = false);
 
+  /// compute_with_jitter with a scale-aware escalation ceiling:
+  /// max(`abs_cap`, `rel_cap` * max|diag|). Long tuning runs reveal
+  /// near-duplicate points whose Gram matrices can need a nugget well above
+  /// the fixed 1e-2 cap on large-magnitude kernels; aborting a multi-day run
+  /// on that is unacceptable, so the FINAL surrogate fit uses this entry
+  /// point (hyper-parameter search probes keep the cheap fixed cap — an
+  /// ill-conditioned probe is simply skipped). When factorization succeeds
+  /// with no jitter the call is bit-identical to compute(); when jitter was
+  /// needed, the final value is logged at warning level so drifting
+  /// conditioning is visible in run logs.
+  static std::optional<CholeskyFactor> compute_with_adaptive_jitter(
+      const Matrix& a, bool use_reference = false, double rel_cap = 1e-4,
+      double abs_cap = 1e-2);
+
   std::size_t size() const { return l_.rows(); }
   const Matrix& lower() const { return l_; }
   /// Diagonal jitter that was added to make the factorization succeed.

@@ -4,7 +4,24 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "journal/journal.hpp"
+
 namespace ppat::tuner {
+namespace {
+
+journal::RevealStatus to_reveal_status(flow::RunStatus status) {
+  switch (status) {
+    case flow::RunStatus::kOk:
+      return journal::RevealStatus::kOk;
+    case flow::RunStatus::kTimedOut:
+      return journal::RevealStatus::kTimedOut;
+    case flow::RunStatus::kFailed:
+      break;
+  }
+  return journal::RevealStatus::kFailed;
+}
+
+}  // namespace
 
 LiveCandidatePool::LiveCandidatePool(std::vector<flow::Config> candidates,
                                      std::vector<std::size_t> objectives,
@@ -49,8 +66,30 @@ std::vector<CandidatePool::RevealOutcome> LiveCandidatePool::reveal_batch(
     std::vector<flow::Config> configs;
     configs.reserve(pending.size());
     for (std::size_t i : pending) configs.push_back(candidates_[i]);
+    flow::EvalService::RunObserver observer;
+    if (journal_ != nullptr) {
+      // Journal each outcome as EvalService finalizes it (worker-thread
+      // callback; append_reveal is thread-safe): the full RunRecord —
+      // status including watchdog cancellations, attempt count, elapsed
+      // wall-clock — becomes durable before the batch even returns.
+      observer = [this, &pending](std::size_t j, const flow::RunRecord& rec) {
+        journal::RevealRecord out;
+        out.id = pending[j];
+        out.status = to_reveal_status(rec.status);
+        out.attempts = rec.attempts;
+        out.elapsed_ms = rec.elapsed_ms;
+        if (rec.ok()) {
+          out.objectives.reserve(objectives_.size());
+          for (std::size_t k : objectives_) {
+            out.objectives.push_back(rec.qor.metric(k));
+          }
+        }
+        out.error = rec.error;
+        journal_->append_reveal(out);
+      };
+    }
     const std::vector<flow::RunRecord> records =
-        service_->evaluate_batch(configs);
+        service_->evaluate_batch(configs, observer);
     for (std::size_t j = 0; j < pending.size(); ++j) {
       const std::size_t i = pending[j];
       records_[i] = records[j];

@@ -21,6 +21,10 @@
 #include "flow/eval_service.hpp"
 #include "tuner/problem.hpp"
 
+namespace ppat::journal {
+class RunJournal;
+}  // namespace ppat::journal
+
 namespace ppat::tuner {
 
 /// Live tuning task: enumerated candidate configurations whose QoR comes
@@ -63,6 +67,16 @@ class LiveCandidatePool final : public CandidatePool {
   const flow::Config& config(std::size_t i) const { return candidates_.at(i); }
   flow::EvalService& service() { return *service_; }
 
+  /// Wires per-completion journaling: every RunRecord is appended to the
+  /// journal THE MOMENT EvalService finishes it (from the worker thread),
+  /// not when the batch returns — so a crash mid-batch loses only runs
+  /// still in flight. Records carry the full outcome (status incl. watchdog
+  /// cancellations, attempt count, elapsed time), which the tuner's
+  /// coarser end-of-batch append cannot reconstruct; append_reveal's
+  /// id-dedup makes the two paths compose. Pass nullptr to unwire. The
+  /// journal must outlive the pool's reveals.
+  void set_journal(journal::RunJournal* journal) { journal_ = journal; }
+
  private:
   enum class State : unsigned char { kUnknown, kRevealed, kFailed };
 
@@ -76,6 +90,7 @@ class LiveCandidatePool final : public CandidatePool {
   std::vector<bool> has_record_;
   std::size_t runs_ = 0;
   std::size_t failed_ = 0;
+  journal::RunJournal* journal_ = nullptr;
 };
 
 }  // namespace ppat::tuner

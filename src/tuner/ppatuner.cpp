@@ -8,6 +8,7 @@
 
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "journal/journal.hpp"
 #include "pareto/pareto.hpp"
 
 namespace ppat::tuner {
@@ -92,6 +93,7 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   const std::size_t n = pool.size();
   const std::size_t n_obj = pool.num_objectives();
   common::Rng rng(options.seed);
+  journal::RunJournal* const jnl = options.journal;
 
   // Surrogate maintenance threads. All randomness is drawn on this thread
   // (prepare_refit) and all parallel partitions are bit-stable, so the
@@ -112,6 +114,32 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
         "run_ppatuner: max_runs must be > 0 (the surrogates need at least "
         "one revealed observation to fit)");
   }
+  // Journal identity check / header: the journal only records or resumes
+  // the exact run configuration it was opened for. The pool fingerprint
+  // hashes every encoded candidate, so a reordered or regenerated pool is
+  // rejected instead of silently replaying wrong reveals.
+  if (jnl != nullptr) {
+    journal::RunMeta meta;
+    meta.seed = options.seed;
+    meta.tau = options.tau;
+    meta.delta_rel = options.delta_rel;
+    meta.init_fraction = options.init_fraction;
+    meta.batch_size = options.batch_size;
+    meta.min_init = options.min_init;
+    meta.refit_every = options.refit_every;
+    meta.max_runs = options.max_runs;
+    meta.max_rounds = options.max_rounds;
+    meta.pool_size = n;
+    meta.num_objectives = n_obj;
+    meta.objectives.assign(pool.objectives().begin(), pool.objectives().end());
+    std::uint64_t fp = 0x50504154u;  // "PPAT"
+    for (const linalg::Vector& x : pool.encoded()) {
+      fp = journal::hash_doubles(fp, x);
+    }
+    meta.pool_fingerprint = fp;
+    jnl->begin_run(meta);
+  }
+
   // At least one initial reveal: a small init_fraction with min_init = 0
   // must not produce an empty training set.
   const std::size_t init_count = std::min(
@@ -131,6 +159,11 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   std::vector<linalg::Vector> train_y(n_obj);
   linalg::Vector obj_min(n_obj, 1e300), obj_max(n_obj, -1e300);
   std::size_t failed_evals = 0;
+  // Successful reveals observed by THIS invocation. Equals pool.runs() on a
+  // fresh run (each candidate is revealed at most once), but stays correct
+  // under journal replay, where recorded reveals are served without ever
+  // touching the pool.
+  std::size_t runs_count = 0;
 
   auto record_observation = [&](std::size_t i, const pareto::Point& y) {
     lo[i] = y;
@@ -147,25 +180,73 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   // across tool licenses). Successful reveals become observations; a
   // candidate whose evaluation permanently failed is quarantined — dropped
   // and never re-selected. Returns the successfully revealed indices.
-  auto reveal_many = [&](const std::vector<std::size_t>& indices) {
+  //
+  // With a journal, the batch follows the begin/append/commit protocol:
+  // outcomes already recorded are served from the journal (no tool time),
+  // only the remainder — possibly the whole batch, possibly nothing — is
+  // revealed live, and every live outcome is appended before the commit
+  // marker flushes the batch to disk. Outcomes are processed in selection
+  // order either way, so replayed and live batches fold into the surrogates
+  // identically.
+  auto reveal_many = [&](const std::vector<std::size_t>& indices,
+                         journal::Phase phase, std::size_t round) {
     std::vector<std::size_t> revealed;
     revealed.reserve(indices.size());
-    const auto outcomes = pool.reveal_batch(indices);
+    journal::RunJournal::BatchReplay replay;
+    if (jnl != nullptr) replay = jnl->begin_batch(phase, round, indices);
+    std::vector<std::size_t> missing;
+    missing.reserve(indices.size());
+    for (std::size_t i : indices) {
+      if (!replay.outcomes.contains(i)) missing.push_back(i);
+    }
+    std::vector<CandidatePool::RevealOutcome> live;
+    if (!missing.empty()) live = pool.reveal_batch(missing);
     // One quarantine summary per batch: a high-fault live run would
     // otherwise emit one warning per failed candidate per round.
     std::size_t batch_failures = 0;
     std::size_t first_failed = 0;
     std::string first_error;
+    std::size_t live_pos = 0;
     for (std::size_t j = 0; j < indices.size(); ++j) {
-      if (outcomes[j].ok) {
-        record_observation(indices[j], outcomes[j].value);
-        revealed.push_back(indices[j]);
+      const std::size_t idx = indices[j];
+      bool ok;
+      pareto::Point value;
+      std::string error;
+      if (const auto it = replay.outcomes.find(idx);
+          it != replay.outcomes.end()) {
+        ok = it->second.ok();
+        if (ok) value = it->second.objectives;
+        else error = it->second.error;
       } else {
-        status[indices[j]] = Status::kDropped;
+        const CandidatePool::RevealOutcome& out = live[live_pos++];
+        ok = out.ok;
+        value = out.value;
+        error = out.error;
+        if (jnl != nullptr) {
+          // Blanket-append the live outcome. A LiveCandidatePool wired with
+          // set_journal already appended a richer per-completion record
+          // from inside EvalService (mid-batch durability); append_reveal
+          // dedups by id, so this only covers pools without that hook.
+          journal::RevealRecord rec;
+          rec.id = idx;
+          rec.status = ok ? journal::RevealStatus::kOk
+                          : journal::RevealStatus::kFailed;
+          rec.attempts = 1;
+          if (ok) rec.objectives = value;
+          rec.error = error;
+          jnl->append_reveal(rec);
+        }
+      }
+      if (ok) {
+        record_observation(idx, value);
+        revealed.push_back(idx);
+        ++runs_count;
+      } else {
+        status[idx] = Status::kDropped;
         ++failed_evals;
         if (batch_failures == 0) {
-          first_failed = indices[j];
-          first_error = outcomes[j].error;
+          first_failed = idx;
+          first_error = error;
         }
         ++batch_failures;
       }
@@ -175,12 +256,16 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
                 << " evaluations failed; candidates quarantined (first: "
                 << "candidate " << first_failed << ": " << first_error << ")";
     }
+    if (jnl != nullptr) {
+      jnl->commit_batch(phase, round, runs_count, rng.state());
+    }
     return revealed;
   };
-  reveal_many(init_idx);
+  reveal_many(init_idx, journal::Phase::kInit, 0);
   // If every initial evaluation failed (live tool misbehaving), keep
   // sampling fresh candidates until one run succeeds or the pool is
   // exhausted — the surrogates cannot fit on an empty training set.
+  std::size_t topup_seq = 0;
   while (train_x.empty()) {
     std::vector<std::size_t> remaining;
     for (std::size_t i = 0; i < n; ++i) {
@@ -197,7 +282,7 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
     std::vector<std::size_t> retry_idx;
     retry_idx.reserve(pick.size());
     for (std::size_t p : pick) retry_idx.push_back(remaining[p]);
-    reveal_many(retry_idx);
+    reveal_many(retry_idx, journal::Phase::kTopUp, topup_seq++);
   }
 
   // Per-objective scale (for delta and diameter normalization).
@@ -261,9 +346,17 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
   };
   std::vector<std::size_t> alive_unrevealed;
   std::size_t rounds = 0;
+  bool stopped_early = false;
 
   // ---- Main loop (Alg. 1 lines 3-13) ----
-  while (rounds < options.max_rounds && pool.runs() < options.max_runs) {
+  while (rounds < options.max_rounds && runs_count < options.max_runs) {
+    // Graceful shutdown: the previous round's batch has been fully drained
+    // and committed, so stopping here leaves a clean journal — a resumed
+    // run continues from exactly this point.
+    if (options.should_stop && options.should_stop()) {
+      stopped_early = true;
+      break;
+    }
     ++rounds;
 
     // Quarantines from the previous round's reveals leave the alive set.
@@ -320,6 +413,29 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
         });
       }
       group.wait();
+    }
+
+    // Journal the round's uncertainty-region intersections (Eqs. (9)-(10)):
+    // a sequence-sensitive digest over every alive candidate's (id, lo, hi)
+    // — verified against the recording during replay, so a resumed run that
+    // reconstructs different regions fails loudly instead of silently
+    // diverging — plus cadenced full per-point snapshots for offline
+    // inspection (JournalOptions::region_snapshot_every).
+    if (jnl != nullptr) {
+      std::uint64_t digest = 0x52474E53u;  // "RGNS"
+      for (std::size_t i : alive) {
+        digest = journal::mix_hash(digest, i);
+        digest = journal::hash_doubles(digest, lo[i]);
+        digest = journal::hash_doubles(digest, hi[i]);
+      }
+      jnl->record_regions(rounds, alive.size(), digest, [&] {
+        std::vector<journal::RegionSnapshotEntry> snapshot;
+        snapshot.reserve(alive.size());
+        for (std::size_t i : alive) {
+          snapshot.push_back({i, lo[i], hi[i]});
+        }
+        return snapshot;
+      });
     }
 
     // ---- Decision-making (Eqs. (11)-(12)) ----
@@ -442,7 +558,7 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
     if (ranked.empty()) break;
     const std::size_t batch =
         std::min({options.batch_size, ranked.size(),
-                  options.max_runs - pool.runs()});
+                  options.max_runs - runs_count});
     if (batch == 0) break;
     // Largest diameter first; ties broken by candidate index so the
     // selection is identical across standard-library partial_sort
@@ -462,7 +578,8 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
     std::vector<std::size_t> batch_idx;
     batch_idx.reserve(batch);
     for (std::size_t b = 0; b < batch; ++b) batch_idx.push_back(ranked[b].second);
-    const auto revealed_now = reveal_many(batch_idx);
+    const auto revealed_now =
+        reveal_many(batch_idx, journal::Phase::kRound, rounds);
     if (!revealed_now.empty()) {
       std::vector<linalg::Vector> batch_xs;
       batch_xs.reserve(revealed_now.size());
@@ -486,7 +603,7 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
     if (options.on_round) {
       PPATunerProgress progress;
       progress.round = rounds;
-      progress.runs = pool.runs();
+      progress.runs = runs_count;
       for (std::size_t i = 0; i < n; ++i) {
         switch (status[i]) {
           case Status::kDropped:
@@ -547,12 +664,22 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
       add(revealed_idx[f]);
     }
   }
-  result.tool_runs = pool.runs();
+  result.tool_runs = runs_count;
   result.failed_runs = failed_evals;
+
+  if (jnl != nullptr) {
+    jnl->record_shutdown(stopped_early
+                             ? journal::ShutdownReason::kStopRequested
+                             : journal::ShutdownReason::kCompleted,
+                         rounds);
+  }
 
   if (diagnostics != nullptr) {
     diagnostics->rounds = rounds;
     diagnostics->failed_evaluations = failed_evals;
+    diagnostics->replayed_reveals =
+        jnl != nullptr ? jnl->replayed_reveals() : 0;
+    diagnostics->stopped_early = stopped_early;
     diagnostics->dropped = 0;
     diagnostics->classified_pareto = 0;
     diagnostics->undecided = 0;

@@ -24,6 +24,10 @@
 #include "tuner/problem.hpp"
 #include "tuner/surrogate.hpp"
 
+namespace ppat::journal {
+class RunJournal;
+}  // namespace ppat::journal
+
 namespace ppat::tuner {
 
 /// Per-round progress snapshot (see PPATunerOptions::on_round).
@@ -76,6 +80,23 @@ struct PPATunerOptions {
   /// Optional per-round observer (convergence studies); called after each
   /// round's selection step.
   std::function<void(const PPATunerProgress&)> on_round;
+  /// Optional durable run journal (crash-safe resume; see src/journal/).
+  /// Fresh journal (RunJournal::create): every selection, reveal outcome,
+  /// RNG state, and uncertainty-region digest is persisted as the loop
+  /// runs. Resumed journal (RunJournal::open_resume): the loop replays —
+  /// recorded reveals are served from the journal instead of the pool, the
+  /// journaled RNG states and region digests are cross-checked every round
+  /// (JournalMismatchError on divergence), and once the recording is
+  /// exhausted the run continues live, bit-identically to an uninterrupted
+  /// run. Not owned; must outlive the call. nullptr disables journaling.
+  journal::RunJournal* journal = nullptr;
+  /// Graceful-shutdown poll, checked at the top of every round. When it
+  /// returns true the loop stops selecting, finalizes the result from the
+  /// regions it has (same classification as a budget stop), and records a
+  /// clean shutdown in the journal — pair with
+  /// journal::install_graceful_shutdown_handlers / shutdown_requested so
+  /// SIGINT/SIGTERM drains the in-flight batch instead of killing it.
+  std::function<bool()> should_stop;
 };
 
 struct PPATunerDiagnostics {
@@ -89,6 +110,11 @@ struct PPATunerDiagnostics {
   /// Learned source-target correlation per objective (transfer GP only;
   /// empty otherwise).
   std::vector<double> task_correlations;
+  /// Reveal outcomes served from the journal during resume (0 on fresh
+  /// runs): replayed reveals cost no tool time and do not touch the pool.
+  std::size_t replayed_reveals = 0;
+  /// True when options.should_stop ended the run before its budget.
+  bool stopped_early = false;
 };
 
 /// Runs the loop on `pool` with surrogates from `factory` (one per

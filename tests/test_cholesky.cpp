@@ -253,6 +253,40 @@ TEST(CholeskyAppend, FailedAppendFallsBackToJitteredRefactorization) {
   // the contract is documented, and GP code re-factorizes instead.
 }
 
+TEST(Cholesky, AdaptiveJitterIsBitIdenticalWhenNoJitterIsNeeded) {
+  common::Rng rng(9);
+  const Matrix a = random_spd(10, rng);
+  const auto plain = CholeskyFactor::compute(a);
+  const auto adaptive = CholeskyFactor::compute_with_adaptive_jitter(a);
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_TRUE(adaptive.has_value());
+  EXPECT_EQ(adaptive->jitter_used(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_EQ(adaptive->lower()(i, j), plain->lower()(i, j))
+          << "entry (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Cholesky, AdaptiveJitterScalesTheCapWithTheDiagonal) {
+  // A large-magnitude Gram matrix made slightly indefinite (near-duplicate
+  // rows whose rounding error exceeds the fixed cap): its most-negative
+  // eigenvalue is about -0.5, so no jitter within the fixed 1e-2 absolute
+  // cap can fix it. The adaptive ceiling (rel_cap * max|diag|) must.
+  const double scale = 1e8;
+  Matrix a(3, 3);
+  a(0, 0) = scale;
+  a(1, 1) = scale - 1.0;
+  a(0, 1) = a(1, 0) = scale;
+  a(2, 2) = scale;
+  EXPECT_FALSE(CholeskyFactor::compute_with_jitter(a).has_value());
+  const auto f = CholeskyFactor::compute_with_adaptive_jitter(a);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_GT(f->jitter_used(), 1e-2);
+  EXPECT_LE(f->jitter_used(), 1e-4 * scale);
+}
+
 TEST(SolveLu, SingularReturnsNullopt) {
   const Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
   EXPECT_FALSE(solve_lu(a, {1.0, 1.0}).has_value());

@@ -4,7 +4,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace ppat::common {
 namespace {
@@ -84,6 +87,104 @@ TEST(Csv, FileRoundTrip) {
 TEST(Csv, MissingFileThrows) {
   EXPECT_THROW(read_csv_file("/nonexistent/dir/file.csv"),
                std::runtime_error);
+}
+
+// ---- Malformed-input corpus: every entry must be REJECTED (never half-
+// parsed) and must carry the right source location. Benchmark caches sit on
+// disk between runs; a silently mis-parsed table corrupts every experiment
+// built on it.
+
+TEST(Csv, RaggedRowReportsItsLine) {
+  try {
+    parse_csv("a,b\n1,2\n3\n4,5\n");
+    FAIL() << "ragged row accepted";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Csv, UnterminatedQuoteReportsItsLine) {
+  try {
+    parse_csv("a,b\n1,\"oops\n");
+    FAIL() << "unterminated quote accepted";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Csv, EmbeddedNulByteRejected) {
+  std::string text = "a,b\n1,2\n";
+  text[6] = '\0';  // inside the data row
+  try {
+    parse_csv(text);
+    FAIL() << "NUL byte accepted";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Csv, SplitLineRejectsNulAndUnterminatedQuote) {
+  EXPECT_THROW(split_csv_line(std::string("a\0b", 3)), CsvError);
+  EXPECT_THROW(split_csv_line("\"open"), CsvError);
+}
+
+TEST(Csv, CorpusOfMalformedInputsAllThrow) {
+  const std::vector<std::string> corpus = {
+      "a,b\n1\n",              // too few fields
+      "a,b\n1,2,3\n",          // too many fields
+      "a,b\n\"x,2\n",          // quote opened, never closed
+      "a,b\n1,\"y\" z\"\n",    // garbage after closing quote reopens it
+      std::string("a,b\n\x00,2\n", 8),  // NUL in first field
+  };
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_THROW(parse_csv(corpus[i]), CsvError) << "corpus entry " << i;
+  }
+}
+
+TEST(Csv, NumericParsesStrictlyAndReportsSourceLines) {
+  // Blank lines are skipped, so row 1's SOURCE line is 4.
+  const auto t = parse_csv("a,b\n1.5,2\n\n-3e2,nan\n");
+  ASSERT_EQ(t.rows.size(), 2u);
+  ASSERT_EQ(t.row_lines.size(), 2u);
+  EXPECT_EQ(t.row_lines[0], 2u);
+  EXPECT_EQ(t.row_lines[1], 4u);
+  EXPECT_DOUBLE_EQ(t.numeric(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(t.numeric(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t.numeric(1, 0), -300.0);
+
+  const auto bad = parse_csv("a,b\n1,2\n\n1.5x,2\n");
+  try {
+    bad.numeric(1, 0);
+    FAIL() << "trailing garbage accepted";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 4u);  // original source line, not row index
+    EXPECT_EQ(e.field(), 0u);
+  }
+  EXPECT_THROW(bad.numeric(5, 0), CsvError);  // out-of-range row
+  EXPECT_THROW(bad.numeric(0, 9), CsvError);  // out-of-range column
+  const auto empty_field = parse_csv("a,b\n,2\n");
+  EXPECT_THROW(empty_field.numeric(0, 0), CsvError);
+}
+
+TEST(Csv, ReadFileAnnotatesErrorsWithThePath) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ppat_csv_bad.csv").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\n1,2\n3\n";
+  }
+  try {
+    read_csv_file(path);
+    FAIL() << "ragged file accepted";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 3u);  // structured location survives the rethrow
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    // The path annotation must not re-prefix the location.
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("CSV line 3"), what.rfind("CSV line 3"));
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace

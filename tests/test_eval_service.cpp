@@ -174,10 +174,13 @@ TEST(EvalService, DeadlineClassifiesSlowRunsAsTimedOut) {
 
   const auto record = service.evaluate(configs[0]);
   EXPECT_EQ(record.status, flow::RunStatus::kTimedOut);
-  EXPECT_EQ(record.attempts, 2u);
+  // A run past its deadline is NOT retried: a retry could only finish even
+  // further past the deadline, so the one slow attempt is final.
+  EXPECT_EQ(record.attempts, 1u);
   EXPECT_GT(record.elapsed_ms, 0.0);
   const auto stats = service.stats();
   EXPECT_EQ(stats.runs_timed_out, 1u);
+  EXPECT_EQ(stats.retries, 0u);
 }
 
 TEST(EvalService, DeterministicAcrossLicenseCounts) {
@@ -385,6 +388,131 @@ TEST(CachingOracle, ConcurrentFailureDoesNotPoisonCache) {
   // ...and THAT success is memoized.
   (void)cache.evaluate(space, configs[0]);
   EXPECT_EQ(inner.run_count(), calls_before + 1);
+}
+
+TEST(EvalService, DeadlineExpiredWhileQueuedReportsZeroAttempts) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 4, 11);
+  testing::SyntheticOracle inner;
+  SlowOracle slow(inner, std::chrono::milliseconds(30));
+  flow::EvalServiceOptions opt;
+  opt.licenses = 1;  // sequential: later configs wait behind the first
+  opt.max_attempts = 3;
+  opt.run_deadline = std::chrono::milliseconds(20);
+  flow::EvalService service(slow, space, opt);
+
+  const auto records = service.evaluate_batch(configs);
+  ASSERT_EQ(records.size(), configs.size());
+  // The first config dispatched immediately and blew the deadline in
+  // flight: one attempt, classified post-hoc.
+  EXPECT_EQ(records[0].status, flow::RunStatus::kTimedOut);
+  EXPECT_EQ(records[0].attempts, 1u);
+  // Every later config's deadline expired while it was still queued behind
+  // the first: kTimedOut with ZERO attempts — not a retryable failure, and
+  // no tool time was wasted on it.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].status, flow::RunStatus::kTimedOut) << i;
+    EXPECT_EQ(records[i].attempts, 0u) << i;
+    EXPECT_EQ(records[i].error, "deadline expired while queued") << i;
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.runs_timed_out, configs.size());
+  EXPECT_EQ(stats.runs_failed, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+/// Cancellable oracle that can be switched into a hung state: a hung run
+/// spins until the watchdog's CancelToken fires (or a 10 s safety bound).
+class HangingOracle final : public flow::QorOracle,
+                            public flow::CancellableOracle {
+ public:
+  explicit HangingOracle(flow::QorOracle& inner) : inner_(inner) {}
+
+  flow::QoR evaluate(const flow::ParameterSpace& space,
+                     const flow::Config& config) override {
+    return inner_.evaluate(space, config);
+  }
+  flow::QoR evaluate_with_cancel(const flow::ParameterSpace& space,
+                                 const flow::Config& config,
+                                 const flow::CancelToken& cancel) override {
+    if (hang.load()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      while (!cancel.cancelled() &&
+             std::chrono::steady_clock::now() - t0 < std::chrono::seconds(10)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      saw_cancel.store(cancel.cancelled());
+      throw flow::ToolRunError("hung run aborted by tool wrapper");
+    }
+    return inner_.evaluate(space, config);
+  }
+  std::size_t run_count() const override { return inner_.run_count(); }
+
+  std::atomic<bool> hang{false};
+  std::atomic<bool> saw_cancel{false};
+
+ private:
+  flow::QorOracle& inner_;
+};
+
+TEST(EvalService, WatchdogCancelsHungRunPermanently) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 7, 23);
+  testing::SyntheticOracle inner;
+  HangingOracle oracle(inner);
+  flow::EvalServiceOptions opt;
+  opt.max_attempts = 3;
+  opt.watchdog_multiple = 2.0;
+  opt.watchdog_floor = std::chrono::milliseconds(30);
+  opt.watchdog_min_samples = 4;
+  opt.watchdog_poll = std::chrono::milliseconds(10);
+  flow::EvalService service(oracle, space, opt);
+
+  // Establish the rolling median with fast, successful runs.
+  const auto warmup = service.evaluate_batch(
+      {configs.begin(), configs.begin() + 6});
+  for (const auto& rec : warmup) ASSERT_TRUE(rec.ok());
+
+  // Now hang: the watchdog must cancel the run via the token, and the
+  // cancellation must be PERMANENT (one attempt, no retry into another
+  // hang).
+  oracle.hang.store(true);
+  const auto record = service.evaluate(configs[6]);
+  EXPECT_TRUE(oracle.saw_cancel.load());
+  EXPECT_EQ(record.status, flow::RunStatus::kTimedOut);
+  EXPECT_EQ(record.attempts, 1u);
+  EXPECT_NE(record.error.find("watchdog"), std::string::npos);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.runs_watchdog_cancelled, 1u);
+  EXPECT_EQ(stats.runs_timed_out, 1u);
+}
+
+TEST(EvalService, ObserverSeesEveryCompletionOnce) {
+  const auto space = testing::synthetic_space();
+  const auto configs = make_configs(space, 12, 5);
+  testing::SyntheticOracle inner;
+  FlakyOracle flaky(inner, 1);  // first attempt of each config fails
+  flow::EvalServiceOptions opt;
+  opt.licenses = 4;
+  opt.max_attempts = 2;
+  flow::EvalService service(flaky, space, opt);
+
+  std::mutex mutex;
+  std::map<std::size_t, flow::RunRecord> seen;
+  const auto records = service.evaluate_batch(
+      configs, [&](std::size_t i, const flow::RunRecord& rec) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ASSERT_FALSE(seen.contains(i)) << "index " << i << " observed twice";
+        seen[i] = rec;
+      });
+
+  ASSERT_EQ(seen.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ASSERT_TRUE(seen.contains(i));
+    EXPECT_EQ(seen[i].status, records[i].status);
+    EXPECT_EQ(seen[i].attempts, records[i].attempts);
+    EXPECT_EQ(seen[i].qor.area_um2, records[i].qor.area_um2);
+  }
 }
 
 TEST(CachingOracle, MakesRepeatBatchesFree) {
