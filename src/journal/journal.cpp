@@ -299,7 +299,15 @@ std::vector<SegmentFile> scan_segments(const std::string& dir) {
     if (!sealed && ext != "open") continue;
     const std::string stem = name.substr(0, dot);
     if (stem.find_first_not_of("0123456789") != std::string::npos) continue;
-    files.push_back({std::stoul(stem), de.path(), sealed, 0});
+    std::size_t seq = 0;
+    try {
+      seq = std::stoul(stem);
+    } catch (const std::exception&) {
+      // An all-digit stem too large for size_t is still a structural
+      // problem, and those throw JournalError — never std::out_of_range.
+      throw JournalError("journal segment sequence out of range: " + name);
+    }
+    files.push_back({seq, de.path(), sealed, 0});
   }
   if (ec) {
     throw JournalError("cannot read journal directory " + dir + ": " +
@@ -646,7 +654,6 @@ class ScopedWriteTimer {
 
 void RunJournal::begin_run(const RunMeta& meta) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ScopedWriteTimer timer(write_seconds_);
   const JournalEntry* e = peek();
   if (e != nullptr) {
     if (e->kind != JournalEntry::Kind::kRunHeader) {
@@ -660,6 +667,7 @@ void RunJournal::begin_run(const RunMeta& meta) {
     advance();
     return;
   }
+  ScopedWriteTimer timer(write_seconds_);
   append_entry_bytes(static_cast<std::uint8_t>(JournalEntry::Kind::kRunHeader),
                      encode_meta(meta));
   flush_locked();
@@ -668,7 +676,6 @@ void RunJournal::begin_run(const RunMeta& meta) {
 RunJournal::BatchReplay RunJournal::begin_batch(
     Phase phase, std::uint64_t round, std::span<const std::size_t> ids) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ScopedWriteTimer timer(write_seconds_);
   if (batch_open_) {
     throw JournalError("begin_batch while a batch is already open");
   }
@@ -713,7 +720,10 @@ RunJournal::BatchReplay RunJournal::begin_batch(
     replayed_reveals_ += replay.outcomes.size();
     return replay;
   }
-  // Recording: append the selection.
+  // Recording: append the selection and write it through immediately —
+  // resume needs the selection on disk before any of its reveals, or a
+  // crash mid-batch would orphan the per-completion records that follow.
+  ScopedWriteTimer timer(write_seconds_);
   std::string p;
   put_u8(p, static_cast<std::uint8_t>(phase));
   put_u64(p, round);
@@ -721,6 +731,7 @@ RunJournal::BatchReplay RunJournal::begin_batch(
   for (std::size_t id : ids) put_u64(p, id);
   append_entry_bytes(static_cast<std::uint8_t>(JournalEntry::Kind::kSelection),
                      p);
+  flush_locked();
   return replay;
 }
 
@@ -731,13 +742,16 @@ void RunJournal::append_reveal(const RevealRecord& record) {
   if (!batch_recorded_ids_.insert(record.id).second) return;  // already logged
   append_entry_bytes(static_cast<std::uint8_t>(JournalEntry::Kind::kReveal),
                      encode_reveal(record));
+  // Write through immediately: the record must reach the fd (page cache is
+  // enough to survive SIGKILL/OOM-kill) the moment the run completes, not
+  // at the batch commit — each reveal is hours of tool time.
+  flush_locked();
 }
 
 void RunJournal::commit_batch(Phase phase, std::uint64_t round,
                               std::uint64_t runs_after,
                               const std::array<std::uint64_t, 4>& rng_state) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ScopedWriteTimer timer(write_seconds_);
   if (!batch_open_ || batch_phase_ != phase || batch_round_ != round) {
     throw JournalError("commit_batch does not match the open batch");
   }
@@ -754,6 +768,7 @@ void RunJournal::commit_batch(Phase phase, std::uint64_t round,
     pending_commit_.reset();
     return;
   }
+  ScopedWriteTimer timer(write_seconds_);
   std::string p;
   put_u8(p, static_cast<std::uint8_t>(phase));
   put_u64(p, round);
@@ -769,7 +784,6 @@ void RunJournal::record_regions(
     std::uint64_t round, std::uint64_t alive_count, std::uint64_t digest,
     const std::function<std::vector<RegionSnapshotEntry>()>& snapshot) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ScopedWriteTimer timer(write_seconds_);
   const JournalEntry* e = peek();
   while (e != nullptr && e->kind == JournalEntry::Kind::kShutdown) {
     advance();
@@ -789,6 +803,7 @@ void RunJournal::record_regions(
     advance();
     return;
   }
+  ScopedWriteTimer timer(write_seconds_);
   const bool snapshot_due = options_.region_snapshot_every > 0 &&
                             round % options_.region_snapshot_every == 0 &&
                             snapshot;
@@ -815,13 +830,13 @@ void RunJournal::record_regions(
 
 void RunJournal::record_shutdown(ShutdownReason reason, std::uint64_t rounds) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ScopedWriteTimer timer(write_seconds_);
   const JournalEntry* e = peek();
   if (e != nullptr && e->kind == JournalEntry::Kind::kShutdown) {
     advance();
     return;
   }
   if (cursor_ < entries_.size()) return;  // still replaying: nothing to write
+  ScopedWriteTimer timer(write_seconds_);
   std::string p;
   put_u8(p, static_cast<std::uint8_t>(reason));
   put_u64(p, rounds);

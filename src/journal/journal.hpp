@@ -23,11 +23,15 @@
 // renamed to `NNNNNN.seg` (rename-on-commit: a sealed segment is either
 // fully present or absent). Records are length-prefixed and CRC32-guarded,
 // so a torn or corrupted tail is DETECTED AND TRUNCATED at the last valid
-// record on resume — never trusted. Appends are buffered and flushed (with
-// optional fsync) once per batch commit, so a crash loses at most the
-// in-flight portion of one selection batch; completed runs inside a torn
-// batch are still recovered when the caller journals them as they finish
-// (flow::EvalService's per-completion hook via tuner::LiveCandidatePool).
+// record on resume — never trusted. Every record is written through to the
+// active segment the moment it is appended (the selection when a batch
+// opens, each reveal as its run completes — flow::EvalService's
+// per-completion hook via tuner::LiveCandidatePool — and the commit marker
+// when the batch closes); a plain write() to the page cache survives
+// SIGKILL/OOM-kill, so a killed process loses only runs still in flight,
+// never completed ones. fsync happens once per batch commit
+// (JournalOptions::fsync_each_commit), so only a kernel crash or power
+// loss can drop the un-fsynced tail of one batch.
 #pragma once
 
 #include <array>
@@ -226,10 +230,12 @@ class RunJournal {
   bool batch_open() const { return batch_open_; }
   const std::string& directory() const { return dir_; }
   const JournalOptions& options() const { return options_; }
-  /// Wall-clock seconds spent inside journal calls (record encoding, writes,
-  /// fsync) over the journal's lifetime. The per-round cost is far smaller
-  /// than run-to-run scheduling noise, so benchmarks report this directly
-  /// instead of differencing two end-to-end timings.
+  /// Wall-clock seconds spent RECORDING (record encoding, writes, fsync)
+  /// over the journal's lifetime; replay-verification work on resume is
+  /// excluded, so the number means the same thing for fresh and resumed
+  /// runs. The per-round cost is far smaller than run-to-run scheduling
+  /// noise, so benchmarks report this directly instead of differencing two
+  /// end-to-end timings.
   double write_seconds() const;
 
   /// Fresh: appends the run header. Resume: verifies `meta` against the
@@ -248,14 +254,17 @@ class RunJournal {
   /// appends the selection record and returns an empty BatchReplay.
   BatchReplay begin_batch(Phase phase, std::uint64_t round,
                           std::span<const std::size_t> ids);
-  /// Appends one reveal outcome for the open batch. Ids already journaled
-  /// for this batch (replayed, or appended concurrently by an evaluation
-  /// worker) are skipped, so the tuner can blanket-append after the batch
-  /// without double-writing. Thread-safe. No-op when no batch is open.
+  /// Appends one reveal outcome for the open batch and writes it through to
+  /// the segment file immediately, so the record survives a SIGKILL the
+  /// moment the call returns. Ids already journaled for this batch
+  /// (replayed, or appended concurrently by an evaluation worker) are
+  /// skipped, so the tuner can blanket-append after the batch without
+  /// double-writing. Thread-safe. No-op when no batch is open.
   void append_reveal(const RevealRecord& record);
   /// Closes the batch: recording appends the commit marker and flushes
-  /// (+fsync per JournalOptions); replay verifies `runs_after` and
-  /// `rng_state` against the recorded commit.
+  /// (+fsync per JournalOptions) — the fsync point against kernel crash /
+  /// power loss; replay verifies `runs_after` and `rng_state` against the
+  /// recorded commit.
   void commit_batch(Phase phase, std::uint64_t round, std::uint64_t runs_after,
                     const std::array<std::uint64_t, 4>& rng_state);
 

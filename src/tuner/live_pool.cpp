@@ -116,11 +116,17 @@ std::vector<CandidatePool::RevealOutcome> LiveCandidatePool::reveal_batch(
       outcomes[j].value = values_[i];
     } else {
       outcomes[j].ok = false;
+      outcomes[j].timed_out =
+          records_[i].status == flow::RunStatus::kTimedOut;
       std::ostringstream msg;
       msg << "candidate " << i << " "
           << flow::run_status_name(records_[i].status) << " after "
           << records_[i].attempts << " attempt(s): " << records_[i].error;
       outcomes[j].error = msg.str();
+    }
+    if (has_record_[i]) {
+      outcomes[j].attempts = records_[i].attempts;
+      outcomes[j].elapsed_ms = records_[i].elapsed_ms;
     }
   }
   return outcomes;

@@ -69,12 +69,13 @@ class LiveCandidatePool final : public CandidatePool {
 
   /// Wires per-completion journaling: every RunRecord is appended to the
   /// journal THE MOMENT EvalService finishes it (from the worker thread),
-  /// not when the batch returns — so a crash mid-batch loses only runs
-  /// still in flight. Records carry the full outcome (status incl. watchdog
-  /// cancellations, attempt count, elapsed time), which the tuner's
-  /// coarser end-of-batch append cannot reconstruct; append_reveal's
-  /// id-dedup makes the two paths compose. Pass nullptr to unwire. The
-  /// journal must outlive the pool's reveals.
+  /// not when the batch returns — so a crash while later runs of the same
+  /// batch are still executing loses only those still in flight. Records
+  /// carry the full outcome (status incl. watchdog cancellations, attempt
+  /// count, elapsed time); the tuner's end-of-batch append journals the
+  /// same detail from RevealOutcome but only once reveal_batch returns,
+  /// and append_reveal's id-dedup makes the two paths compose. Pass
+  /// nullptr to unwire. The journal must outlive the pool's reveals.
   void set_journal(journal::RunJournal* journal) { journal_ = journal; }
 
  private:

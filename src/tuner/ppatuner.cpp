@@ -224,14 +224,16 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
         error = out.error;
         if (jnl != nullptr) {
           // Blanket-append the live outcome. A LiveCandidatePool wired with
-          // set_journal already appended a richer per-completion record
-          // from inside EvalService (mid-batch durability); append_reveal
-          // dedups by id, so this only covers pools without that hook.
+          // set_journal already appended this record per completion from
+          // inside EvalService (mid-batch durability); append_reveal dedups
+          // by id, so this only covers pools without that hook.
           journal::RevealRecord rec;
           rec.id = idx;
           rec.status = ok ? journal::RevealStatus::kOk
-                          : journal::RevealStatus::kFailed;
-          rec.attempts = 1;
+                       : out.timed_out ? journal::RevealStatus::kTimedOut
+                                       : journal::RevealStatus::kFailed;
+          rec.attempts = out.attempts;
+          rec.elapsed_ms = out.elapsed_ms;
           if (ok) rec.objectives = value;
           rec.error = error;
           jnl->append_reveal(rec);

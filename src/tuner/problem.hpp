@@ -62,11 +62,18 @@ class CandidatePool {
   /// PoolEvaluationError if the evaluation permanently failed.
   virtual pareto::Point reveal(std::size_t i) = 0;
 
-  /// Outcome of one candidate in a batch reveal.
+  /// Outcome of one candidate in a batch reveal. The run-accounting fields
+  /// exist so journaling callers can persist the true outcome; offline
+  /// pools report the defaults (one instantaneous successful attempt).
   struct RevealOutcome {
     bool ok = false;
     pareto::Point value;  ///< valid iff ok
     std::string error;    ///< failure reason iff !ok
+    /// Failure was a (permanent) timeout — deadline or watchdog — rather
+    /// than a tool crash. Meaningful iff !ok.
+    bool timed_out = false;
+    std::uint32_t attempts = 1;  ///< tool attempts (0 = never dispatched)
+    double elapsed_ms = 0.0;     ///< tool wall-clock behind this outcome
   };
 
   /// Reveals many candidates; failures come back as per-candidate outcomes

@@ -233,6 +233,62 @@ TEST(Journal, CorruptTailIsDetectedTruncatedAndRepaired) {
   EXPECT_EQ(after.entries.size(), before.entries.size());
 }
 
+TEST(Journal, RevealsAreDurableBeforeCommit) {
+  // Per-completion records must reach the segment file the moment
+  // append_reveal returns — a SIGKILL mid-batch loses only runs still in
+  // flight, not completed ones. Read the directory with an independent
+  // reader while the writer's batch is still open.
+  const std::string dir = fresh_dir("durable");
+  auto jnl = RunJournal::create(dir);
+  jnl->begin_run(small_meta());
+  jnl->begin_batch(Phase::kInit, 0, std::vector<std::size_t>{3, 7});
+  jnl->append_reveal(ok_reveal(3, 1.0, 2.0));
+  jnl->append_reveal(ok_reveal(7, 3.0, 4.0));
+
+  const JournalContents mid = read_journal(dir);
+  EXPECT_FALSE(mid.truncated);
+  ASSERT_EQ(mid.entries.size(), 4u);  // header, selection, two reveals
+  EXPECT_EQ(mid.entries[1].kind, JournalEntry::Kind::kSelection);
+  EXPECT_EQ(mid.entries[2].kind, JournalEntry::Kind::kReveal);
+  EXPECT_EQ(mid.entries[2].reveal.id, 3u);
+  EXPECT_EQ(mid.entries[3].reveal.id, 7u);
+
+  jnl->commit_batch(Phase::kInit, 0, 2, {1, 2, 3, 4});
+  jnl->record_shutdown(ShutdownReason::kCompleted, 1);
+}
+
+TEST(Journal, PureReplayAccruesNoWriteTime) {
+  const std::string dir = fresh_dir("replaytime");
+  {
+    auto jnl = RunJournal::create(dir);
+    jnl->begin_run(small_meta());
+    jnl->begin_batch(Phase::kInit, 0, std::vector<std::size_t>{3});
+    jnl->append_reveal(ok_reveal(3, 1.0, 2.0));
+    jnl->commit_batch(Phase::kInit, 0, 1, {1, 2, 3, 4});
+    jnl->record_regions(1, 10, 0xABCDull);
+    jnl->record_shutdown(ShutdownReason::kCompleted, 1);
+    EXPECT_GT(jnl->write_seconds(), 0.0);
+  }
+  // write_seconds() covers recording only; replay verification on resume
+  // must not be misattributed as write cost.
+  auto jnl = RunJournal::open_resume(dir);
+  jnl->begin_run(small_meta());
+  jnl->begin_batch(Phase::kInit, 0, std::vector<std::size_t>{3});
+  jnl->commit_batch(Phase::kInit, 0, 1, {1, 2, 3, 4});
+  jnl->record_regions(1, 10, 0xABCDull);
+  jnl->record_shutdown(ShutdownReason::kCompleted, 1);
+  EXPECT_EQ(jnl->write_seconds(), 0.0);
+}
+
+TEST(Journal, OverflowingSegmentNameIsAJournalError) {
+  const std::string dir = write_small_run("hugestem");
+  // An all-digit stem too large for any integer type must surface as the
+  // documented JournalError, not escape as std::out_of_range.
+  std::ofstream(fs::path(dir) / "99999999999999999999.seg").put('\0');
+  EXPECT_THROW(read_journal(dir), JournalError);
+  EXPECT_THROW(RunJournal::open_resume(dir), JournalError);
+}
+
 TEST(Journal, MetaMismatchIsFatal) {
   const std::string dir = write_small_run("mismatch");
   auto jnl = RunJournal::open_resume(dir);

@@ -117,6 +117,10 @@ TEST(LiveCandidatePool, PermanentFailureQuarantinesWithoutRedispatch) {
   const auto outcomes = live.reveal_batch({doomed});
   EXPECT_FALSE(outcomes.front().ok);
   EXPECT_FALSE(outcomes.front().error.empty());
+  // The outcome carries the true run accounting (journaling callers
+  // persist these): a crash is not a timeout, attempts are the real count.
+  EXPECT_FALSE(outcomes.front().timed_out);
+  EXPECT_EQ(outcomes.front().attempts, eopt.max_attempts);
   EXPECT_EQ(fault.run_count(), calls_before);
   EXPECT_EQ(live.failed_evaluations(), 1u);
 }
