@@ -1,0 +1,199 @@
+#include "gp/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace ppat::gp {
+namespace {
+
+/// Kernel map over the landmark distance block with cross-task attenuation:
+/// U(j, i) = k(z_j, x_i) * (rho when z_j and x_i live on different tasks).
+/// Rows are independent — parallel and bit-stable.
+linalg::Matrix map_inducing_rows(const Kernel& kernel, const Landmarks& lm,
+                                 std::size_t n_source, double rho) {
+  const std::size_t m = lm.indices.size();
+  const std::size_t n = lm.sqdist.cols();
+  linalg::Matrix u(m, n);
+  common::parallel_for_blocks(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          const bool j_source = lm.indices[j] < n_source;
+          const auto d_row = lm.sqdist.row(j);
+          auto u_row = u.row(j);
+          for (std::size_t i = 0; i < n; ++i) {
+            double v = kernel.eval_from_sqdist(d_row[i]);
+            if (j_source != (i < n_source)) v *= rho;
+            u_row[i] = v;
+          }
+        }
+      },
+      1);
+  return u;
+}
+
+/// Landmark-landmark kernel block gathered from the same distance rows
+/// (upper triangle suffices for the Cholesky consumers).
+linalg::Matrix map_landmark_gram(const Kernel& kernel, const Landmarks& lm,
+                                 std::size_t n_source, double rho) {
+  const std::size_t m = lm.indices.size();
+  linalg::Matrix kmm(m, m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const bool j_source = lm.indices[j] < n_source;
+    const auto d_row = lm.sqdist.row(j);
+    for (std::size_t k = j; k < m; ++k) {
+      double v = kernel.eval_from_sqdist(d_row[lm.indices[k]]);
+      if (j_source != (lm.indices[k] < n_source)) v *= rho;
+      kmm(j, k) = v;
+    }
+  }
+  return kmm;
+}
+
+linalg::Vector noise_diagonal(std::size_t n, std::size_t n_source,
+                              double src_noise, double tgt_noise) {
+  linalg::Vector diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    diag[i] = i < n_source ? src_noise : tgt_noise;
+  }
+  return diag;
+}
+
+}  // namespace
+
+Landmarks select_landmarks(const std::vector<linalg::Vector>& xs,
+                           std::size_t m) {
+  const std::size_t n = xs.size();
+  if (n == 0) throw std::invalid_argument("select_landmarks: empty point set");
+  m = std::min(std::max<std::size_t>(m, 1), n);
+
+  Landmarks lm;
+  lm.indices.reserve(m);
+  lm.sqdist = linalg::Matrix(m, n);
+  linalg::Vector min_d(n, std::numeric_limits<double>::infinity());
+  std::size_t next = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    lm.indices.push_back(next);
+    auto row = lm.sqdist.row(j);
+    const linalg::Vector& z = xs[next];
+    common::parallel_for_blocks(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            row[i] = squared_distance(z, xs[i]);
+          }
+        },
+        256);
+    // The min-distance fold and the argmax scan are serial and ascending, so
+    // the next landmark (strict > keeps the lowest index on ties) does not
+    // depend on the parallel partition above.
+    double best = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_d[i] = std::min(min_d[i], row[i]);
+      if (min_d[i] > best) {
+        best = min_d[i];
+        next = i;
+      }
+    }
+  }
+  return lm;
+}
+
+double low_rank_nll(const Kernel& kernel, const Landmarks& lm,
+                    const linalg::Vector& ys, std::size_t n_source, double rho,
+                    double src_noise, double tgt_noise) {
+  const std::size_t n = ys.size();
+  if (lm.sqdist.cols() != n) {
+    throw std::invalid_argument("low_rank_nll: landmark block / target size");
+  }
+  const linalg::Matrix u = map_inducing_rows(kernel, lm, n_source, rho);
+  const linalg::Matrix kmm = map_landmark_gram(kernel, lm, n_source, rho);
+  const linalg::Vector diag =
+      noise_diagonal(n, n_source, src_noise, tgt_noise);
+  const auto factor = linalg::WoodburyFactor::compute(kmm, u, diag, ys);
+  if (!factor) return std::numeric_limits<double>::infinity();
+  return 0.5 * factor->quad() + 0.5 * factor->log_det() +
+         0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+}
+
+std::optional<SparsePosterior> SparsePosterior::build(
+    const Kernel& kernel, const std::vector<linalg::Vector>& xs,
+    const linalg::Vector& ys_std, std::size_t n_source, double rho,
+    double src_noise, double tgt_noise, std::size_t num_inducing) {
+  if (xs.size() != ys_std.size() || xs.empty()) {
+    throw std::invalid_argument("SparsePosterior::build: bad training data");
+  }
+  const Landmarks lm = select_landmarks(xs, num_inducing);
+  const linalg::Matrix u = map_inducing_rows(kernel, lm, n_source, rho);
+  const linalg::Matrix kmm = map_landmark_gram(kernel, lm, n_source, rho);
+  const linalg::Vector diag =
+      noise_diagonal(xs.size(), n_source, src_noise, tgt_noise);
+  auto factor = linalg::WoodburyFactor::compute(kmm, u, diag, ys_std);
+  if (!factor) return std::nullopt;
+
+  SparsePosterior sp;
+  sp.landmarks_.reserve(lm.indices.size());
+  sp.landmark_is_source_.reserve(lm.indices.size());
+  for (std::size_t idx : lm.indices) {
+    sp.landmarks_.push_back(xs[idx]);
+    sp.landmark_is_source_.push_back(idx < n_source ? 1 : 0);
+  }
+  sp.rho_ = rho;
+  sp.factor_ = std::move(*factor);
+  return sp;
+}
+
+double SparsePosterior::log_marginal() const {
+  const double n = static_cast<double>(factor_->points());
+  return -0.5 * factor_->quad() - 0.5 * factor_->log_det() -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+void SparsePosterior::predict_batch(const Kernel& kernel,
+                                    const std::vector<linalg::Vector>& queries,
+                                    double y_mean, double y_sd,
+                                    double added_noise, linalg::Vector& means,
+                                    linalg::Vector& variances) const {
+  const std::size_t nq = queries.size();
+  const std::size_t m = landmarks_.size();
+  means.resize(nq);
+  variances.resize(nq);
+  if (nq == 0) return;
+  common::parallel_for_blocks(
+      0, nq,
+      [&](std::size_t lo, std::size_t hi) {
+        linalg::Vector q(m);
+        for (std::size_t c = lo; c < hi; ++c) {
+          const linalg::Vector& x = queries[c];
+          for (std::size_t j = 0; j < m; ++j) {
+            double v = kernel(landmarks_[j], x);
+            if (landmark_is_source_[j]) v *= rho_;
+            q[j] = v;
+          }
+          means[c] = y_mean + y_sd * linalg::dot(q, factor_->weights());
+          double var_std = kernel(x, x) - factor_->variance_reduction(q);
+          var_std += added_noise;
+          variances[c] = std::max(0.0, var_std) * y_sd * y_sd;
+        }
+      },
+      8);
+}
+
+bool SparsePosterior::append(const Kernel& kernel, const linalg::Vector& x,
+                             double y_std, double noise) {
+  const std::size_t m = landmarks_.size();
+  linalg::Vector u_col(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    double v = kernel(landmarks_[j], x);
+    if (landmark_is_source_[j]) v *= rho_;
+    u_col[j] = v;
+  }
+  return factor_->append(u_col, noise, y_std);
+}
+
+}  // namespace ppat::gp

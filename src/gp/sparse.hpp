@@ -1,0 +1,132 @@
+// Scalable (Nyström/DTC) surrogate tier: low-rank GP posterior and NLL built
+// on m << n inducing points, shared by GaussianProcess and
+// TransferGaussianProcess.
+//
+// The exact GP refit is O(n^3) per NLL evaluation and collapses below
+// 1 op/sec by n ~= 512 (BENCH_surrogate.json); tool-parameter histories in
+// long or multi-tenant tuning runs grow far past that. This tier replaces
+// the n x n kernel system with the deterministic-training-conditional (DTC)
+// approximation: landmarks Z (|Z| = m) are chosen by farthest-point sampling,
+// and all inference runs through the m x m Woodbury system
+// linalg::WoodburyFactor. Cost per NLL evaluation drops from O(n^3) to
+// O(n m^2); posterior construction is O(n m^2) once; appends are O(m^3)
+// independent of n; predictions are O(m^2) per candidate.
+//
+// Determinism: landmark selection is a pure function of the training inputs
+// (greedy farthest-point, fixed start, lowest-index tie-break) and consumes
+// NO RNG draws — a refit on the approximate tier consumes exactly the same
+// shared-RNG words as on the exact tier, which is what keeps journal replay
+// (DESIGN.md §11) bit-identical across tiers. All parallel loops write each
+// output element from exactly one task with partition-independent
+// arithmetic, so results are bit-identical for any thread count.
+//
+// The transfer GP's joint kernel (paper Eq. 4-6) is covered by the same
+// code: cross-task covariance entries are the base kernel scaled by the
+// task-correlation rho, which the builders apply from source/target flags.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gp/kernel.hpp"
+#include "linalg/lowrank.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ppat::gp {
+
+/// Configuration for the low-rank tier (model-level, like the other ablation
+/// switches). Defaults keep the tier OFF: the exact path is the bit-identical
+/// reference and stays authoritative unless a caller opts in.
+struct LowRankOptions {
+  /// Master switch. When false the model never leaves the exact path.
+  bool enabled = false;
+  /// Point count above which fits/refits/posteriors switch from exact to
+  /// low-rank (exact at or below). 1024 places the O(n^3) wall (~1 s per
+  /// factorization on the reference machine) just out of reach while
+  /// keeping the exact tier for every history the paper's experiments use.
+  std::size_t switchover = 1024;
+  /// Number of inducing points m. Accuracy grows and speedup shrinks with m;
+  /// 256 keeps per-eval cost ~n/m^2-fold below exact while the DTC error on
+  /// smooth QoR surfaces stays small (see EXPERIMENTS.md).
+  std::size_t num_inducing = 256;
+};
+
+/// Result of farthest-point sampling: the chosen indices plus the m x n
+/// block of squared distances from each landmark to every point. The block
+/// is hyper-parameter independent, so one selection serves every NLL
+/// evaluation of a refit — the same precompute-once pattern as the exact
+/// tier's distance cache, at O(m n) instead of O(n^2) storage.
+struct Landmarks {
+  std::vector<std::size_t> indices;
+  linalg::Matrix sqdist;  // m x n; row j = squared distances from xs[indices[j]]
+};
+
+/// Greedy farthest-point sampling over xs. Deterministic: starts at index 0,
+/// takes the point with maximal distance to the chosen set each step, breaks
+/// ties toward the lowest index, and consumes no RNG. Distances go through
+/// gp::squared_distance — the same primitive as the exact tier's distance
+/// cache, same bits. m is clamped to xs.size().
+Landmarks select_landmarks(const std::vector<linalg::Vector>& xs,
+                           std::size_t m);
+
+/// Negative log marginal likelihood of the DTC approximation, for refit
+/// objectives. `kernel` carries the candidate hyper-parameters; `ys` are the
+/// standardized targets of the (subset) points behind `lm`. Points are
+/// ordered source-first: index i < n_source is a source-task observation
+/// with noise `src_noise`, the rest are target-task with noise `tgt_noise`.
+/// Cross-task covariance is scaled by `rho` (plain GP: n_source = 0, rho
+/// unused). Returns +infinity when the system cannot be factored (the
+/// optimizer treats such candidates as infeasible, matching the exact tier).
+double low_rank_nll(const Kernel& kernel, const Landmarks& lm,
+                    const linalg::Vector& ys, std::size_t n_source,
+                    double rho, double src_noise, double tgt_noise);
+
+/// Low-rank posterior state: landmark copies plus the Woodbury factor.
+/// Predictions and appends are target-task (the tuner only ever queries and
+/// reveals the target design); source points participate through the factor.
+class SparsePosterior {
+ public:
+  /// Builds from the full training set (source-first ordering as in
+  /// low_rank_nll). Selects landmarks, maps the kernel over the landmark
+  /// rows, and factors the Woodbury system. Returns nullopt when the system
+  /// cannot be factored even with maximum jitter.
+  static std::optional<SparsePosterior> build(
+      const Kernel& kernel, const std::vector<linalg::Vector>& xs,
+      const linalg::Vector& ys_std, std::size_t n_source, double rho,
+      double src_noise, double tgt_noise, std::size_t num_inducing);
+
+  std::size_t num_inducing() const { return landmarks_.size(); }
+  std::size_t num_points() const { return factor_->points(); }
+
+  /// Log marginal likelihood of the DTC model (standardized units).
+  double log_marginal() const;
+
+  /// Posterior at target-task queries. Means/variances are de-standardized
+  /// with y_mean/y_sd; `added_noise` (standardized variance units) is added
+  /// before the non-negativity clamp, mirroring the exact predict_batch.
+  /// Queries process independently in parallel — bit-identical for any
+  /// thread count.
+  void predict_batch(const Kernel& kernel,
+                     const std::vector<linalg::Vector>& queries, double y_mean,
+                     double y_sd, double added_noise, linalg::Vector& means,
+                     linalg::Vector& variances) const;
+
+  /// Appends one target-task observation (standardized target, noise
+  /// variance). O(m^2) + O(m^3), independent of history size. Returns false
+  /// when the updated system loses definiteness; the caller should rebuild
+  /// from scratch.
+  bool append(const Kernel& kernel, const linalg::Vector& x, double y_std,
+              double noise);
+
+ private:
+  SparsePosterior() = default;
+
+  std::vector<linalg::Vector> landmarks_;
+  std::vector<std::uint8_t> landmark_is_source_;
+  double rho_ = 1.0;
+  std::optional<linalg::WoodburyFactor> factor_;
+};
+
+}  // namespace ppat::gp

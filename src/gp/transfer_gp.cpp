@@ -9,6 +9,7 @@
 
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "gp/refit.hpp"
 #include "linalg/neldermead.hpp"
 
 namespace ppat::gp {
@@ -98,7 +99,42 @@ void TransferGaussianProcess::fit(std::vector<linalg::Vector> source_xs,
   target_xs_ = std::move(target_xs);
   target_ys_raw_ = std::move(target_ys);
   restandardize();
-  factorize();
+  rebuild_posterior();
+}
+
+bool TransferGaussianProcess::use_low_rank(std::size_t n) const {
+  return low_rank_.enabled && kernel_->supports_sqdist() &&
+         n > low_rank_.switchover;
+}
+
+void TransferGaussianProcess::rebuild_posterior() {
+  if (use_low_rank(source_xs_.size() + target_xs_.size())) {
+    build_sparse();
+  } else {
+    factorize();
+  }
+}
+
+void TransferGaussianProcess::build_sparse() {
+  // Joint point list, source block first — the same ordering as the exact
+  // joint system, so per-task noise and rho scaling key off the index.
+  std::vector<linalg::Vector> joint;
+  joint.reserve(source_xs_.size() + target_xs_.size());
+  joint.insert(joint.end(), source_xs_.begin(), source_xs_.end());
+  joint.insert(joint.end(), target_xs_.begin(), target_xs_.end());
+  auto sp = SparsePosterior::build(*kernel_, joint, ys_std_,
+                                   source_xs_.size(), task_correlation(),
+                                   1.0 / beta_s_, 1.0 / beta_t_,
+                                   low_rank_.num_inducing);
+  if (!sp) {
+    throw std::runtime_error(
+        "TransferGaussianProcess: low-rank joint system not positive "
+        "definite");
+  }
+  sparse_ = std::move(*sp);
+  chol_.reset();
+  alpha_.clear();
+  ++posterior_epoch_;
 }
 
 void TransferGaussianProcess::restandardize() {
@@ -135,12 +171,18 @@ void TransferGaussianProcess::factorize() {
   }
   chol_ = std::move(chol);
   alpha_ = chol_->solve(ys_std_);
+  sparse_.reset();
   // Full re-factorizations invalidate cached whitened posterior solves;
   // rank-1 target appends (try_append_to_factor) do not.
   ++posterior_epoch_;
 }
 
 const linalg::CholeskyFactor& TransferGaussianProcess::factor() const {
+  if (sparse_) {
+    throw std::runtime_error(
+        "TransferGaussianProcess: exact factor unavailable on the low-rank "
+        "tier");
+  }
   if (!chol_) throw std::runtime_error("TransferGaussianProcess: not fitted");
   return *chol_;
 }
@@ -181,7 +223,7 @@ bool TransferGaussianProcess::try_append_to_factor(const linalg::Vector& x) {
 
 void TransferGaussianProcess::add_target_observation(const linalg::Vector& x,
                                                      double y) {
-  if (!chol_) {
+  if (!chol_ && !sparse_) {
     throw std::runtime_error("TransferGaussianProcess: fit before adding");
   }
   target_xs_.push_back(x);
@@ -189,6 +231,12 @@ void TransferGaussianProcess::add_target_observation(const linalg::Vector& x,
   // Standardization is frozen between refits (same reasoning as the plain
   // GP): the new point is standardized with the current target stats.
   ys_std_.push_back((y - tgt_mean_) / tgt_sd_);
+  if (sparse_) {
+    if (!sparse_->append(*kernel_, x, ys_std_.back(), 1.0 / beta_t_)) {
+      build_sparse();
+    }
+    return;
+  }
   if (try_append_to_factor(x)) {
     alpha_ = chol_->solve(ys_std_);
   } else {
@@ -198,7 +246,7 @@ void TransferGaussianProcess::add_target_observation(const linalg::Vector& x,
 
 void TransferGaussianProcess::add_target_observation_batch(
     const std::vector<linalg::Vector>& xs, const linalg::Vector& ys) {
-  if (!chol_) {
+  if (!chol_ && !sparse_) {
     throw std::runtime_error("TransferGaussianProcess: fit before adding");
   }
   if (xs.size() != ys.size()) {
@@ -206,6 +254,17 @@ void TransferGaussianProcess::add_target_observation_batch(
         "TransferGaussianProcess::add_target_observation_batch");
   }
   if (xs.empty()) return;
+  if (sparse_) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      target_xs_.push_back(xs[i]);
+      target_ys_raw_.push_back(ys[i]);
+      ys_std_.push_back((ys[i] - tgt_mean_) / tgt_sd_);
+      if (!sparse_->append(*kernel_, xs[i], ys_std_.back(), 1.0 / beta_t_)) {
+        build_sparse();
+      }
+    }
+    return;
+  }
   bool appended = true;
   for (std::size_t i = 0; i < xs.size(); ++i) {
     target_xs_.push_back(xs[i]);
@@ -221,6 +280,7 @@ void TransferGaussianProcess::add_target_observation_batch(
 }
 
 double TransferGaussianProcess::log_marginal_likelihood() const {
+  if (sparse_) return sparse_->log_marginal();
   if (!chol_) throw std::runtime_error("TransferGaussianProcess: not fitted");
   const double n = static_cast<double>(ys_std_.size());
   return -0.5 * linalg::dot(ys_std_, alpha_) - 0.5 * chol_->log_det() -
@@ -299,25 +359,41 @@ double TransferGaussianProcess::joint_nll_from_cache(
          0.5 * n * std::log(2.0 * std::numbers::pi);
 }
 
+double TransferGaussianProcess::joint_nll_low_rank(
+    const linalg::Vector& log_params, const Landmarks& lm, std::size_t n_src,
+    const linalg::Vector& ys_subset) const {
+  for (double p : log_params) {
+    if (!std::isfinite(p) || std::fabs(p) > 12.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  const std::size_t kdim = kernel_->num_hyperparameters();
+  auto k = kernel_->clone();
+  linalg::Vector kp(log_params.begin(),
+                    log_params.begin() + static_cast<std::ptrdiff_t>(kdim));
+  k->set_hyperparameters(kp);
+  const double a = std::exp(log_params[kdim]);
+  const double b = std::exp(log_params[kdim + 1]);
+  const double src_noise = std::exp(log_params[kdim + 2]);
+  const double tgt_noise = std::exp(log_params[kdim + 3]);
+  return low_rank_nll(*k, lm, ys_subset, n_src, rho_from(a, b), src_noise,
+                      tgt_noise);
+}
+
 TransferGaussianProcess::RefitPlan TransferGaussianProcess::prepare_refit(
     common::Rng& rng, const TransferFitOptions& options) const {
-  if (!chol_) throw std::runtime_error("TransferGaussianProcess: not fitted");
+  if (!chol_ && !sparse_) {
+    throw std::runtime_error("TransferGaussianProcess: not fitted");
+  }
 
-  auto subset_of = [&rng](std::size_t total, std::size_t cap) {
-    std::vector<std::size_t> idx;
-    if (total > cap) {
-      idx = rng.sample_without_replacement(total, cap);
-      std::sort(idx.begin(), idx.end());
-    } else {
-      idx.resize(total);
-      for (std::size_t i = 0; i < total; ++i) idx[i] = i;
-    }
-    return idx;
-  };
   RefitPlan plan;
   plan.options = options;
-  plan.src_subset = subset_of(source_xs_.size(), options.max_source_points);
-  plan.tgt_subset = subset_of(target_xs_.size(), options.max_target_points);
+  // Sorted subsets so the joint list preserves source-block ordering
+  // (bit-frozen by journal replay).
+  plan.src_subset = refit_subset(rng, source_xs_.size(),
+                                 options.max_source_points, /*sorted=*/true);
+  plan.tgt_subset = refit_subset(rng, target_xs_.size(),
+                                 options.max_target_points, /*sorted=*/true);
 
   plan.current = kernel_->hyperparameters();
   plan.current.push_back(std::log(gamma_a_));
@@ -325,30 +401,36 @@ TransferGaussianProcess::RefitPlan TransferGaussianProcess::prepare_refit(
   plan.current.push_back(std::log(1.0 / beta_s_));
   plan.current.push_back(std::log(1.0 / beta_t_));
 
-  plan.starts.reserve(options.restarts);
-  for (std::size_t s = 0; s < options.restarts; ++s) {
-    linalg::Vector x0 = plan.current;
-    if (s > 0) {
-      for (double& v : x0) v += rng.normal(0.0, 1.0);
-    }
-    plan.starts.push_back(std::move(x0));
+  const linalg::Vector* first = &plan.current;
+  if (options.warm_start && last_optimum_ &&
+      last_optimum_->size() == plan.current.size()) {
+    first = &*last_optimum_;
   }
+  plan.starts = refit_starts(rng, plan.current, *first, options.restarts);
   return plan;
 }
 
 void TransferGaussianProcess::execute_refit(const RefitPlan& plan) {
   const TransferFitOptions& options = plan.options;
 
+  // Objective tier (see GaussianProcess::execute_refit): above the
+  // switchover the joint-subset NLL runs through the DTC approximation with
+  // farthest-point landmarks drawn from both blocks. No RNG is consumed by
+  // the selection, so both tiers drain the shared stream identically.
+  const std::size_t subset_total =
+      plan.src_subset.size() + plan.tgt_subset.size();
+  const bool sparse_obj = use_low_rank(subset_total);
   // Distance cache over the joint subset (source rows first): squared
   // distances are hyper-parameter independent, so each NLL evaluation only
   // re-applies the scalar kernel map and the cross-task factor.
   const bool cached = options.use_distance_cache && kernel_->supports_sqdist();
   linalg::Matrix sqdist;
   linalg::Vector ys_subset;
-  if (cached) {
+  Landmarks lm;
+  if (sparse_obj || cached) {
     std::vector<linalg::Vector> pts;
-    pts.reserve(plan.src_subset.size() + plan.tgt_subset.size());
-    ys_subset.reserve(plan.src_subset.size() + plan.tgt_subset.size());
+    pts.reserve(subset_total);
+    ys_subset.reserve(subset_total);
     for (std::size_t i : plan.src_subset) {
       pts.push_back(source_xs_[i]);
       ys_subset.push_back(ys_std_[i]);
@@ -357,12 +439,19 @@ void TransferGaussianProcess::execute_refit(const RefitPlan& plan) {
       pts.push_back(target_xs_[i]);
       ys_subset.push_back(ys_std_[source_xs_.size() + i]);
     }
-    sqdist = squared_distance_matrix(pts);
+    if (sparse_obj) {
+      lm = select_landmarks(pts, low_rank_.num_inducing);
+    } else {
+      sqdist = squared_distance_matrix(pts);
+    }
   }
   // Option-ablated (vs kernel-unsupported) cache selects the full legacy
   // refit, reference factorization included (see GaussianProcess).
   const bool legacy = !options.use_distance_cache;
   auto objective = [&](const linalg::Vector& p) {
+    if (sparse_obj) {
+      return joint_nll_low_rank(p, lm, plan.src_subset.size(), ys_subset);
+    }
     return cached ? joint_nll_from_cache(p, sqdist, plan.src_subset.size(),
                                          ys_subset)
                   : joint_nll(p, plan.src_subset, plan.tgt_subset, legacy);
@@ -371,31 +460,41 @@ void TransferGaussianProcess::execute_refit(const RefitPlan& plan) {
   linalg::NelderMeadOptions nm;
   nm.max_evals = options.max_evals;
   nm.initial_step = 0.7;
+  if (options.nm_f_tolerance > 0.0) nm.f_tolerance = options.nm_f_tolerance;
 
-  linalg::Vector best_x = plan.current;
-  double best_f = objective(plan.current);
-  for (const linalg::Vector& x0 : plan.starts) {
-    const auto result = linalg::nelder_mead(objective, x0, nm);
-    if (result.f < best_f) {
-      best_f = result.f;
-      best_x = result.x;
-    }
-  }
+  const MultiStartResult best = minimize_multistart(
+      objective, plan.current, plan.starts, nm, options.parallel_restarts);
 
-  if (std::isfinite(best_f)) {
+  if (std::isfinite(best.f)) {
     const std::size_t kdim = kernel_->num_hyperparameters();
-    linalg::Vector kp(best_x.begin(),
-                      best_x.begin() + static_cast<std::ptrdiff_t>(kdim));
+    linalg::Vector kp(best.x.begin(),
+                      best.x.begin() + static_cast<std::ptrdiff_t>(kdim));
     kernel_->set_hyperparameters(kp);
-    gamma_a_ = std::exp(best_x[kdim]);
-    gamma_b_ = std::exp(best_x[kdim + 1]);
+    gamma_a_ = std::exp(best.x[kdim]);
+    gamma_b_ = std::exp(best.x[kdim + 1]);
     beta_s_ = 1.0 / std::max(options.min_noise_variance,
-                             std::exp(best_x[kdim + 2]));
+                             std::exp(best.x[kdim + 2]));
     beta_t_ = 1.0 / std::max(options.min_noise_variance,
-                             std::exp(best_x[kdim + 3]));
+                             std::exp(best.x[kdim + 3]));
+    last_optimum_ = best.x;
   }
-  restandardize();
-  factorize();
+  // Re-standardization is skipped under warm starts when both tasks'
+  // targets are byte-identical to the previous refit's (appends between
+  // refits standardize against frozen stats, so unchanged targets mean
+  // ys_std_ already holds exactly what restandardize would produce).
+  const std::uint64_t digest =
+      options.warm_start
+          ? data_digest(target_ys_raw_, data_digest(source_ys_raw_))
+          : 0;
+  if (!options.warm_start || !last_y_digest_ || *last_y_digest_ != digest) {
+    restandardize();
+  }
+  if (options.warm_start) {
+    last_y_digest_ = digest;
+  } else {
+    last_y_digest_.reset();
+  }
+  rebuild_posterior();
 }
 
 void TransferGaussianProcess::optimize_hyperparameters(
@@ -412,6 +511,11 @@ Prediction TransferGaussianProcess::predict(const linalg::Vector& x) const {
 void TransferGaussianProcess::predict_batch(
     const std::vector<linalg::Vector>& xs, linalg::Vector& means,
     linalg::Vector& variances) const {
+  if (sparse_) {
+    sparse_->predict_batch(*kernel_, xs, tgt_mean_, tgt_sd_, 0.0, means,
+                           variances);
+    return;
+  }
   if (!chol_) throw std::runtime_error("TransferGaussianProcess: not fitted");
   const std::size_t m = xs.size();
   means.resize(m);

@@ -33,6 +33,7 @@
 #include "common/rng.hpp"
 #include "gp/gp.hpp"
 #include "gp/kernel.hpp"
+#include "gp/sparse.hpp"
 #include "linalg/cholesky.hpp"
 
 namespace ppat::gp {
@@ -48,6 +49,17 @@ struct TransferFitOptions {
   /// cross-task attenuation rho (isotropic kernels only; bit-identical to
   /// the direct path). Off switch for perf ablation.
   bool use_distance_cache = true;
+  /// Nelder-Mead simplex NLL-spread early stop; 0 (default) keeps the
+  /// optimizer default — bit-identical legacy behavior (see
+  /// FitOptions::nm_f_tolerance).
+  double nm_f_tolerance = 0.0;
+  /// Concurrent multi-start searches with a deterministic winner scan (see
+  /// FitOptions::parallel_restarts; bit-identical for any thread count).
+  bool parallel_restarts = true;
+  /// Seed starts[0] from the previous optimum and skip re-standardization
+  /// when both tasks' targets are byte-unchanged (see FitOptions::warm_start;
+  /// identical RNG consumption, off by default).
+  bool warm_start = false;
 };
 
 /// GP regression on a target task assisted by source-task observations.
@@ -103,6 +115,15 @@ class TransferGaussianProcess {
   void set_tiled_prediction(bool enabled) { tiled_prediction_ = enabled; }
   bool tiled_prediction() const { return tiled_prediction_; }
 
+  /// Configures the scalable low-rank tier over the JOINT system (source
+  /// plus target points; see GaussianProcess::set_low_rank). Landmarks are
+  /// drawn from both blocks by farthest-point sampling and cross-task
+  /// entries carry the learned rho. Takes effect at the next fit or refit.
+  void set_low_rank(const LowRankOptions& options) { low_rank_ = options; }
+  const LowRankOptions& low_rank_options() const { return low_rank_; }
+  /// True when the joint posterior is served by the low-rank tier.
+  bool low_rank_active() const { return sparse_.has_value(); }
+
   // ---- Posterior internals for gp::PosteriorCache ----
   // Same contract as GaussianProcess: the joint factor only grows between
   // full re-factorizations (target appends border the bottom of the joint
@@ -150,6 +171,9 @@ class TransferGaussianProcess {
 
  private:
   void factorize();
+  void rebuild_posterior();
+  void build_sparse();
+  bool use_low_rank(std::size_t n) const;
   void restandardize();
   bool try_append_to_factor(const linalg::Vector& x);
   double joint_nll(const linalg::Vector& log_params,
@@ -159,11 +183,15 @@ class TransferGaussianProcess {
   double joint_nll_from_cache(const linalg::Vector& log_params,
                               const linalg::Matrix& sqdist, std::size_t n_src,
                               const linalg::Vector& ys_subset) const;
+  double joint_nll_low_rank(const linalg::Vector& log_params,
+                            const Landmarks& lm, std::size_t n_src,
+                            const linalg::Vector& ys_subset) const;
   static double rho_from(double a, double b);
 
   std::unique_ptr<Kernel> kernel_;
   bool incremental_updates_ = true;
   bool tiled_prediction_ = true;
+  LowRankOptions low_rank_;
   std::uint64_t posterior_epoch_ = 0;
   double gamma_a_ = 0.5;  ///< Gamma scale (paper's a)
   double gamma_b_ = 0.5;  ///< Gamma shape (paper's b)
@@ -178,6 +206,11 @@ class TransferGaussianProcess {
 
   std::optional<linalg::CholeskyFactor> chol_;
   linalg::Vector alpha_;
+  std::optional<SparsePosterior> sparse_;  // low-rank tier, when active
+
+  // Warm-start state (see GaussianProcess).
+  std::optional<linalg::Vector> last_optimum_;
+  std::optional<std::uint64_t> last_y_digest_;
 };
 
 }  // namespace ppat::gp

@@ -1,0 +1,153 @@
+#include "linalg/lowrank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace ppat::linalg {
+
+namespace {
+
+/// Lane-accumulated dot product. linalg::dot keeps one serial accumulator
+/// chain (bit-frozen by the exact tier's twins), which caps it at one
+/// mul-add per FP latency; the Woodbury A-build is O(n m^2) of exactly such
+/// dots and dominates every low-rank NLL evaluation. Eight independent lane
+/// chains vectorize to full-width FMA on any -march the clones cover. The
+/// summation order differs from linalg::dot — fine here: the low-rank tier
+/// has no legacy twin to match, and the order is fixed, so results stay
+/// bit-identical for any thread count / partition.
+#if __has_attribute(target_clones)
+__attribute__((target_clones("avx512f", "avx2", "default")))
+#endif
+double dot_lanes(const double* a, const double* b, std::size_t n) {
+  constexpr std::size_t kLanes = 8;
+  double lane[kLanes] = {0.0};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) lane[l] += a[i + l] * b[i + l];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7])) + tail;
+}
+
+double dot_lanes(std::span<const double> a, std::span<const double> b) {
+  return dot_lanes(a.data(), b.data(), a.size());
+}
+
+}  // namespace
+
+std::optional<WoodburyFactor> WoodburyFactor::compute(const Matrix& kmm,
+                                                      const Matrix& u,
+                                                      const Vector& diag,
+                                                      const Vector& y) {
+  const std::size_t m = kmm.rows();
+  const std::size_t n = u.cols();
+  if (kmm.cols() != m || u.rows() != m) {
+    throw std::invalid_argument("WoodburyFactor: shape mismatch");
+  }
+  if (diag.size() != n || y.size() != n) {
+    throw std::invalid_argument("WoodburyFactor: rhs size mismatch");
+  }
+
+  auto kmm_chol = CholeskyFactor::compute_with_jitter(kmm);
+  if (!kmm_chol) return std::nullopt;
+
+  // V = D^{-1} U^T stored transposed (m x n) so the A build streams
+  // contiguous rows.
+  Matrix v(m, n);
+  common::parallel_for_blocks(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          const auto u_row = u.row(j);
+          auto v_row = v.row(j);
+          for (std::size_t i = 0; i < n; ++i) v_row[i] = u_row[i] / diag[i];
+        }
+      },
+      16);
+
+  WoodburyFactor f;
+  // A = Kmm + jitter*I + U D^{-1} U^T, upper triangle. Each entry is one
+  // full-length dot in ascending index order, so the parallel row partition
+  // cannot change any bit of the result.
+  f.a_ = Matrix(m, m);
+  const double jitter = kmm_chol->jitter_used();
+  common::parallel_for_blocks(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          for (std::size_t k = j; k < m; ++k) {
+            f.a_(j, k) = kmm(j, k) + dot_lanes(v.row(j), u.row(k));
+          }
+          f.a_(j, j) += jitter;
+        }
+      },
+      1);
+
+  auto a_chol = CholeskyFactor::compute_with_jitter(f.a_);
+  if (!a_chol) return std::nullopt;
+
+  f.b_.assign(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) f.b_[j] = dot_lanes(v.row(j), y);
+
+  double sum_log_d = 0.0;
+  double y_dinv_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(diag[i] > 0.0)) return std::nullopt;
+    sum_log_d += std::log(diag[i]);
+    y_dinv_y += y[i] * y[i] / diag[i];
+  }
+
+  f.kmm_chol_ = std::move(*kmm_chol);
+  f.a_chol_ = std::move(*a_chol);
+  f.kmm_log_det_ = f.kmm_chol_.log_det();
+  f.sum_log_d_ = sum_log_d;
+  f.y_dinv_y_ = y_dinv_y;
+  f.n_ = n;
+  f.w_ = f.a_chol_.solve(f.b_);
+  return f;
+}
+
+double WoodburyFactor::quad() const {
+  return y_dinv_y_ - dot(b_, w_);
+}
+
+double WoodburyFactor::variance_reduction(const Vector& q) const {
+  const Vector v1 = kmm_chol_.solve_lower(q);
+  const Vector v2 = a_chol_.solve_lower(q);
+  return dot(v1, v1) - dot(v2, v2);
+}
+
+bool WoodburyFactor::append(std::span<const double> u_col, double d_new,
+                            double y_new) {
+  const std::size_t m = b_.size();
+  if (u_col.size() != m) {
+    throw std::invalid_argument("WoodburyFactor::append: column size mismatch");
+  }
+  if (!(d_new > 0.0)) {
+    throw std::invalid_argument("WoodburyFactor::append: noise must be > 0");
+  }
+  // Trial update of A; committed only if it refactors.
+  Matrix a_next = a_;
+  const double inv_d = 1.0 / d_new;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double uj = u_col[j] * inv_d;
+    for (std::size_t k = j; k < m; ++k) a_next(j, k) += uj * u_col[k];
+  }
+  auto a_chol = CholeskyFactor::compute_with_jitter(a_next);
+  if (!a_chol) return false;
+
+  a_ = std::move(a_next);
+  a_chol_ = std::move(*a_chol);
+  for (std::size_t j = 0; j < m; ++j) b_[j] += u_col[j] * (y_new / d_new);
+  sum_log_d_ += std::log(d_new);
+  y_dinv_y_ += y_new * y_new / d_new;
+  ++n_;
+  w_ = a_chol_.solve(b_);
+  return true;
+}
+
+}  // namespace ppat::linalg

@@ -1,0 +1,96 @@
+// Woodbury-factored low-rank-plus-diagonal SPD systems — the numerical core
+// of the scalable (Nyström/DTC) surrogate tier.
+//
+// The exact GP works with the n x n system K + D (D diagonal noise), whose
+// factorization is O(n^3). The approximate tier replaces K by the Nyström
+// form Q = U^T Kmm^{-1} U built from m << n inducing rows U = K(Z, X), and
+// every quantity the surrogate needs — log-determinant, quadratic form,
+// posterior weights, predictive-variance solves — follows from two m x m
+// Cholesky factorizations via the Woodbury identity and the matrix
+// determinant lemma:
+//
+//     A               = Kmm + U D^{-1} U^T
+//     (Q + D)^{-1}    = D^{-1} - D^{-1} U^T A^{-1} U D^{-1}
+//     logdet(Q + D)   = logdet(A) - logdet(Kmm) + sum_i log d_i
+//
+// Construction costs O(n m^2) (dominated by the A build) plus O(m^3) for the
+// factorizations; appending one observation is O(m^2) accumulation plus an
+// O(m^3) refactorization. Every parallel loop assigns each output element to
+// exactly one task and computes it with a partition-independent left fold, so
+// results are bit-identical for any thread count (the determinism contract
+// the journal's bit-identical resume relies on).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ppat::linalg {
+
+/// Factorization of M = U^T Kmm^{-1} U + diag(d) (n x n, never formed),
+/// where U is m x n with rows indexed by inducing points. Carries the
+/// right-hand side y through the factorization so the quadratic form and the
+/// posterior weight vector stay O(1) to read and O(m^2)/O(m^3) to maintain
+/// under appends.
+class WoodburyFactor {
+ public:
+  /// Factors the system. `kmm` is m x m (only the upper triangle including
+  /// the diagonal is read); `u` is m x n with row j holding k(z_j, x_i);
+  /// `diag` holds the n per-point noise variances (all > 0); `y` is the
+  /// n-vector of (standardized) targets. Both inner factorizations escalate
+  /// diagonal jitter; returns nullopt only when even the maximum jitter
+  /// fails (the caller treats that as an infeasible hyper-parameter point).
+  static std::optional<WoodburyFactor> compute(const Matrix& kmm,
+                                               const Matrix& u,
+                                               const Vector& diag,
+                                               const Vector& y);
+
+  std::size_t rank() const { return b_.size(); }
+  std::size_t points() const { return n_; }
+  /// Jitter added to Kmm to make its factorization succeed.
+  double jitter_used() const { return kmm_chol_.jitter_used(); }
+
+  /// logdet(M) via the determinant lemma.
+  double log_det() const {
+    return a_chol_.log_det() - kmm_log_det_ + sum_log_d_;
+  }
+
+  /// y^T M^{-1} y for the y the factor was built with (kept exact across
+  /// append() calls). Equals y^T D^{-1} y - b^T A^{-1} b with b = U D^{-1} y.
+  double quad() const;
+
+  /// Posterior mean weights w = A^{-1} U D^{-1} y: the DTC posterior mean at
+  /// a query x is k(Z, x) . w (standardized units).
+  const Vector& weights() const { return w_; }
+
+  /// For a query column q = k(Z, x), the amount the DTC posterior shrinks
+  /// the prior variance: ||Lmm^{-1} q||^2 - ||La^{-1} q||^2, so the
+  /// predictive variance is k(x, x) - variance_reduction(q).
+  double variance_reduction(const Vector& q) const;
+
+  /// Extends the system with one observation: column u_col = k(Z, x_new),
+  /// noise d_new, target y_new. O(m^2) rank-1 accumulation into A plus an
+  /// O(m^3) refactorization — independent of n, which is what keeps
+  /// surrogate appends cheap at 10^4..10^6-point histories. Returns false
+  /// (leaving the factor unchanged) if the updated A loses positive
+  /// definiteness even with jitter.
+  bool append(std::span<const double> u_col, double d_new, double y_new);
+
+ private:
+  WoodburyFactor() = default;
+
+  Matrix a_;                   // Kmm + jitter*I + U D^{-1} U^T (upper triangle)
+  CholeskyFactor kmm_chol_{CholeskyFactor::compute(Matrix::identity(1)).value()};
+  CholeskyFactor a_chol_{CholeskyFactor::compute(Matrix::identity(1)).value()};
+  Vector b_;                   // U D^{-1} y
+  Vector w_;                   // A^{-1} b
+  double kmm_log_det_ = 0.0;
+  double sum_log_d_ = 0.0;
+  double y_dinv_y_ = 0.0;      // y^T D^{-1} y
+  std::size_t n_ = 0;
+};
+
+}  // namespace ppat::linalg

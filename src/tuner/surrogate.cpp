@@ -16,10 +16,14 @@ std::unique_ptr<gp::Kernel> make_kernel(KernelKind kind) {
 
 TransferGpSurrogate::TransferGpSurrogate(
     std::vector<linalg::Vector> source_xs, linalg::Vector source_ys,
-    KernelKind kind)
+    KernelKind kind, const gp::TransferFitOptions& fit_options,
+    const gp::LowRankOptions& low_rank)
     : source_xs_(std::move(source_xs)),
       source_ys_(std::move(source_ys)),
-      model_(make_kernel(kind)) {}
+      fit_options_(fit_options),
+      model_(make_kernel(kind)) {
+  model_.set_low_rank(low_rank);
+}
 
 void TransferGpSurrogate::fit(const std::vector<linalg::Vector>& xs,
                               const linalg::Vector& ys) {
@@ -36,7 +40,7 @@ void TransferGpSurrogate::add_observation_batch(
 }
 
 void TransferGpSurrogate::prepare_refit(common::Rng& rng) {
-  plan_ = model_.prepare_refit(rng);
+  plan_ = model_.prepare_refit(rng, fit_options_);
   has_plan_ = true;
 }
 
@@ -58,11 +62,22 @@ void TransferGpSurrogate::predict_batch_cached(
     const std::vector<std::size_t>& ids,
     const std::vector<linalg::Vector>& xs, linalg::Vector& means,
     linalg::Vector& variances) {
+  // The posterior cache replays whitened solves against the exact Cholesky
+  // factor, which the low-rank tier does not maintain; sparse predictions
+  // are O(m^2) per candidate anyway, so just serve them directly.
+  if (model_.low_rank_active()) {
+    model_.predict_batch(xs, means, variances);
+    return;
+  }
   cache_.predict(model_, ids, xs, means, variances);
 }
 
-PlainGpSurrogate::PlainGpSurrogate(KernelKind kind)
-    : model_(make_kernel(kind)) {}
+PlainGpSurrogate::PlainGpSurrogate(KernelKind kind,
+                                   const gp::FitOptions& fit_options,
+                                   const gp::LowRankOptions& low_rank)
+    : fit_options_(fit_options), model_(make_kernel(kind)) {
+  model_.set_low_rank(low_rank);
+}
 
 void PlainGpSurrogate::fit(const std::vector<linalg::Vector>& xs,
                            const linalg::Vector& ys) {
@@ -79,7 +94,7 @@ void PlainGpSurrogate::add_observation_batch(
 }
 
 void PlainGpSurrogate::prepare_refit(common::Rng& rng) {
-  plan_ = model_.prepare_refit(rng);
+  plan_ = model_.prepare_refit(rng, fit_options_);
   has_plan_ = true;
 }
 
@@ -101,21 +116,29 @@ void PlainGpSurrogate::predict_batch_cached(
     const std::vector<std::size_t>& ids,
     const std::vector<linalg::Vector>& xs, linalg::Vector& means,
     linalg::Vector& variances) {
+  if (model_.low_rank_active()) {
+    model_.predict_batch(xs, means, variances);
+    return;
+  }
   cache_.predict(model_, ids, xs, means, variances);
 }
 
-SurrogateFactory make_transfer_gp_factory(const SourceData& source,
-                                          KernelKind kind) {
-  return [source, kind](std::size_t objective_index)
-             -> std::unique_ptr<Surrogate> {
+SurrogateFactory make_transfer_gp_factory(
+    const SourceData& source, KernelKind kind,
+    const gp::TransferFitOptions& fit_options,
+    const gp::LowRankOptions& low_rank) {
+  return [source, kind, fit_options,
+          low_rank](std::size_t objective_index) -> std::unique_ptr<Surrogate> {
     return std::make_unique<TransferGpSurrogate>(
-        source.xs, source.ys.at(objective_index), kind);
+        source.xs, source.ys.at(objective_index), kind, fit_options, low_rank);
   };
 }
 
-SurrogateFactory make_plain_gp_factory(KernelKind kind) {
-  return [kind](std::size_t) -> std::unique_ptr<Surrogate> {
-    return std::make_unique<PlainGpSurrogate>(kind);
+SurrogateFactory make_plain_gp_factory(KernelKind kind,
+                                       const gp::FitOptions& fit_options,
+                                       const gp::LowRankOptions& low_rank) {
+  return [kind, fit_options, low_rank](std::size_t) -> std::unique_ptr<Surrogate> {
+    return std::make_unique<PlainGpSurrogate>(kind, fit_options, low_rank);
   };
 }
 

@@ -99,10 +99,15 @@ std::unique_ptr<gp::Kernel> make_kernel(KernelKind kind);
 class TransferGpSurrogate final : public Surrogate {
  public:
   /// `source_xs`/`source_ys` are the historical task's encoded configs and
-  /// golden values for this objective. They are copied.
+  /// golden values for this objective. They are copied. `fit_options` is
+  /// used by every refit this surrogate prepares; `low_rank` configures the
+  /// scalable tier (disabled by default — the exact path is the bit-exact
+  /// reference).
   TransferGpSurrogate(std::vector<linalg::Vector> source_xs,
                       linalg::Vector source_ys,
-                      KernelKind kind = KernelKind::kSquaredExponential);
+                      KernelKind kind = KernelKind::kSquaredExponential,
+                      const gp::TransferFitOptions& fit_options = {},
+                      const gp::LowRankOptions& low_rank = {});
 
   void fit(const std::vector<linalg::Vector>& xs,
            const linalg::Vector& ys) override;
@@ -131,6 +136,7 @@ class TransferGpSurrogate final : public Surrogate {
  private:
   std::vector<linalg::Vector> source_xs_;
   linalg::Vector source_ys_;
+  gp::TransferFitOptions fit_options_;
   gp::TransferGaussianProcess model_;
   gp::TransferGaussianProcess::RefitPlan plan_;
   gp::PosteriorCache<gp::TransferGaussianProcess> cache_;
@@ -141,7 +147,9 @@ class TransferGpSurrogate final : public Surrogate {
 class PlainGpSurrogate final : public Surrogate {
  public:
   explicit PlainGpSurrogate(
-      KernelKind kind = KernelKind::kSquaredExponential);
+      KernelKind kind = KernelKind::kSquaredExponential,
+      const gp::FitOptions& fit_options = {},
+      const gp::LowRankOptions& low_rank = {});
 
   void fit(const std::vector<linalg::Vector>& xs,
            const linalg::Vector& ys) override;
@@ -165,17 +173,24 @@ class PlainGpSurrogate final : public Surrogate {
   }
 
  private:
+  gp::FitOptions fit_options_;
   gp::GaussianProcess model_;
   gp::GaussianProcess::RefitPlan plan_;
   gp::PosteriorCache<gp::GaussianProcess> cache_;
   bool has_plan_ = false;
 };
 
-/// Convenience factories.
+/// Convenience factories. The fit/low-rank option overloads select the
+/// surrogate tier per run (e.g. the crash-resume harness exercising the
+/// approximate tier); the defaults are byte-compatible with the originals.
 SurrogateFactory make_transfer_gp_factory(
     const SourceData& source,
-    KernelKind kind = KernelKind::kSquaredExponential);
+    KernelKind kind = KernelKind::kSquaredExponential,
+    const gp::TransferFitOptions& fit_options = {},
+    const gp::LowRankOptions& low_rank = {});
 SurrogateFactory make_plain_gp_factory(
-    KernelKind kind = KernelKind::kSquaredExponential);
+    KernelKind kind = KernelKind::kSquaredExponential,
+    const gp::FitOptions& fit_options = {},
+    const gp::LowRankOptions& low_rank = {});
 
 }  // namespace ppat::tuner

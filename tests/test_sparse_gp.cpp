@@ -1,0 +1,534 @@
+// Low-rank (DTC) surrogate tier: landmark selection, approximation quality,
+// parallel multi-start determinism, and warm-started refits (gp/sparse.hpp,
+// gp/refit.hpp, linalg/lowrank.hpp).
+#include "gp/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "gp/gp.hpp"
+#include "gp/kernel.hpp"
+#include "gp/refit.hpp"
+#include "gp/transfer_gp.hpp"
+#include "linalg/lowrank.hpp"
+
+namespace ppat::gp {
+namespace {
+
+/// Smooth anisotropic response over the unit square — the same character as
+/// the encoded QoR surfaces the surrogates model.
+double response2d(const linalg::Vector& x) {
+  return std::sin(3.0 * x[0]) + 0.6 * std::cos(5.0 * x[1]) +
+         0.4 * x[0] * x[1];
+}
+
+std::vector<linalg::Vector> draw2d(std::size_t n, common::Rng& rng) {
+  std::vector<linalg::Vector> xs(n, linalg::Vector(2));
+  for (auto& x : xs) {
+    x[0] = rng.uniform01();
+    x[1] = rng.uniform01();
+  }
+  return xs;
+}
+
+linalg::Vector responses(const std::vector<linalg::Vector>& xs) {
+  linalg::Vector ys(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] = response2d(xs[i]);
+  return ys;
+}
+
+GaussianProcess make_gp(double noise = 1e-4) {
+  return GaussianProcess(
+      std::make_unique<SquaredExponentialKernel>(0.3, 1.0), noise);
+}
+
+/// Runs `fn` under a temporary global thread count, restoring the previous
+/// value even on test failure.
+template <typename Fn>
+void with_threads(std::size_t n, Fn&& fn) {
+  const std::size_t prev = common::global_thread_count();
+  common::set_global_thread_count(n);
+  fn();
+  common::set_global_thread_count(prev);
+}
+
+// ---------------------------------------------------------------------------
+// Landmark selection (farthest-point sampling)
+
+TEST(SelectLandmarks, GreedyOrderAndTieBreakAreDeterministic) {
+  // Start is always index 0; the farthest point goes next; equal distances
+  // resolve toward the lowest index.
+  const std::vector<linalg::Vector> xs = {{0.0}, {0.4}, {1.0}};
+  const auto lm = select_landmarks(xs, 3);
+  ASSERT_EQ(lm.indices.size(), 3u);
+  EXPECT_EQ(lm.indices[0], 0u);
+  EXPECT_EQ(lm.indices[1], 2u);  // 1.0 is farther from 0.0 than 0.4
+  EXPECT_EQ(lm.indices[2], 1u);
+
+  // Exact tie: both remaining points at distance 0.25 from the start.
+  const std::vector<linalg::Vector> tie = {{0.5}, {0.0}, {1.0}};
+  const auto lm_tie = select_landmarks(tie, 2);
+  EXPECT_EQ(lm_tie.indices[1], 1u);  // lowest index wins the tie
+}
+
+TEST(SelectLandmarks, SqdistRowsMatchTheSharedPrimitive) {
+  common::Rng rng(11);
+  const auto xs = draw2d(20, rng);
+  const auto lm = select_landmarks(xs, 6);
+  ASSERT_EQ(lm.sqdist.rows(), 6u);
+  ASSERT_EQ(lm.sqdist.cols(), 20u);
+  for (std::size_t j = 0; j < lm.indices.size(); ++j) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(lm.sqdist(j, i),
+                squared_distance(xs[lm.indices[j]], xs[i]));
+    }
+  }
+}
+
+TEST(SelectLandmarks, BitIdenticalAcrossThreadCounts) {
+  common::Rng rng(12);
+  const auto xs = draw2d(300, rng);
+  Landmarks base;
+  with_threads(1, [&] { base = select_landmarks(xs, 32); });
+  for (std::size_t t : {4u, 16u}) {
+    Landmarks other;
+    with_threads(t, [&] { other = select_landmarks(xs, 32); });
+    ASSERT_EQ(other.indices, base.indices);
+    for (std::size_t j = 0; j < base.sqdist.rows(); ++j) {
+      for (std::size_t i = 0; i < base.sqdist.cols(); ++i) {
+        ASSERT_EQ(other.sqdist(j, i), base.sqdist(j, i));
+      }
+    }
+  }
+}
+
+TEST(SelectLandmarks, ClampsToPointCount) {
+  const std::vector<linalg::Vector> xs = {{0.0}, {1.0}};
+  const auto lm = select_landmarks(xs, 10);
+  EXPECT_EQ(lm.indices.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Approximation quality
+
+TEST(SparsePosterior, ExactAtFullRank) {
+  // With m = n the DTC approximation IS the exact GP (Q_nn = K_nn): the
+  // low-rank posterior must agree with the exact model to solver precision.
+  common::Rng rng(21);
+  const std::size_t n = 60;
+  const auto xs = draw2d(n, rng);
+  const auto ys = responses(xs);
+
+  auto exact = make_gp(1e-3);
+  exact.fit(xs, ys);
+
+  auto lowrank = make_gp(1e-3);
+  lowrank.set_low_rank({/*enabled=*/true, /*switchover=*/16,
+                        /*num_inducing=*/n});
+  lowrank.fit(xs, ys);
+  ASSERT_TRUE(lowrank.low_rank_active());
+  ASSERT_FALSE(exact.low_rank_active());
+
+  const auto queries = draw2d(25, rng);
+  linalg::Vector em, ev, am, av;
+  exact.predict_batch(queries, em, ev);
+  lowrank.predict_batch(queries, am, av);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_NEAR(am[i], em[i], 1e-6);
+    // Variances go through both triangular factors of the ill-conditioned
+    // (noise-free, full-rank) K_mm, so they carry a little more of the
+    // jitter's imprint than the means.
+    EXPECT_NEAR(av[i], ev[i], 1e-4);
+  }
+  // The log-marginal is looser than the posterior: the noise-free landmark
+  // Gram K_mm is ill-conditioned for a smooth kernel at full rank, and the
+  // jitter that makes it factorizable perturbs the logdet slightly.
+  EXPECT_NEAR(lowrank.log_marginal_likelihood(),
+              exact.log_marginal_likelihood(), 0.1);
+}
+
+TEST(SparsePosterior, BoundedErrorAtLowRankOverRandomSeeds) {
+  // Property: on smooth 2-D data, a 5x rank reduction (m = 60 for n = 300)
+  // keeps the posterior mean close to exact. Standardized-unit responses are
+  // O(1), so an absolute tolerance is a relative one too.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    common::Rng rng(seed);
+    const auto xs = draw2d(300, rng);
+    const auto ys = responses(xs);
+
+    auto exact = make_gp(1e-3);
+    exact.fit(xs, ys);
+    auto lowrank = make_gp(1e-3);
+    lowrank.set_low_rank({true, /*switchover=*/64, /*num_inducing=*/60});
+    lowrank.fit(xs, ys);
+    ASSERT_TRUE(lowrank.low_rank_active());
+
+    const auto queries = draw2d(40, rng);
+    linalg::Vector em, ev, am, av;
+    exact.predict_batch(queries, em, ev);
+    lowrank.predict_batch(queries, am, av);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      max_err = std::max(max_err, std::abs(am[i] - em[i]));
+      EXPECT_GE(av[i], 0.0);  // clamped, never negative
+      // DTC variances approach the exact posterior from above as m grows
+      // (modulo the jitter both factorizations may add); they must never
+      // collapse meaningfully below the exact value — that would be
+      // fabricated confidence.
+      EXPECT_GE(av[i], 0.9 * ev[i] - 1e-6);
+    }
+    EXPECT_LT(max_err, 0.15) << "seed " << seed;
+  }
+}
+
+TEST(SparsePosterior, AppendMatchesRebuildOnSameLandmarks) {
+  // linalg-level check: factoring n+1 points from scratch and appending the
+  // (n+1)-th to an n-point factor give the same system (same landmarks, so
+  // the only difference is the update order).
+  common::Rng rng(31);
+  const std::size_t n = 40, m = 10;
+  const auto xs = draw2d(n + 1, rng);
+  const auto ys = responses(xs);
+  SquaredExponentialKernel kernel(0.3, 1.0);
+
+  const std::vector<linalg::Vector> head(xs.begin(), xs.end() - 1);
+  const auto lm = select_landmarks(head, m);
+
+  // U over all n+1 points, landmark gram, diagonal noise.
+  linalg::Matrix u(m, n + 1);
+  linalg::Matrix kmm(m, m);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i <= n; ++i) {
+      u(j, i) = kernel(head[lm.indices[j]], xs[i]);
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      kmm(j, k) = kernel(head[lm.indices[j]], head[lm.indices[k]]);
+    }
+  }
+  const double noise = 1e-3;
+  linalg::Vector diag_full(n + 1, noise), diag_head(n, noise);
+  linalg::Vector y_full(ys.begin(), ys.end());
+  linalg::Vector y_head(ys.begin(), ys.end() - 1);
+
+  linalg::Matrix u_head(m, n);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < n; ++i) u_head(j, i) = u(j, i);
+  }
+
+  auto full = linalg::WoodburyFactor::compute(kmm, u, diag_full, y_full);
+  auto inc = linalg::WoodburyFactor::compute(kmm, u_head, diag_head, y_head);
+  ASSERT_TRUE(full && inc);
+  linalg::Vector last_col(m);
+  for (std::size_t j = 0; j < m; ++j) last_col[j] = u(j, n);
+  ASSERT_TRUE(inc->append(last_col, noise, ys[n]));
+
+  EXPECT_EQ(inc->points(), full->points());
+  EXPECT_NEAR(inc->log_det(), full->log_det(), 1e-8);
+  EXPECT_NEAR(inc->quad(), full->quad(), 1e-8);
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_NEAR(inc->weights()[j], full->weights()[j], 1e-8);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tier switching on the models
+
+TEST(GaussianProcessLowRank, ActivatesAboveSwitchoverAndStaysOnAppends) {
+  common::Rng rng(41);
+  const auto xs = draw2d(80, rng);
+  const auto ys = responses(xs);
+
+  auto gp = make_gp(1e-3);
+  gp.set_low_rank({true, /*switchover=*/64, /*num_inducing=*/24});
+  gp.fit(xs, ys);
+  ASSERT_TRUE(gp.low_rank_active());
+  EXPECT_THROW(gp.factor(), std::runtime_error);
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+
+  // Appends stay on the tier (no silent fallback to O(n^3)).
+  const auto extra = draw2d(5, rng);
+  for (const auto& x : extra) gp.add_observation(x, response2d(x));
+  EXPECT_TRUE(gp.low_rank_active());
+  EXPECT_EQ(gp.num_points(), 85u);
+
+  // Appended observations inform predictions on the tier.
+  const auto p = gp.predict(extra[0]);
+  EXPECT_NEAR(p.mean, response2d(extra[0]), 0.3);
+
+  // A refit whose NLL subset stays above the switchover keeps the tier.
+  FitOptions opt;
+  opt.max_points = 80;
+  opt.restarts = 1;
+  opt.max_evals = 20;
+  common::Rng refit_rng(42);
+  gp.optimize_hyperparameters(refit_rng, opt);
+  EXPECT_TRUE(gp.low_rank_active());
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+}
+
+TEST(GaussianProcessLowRank, StaysExactAtOrBelowSwitchover) {
+  common::Rng rng(43);
+  const auto xs = draw2d(30, rng);
+  auto gp = make_gp();
+  gp.set_low_rank({true, /*switchover=*/64, /*num_inducing=*/16});
+  gp.fit(xs, responses(xs));
+  EXPECT_FALSE(gp.low_rank_active());
+  EXPECT_NO_THROW(gp.factor());
+}
+
+TEST(GaussianProcessLowRank, DisabledByDefault) {
+  auto gp = make_gp();
+  EXPECT_FALSE(gp.low_rank_options().enabled);
+}
+
+TEST(GaussianProcessLowRank, PrepareRefitConsumesSameRngWordsAsExact) {
+  // Journal-replay invariant: the tier changes no RNG consumption. Two
+  // models over the same data, one exact and one low-rank, must leave a
+  // shared RNG in the same state after prepare_refit.
+  common::Rng rng(44);
+  const auto xs = draw2d(100, rng);
+  const auto ys = responses(xs);
+  auto exact = make_gp();
+  exact.fit(xs, ys);
+  auto lowrank = make_gp();
+  lowrank.set_low_rank({true, 32, 16});
+  lowrank.fit(xs, ys);
+  ASSERT_TRUE(lowrank.low_rank_active());
+
+  FitOptions opt;
+  opt.max_points = 48;
+  common::Rng a(7), b(7);
+  (void)exact.prepare_refit(a, opt);
+  (void)lowrank.prepare_refit(b, opt);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(TransferGpLowRank, JointSystemActivatesAndServesTargetQueries) {
+  common::Rng rng(51);
+  const auto src = draw2d(70, rng);
+  const auto tgt = draw2d(20, rng);
+  linalg::Vector src_ys = responses(src);
+  // Correlated but shifted/scaled source task, per-task standardization.
+  for (double& y : src_ys) y = 3.0 * y + 10.0;
+
+  TransferGaussianProcess model(
+      std::make_unique<SquaredExponentialKernel>(0.3, 1.0));
+  model.set_low_rank({true, /*switchover=*/64, /*num_inducing=*/24});
+  model.fit(src, src_ys, tgt, responses(tgt));
+  ASSERT_TRUE(model.low_rank_active());
+  EXPECT_THROW(model.factor(), std::runtime_error);
+
+  const auto queries = draw2d(10, rng);
+  linalg::Vector means, vars;
+  model.predict_batch(queries, means, vars);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(means[i]));
+    EXPECT_GE(vars[i], 0.0);
+    // Transfer from 70 correlated source points should track the surface.
+    EXPECT_NEAR(means[i], response2d(queries[i]), 1.0);
+  }
+
+  model.add_target_observation(queries[0], response2d(queries[0]));
+  EXPECT_TRUE(model.low_rank_active());
+  EXPECT_EQ(model.num_target_points(), 21u);
+
+  TransferFitOptions opt;
+  opt.max_source_points = 70;
+  opt.max_target_points = 30;
+  opt.restarts = 1;
+  opt.max_evals = 15;
+  common::Rng refit_rng(52);
+  model.optimize_hyperparameters(refit_rng, opt);
+  EXPECT_TRUE(model.low_rank_active());
+  EXPECT_TRUE(std::isfinite(model.log_marginal_likelihood()));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel multi-restart determinism
+
+TEST(ParallelRestarts, SameWinnerForAnyThreadCountAndSerial) {
+  common::Rng data_rng(61);
+  const auto xs = draw2d(48, data_rng);
+  const auto ys = responses(xs);
+
+  // One refit per (parallel, thread-count) configuration, all consuming an
+  // identically-seeded RNG: every fitted value must be bit-identical.
+  struct Config {
+    bool parallel;
+    std::size_t threads;
+  };
+  const Config configs[] = {{false, 1}, {true, 1}, {true, 4}, {true, 16}};
+  linalg::Vector ref_means, ref_vars;
+  double ref_lml = 0.0, ref_noise = 0.0;
+  const auto queries = draw2d(10, data_rng);
+
+  for (std::size_t c = 0; c < std::size(configs); ++c) {
+    auto gp = make_gp();
+    gp.fit(xs, ys);
+    FitOptions opt;
+    opt.restarts = 4;
+    opt.max_evals = 40;
+    opt.parallel_restarts = configs[c].parallel;
+    common::Rng rng(62);
+    with_threads(configs[c].threads,
+                 [&] { gp.optimize_hyperparameters(rng, opt); });
+    linalg::Vector means, vars;
+    gp.predict_batch(queries, means, vars);
+    if (c == 0) {
+      ref_means = means;
+      ref_vars = vars;
+      ref_lml = gp.log_marginal_likelihood();
+      ref_noise = gp.noise_variance();
+    } else {
+      EXPECT_EQ(gp.log_marginal_likelihood(), ref_lml);
+      EXPECT_EQ(gp.noise_variance(), ref_noise);
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_EQ(means[i], ref_means[i]);
+        EXPECT_EQ(vars[i], ref_vars[i]);
+      }
+    }
+  }
+}
+
+TEST(ParallelRestarts, TransferModelMatchesSerialBitwise) {
+  common::Rng data_rng(63);
+  const auto src = draw2d(40, data_rng);
+  const auto tgt = draw2d(16, data_rng);
+  const auto src_ys = responses(src);
+  const auto tgt_ys = responses(tgt);
+  const auto queries = draw2d(8, data_rng);
+
+  linalg::Vector ref_means, ref_vars;
+  for (int pass = 0; pass < 2; ++pass) {
+    TransferGaussianProcess model(
+        std::make_unique<SquaredExponentialKernel>(0.3, 1.0));
+    model.fit(src, src_ys, tgt, tgt_ys);
+    TransferFitOptions opt;
+    opt.restarts = 3;
+    opt.max_evals = 30;
+    opt.parallel_restarts = pass == 1;
+    common::Rng rng(64);
+    with_threads(pass == 1 ? 8 : 1,
+                 [&] { model.optimize_hyperparameters(rng, opt); });
+    linalg::Vector means, vars;
+    model.predict_batch(queries, means, vars);
+    if (pass == 0) {
+      ref_means = means;
+      ref_vars = vars;
+    } else {
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_EQ(means[i], ref_means[i]);
+        EXPECT_EQ(vars[i], ref_vars[i]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm starts and early stop
+
+TEST(WarmStart, RngConsumptionIdenticalOnAndOff) {
+  // Toggling warm_start must never shift the shared RNG stream: the draws of
+  // prepare_refit depend only on (restarts, dimension, subset size).
+  common::Rng data_rng(71);
+  const auto xs = draw2d(50, data_rng);
+  const auto ys = responses(xs);
+
+  auto gp = make_gp();
+  gp.fit(xs, ys);
+  common::Rng warm_rng(72);
+  FitOptions warm_opt;
+  warm_opt.warm_start = true;
+  warm_opt.restarts = 3;
+  (void)gp.prepare_refit(warm_rng, warm_opt);
+
+  common::Rng cold_rng(72);
+  FitOptions cold_opt;
+  cold_opt.warm_start = false;
+  cold_opt.restarts = 3;
+  (void)gp.prepare_refit(cold_rng, cold_opt);
+
+  EXPECT_EQ(warm_rng.state(), cold_rng.state());
+}
+
+TEST(WarmStart, SeedsFirstStartFromPreviousOptimumAndSkipsRestandardize) {
+  common::Rng data_rng(73);
+  const auto xs = draw2d(40, data_rng);
+  const auto ys = responses(xs);
+
+  auto gp = make_gp();
+  gp.fit(xs, ys);
+  FitOptions opt;
+  opt.warm_start = true;
+  opt.restarts = 2;
+  opt.max_evals = 40;
+  common::Rng rng(74);
+  gp.optimize_hyperparameters(rng, opt);
+  const double lml1 = gp.log_marginal_likelihood();
+
+  // Second warm refit on byte-identical data: the plan's first start is the
+  // previous optimum, so re-optimizing cannot regress the likelihood.
+  const auto plan = gp.prepare_refit(rng, opt);
+  ASSERT_FALSE(plan.starts.empty());
+  gp.execute_refit(plan);
+  EXPECT_GE(gp.log_marginal_likelihood(), lml1 - 1e-9);
+
+  // Predictions remain sane after the digest-gated standardization skip.
+  const auto p = gp.predict(xs[0]);
+  EXPECT_NEAR(p.mean, ys[0], 0.5);
+}
+
+TEST(WarmStart, DigestDetectsChangedTargets) {
+  linalg::Vector a = {1.0, 2.0, 3.0};
+  linalg::Vector b = {1.0, 2.0, 3.0000000001};
+  EXPECT_EQ(data_digest(a), data_digest(a));
+  EXPECT_NE(data_digest(a), data_digest(b));
+  // Length participates: a prefix is not the same data.
+  linalg::Vector c = {1.0, 2.0};
+  EXPECT_NE(data_digest(a), data_digest(c));
+}
+
+TEST(EarlyStop, ToleranceZeroKeepsLegacyTrajectoryBitwise) {
+  // nm_f_tolerance = 0 must be indistinguishable from a pre-feature refit;
+  // compare against an explicit second model fitted the same way.
+  common::Rng data_rng(81);
+  const auto xs = draw2d(40, data_rng);
+  const auto ys = responses(xs);
+  double ref = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    auto gp = make_gp();
+    gp.fit(xs, ys);
+    FitOptions opt;
+    opt.nm_f_tolerance = 0.0;
+    opt.parallel_restarts = pass == 1;
+    common::Rng rng(82);
+    gp.optimize_hyperparameters(rng, opt);
+    if (pass == 0) {
+      ref = gp.log_marginal_likelihood();
+    } else {
+      EXPECT_EQ(gp.log_marginal_likelihood(), ref);
+    }
+  }
+}
+
+TEST(EarlyStop, LooseToleranceStillProducesUsableFit) {
+  common::Rng data_rng(83);
+  const auto xs = draw2d(40, data_rng);
+  const auto ys = responses(xs);
+  auto gp = make_gp();
+  gp.fit(xs, ys);
+  FitOptions opt;
+  opt.nm_f_tolerance = 1e-2;  // aggressive early stop
+  common::Rng rng(84);
+  gp.optimize_hyperparameters(rng, opt);
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+  const auto p = gp.predict(xs[0]);
+  EXPECT_NEAR(p.mean, ys[0], 0.5);
+}
+
+}  // namespace
+}  // namespace ppat::gp
