@@ -1,0 +1,228 @@
+// Sessions-vs-throughput bench for the multi-tenant tuning server.
+//
+// Fixed workload: 8 tenants, each a full PPATuner session (48-run budget,
+// batch 1: a serial tool loop per tenant) over a 400-candidate synthetic
+// pool whose oracle charges a fixed per-evaluation latency (a stand-in for
+// PD tool runtime). The workload is replayed at concurrency levels
+// 1/2/4/8 — tenants run in waves of S concurrent sessions against ONE
+// SessionManager with a 4-license broker — and the bench reports wall
+// time, evaluation throughput, and speedup.
+//
+// Two properties measured, one property checked:
+//   * a single batch-1 tenant leaves 3 of 4 licenses idle; concurrent
+//     sessions fill the pool, so throughput rises ~linearly with S until
+//     the broker saturates at the license count (the paper's B-parallel-
+//     licenses motivation, applied across tenants instead of within one
+//     batch);
+//   * admission + fair brokering add no measurable overhead at S=1;
+//   * every tenant's Pareto result is BITWISE-identical at every
+//     concurrency level (the multi-tenant determinism contract) — the bench
+//     aborts if not.
+//
+// Output: a table on stdout and BENCH_server.json next to it.
+//
+//   bench_server_sessions [--latency-ms N] [--runs N] [--out FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/rng.hpp"
+#include "flow/eval_service.hpp"
+#include "flow/parameter.hpp"
+#include "flow/pd_tool.hpp"
+#include "sample/sampling.hpp"
+#include "server/session_manager.hpp"
+#include "tuner/ppatuner.hpp"
+
+namespace {
+
+using namespace ppat;
+using clock_type = std::chrono::steady_clock;
+
+constexpr std::size_t kTenants = 8;
+constexpr std::size_t kLicenses = 4;
+
+flow::ParameterSpace bench_space() {
+  return flow::ParameterSpace({
+      flow::ParamSpec::real("x0", 0.0, 1.0),
+      flow::ParamSpec::real("x1", 0.0, 1.0),
+      flow::ParamSpec::real("x2", 0.0, 1.0),
+  });
+}
+
+/// Analytic QoR with two conflicting axes plus a per-tenant shift; sleeps
+/// `latency` per call to emulate tool runtime.
+class LatencyOracle final : public flow::QorOracle {
+ public:
+  LatencyOracle(double shift, std::chrono::milliseconds latency)
+      : shift_(shift), latency_(latency) {}
+
+  flow::QoR evaluate(const flow::ParameterSpace& space,
+                     const flow::Config& config) override {
+    if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
+    const auto u = space.encode(config);
+    flow::QoR q;
+    q.area_um2 = 100.0 + 40.0 * (u[0] + shift_) + 10.0 * u[2];
+    q.power_mw = 5.0 + 3.0 * (1.0 - u[0]) + 1.5 * u[1] * u[1];
+    q.delay_ns = 2.0 + u[0] * u[1] + 0.5 * (1.0 - u[2]) + shift_;
+    ++runs_;
+    return q;
+  }
+  std::size_t run_count() const override { return runs_; }
+
+ private:
+  double shift_;
+  std::chrono::milliseconds latency_;
+  std::size_t runs_ = 0;
+};
+
+struct Tenant {
+  double shift = 0.0;
+  std::vector<flow::Config> candidates;
+  tuner::PPATunerOptions tuner;
+};
+
+std::vector<Tenant> make_tenants(std::size_t max_runs) {
+  const auto space = bench_space();
+  std::vector<Tenant> tenants;
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    Tenant t;
+    t.shift = 0.05 * static_cast<double>(i % 3);
+    common::Rng rng(1000 + i);
+    for (const auto& u : sample::latin_hypercube(400, space.size(), rng)) {
+      t.candidates.push_back(space.decode(u));
+    }
+    t.tuner.seed = 100 + i;
+    t.tuner.batch_size = 1;
+    t.tuner.max_runs = max_runs;
+    t.tuner.max_rounds = 120;
+    t.tuner.num_threads = 1;
+    tenants.push_back(std::move(t));
+  }
+  return tenants;
+}
+
+struct LevelResult {
+  std::size_t sessions = 0;
+  double wall_ms = 0.0;
+  std::size_t tool_runs = 0;
+  std::vector<std::vector<std::size_t>> fronts;  ///< per tenant
+};
+
+/// Replays the 8-tenant workload in waves of `concurrency` sessions.
+LevelResult run_level(const std::vector<Tenant>& tenants,
+                      std::size_t concurrency,
+                      std::chrono::milliseconds latency) {
+  server::SessionManagerOptions opts;
+  opts.max_sessions = concurrency;
+  opts.total_licenses = kLicenses;
+  opts.handle_signals = false;
+  server::SessionManager manager(opts);
+
+  LevelResult out;
+  out.sessions = concurrency;
+  out.fronts.resize(tenants.size());
+  const auto t0 = clock_type::now();
+  for (std::size_t wave = 0; wave < tenants.size(); wave += concurrency) {
+    std::vector<std::pair<std::size_t, std::uint64_t>> ids;
+    const std::size_t end = std::min(wave + concurrency, tenants.size());
+    for (std::size_t i = wave; i < end; ++i) {
+      const Tenant& t = tenants[i];
+      server::SessionConfig cfg;
+      cfg.name = "tenant" + std::to_string(i);
+      cfg.space = bench_space();
+      cfg.candidates = t.candidates;
+      cfg.objectives = {0, 2};  // area, delay
+      const double shift = t.shift;
+      cfg.make_oracle = [shift, latency] {
+        return std::make_unique<LatencyOracle>(shift, latency);
+      };
+      cfg.tuner = t.tuner;
+      cfg.eval.licenses = 1;  // strictly serial tenant: one run in flight
+      cfg.worker_threads = 1;
+      ids.emplace_back(i, manager.open(cfg));
+    }
+    for (const auto& [i, id] : ids) {
+      const auto result = manager.wait(id);
+      out.fronts[i] = result.pareto_indices;
+      out.tool_runs += result.tool_runs;
+    }
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(clock_type::now() -
+                                                          t0)
+                    .count();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long latency_ms = 5;
+  std::size_t max_runs = 48;
+  std::string out_path = "BENCH_server.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--latency-ms") == 0) {
+      latency_ms = std::stol(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--runs") == 0) {
+      max_runs = std::stoul(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const auto latency = std::chrono::milliseconds(latency_ms);
+  const auto tenants = make_tenants(max_runs);
+
+  std::printf(
+      "server sessions-vs-throughput: %zu tenants, %zu shared licenses, "
+      "%ldms tool latency, %zu-run budget\n\n",
+      kTenants, kLicenses, latency_ms, max_runs);
+  std::printf("%10s %12s %10s %12s %9s\n", "sessions", "wall_ms",
+              "tool_runs", "runs_per_s", "speedup");
+
+  std::vector<LevelResult> levels;
+  for (std::size_t s : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                        std::size_t{8}}) {
+    levels.push_back(run_level(tenants, s, latency));
+    const LevelResult& r = levels.back();
+    std::printf("%10zu %12.1f %10zu %12.1f %8.2fx\n", r.sessions, r.wall_ms,
+                r.tool_runs, 1e3 * static_cast<double>(r.tool_runs) / r.wall_ms,
+                levels.front().wall_ms / r.wall_ms);
+  }
+
+  // The determinism contract: concurrency must be invisible in the results.
+  for (const auto& r : levels) {
+    if (r.fronts != levels.front().fronts) {
+      std::fprintf(stderr,
+                   "FAIL: results at %zu sessions differ from sequential\n",
+                   r.sessions);
+      return 1;
+    }
+  }
+  std::printf("\nall concurrency levels bitwise-identical: yes\n");
+
+  std::ofstream json(out_path, std::ios::trunc);
+  json << "{\n  \"tenants\": " << kTenants
+       << ",\n  \"licenses\": " << kLicenses
+       << ",\n  \"latency_ms\": " << latency_ms << ",\n  \"levels\": [\n";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const auto& r = levels[i];
+    json << "    {\"sessions\": " << r.sessions
+         << ", \"wall_ms\": " << ppat::bench::json_double(r.wall_ms)
+         << ", \"tool_runs\": " << r.tool_runs << ", \"runs_per_s\": "
+         << ppat::bench::json_double(
+                1e3 * static_cast<double>(r.tool_runs) / r.wall_ms)
+         << "}" << (i + 1 < levels.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return json.good() ? 0 : 1;
+}

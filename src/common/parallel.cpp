@@ -82,6 +82,9 @@ namespace {
 std::mutex g_pool_mutex;
 std::unique_ptr<ThreadPool> g_pool;
 
+/// Per-thread ScopedPool override; nullptr = use the global singleton.
+thread_local ThreadPool* t_current_pool = nullptr;
+
 std::size_t default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
@@ -94,6 +97,17 @@ ThreadPool& global_thread_pool() {
   if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_thread_count());
   return *g_pool;
 }
+
+ThreadPool& current_thread_pool() {
+  if (t_current_pool != nullptr) return *t_current_pool;
+  return global_thread_pool();
+}
+
+ScopedPool::ScopedPool(ThreadPool* pool) : previous_(t_current_pool) {
+  t_current_pool = pool;
+}
+
+ScopedPool::~ScopedPool() { t_current_pool = previous_; }
 
 void set_global_thread_count(std::size_t num_threads) {
   std::lock_guard lock(g_pool_mutex);
@@ -138,7 +152,7 @@ void parallel_for_blocks(
     std::size_t min_block) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  ThreadPool& pool = global_thread_pool();
+  ThreadPool& pool = current_thread_pool();
   const std::size_t nt = pool.num_threads();
   min_block = std::max<std::size_t>(1, min_block);
   const std::size_t max_blocks = (n + min_block - 1) / min_block;
@@ -207,7 +221,7 @@ struct TaskGroup::State {
 
 TaskGroup::TaskGroup(ThreadPool* pool)
     : state_(std::make_shared<State>()),
-      pool_(pool != nullptr ? pool : &global_thread_pool()) {}
+      pool_(pool != nullptr ? pool : &current_thread_pool()) {}
 
 TaskGroup::~TaskGroup() {
   // Tasks hold a shared_ptr to the state, so destruction without wait() is

@@ -15,10 +15,21 @@
 //
 // Nested use is safe by construction: work submitted from inside a pool task
 // executes inline in the calling thread (no queue re-entry), which both
-// avoids deadlock and keeps the worker count bounded.
+// avoids deadlock and keeps the worker count bounded. The inline fallback is
+// keyed on the CALLING THREAD being a pool worker — of any pool — so a
+// worker of pool A that reaches a parallel_for targeting pool B still runs
+// inline instead of blocking on B's queue; a pool saturated by other
+// sessions can therefore never deadlock a reentrant caller.
 //
 // A pool of size 1 spawns no threads at all — everything runs inline in the
 // caller, byte-for-byte identical to code written as plain loops.
+//
+// Multi-session use: parallel_for / TaskGroup route through the CALLING
+// THREAD's current pool — the global singleton by default, or a per-session
+// pool installed with ScopedPool. A long-running server hosts one pool per
+// tuning session and brackets each session's work in a ScopedPool on the
+// session thread, so sessions never contend on (or resize) the global pool;
+// single-run drivers keep the singleton and are bitwise unchanged.
 #pragma once
 
 #include <cstddef>
@@ -63,12 +74,40 @@ class ThreadPool {
 ThreadPool& global_thread_pool();
 
 /// Resizes the global pool (1 disables threading entirely). Must not be
-/// called while parallel work is in flight.
+/// called while parallel work is in flight on it. Multi-session hosts
+/// should install per-session pools with ScopedPool instead of resizing
+/// the shared singleton.
 void set_global_thread_count(std::size_t num_threads);
 std::size_t global_thread_count();
 
-/// Runs `fn(lo, hi)` over a static partition of [begin, end) on the global
-/// pool; blocks until every block is done. Blocks are contiguous, at least
+/// The calling thread's pool: the innermost active ScopedPool override, or
+/// the global singleton when none is installed. parallel_for,
+/// parallel_for_blocks, and TaskGroup's default constructor all route
+/// through this, so installing a ScopedPool redirects every nested parallel
+/// construct on this thread without threading a pool through call sites.
+ThreadPool& current_thread_pool();
+
+/// RAII override of the calling thread's current pool (thread-local, so
+/// concurrent sessions on different threads are isolated). Nested scopes
+/// stack; destruction restores the previous pool. Pool workers executing
+/// submitted tasks run nested parallel work inline (ThreadPool::in_worker),
+/// so the override only needs to live on the session's driving thread.
+/// Passing nullptr reinstates the global singleton for the scope.
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool* pool);
+  ~ScopedPool();
+
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
+
+/// Runs `fn(lo, hi)` over a static partition of [begin, end) on the calling
+/// thread's current pool; blocks until every block is done. Blocks are
+/// contiguous, at least
 /// `min_block` wide, and at most one per pool thread. Runs inline when the
 /// pool has one thread, the range fits one block, or the caller is itself a
 /// pool task (nested use). Rethrows the first exception a block throws.
@@ -87,7 +126,8 @@ void parallel_for(std::size_t begin, std::size_t end,
 /// single-threaded TaskGroup is exactly a sequential loop.
 class TaskGroup {
  public:
-  /// `pool` defaults to the global pool.
+  /// `pool` defaults to the calling thread's current pool (the global
+  /// singleton unless a ScopedPool override is active).
   explicit TaskGroup(ThreadPool* pool = nullptr);
   ~TaskGroup();
 

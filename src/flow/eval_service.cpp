@@ -116,6 +116,22 @@ RunRecord EvalService::run_one(const Config& config,
       std::this_thread::sleep_for(options_.retry_backoff *
                                   (std::int64_t{1} << (attempt - 2)));
     }
+    // Lease one shared license for this attempt. Scoped to the attempt, so
+    // RAII releases it on every exit: normal classification, an oracle
+    // exception, a deadline timeout, a watchdog cancellation, and the
+    // backoff sleep before a retry all return the license first.
+    LicenseBroker::Lease lease;
+    if (options_.license_broker != nullptr) {
+      lease = options_.license_broker->acquire(options_.session_tag);
+      // The wait for a license counts toward the deadline, same as the
+      // worker queue: a run that only got a license after its deadline is
+      // as dead as one that hung.
+      if (has_deadline && clock::now() - batch_t0 > options_.run_deadline) {
+        rec.status = RunStatus::kTimedOut;
+        rec.error = "deadline expired while waiting for a license";
+        break;
+      }
+    }
     // Register this attempt with the watchdog (no-op when disabled).
     CancelToken token;
     std::uint64_t flight_id = 0;

@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "flow/license_broker.hpp"
 #include "flow/pd_tool.hpp"
 
 namespace ppat::common {
@@ -116,6 +117,19 @@ struct EvalServiceOptions {
   std::size_t watchdog_min_samples = 5;
   /// Monitor thread poll interval.
   std::chrono::milliseconds watchdog_poll{50};
+
+  /// Shared license pool for multi-session deployments. When set, every
+  /// tool ATTEMPT leases one license from the broker around the oracle call
+  /// (fair across sessions — see LicenseBroker), and `licenses` above only
+  /// bounds this service's own in-flight workers; the broker bounds the
+  /// fleet-wide total. The lease is RAII, so it is released on success,
+  /// failure, retry, deadline-timeout, and watchdog-cancel paths alike —
+  /// no outcome can leak a license. Null (default) keeps the single-tenant
+  /// behavior: `licenses` is the only concurrency bound.
+  std::shared_ptr<LicenseBroker> license_broker;
+  /// This service's identity in the broker's fair scheduling (one tag per
+  /// tuning session). Ignored when license_broker is null.
+  std::uint64_t session_tag = 0;
 };
 
 enum class RunStatus : unsigned char { kOk, kFailed, kTimedOut };

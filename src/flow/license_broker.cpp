@@ -1,0 +1,119 @@
+#include "flow/license_broker.hpp"
+
+#include <cassert>
+#include <tuple>
+#include <utility>
+
+namespace ppat::flow {
+
+LicenseBroker::LicenseBroker(std::size_t total_licenses)
+    : total_(total_licenses == 0 ? 1 : total_licenses),
+      available_(total_) {}
+
+LicenseBroker::~LicenseBroker() {
+  // Every lease holds a raw pointer back to the broker and every waiter
+  // blocks inside acquire(); destroying the broker under either is a
+  // caller lifetime bug (hold it via shared_ptr from each session).
+  assert(available_ == total_ && "LicenseBroker destroyed with live leases");
+}
+
+std::size_t LicenseBroker::available() const {
+  std::lock_guard lock(mutex_);
+  return available_;
+}
+
+std::size_t LicenseBroker::outstanding() const {
+  std::lock_guard lock(mutex_);
+  return total_ - available_;
+}
+
+std::size_t LicenseBroker::outstanding_for(std::uint64_t session) const {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? 0 : it->second.outstanding;
+}
+
+std::size_t LicenseBroker::grants_for(std::uint64_t session) const {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? 0 : it->second.grants;
+}
+
+std::size_t LicenseBroker::total_grants() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(grant_seq_);
+}
+
+bool LicenseBroker::my_turn_locked(std::uint64_t session) const {
+  const auto me = sessions_.find(session);
+  assert(me != sessions_.end());
+  for (const auto& [id, st] : sessions_) {
+    if (id == session || st.waiting == 0) continue;
+    // Fewest-outstanding first; ties to the least recently granted; final
+    // tie (fresh sessions that never held a license) to the lower id.
+    const auto mine = std::make_tuple(me->second.outstanding,
+                                      me->second.last_grant_seq, session);
+    const auto theirs = std::make_tuple(st.outstanding, st.last_grant_seq, id);
+    if (theirs < mine) return false;
+  }
+  return true;
+}
+
+void LicenseBroker::erase_if_idle_locked(std::uint64_t session) {
+  const auto it = sessions_.find(session);
+  if (it != sessions_.end() && it->second.outstanding == 0 &&
+      it->second.waiting == 0) {
+    sessions_.erase(it);
+  }
+}
+
+LicenseBroker::Lease LicenseBroker::acquire(std::uint64_t session) {
+  std::unique_lock lock(mutex_);
+  ++sessions_[session].waiting;
+  cv_.wait(lock, [&] { return available_ > 0 && my_turn_locked(session); });
+  SessionState& st = sessions_[session];
+  --st.waiting;
+  --available_;
+  ++st.outstanding;
+  ++st.grants;
+  st.last_grant_seq = ++grant_seq_;
+  return Lease(this, session);
+}
+
+void LicenseBroker::release_one(std::uint64_t session) {
+  {
+    std::lock_guard lock(mutex_);
+    ++available_;
+    const auto it = sessions_.find(session);
+    assert(it != sessions_.end() && it->second.outstanding > 0);
+    if (it != sessions_.end() && it->second.outstanding > 0) {
+      --it->second.outstanding;
+    }
+    erase_if_idle_locked(session);
+  }
+  // Every waiter re-evaluates the fairness predicate; notify_all keeps the
+  // grant decision in my_turn_locked instead of in wakeup order.
+  cv_.notify_all();
+}
+
+LicenseBroker::Lease::Lease(Lease&& other) noexcept
+    : broker_(std::exchange(other.broker_, nullptr)),
+      session_(other.session_) {}
+
+LicenseBroker::Lease& LicenseBroker::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    broker_ = std::exchange(other.broker_, nullptr);
+    session_ = other.session_;
+  }
+  return *this;
+}
+
+void LicenseBroker::Lease::release() {
+  if (broker_ != nullptr) {
+    broker_->release_one(session_);
+    broker_ = nullptr;
+  }
+}
+
+}  // namespace ppat::flow

@@ -1,0 +1,109 @@
+// Shared tool-license pool, leased fairly across concurrent tuning sessions.
+//
+// A single EvalService bounds ITS OWN concurrency by EvalServiceOptions::
+// licenses, but a multi-tenant server hosts many services against one
+// physical license pool (the paper's batch-selection motivation: B parallel
+// Innovus licenses). The broker is that pool: every tool attempt leases one
+// license for the duration of the oracle call, and the lease is RAII — it
+// is released on success, tool failure, deadline timeout, and
+// watchdog-cancel paths alike, so no outcome can leak a license.
+//
+// Fairness: when several sessions are waiting, a freed license goes to the
+// waiting session with the FEWEST licenses currently outstanding (ties
+// broken by least-recently-granted, then session id). A session running
+// big batches therefore cannot starve a session running small ones — each
+// converges to an equal share while demand exceeds supply — and the
+// schedule is a deterministic function of the (session, outstanding,
+// grant-order) state, not of thread wakeup order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace ppat::flow {
+
+/// Fleet-wide license pool shared by any number of EvalServices. All
+/// methods are thread-safe; the broker must outlive every lease and every
+/// blocked acquire() (sessions normally hold it via shared_ptr).
+class LicenseBroker {
+ public:
+  explicit LicenseBroker(std::size_t total_licenses);
+  ~LicenseBroker();
+
+  LicenseBroker(const LicenseBroker&) = delete;
+  LicenseBroker& operator=(const LicenseBroker&) = delete;
+
+  std::size_t total() const { return total_; }
+  /// Licenses not currently leased. total() == available() when no work is
+  /// in flight — the leak-detection invariant.
+  std::size_t available() const;
+  /// Leases currently held across all sessions.
+  std::size_t outstanding() const;
+  /// Leases currently held by one session (fairness observability).
+  std::size_t outstanding_for(std::uint64_t session) const;
+  /// Total grants ever made to one session (fairness tests). Per-session
+  /// accounting is reclaimed once a session goes fully idle, so this reads
+  /// 0 again after the session's last lease is returned.
+  std::size_t grants_for(std::uint64_t session) const;
+  /// Lifetime grant count across all sessions (never reset — the "was the
+  /// broker actually exercised" probe for leak tests).
+  std::size_t total_grants() const;
+
+  /// One leased license, move-only RAII. Default-constructed = empty.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    ~Lease() { release(); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    bool valid() const { return broker_ != nullptr; }
+    /// Returns the license early (idempotent; the destructor calls it).
+    void release();
+
+   private:
+    friend class LicenseBroker;
+    Lease(LicenseBroker* broker, std::uint64_t session)
+        : broker_(broker), session_(session) {}
+
+    LicenseBroker* broker_ = nullptr;
+    std::uint64_t session_ = 0;
+  };
+
+  /// Blocks until a license is granted to `session`, under the fairness
+  /// rule above. Reentrant per session: a session may hold any number of
+  /// leases at once (its per-batch concurrency is bounded by its own
+  /// EvalService, not by the broker).
+  Lease acquire(std::uint64_t session);
+
+ private:
+  /// Per-session accounting. An entry exists while the session has
+  /// outstanding leases or waiters; it is erased when both drop to zero so
+  /// the map stays bounded by live sessions.
+  struct SessionState {
+    std::size_t outstanding = 0;
+    std::size_t waiting = 0;
+    std::size_t grants = 0;
+    std::uint64_t last_grant_seq = 0;
+  };
+
+  void release_one(std::uint64_t session);
+  /// True when `session` is the fairness-rule winner among waiting
+  /// sessions. Caller holds mutex_.
+  bool my_turn_locked(std::uint64_t session) const;
+  void erase_if_idle_locked(std::uint64_t session);
+
+  const std::size_t total_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t available_;
+  std::uint64_t grant_seq_ = 0;
+  std::map<std::uint64_t, SessionState> sessions_;
+};
+
+}  // namespace ppat::flow

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cerrno>
 #include <chrono>
@@ -415,11 +416,36 @@ void fsync_path(const fs::path& p) {
   }
 }
 
-// ---- Graceful shutdown flag ----------------------------------------------
+// ---- Graceful shutdown dispatcher ----------------------------------------
+//
+// One process-level handler fans a SIGINT/SIGTERM out to every registered
+// run. The handler may only touch lock-free atomics, so registrations live
+// in a fixed static slot array: claiming a slot is a CAS on `active`,
+// firing is a relaxed store to `fired`, and the handler never follows a
+// pointer or takes a lock. Slots are recycled after release, so the table
+// never grows and nothing is ever freed under the handler's feet.
 
 volatile std::sig_atomic_t g_shutdown_flag = 0;
 
-extern "C" void ppat_journal_signal_handler(int) { g_shutdown_flag = 1; }
+constexpr std::size_t kStopSlots = 256;
+
+struct StopSlot {
+  std::atomic<bool> active{false};
+  std::atomic<bool> fired{false};
+};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler requires lock-free atomic<bool>");
+
+StopSlot g_stop_slots[kStopSlots];
+
+extern "C" void ppat_journal_signal_handler(int) {
+  g_shutdown_flag = 1;
+  for (std::size_t i = 0; i < kStopSlots; ++i) {
+    if (g_stop_slots[i].active.load(std::memory_order_relaxed)) {
+      g_stop_slots[i].fired.store(true, std::memory_order_relaxed);
+    }
+  }
+}
 
 }  // namespace
 
@@ -863,5 +889,44 @@ void install_graceful_shutdown_handlers() {
 bool shutdown_requested() { return g_shutdown_flag != 0; }
 
 void reset_shutdown_flag() { g_shutdown_flag = 0; }
+
+ScopedSignalStop::ScopedSignalStop() {
+  install_graceful_shutdown_handlers();
+  for (std::size_t i = 0; i < kStopSlots; ++i) {
+    bool expected = false;
+    if (g_stop_slots[i].active.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      g_stop_slots[i].fired.store(false, std::memory_order_relaxed);
+      slot_ = static_cast<int>(i);
+      return;
+    }
+  }
+  // Slot table exhausted (more than kStopSlots concurrent runs): fall back
+  // to the process-wide flag, which the handler always sets. Such a token
+  // over-reports stops (any signal stops it) but never misses one.
+  slot_ = -1;
+}
+
+ScopedSignalStop::~ScopedSignalStop() {
+  if (slot_ >= 0) {
+    g_stop_slots[static_cast<std::size_t>(slot_)].active.store(
+        false, std::memory_order_release);
+  }
+}
+
+bool ScopedSignalStop::stop_requested() const {
+  if (slot_ < 0) return g_shutdown_flag != 0;
+  return g_stop_slots[static_cast<std::size_t>(slot_)].fired.load(
+      std::memory_order_relaxed);
+}
+
+void ScopedSignalStop::request_stop() {
+  if (slot_ >= 0) {
+    g_stop_slots[static_cast<std::size_t>(slot_)].fired.store(
+        true, std::memory_order_relaxed);
+  } else {
+    g_shutdown_flag = 1;
+  }
+}
 
 }  // namespace ppat::journal

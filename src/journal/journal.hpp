@@ -316,15 +316,49 @@ class RunJournal {
 };
 
 // ---- Graceful shutdown ----------------------------------------------------
+//
+// One process-level SIGINT/SIGTERM dispatcher serves every run in the
+// process: the (async-signal-safe) handler fans each signal out to all
+// registered runs, so N concurrent in-process tuning sessions each observe
+// the stop on their own token — no session's registration clobbers
+// another's graceful-stop path. Single-run drivers can keep using the
+// process-wide flag functions below; multi-session hosts register one
+// ScopedSignalStop per run.
 
-/// Installs SIGINT/SIGTERM handlers that set a process-wide flag (the
-/// handler is async-signal-safe; previous handlers are replaced). Drivers
-/// poll shutdown_requested() via PPATunerOptions::should_stop so the tuner
-/// drains the in-flight batch, commits the journal, and returns cleanly.
+/// Installs the dispatcher's SIGINT/SIGTERM handlers (idempotent — the
+/// dispatcher is process-level state, so repeated installation from many
+/// runs is safe and changes nothing). Drivers poll shutdown_requested()
+/// via PPATunerOptions::should_stop so the tuner drains the in-flight
+/// batch, commits the journal, and returns cleanly.
 void install_graceful_shutdown_handlers();
-/// True once SIGINT or SIGTERM was received after installation.
+/// True once SIGINT or SIGTERM was received after installation
+/// (process-wide; per-run visibility is ScopedSignalStop's job).
 bool shutdown_requested();
-/// Clears the flag (tests).
+/// Clears the process-wide flag (tests). Does not clear per-run tokens.
 void reset_shutdown_flag();
+
+/// One run's registration with the signal dispatcher, RAII. Construction
+/// installs the handlers (idempotently) and claims a dispatcher slot;
+/// destruction releases it. A SIGINT/SIGTERM arriving while registered
+/// fires EVERY live token, so concurrent sessions all drain; a token
+/// created after the signal starts unfired. request_stop() fires only this
+/// token (per-session cancellation, server shutdown fan-in). Thread-safe;
+/// stop_requested() is wait-free and safe to poll from should_stop.
+class ScopedSignalStop {
+ public:
+  ScopedSignalStop();
+  ~ScopedSignalStop();
+
+  ScopedSignalStop(const ScopedSignalStop&) = delete;
+  ScopedSignalStop& operator=(const ScopedSignalStop&) = delete;
+
+  bool stop_requested() const;
+  void request_stop();
+
+ private:
+  /// Dispatcher slot index; -1 when the slot table was exhausted and the
+  /// token fell back to the process-wide flag.
+  int slot_ = -1;
+};
 
 }  // namespace ppat::journal

@@ -1,0 +1,156 @@
+/* PPATuner versioned C ABI: embed the Pareto-driven tuning loop (DAC'22
+ * Alg. 1) in any tool that can call C, with no C++ ABI coupling.
+ *
+ * The surface follows the inverted-control style of collective-tuner
+ * vtables (init / get candidates / set result): the EMBEDDING TOOL owns the
+ * evaluation loop and the tuner is a passive oracle-for-what-to-run-next.
+ *
+ *   ppat_options_v1 opt = PPAT_OPTIONS_V1_INIT;
+ *   opt.max_runs = 60;
+ *   ppat_session *s = NULL;
+ *   ppat_init(&opt, encoded, n, dim, n_obj, &s);
+ *   uint64_t want[16], got;
+ *   while (ppat_get_candidates(s, want, 16, &got) == PPAT_OK) {
+ *     for (uint64_t i = 0; i < got; ++i) {
+ *       double y[PPAT_MAX_OBJECTIVES];
+ *       int ok = run_my_tool(want[i], y);       // hours of EDA tool time
+ *       ppat_set_result(s, want[i], y, ok);     // ok=0 quarantines it
+ *     }
+ *   }                                            // PPAT_DONE ends the loop
+ *   uint64_t front[256], fn;
+ *   ppat_front(s, front, 256, &fn);              // predicted Pareto set
+ *   ppat_shutdown(s);
+ *
+ * Versioning rules (see DESIGN.md section 13):
+ *   - PPAT_ABI_VERSION_MAJOR changes break the contract; ppat_init rejects
+ *     a mismatched ppat_options_v1::abi_version with PPAT_ERROR_VERSION.
+ *   - Minor revisions only APPEND fields to the options struct; the
+ *     struct_size field tells the library how much of the struct the
+ *     caller was compiled against, so old binaries keep working against
+ *     new libraries (unknown tail fields keep their defaults).
+ *   - All functions are thread-safe per session; one session's calls may
+ *     come from different threads (a license farm's completion callbacks).
+ *
+ * Determinism: a session's decisions depend only on (options, candidate
+ * matrix, reported results) — never on call timing — so replaying the same
+ * tool results reproduces the same candidate requests bit-for-bit.
+ */
+#ifndef PPATUNER_ABI_H_
+#define PPATUNER_ABI_H_
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define PPAT_ABI_VERSION_MAJOR 1u
+#define PPAT_ABI_VERSION_MINOR 0u
+
+/* Objective vectors passed to ppat_set_result are at most this wide. */
+#define PPAT_MAX_OBJECTIVES 8u
+
+typedef enum ppat_status {
+  PPAT_OK = 0,
+  /* The run is complete; ppat_get_candidates will hand out no more work.
+   * Fetch the final front with ppat_front, then ppat_shutdown. */
+  PPAT_DONE = 1,
+  /* A NULL pointer, zero capacity, out-of-range index, or non-finite
+   * value. The call had no effect. */
+  PPAT_ERROR_INVALID = 2,
+  /* ppat_options_v1::abi_version or struct_size is incompatible with this
+   * library build. */
+  PPAT_ERROR_VERSION = 3,
+  /* The output buffer is too small; *out_count holds the required size. */
+  PPAT_ERROR_CAPACITY = 4,
+  /* The tuning loop failed internally; ppat_last_error has the reason. */
+  PPAT_ERROR_INTERNAL = 5
+} ppat_status;
+
+/* Opaque session handle. Created by ppat_init, freed by ppat_shutdown. */
+typedef struct ppat_session ppat_session;
+
+/* Tuning options, ABI version 1. Zero-initialize via PPAT_OPTIONS_V1_INIT
+ * (which also stamps struct_size/abi_version), then override fields. A
+ * zero value means "library default" for every numeric field. */
+typedef struct ppat_options_v1 {
+  /* sizeof(ppat_options_v1) as seen by the CALLER; lets future minor
+   * revisions append fields without breaking old embedders. */
+  uint64_t struct_size;
+  /* Must be PPAT_ABI_VERSION_MAJOR. */
+  uint32_t abi_version;
+  uint32_t reserved_;
+
+  uint64_t seed;         /* RNG stream seed (default 1) */
+  double tau;            /* uncertainty-region scaling, paper Eq. (9) */
+  double delta_rel;      /* relative dominance slack, paper Eq. (11) */
+  uint64_t batch_size;   /* candidates handed out per round */
+  uint64_t max_runs;     /* tool-run budget */
+  uint64_t max_rounds;   /* T_max */
+  uint64_t num_threads;  /* session worker threads (default 1) */
+} ppat_options_v1;
+
+#define PPAT_OPTIONS_V1_INIT \
+  { sizeof(ppat_options_v1), PPAT_ABI_VERSION_MAJOR, 0u, 0u, 0.0, 0.0, 0u, 0u, 0u, 0u }
+
+/* Runtime library ABI version: (major << 16) | minor. An embedder dlopen'ing
+ * the library checks (ppat_abi_version() >> 16) == PPAT_ABI_VERSION_MAJOR. */
+uint32_t ppat_abi_version(void);
+
+/* Human-readable status name (static storage, never NULL). */
+const char *ppat_status_name(ppat_status status);
+
+/* Starts a tuning session over a finite candidate pool.
+ *   options        tuning options (see above)
+ *   candidates     row-major num_candidates x dim matrix of unit-cube
+ *                  encoded configurations (each coordinate in [0, 1])
+ *   num_candidates pool size (>= 1)
+ *   dim            encoded dimensionality (>= 1)
+ *   num_objectives objective-vector width reported via ppat_set_result
+ *                  (1..PPAT_MAX_OBJECTIVES; all objectives minimized)
+ *   out_session    receives the session handle on PPAT_OK
+ * The candidate matrix is copied; the caller may free it immediately. */
+ppat_status ppat_init(const ppat_options_v1 *options, const double *candidates,
+                      uint64_t num_candidates, uint64_t dim,
+                      uint64_t num_objectives, ppat_session **out_session);
+
+/* Blocks until the tuner wants tool runs, then hands out up to `capacity`
+ * candidate indices (writes them to `indices`, count to *out_count).
+ * Returns PPAT_OK with *out_count >= 1 while work remains; PPAT_DONE with
+ * *out_count == 0 once the loop has finished. Indices not yet answered via
+ * ppat_set_result stay owned by the caller — the tuner never re-issues an
+ * index it is still waiting on, and a partial fetch leaves the rest of the
+ * batch for the next call. */
+ppat_status ppat_get_candidates(ppat_session *session, uint64_t *indices,
+                                uint64_t capacity, uint64_t *out_count);
+
+/* Reports one evaluated candidate. `objectives` points to num_objectives
+ * doubles (ignored when ok == 0). ok == 0 marks the tool run as permanently
+ * failed: the tuner quarantines the candidate and never re-requests it. */
+ppat_status ppat_set_result(ppat_session *session, uint64_t index,
+                            const double *objectives, int ok);
+
+/* Copies the current predicted-Pareto candidate indices into `indices`
+ * (capacity permitting). Mid-run this is the candidates classified Pareto
+ * so far (paper Eq. (12)); after PPAT_DONE it is the final predicted set.
+ * On PPAT_ERROR_CAPACITY, *out_count holds the required capacity. */
+ppat_status ppat_front(ppat_session *session, uint64_t *indices,
+                       uint64_t capacity, uint64_t *out_count);
+
+/* Successful tool runs consumed so far (the paper's cost metric). */
+ppat_status ppat_runs(ppat_session *session, uint64_t *out_runs);
+
+/* Last internal error message for this session ("" when none; static
+ * lifetime until the next failing call or ppat_shutdown). */
+const char *ppat_last_error(ppat_session *session);
+
+/* Stops the session (unanswered candidate requests are abandoned), joins
+ * its worker thread, and frees the handle. The pointer is invalid after
+ * this call. Safe to call at any point, including mid-run. */
+ppat_status ppat_shutdown(ppat_session *session);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* PPATUNER_ABI_H_ */

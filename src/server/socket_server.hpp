@@ -1,0 +1,94 @@
+// Unix-domain-socket front end for the SessionManager.
+//
+// One listening socket; each accepted connection drives exactly one tuning
+// session: Hello/HelloAck, OpenSession (oracle name + options + candidate
+// matrix), streamed RoundUpdate frames, and a final Done. The server hosts
+// the oracles — clients never link the flow; they only speak the wire
+// protocol (wire.hpp) — so a Python script or a C tool can be a tenant.
+//
+// Shutdown paths all converge on graceful session stops:
+//   * client drops the connection  -> that session is stop-requested;
+//   * client sends StopSession     -> same, but it still receives Done;
+//   * SIGINT/SIGTERM or stop()     -> the accept loop exits and the
+//     SessionManager drains every session (signal fan-out dispatcher).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/session_manager.hpp"
+
+namespace ppat::server {
+
+/// A server-side oracle offering: the parameter space candidates are
+/// decoded into, and a factory for fresh oracle instances (one per
+/// session, invoked on the session thread).
+struct OracleSpec {
+  flow::ParameterSpace space;
+  std::function<std::unique_ptr<flow::QorOracle>()> make;
+};
+
+/// Resolves an OpenSession request to an oracle. `dim` is the client's
+/// encoded candidate dimensionality; return nullopt to reject (unknown
+/// name, wrong dimensionality).
+using OracleResolver = std::function<std::optional<OracleSpec>(
+    const std::string& name, std::uint64_t seed, std::size_t dim)>;
+
+struct SocketServerOptions {
+  std::string socket_path;
+  OracleResolver resolve_oracle;
+  SessionManagerOptions sessions;
+  /// Root directory for per-session journals ("<root>/session-<id>/");
+  /// empty disables journaling.
+  std::string journal_root;
+};
+
+/// Owns the listening socket, the SessionManager, and one thread per live
+/// connection.
+class SocketServer {
+ public:
+  explicit SocketServer(SocketServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens. Throws std::runtime_error on bind/listen failure
+  /// (stale socket files are removed first).
+  void bind();
+
+  /// Accept loop; returns once stop() is called or a registered signal
+  /// fires. Call bind() first.
+  void serve();
+
+  /// Async stop: wakes the accept loop, stops all sessions, joins
+  /// connection threads. Safe from any thread.
+  void stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  SessionManager& sessions() { return *manager_; }
+
+ private:
+  void handle_connection(int fd);
+
+  SocketServerOptions options_;
+  std::unique_ptr<SessionManager> manager_;
+  std::unique_ptr<journal::ScopedSignalStop> signal_stop_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  /// Journal-directory naming is by open order, so restarting the server
+  /// and replaying the same OpenSession sequence resumes the same dirs.
+  std::atomic<std::uint64_t> session_counter_{0};
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace ppat::server

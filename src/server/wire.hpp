@@ -1,0 +1,107 @@
+// Length-prefixed wire protocol for the tuning server's Unix socket.
+//
+// Frame layout (all integers little-endian):
+//
+//   u32 payload_len | u8 type | payload[payload_len]
+//
+// Messages (client -> server unless noted):
+//
+//   kHello         u32 protocol_version
+//   kHelloAck  (s) u32 protocol_version, u32 abi_version
+//   kOpenSession   str oracle_name, u64 oracle_seed,
+//                  u64 tuner_seed, f64 tau, f64 delta_rel,
+//                  u64 batch_size, u64 max_runs, u64 max_rounds,
+//                  vec<u64> objectives,
+//                  u64 n, u64 dim, n*dim f64 (unit-cube candidate rows)
+//   kSessionOpened (s) u64 session_id
+//   kRoundUpdate   (s) u64 session_id, u64 round, u64 runs, vec<u64> front
+//   kDone          (s) u64 session_id, u8 state (SessionState),
+//                      u64 runs, vec<u64> front
+//   kError         (s) str message (the connection closes after)
+//   kStopSession   u64 session_id (graceful; a kDone still follows)
+//
+// A zero tuner option means "server default" (mirrors the C ABI). One
+// connection drives one session: open, stream updates, done. Dropping the
+// connection mid-run requests a graceful stop of its session.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ppat::server::wire {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Frames above this are rejected (a corrupt length prefix would otherwise
+/// ask the reader to allocate gigabytes).
+inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kOpenSession = 3,
+  kSessionOpened = 4,
+  kRoundUpdate = 5,
+  kDone = 6,
+  kError = 7,
+  kStopSession = 8,
+};
+const char* msg_type_name(MsgType type);
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Little-endian payload writer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(const std::string& s);           ///< u32 length + bytes
+  void u64_vec(const std::vector<std::uint64_t>& v);
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked payload reader. Throws WireError on truncation.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<std::uint64_t> u64_vec();
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Malformed frame or payload (protocol violation, truncated field).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Blocking full-frame I/O on a connected socket. read_frame returns
+/// nullopt on orderly EOF at a frame boundary and throws WireError on a
+/// short read, oversized frame, or socket error. write_frame throws
+/// WireError when the peer is gone.
+std::optional<Frame> read_frame(int fd);
+void write_frame(int fd, MsgType type, const std::vector<std::uint8_t>& payload);
+
+}  // namespace ppat::server::wire

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -97,13 +98,22 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
 
   // Surrogate maintenance threads. All randomness is drawn on this thread
   // (prepare_refit) and all parallel partitions are bit-stable, so the
-  // results are identical for every thread count.
-  std::size_t num_threads = options.num_threads;
-  if (num_threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    num_threads = hw == 0 ? 1 : hw;
+  // results are identical for every thread count. A caller-provided
+  // per-session pool is installed as this thread's current pool for the
+  // whole run; only the legacy single-run path sizes the global singleton
+  // (which is unsafe under concurrent sessions — resizing joins workers
+  // that other sessions may be running on).
+  std::optional<common::ScopedPool> session_pool;
+  if (options.thread_pool != nullptr) {
+    session_pool.emplace(options.thread_pool);
+  } else {
+    std::size_t num_threads = options.num_threads;
+    if (num_threads == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      num_threads = hw == 0 ? 1 : hw;
+    }
+    common::set_global_thread_count(num_threads);
   }
-  common::set_global_thread_count(num_threads);
 
   // ---- Initialization (Alg. 1 lines 1-2) ----
   if (n == 0) {
@@ -613,6 +623,7 @@ TuningResult run_ppatuner(CandidatePool& pool, const SurrogateFactory& factory,
             break;
           case Status::kPareto:
             ++progress.classified_pareto;
+            if (options.report_front_ids) progress.pareto_ids.push_back(i);
             break;
           case Status::kUndecided:
             ++progress.undecided;

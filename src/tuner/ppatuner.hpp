@@ -24,6 +24,10 @@
 #include "tuner/problem.hpp"
 #include "tuner/surrogate.hpp"
 
+namespace ppat::common {
+class ThreadPool;
+}  // namespace ppat::common
+
 namespace ppat::journal {
 class RunJournal;
 }  // namespace ppat::journal
@@ -37,6 +41,10 @@ struct PPATunerProgress {
   std::size_t dropped = 0;
   std::size_t classified_pareto = 0;
   std::size_t undecided = 0;
+  /// Candidates classified Pareto so far, in index order. Filled only when
+  /// PPATunerOptions::report_front_ids is set (streaming servers); empty
+  /// otherwise, so the default on_round cost is unchanged.
+  std::vector<std::size_t> pareto_ids;
 };
 
 struct PPATunerOptions {
@@ -62,8 +70,21 @@ struct PPATunerOptions {
   /// plus row-parallel linear algebra); 0 means hardware concurrency. Every
   /// value produces identical results — randomness is drawn serially and the
   /// parallel partitions are bit-stable — and 1 runs the work inline with no
-  /// pool at all.
+  /// pool at all. Ignored when `thread_pool` is set.
   std::size_t num_threads = 0;
+  /// Per-session thread pool for all of this run's surrogate maintenance
+  /// and linear algebra. Null (default): the run sizes and uses the
+  /// process-global pool via num_threads — the single-run behavior, kept
+  /// bit-identical. Non-null: the run brackets itself in a
+  /// common::ScopedPool over this pool and NEVER touches the global
+  /// singleton, so concurrent in-process sessions neither share nor resize
+  /// each other's pools (the pool must outlive the call; results are still
+  /// identical for every pool size). Not owned.
+  common::ThreadPool* thread_pool = nullptr;
+  /// Fill PPATunerProgress::pareto_ids on every on_round call (streaming
+  /// Pareto-front updates). Off by default: assembling the id list per
+  /// round is O(N) extra work that pure-convergence observers don't need.
+  bool report_front_ids = false;
   // Perf ablation switches for the decision loop (bench_pal_scaling legacy
   // configurations). Every combination produces bit-identical tuner output;
   // the fast paths only change HOW the same values are computed.

@@ -12,6 +12,11 @@
 //
 //   test_crash_resume --data <dir with source2.csv/target2.csv>
 //     [--seed S]   randomization seed for the kill rounds (default: time)
+//     [--server 1] run the multi-session server scenario instead: a
+//                  server::SessionManager hosting THREE concurrent journaled
+//                  sessions is SIGKILLed mid-batch; on restart all three
+//                  sessions resume from their own journals and finish
+//                  bitwise-identical to isolated uninterrupted runs.
 //
 // Scenario task: Source2 -> Target2 (paper Table 1; 1440/727 points),
 // power+delay objectives, transfer-GP PPATuner over a LiveCandidatePool
@@ -41,6 +46,7 @@
 #include "flow/benchmark.hpp"
 #include "flow/eval_service.hpp"
 #include "journal/journal.hpp"
+#include "server/session_manager.hpp"
 #include "tuner/live_pool.hpp"
 #include "tuner/ppatuner.hpp"
 #include "tuner/surrogate.hpp"
@@ -210,7 +216,109 @@ int child_main(const std::map<std::string, std::string>& args) {
   return out.good() ? 0 : 1;
 }
 
-// ---- Orchestrator ---------------------------------------------------------
+// ---- Multi-session server scenario ----------------------------------------
+//
+// Three tenants with different tuner seeds/batch sizes share one
+// SessionManager (and its LicenseBroker). The crash is injected through a
+// PROCESS-WIDE evaluation counter — whichever session's eval thread crosses
+// the threshold takes the whole server down, mid-batch for everyone.
+
+/// Benchmark-lookup oracle whose kill trigger counts evaluations across ALL
+/// sessions in the process, not just its own.
+class SharedKillOracle final : public flow::QorOracle {
+ public:
+  SharedKillOracle(const flow::BenchmarkSet& set, std::atomic<long>& shared,
+                   long kill_after_evals)
+      : inner_(set), shared_(shared), kill_after_evals_(kill_after_evals) {}
+
+  flow::QoR evaluate(const flow::ParameterSpace& space,
+                     const flow::Config& config) override {
+    const long n = ++shared_;
+    if (kill_after_evals_ >= 0 && n > kill_after_evals_) {
+      ::raise(SIGKILL);
+    }
+    return inner_.evaluate(space, config);
+  }
+  std::size_t run_count() const override { return inner_.run_count(); }
+
+ private:
+  BenchmarkLookupOracle inner_;
+  std::atomic<long>& shared_;
+  long kill_after_evals_;
+};
+
+constexpr int kTenants = 3;
+
+tuner::PPATunerOptions tenant_options(int tenant) {
+  tuner::PPATunerOptions opt;
+  opt.seed = 100 + 7 * static_cast<std::uint64_t>(tenant);
+  opt.batch_size = 3 + static_cast<std::size_t>(tenant);
+  opt.max_runs = 40;
+  opt.max_rounds = 25;
+  opt.refit_every = 5;
+  opt.num_threads = 1;
+  return opt;
+}
+
+/// Uninterrupted single-tenant run in THIS process, no journal, no broker —
+/// the reference each resumed server session must reproduce bitwise.
+std::string run_tenant_isolated(const Task& task, int tenant) {
+  BenchmarkLookupOracle oracle(task.target);
+  flow::EvalServiceOptions svc;
+  svc.licenses = 2;
+  flow::EvalService service(oracle, flow::target2_space(), svc);
+  tuner::LiveCandidatePool pool(task.target.configs, kObjectives, service);
+  const auto result = tuner::run_ppatuner(
+      pool, tuner::make_plain_gp_factory(), tenant_options(tenant));
+  return fingerprint(task, result);
+}
+
+/// Child mode: host all three tenants concurrently in one SessionManager.
+/// kill_evals >= 0 arms the shared crash trigger; -1 runs (or resumes) to
+/// completion and writes each tenant's fingerprint to <out>.s<tenant>.
+int server_child_main(const std::map<std::string, std::string>& args) {
+  const Task task = load_task(args.at("--data"));
+  const long kill_evals =
+      args.count("--kill-evals") ? std::stol(args.at("--kill-evals")) : -1;
+  const std::string journal_root = args.at("--journal");
+  const std::string out = args.at("--out");
+
+  std::atomic<long> process_evals{0};
+
+  server::SessionManagerOptions mopt;
+  mopt.max_sessions = kTenants;
+  mopt.total_licenses = 2;  // fewer licenses than sessions: real contention
+  mopt.handle_signals = false;
+  server::SessionManager manager(mopt);
+
+  std::vector<std::uint64_t> ids;
+  for (int t = 0; t < kTenants; ++t) {
+    server::SessionConfig cfg;
+    cfg.name = "tenant" + std::to_string(t);
+    cfg.space = flow::target2_space();
+    cfg.candidates = task.target.configs;
+    cfg.objectives = kObjectives;
+    cfg.make_oracle = [&task, &process_evals, kill_evals] {
+      return std::make_unique<SharedKillOracle>(task.target, process_evals,
+                                                kill_evals);
+    };
+    cfg.tuner = tenant_options(t);
+    cfg.eval.licenses = 2;
+    cfg.journal_dir = journal_root + "/s" + std::to_string(t);
+    cfg.worker_threads = 1;
+    ids.push_back(manager.open(cfg));
+  }
+
+  bool ok = true;
+  for (int t = 0; t < kTenants; ++t) {
+    const auto result = manager.wait(ids[t]);
+    std::ofstream file(out + ".s" + std::to_string(t),
+                       std::ios::binary | std::ios::trunc);
+    file << fingerprint(task, result);
+    ok = ok && file.good();
+  }
+  return ok ? 0 : 1;
+}
 
 struct ChildExit {
   bool signalled = false;
@@ -335,6 +443,82 @@ void run_scenario(const std::string& name, const std::string& scratch,
   }
 }
 
+/// `--server 1` entry: baseline each tenant in isolation, SIGKILL a
+/// three-session server mid-batch, restart it, and demand every session's
+/// resumed result be bitwise-identical to its isolated baseline.
+int server_orchestrate(const std::map<std::string, std::string>& args) {
+  const std::string data_dir = args.at("--data");
+  const char* scratch_env = std::getenv("PPAT_CRASH_SCRATCH");
+  const std::string scratch =
+      std::string(scratch_env != nullptr ? scratch_env
+                                         : "crash_resume_scratch") +
+      "_server";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  const std::uint64_t seed =
+      args.count("--seed")
+          ? std::stoull(args.at("--seed"))
+          : static_cast<std::uint64_t>(std::time(nullptr));
+  std::printf("randomization seed: %llu (rerun with --seed to reproduce)\n",
+              static_cast<unsigned long long>(seed));
+  common::Rng rng(seed);
+
+  const Task task = load_task(data_dir);
+  std::vector<std::string> baselines;
+  for (int t = 0; t < kTenants; ++t) {
+    std::printf("tenant %d baseline (isolated, uninterrupted)...\n", t);
+    baselines.push_back(run_tenant_isolated(task, t));
+  }
+
+  const std::string dir = scratch + "/server.journals";
+  const std::string out = scratch + "/server.result";
+
+  // Kill threshold: past the point where every session has journaled work
+  // (3 sessions x ~10 init evals) but well inside the tuning loops, so the
+  // SIGKILL lands mid-batch with all three journals mid-flight.
+  const long kill_evals = 35 + static_cast<long>(rng.next_below(30));
+  std::printf("server scenario (3 sessions, kill after %ld total evals)\n",
+              kill_evals);
+  const ChildExit crashed = spawn_child(
+      {"--server-child", "1", "--data", data_dir, "--journal", dir, "--out",
+       out, "--kill-evals", std::to_string(kill_evals)});
+  check(crashed.signalled && crashed.code == SIGKILL,
+        "server process was SIGKILLed mid-batch");
+  for (int t = 0; t < kTenants; ++t) {
+    check(fs::exists(dir + "/s" + std::to_string(t)),
+          "session " + std::to_string(t) + " journal survives the kill");
+  }
+
+  const ChildExit resumed = spawn_child(
+      {"--server-child", "1", "--data", data_dir, "--journal", dir, "--out",
+       out});
+  check(!resumed.signalled && resumed.code == 0,
+        "restarted server drained all three sessions");
+  for (int t = 0; t < kTenants; ++t) {
+    const std::string fp = read_file(out + ".s" + std::to_string(t));
+    check(!fp.empty(),
+          "session " + std::to_string(t) + " wrote its resumed result");
+    check(fp == baselines[static_cast<std::size_t>(t)],
+          "session " + std::to_string(t) +
+              " resumed bitwise-identical to its isolated baseline");
+    if (fp != baselines[static_cast<std::size_t>(t)]) {
+      std::printf("--- baseline %d ---\n%s--- resumed %d ---\n%s---\n", t,
+                  baselines[static_cast<std::size_t>(t)].c_str(), t,
+                  fp.c_str());
+    }
+  }
+
+  if (g_failures == 0) {
+    fs::remove_all(scratch);
+    std::printf("PASS: all server sessions resumed bitwise-identical\n");
+    return 0;
+  }
+  std::printf("FAIL: %d check(s) failed; scratch kept at %s\n", g_failures,
+              scratch.c_str());
+  return 1;
+}
+
 int orchestrate(const std::map<std::string, std::string>& args) {
   const std::string data_dir = args.at("--data");
   const char* scratch_env = std::getenv("PPAT_CRASH_SCRATCH");
@@ -442,7 +626,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    if (args.count("--server-child")) return server_child_main(args);
     if (args.count("--child")) return child_main(args);
+    if (args.count("--server")) return server_orchestrate(args);
     return orchestrate(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
@@ -12,8 +14,10 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "synthetic_benchmark.hpp"
 #include "tuner/ppatuner.hpp"
 
@@ -555,6 +559,93 @@ TEST(JournalShutdown, FlagRoundTrip) {
   EXPECT_FALSE(shutdown_requested());
   // Restore default dispositions so a later real signal kills the test
   // binary instead of silently setting the flag.
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGTERM, SIG_DFL);
+}
+
+// The satellite regression for the handler-clobbering bug: registration is
+// a fan-out dispatcher now, so EVERY registered run sees the signal — the
+// old behavior (last install wins) delivered it to one run only.
+TEST(JournalShutdown, SignalFansOutToAllRegisteredStops) {
+  reset_shutdown_flag();
+  ScopedSignalStop first;
+  ScopedSignalStop second;
+  EXPECT_FALSE(first.stop_requested());
+  EXPECT_FALSE(second.stop_requested());
+  ::raise(SIGTERM);
+  EXPECT_TRUE(first.stop_requested());
+  EXPECT_TRUE(second.stop_requested());
+  // The process-wide legacy flag fires too (legacy pollers keep working).
+  EXPECT_TRUE(shutdown_requested());
+  reset_shutdown_flag();
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGTERM, SIG_DFL);
+}
+
+TEST(JournalShutdown, StopSlotsAreIndependentAndRecycled) {
+  reset_shutdown_flag();
+  {
+    ScopedSignalStop a;
+    ScopedSignalStop b;
+    a.request_stop();  // manual stop targets ONE session, not the process
+    EXPECT_TRUE(a.stop_requested());
+    EXPECT_FALSE(b.stop_requested());
+    EXPECT_FALSE(shutdown_requested());
+  }
+  // Slots released above are reclaimed fresh: no stale fired state leaks
+  // into a new registration that happens to reuse the storage.
+  ScopedSignalStop c;
+  EXPECT_FALSE(c.stop_requested());
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGTERM, SIG_DFL);
+}
+
+// SIGTERM gracefully drains two concurrent in-process tuning runs: both
+// loops observe their own stop token, finish their in-flight round, and
+// finalize — neither is killed and neither misses the signal.
+TEST(JournalShutdown, SigtermDrainsTwoConcurrentRuns) {
+  reset_shutdown_flag();
+  const auto bench_a = ppat::testing::synthetic_benchmark("drain_a", 150, 31);
+  const auto bench_b = ppat::testing::synthetic_benchmark("drain_b", 150, 32);
+
+  std::atomic<int> rounds_seen{0};
+  std::atomic<bool> signal_sent{false};
+  auto run_one = [&](const flow::BenchmarkSet& bench, std::uint64_t seed,
+                     tuner::PPATunerDiagnostics* diag) {
+    ScopedSignalStop stop;
+    common::ThreadPool workers(1);
+    tuner::BenchmarkCandidatePool pool(&bench, tuner::kPowerDelay);
+    tuner::PPATunerOptions opt;
+    opt.seed = seed;
+    opt.max_runs = 140;  // big budget: only the signal can end this quickly
+    opt.batch_size = 2;
+    opt.thread_pool = &workers;
+    opt.should_stop = [&stop] { return stop.stop_requested(); };
+    opt.on_round = [&](const tuner::PPATunerProgress&) {
+      rounds_seen.fetch_add(1);
+      // Both runs spin until the signal has actually been raised, so the
+      // stop is guaranteed to arrive mid-run in each of them.
+      while (!signal_sent.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    };
+    tuner::run_ppatuner(pool, tuner::make_plain_gp_factory(), opt, diag);
+  };
+
+  tuner::PPATunerDiagnostics diag_a, diag_b;
+  std::thread ta([&] { run_one(bench_a, 41, &diag_a); });
+  std::thread tb([&] { run_one(bench_b, 42, &diag_b); });
+  while (rounds_seen.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ::raise(SIGTERM);  // one process-level signal...
+  signal_sent.store(true);
+  ta.join();
+  tb.join();
+  // ...drained BOTH runs.
+  EXPECT_TRUE(diag_a.stopped_early);
+  EXPECT_TRUE(diag_b.stopped_early);
+  reset_shutdown_flag();
   ::signal(SIGINT, SIG_DFL);
   ::signal(SIGTERM, SIG_DFL);
 }

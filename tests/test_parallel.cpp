@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "synthetic_benchmark.hpp"
@@ -109,6 +110,78 @@ TEST_F(ParallelTest, EmptyRangeAndEmptyGroupAreNoOps) {
   parallel_for(10, 10, [](std::size_t) { FAIL() << "must not run"; });
   TaskGroup group;
   group.wait();  // nothing scheduled
+}
+
+TEST_F(ParallelTest, ScopedPoolRedirectsParallelWorkOnThisThread) {
+  set_global_thread_count(1);
+  ASSERT_EQ(&current_thread_pool(), &global_thread_pool());
+  ThreadPool session_pool(3);
+  {
+    ScopedPool scope(&session_pool);
+    EXPECT_EQ(&current_thread_pool(), &session_pool);
+    // Work routed through the override must still cover the range exactly.
+    std::vector<std::atomic<int>> hits(500);
+    parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+    {
+      ScopedPool inner(nullptr);  // nested scope: back to the singleton
+      EXPECT_EQ(&current_thread_pool(), &global_thread_pool());
+    }
+    EXPECT_EQ(&current_thread_pool(), &session_pool);
+  }
+  EXPECT_EQ(&current_thread_pool(), &global_thread_pool());
+}
+
+TEST_F(ParallelTest, ScopedPoolIsThreadLocalAcrossConcurrentSessions) {
+  set_global_thread_count(1);
+  ThreadPool pool_a(2);
+  ThreadPool pool_b(2);
+  // Two "session threads" install different pools concurrently; neither
+  // must observe the other's override.
+  std::atomic<bool> a_ok{false}, b_ok{false};
+  std::thread ta([&] {
+    ScopedPool scope(&pool_a);
+    a_ok = &current_thread_pool() == &pool_a;
+  });
+  std::thread tb([&] {
+    ScopedPool scope(&pool_b);
+    b_ok = &current_thread_pool() == &pool_b;
+  });
+  ta.join();
+  tb.join();
+  EXPECT_TRUE(a_ok.load());
+  EXPECT_TRUE(b_ok.load());
+  EXPECT_EQ(&current_thread_pool(), &global_thread_pool());
+}
+
+TEST_F(ParallelTest, CrossPoolNestedWorkRunsInlineUnderSaturation) {
+  // Satellite regression (reentrancy fix): a worker of pool A reaching a
+  // parallel_for while pool B is saturated — or targeting its own saturated
+  // pool — must fall back to inline execution (ThreadPool::in_worker), not
+  // block on a queue that can never drain. Before the fix this deadlocked
+  // under multi-session contention; with it, the test completes.
+  set_global_thread_count(2);
+  ThreadPool session_pool(2);
+  std::atomic<int> total{0};
+  TaskGroup outer(&session_pool);
+  for (int t = 0; t < 8; ++t) {  // 4x oversubscribed: the pool IS saturated
+    outer.run([&total] {
+      EXPECT_TRUE(ThreadPool::in_worker());
+      // Nested constructs from a worker: both the element-wise and the
+      // grouped form, targeting the global pool (a DIFFERENT pool than the
+      // one this worker belongs to).
+      parallel_for(0, 50, [&total](std::size_t) { total.fetch_add(1); });
+      TaskGroup inner;
+      for (int k = 0; k < 3; ++k) {
+        inner.run([&total] { total.fetch_add(1); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(total.load(), 8 * (50 + 3));
 }
 
 }  // namespace

@@ -1,0 +1,523 @@
+// Multi-tenant tuning server: SessionManager admission/stop/failure
+// semantics, the acceptance property that concurrent sessions are bitwise
+// identical to sequential isolated runs, the versioned C ABI, and a full
+// socket round trip.
+#include "server/session_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/rng.hpp"
+#include "sample/sampling.hpp"
+#include "server/ppatuner_abi.h"
+#include "server/socket_server.hpp"
+#include "server/wire.hpp"
+#include "synthetic_benchmark.hpp"
+#include "tuner/live_pool.hpp"
+
+namespace ppat::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<flow::Config> make_candidates(const flow::ParameterSpace& space,
+                                          std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  const auto unit = sample::latin_hypercube(n, space.size(), rng);
+  std::vector<flow::Config> configs;
+  configs.reserve(n);
+  for (const auto& u : unit) configs.push_back(space.decode(u));
+  return configs;
+}
+
+/// One tenant's task for the parity test.
+struct Tenant {
+  double shift = 0.0;
+  std::vector<flow::Config> candidates;
+  std::vector<std::size_t> objectives;
+  tuner::PPATunerOptions tuner;
+  std::size_t worker_threads = 1;
+};
+
+Tenant make_tenant(std::size_t i) {
+  const auto space = ppat::testing::synthetic_space();
+  Tenant t;
+  t.shift = 0.05 * static_cast<double>(i % 3);
+  t.candidates = make_candidates(space, 90 + 10 * (i % 4), 1000 + i);
+  t.objectives = (i % 2 == 0) ? tuner::kAreaDelay : tuner::kPowerDelay;
+  t.tuner.seed = 100 + i;
+  t.tuner.max_runs = 30;
+  t.tuner.batch_size = 3;
+  t.worker_threads = 1 + i % 3;  // pool size must be invisible in results
+  return t;
+}
+
+SessionConfig tenant_config(const Tenant& t) {
+  SessionConfig cfg;
+  cfg.space = ppat::testing::synthetic_space();
+  cfg.candidates = t.candidates;
+  cfg.objectives = t.objectives;
+  cfg.tuner = t.tuner;
+  cfg.worker_threads = t.worker_threads;
+  cfg.make_oracle = [shift = t.shift]() -> std::unique_ptr<flow::QorOracle> {
+    return std::make_unique<ppat::testing::SyntheticOracle>(shift);
+  };
+  return cfg;
+}
+
+/// The tenant's task run the old way: alone in the process, no broker, no
+/// session plumbing — the reference behavior concurrency must reproduce.
+tuner::TuningResult run_isolated(const Tenant& t) {
+  const auto space = ppat::testing::synthetic_space();
+  ppat::testing::SyntheticOracle oracle(t.shift);
+  flow::EvalServiceOptions eval_opts;
+  flow::EvalService service(oracle, space, eval_opts);
+  tuner::LiveCandidatePool pool(t.candidates, t.objectives, service);
+  tuner::PPATunerOptions opt = t.tuner;
+  opt.num_threads = 1;
+  return tuner::run_ppatuner(pool, tuner::make_plain_gp_factory(), opt);
+}
+
+/// Hex-exact (%a) digest of the front's objective values — index equality
+/// could mask a divergence in WHICH values those indices map to.
+std::string front_fingerprint(const Tenant& t,
+                              const std::vector<std::size_t>& front) {
+  const auto space = ppat::testing::synthetic_space();
+  std::string out;
+  char buf[96];
+  for (std::size_t idx : front) {
+    const auto q = ppat::testing::synthetic_qor(
+        space.encode(t.candidates[idx]), t.shift);
+    std::snprintf(buf, sizeof(buf), "%zu:%a,%a,%a;", idx, q.area_um2,
+                  q.power_mw, q.delay_ns);
+    out += buf;
+  }
+  return out;
+}
+
+// The acceptance criterion: 8 concurrent sessions in one server process,
+// sharing 3 licenses and distinct per-session thread pools, produce
+// per-session results bitwise identical to sequential isolated runs.
+TEST(SessionManager, EightConcurrentSessionsMatchSequentialBitwise) {
+  std::vector<Tenant> tenants;
+  for (std::size_t i = 0; i < 8; ++i) tenants.push_back(make_tenant(i));
+
+  std::vector<tuner::TuningResult> expected;
+  for (const auto& t : tenants) expected.push_back(run_isolated(t));
+
+  SessionManagerOptions opts;
+  opts.max_sessions = 8;
+  opts.total_licenses = 3;
+  opts.handle_signals = false;
+  SessionManager manager(opts);
+  std::vector<std::uint64_t> ids;
+  for (const auto& t : tenants) ids.push_back(manager.open(tenant_config(t)));
+  // A fast session may already have drained; never MORE than admitted.
+  EXPECT_LE(manager.active(), 8u);
+
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const auto result = manager.wait(ids[i]);
+    EXPECT_EQ(result.pareto_indices, expected[i].pareto_indices)
+        << "session " << i;
+    EXPECT_EQ(result.tool_runs, expected[i].tool_runs) << "session " << i;
+    EXPECT_EQ(front_fingerprint(tenants[i], result.pareto_indices),
+              front_fingerprint(tenants[i], expected[i].pareto_indices))
+        << "session " << i;
+    const auto status = manager.status(ids[i]);
+    EXPECT_EQ(status.state, SessionState::kCompleted);
+    EXPECT_TRUE(status.error.empty());
+  }
+  // All licenses returned once the fleet drained.
+  EXPECT_EQ(manager.broker()->available(), manager.broker()->total());
+  EXPECT_EQ(manager.active(), 0u);
+}
+
+TEST(SessionManager, AdmissionControlRejectsBeyondMaxSessions) {
+  SessionManagerOptions opts;
+  opts.max_sessions = 2;
+  opts.handle_signals = false;
+  SessionManager manager(opts);
+
+  // Sessions that cannot finish until released (oracle blocks).
+  auto blocking_gate = std::make_shared<std::atomic<bool>>(false);
+  class GatedOracle final : public flow::QorOracle {
+   public:
+    explicit GatedOracle(std::shared_ptr<std::atomic<bool>> gate)
+        : gate_(std::move(gate)) {}
+    flow::QoR evaluate(const flow::ParameterSpace& space,
+                       const flow::Config& config) override {
+      while (!gate_->load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      ++runs_;
+      return ppat::testing::synthetic_qor(space.encode(config));
+    }
+    std::size_t run_count() const override { return runs_; }
+
+   private:
+    std::shared_ptr<std::atomic<bool>> gate_;
+    std::atomic<std::size_t> runs_{0};
+  };
+
+  auto make_cfg = [&](std::uint64_t seed) {
+    Tenant t = make_tenant(0);
+    t.tuner.seed = seed;
+    SessionConfig cfg = tenant_config(t);
+    cfg.make_oracle = [blocking_gate]() -> std::unique_ptr<flow::QorOracle> {
+      return std::make_unique<GatedOracle>(blocking_gate);
+    };
+    return cfg;
+  };
+
+  const auto id1 = manager.open(make_cfg(1));
+  const auto id2 = manager.open(make_cfg(2));
+  EXPECT_THROW(manager.open(make_cfg(3)), AdmissionError);
+  // Config validation is also admission's job.
+  SessionConfig broken;
+  EXPECT_THROW(manager.open(std::move(broken)), std::invalid_argument);
+
+  blocking_gate->store(true);
+  manager.wait(id1);
+  manager.wait(id2);
+  // Capacity freed: a new tenant is admitted again.
+  const auto id3 = manager.open(make_cfg(3));
+  manager.wait(id3);
+}
+
+TEST(SessionManager, GracefulStopDrainsAndFinalizes) {
+  SessionManagerOptions opts;
+  opts.handle_signals = false;
+  SessionManager manager(opts);
+
+  Tenant t = make_tenant(1);
+  t.tuner.max_runs = 200;  // budget far beyond what a stop should use
+  t.tuner.max_rounds = 500;
+  SessionConfig cfg = tenant_config(t);
+  // The session parks in on_round after round 1 until the stop has been
+  // requested, so the stop is guaranteed to land mid-run.
+  std::atomic<std::size_t> rounds{0};
+  std::atomic<bool> release{false};
+  cfg.tuner.on_round = [&](const tuner::PPATunerProgress&) {
+    rounds.fetch_add(1);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  const auto id = manager.open(std::move(cfg));
+  while (rounds.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  manager.request_stop(id);
+  release.store(true);
+  const auto result = manager.wait(id);
+  const auto status = manager.status(id);
+  EXPECT_EQ(status.state, SessionState::kStopped);
+  // A stopped session still finalizes a usable (classification-so-far)
+  // result and its run count stays below the untouched budget.
+  EXPECT_LT(result.tool_runs, 200u);
+}
+
+TEST(SessionManager, FailedSessionSurfacesItsError) {
+  SessionManagerOptions opts;
+  opts.handle_signals = false;
+  SessionManager manager(opts);
+
+  class DoomedOracle final : public flow::QorOracle {
+   public:
+    flow::QoR evaluate(const flow::ParameterSpace&,
+                       const flow::Config&) override {
+      throw flow::ToolRunError("tool binary not found");
+    }
+    std::size_t run_count() const override { return 0; }
+  };
+
+  Tenant t = make_tenant(2);
+  SessionConfig cfg = tenant_config(t);
+  cfg.eval.max_attempts = 1;
+  cfg.make_oracle = []() -> std::unique_ptr<flow::QorOracle> {
+    return std::make_unique<DoomedOracle>();
+  };
+  const auto id = manager.open(std::move(cfg));
+  EXPECT_THROW(manager.wait(id), std::runtime_error);
+  const auto status = manager.status(id);
+  EXPECT_EQ(status.state, SessionState::kFailed);
+  EXPECT_FALSE(status.error.empty());
+}
+
+// Per-session journals: a session stopped mid-run resumes in a NEW manager
+// from its own journal directory and finishes bit-identically to a session
+// that was never interrupted.
+TEST(SessionManager, StoppedSessionResumesFromItsJournal) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "ppat_server_session_journal";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  Tenant t = make_tenant(3);
+  t.tuner.max_runs = 40;
+
+  // Uninterrupted reference (no journal).
+  const auto expected = run_isolated(t);
+
+  {
+    SessionManagerOptions opts;
+    opts.handle_signals = false;
+    SessionManager manager(opts);
+    SessionConfig cfg = tenant_config(t);
+    cfg.journal_dir = (dir / "s1").string();
+    // Deterministic mid-run stop through the user-supplied should_stop
+    // (chained with the manager's own stop sources).
+    auto rounds = std::make_shared<std::atomic<std::size_t>>(0);
+    cfg.tuner.on_round = [rounds](const tuner::PPATunerProgress&) {
+      rounds->fetch_add(1);
+    };
+    cfg.tuner.should_stop = [rounds] { return rounds->load() >= 2; };
+    const auto id = manager.open(std::move(cfg));
+    const auto partial = manager.wait(id);
+    ASSERT_EQ(manager.status(id).state, SessionState::kStopped);
+    ASSERT_LT(partial.tool_runs, expected.tool_runs);
+  }
+  {
+    SessionManagerOptions opts;
+    opts.handle_signals = false;
+    SessionManager manager(opts);
+    SessionConfig cfg = tenant_config(t);
+    cfg.journal_dir = (dir / "s1").string();
+    const auto id = manager.open(std::move(cfg));
+    const auto result = manager.wait(id);
+    const auto status = manager.status(id);
+    EXPECT_EQ(status.state, SessionState::kCompleted);
+    EXPECT_TRUE(status.resumed);
+    EXPECT_EQ(result.pareto_indices, expected.pareto_indices);
+    EXPECT_EQ(result.tool_runs, expected.tool_runs);
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Versioned C ABI.
+
+TEST(Abi, RejectsIncompatibleCallers) {
+  EXPECT_EQ(ppat_abi_version() >> 16, PPAT_ABI_VERSION_MAJOR);
+  const double candidates[4] = {0.1, 0.2, 0.3, 0.4};
+  ppat_session* session = nullptr;
+
+  ppat_options_v1 opt = PPAT_OPTIONS_V1_INIT;
+  opt.abi_version = PPAT_ABI_VERSION_MAJOR + 1;
+  EXPECT_EQ(ppat_init(&opt, candidates, 2, 2, 1, &session),
+            PPAT_ERROR_VERSION);
+  EXPECT_EQ(session, nullptr);
+
+  opt = PPAT_OPTIONS_V1_INIT;
+  opt.struct_size = 8;  // truncated struct from a mis-built caller
+  EXPECT_EQ(ppat_init(&opt, candidates, 2, 2, 1, &session),
+            PPAT_ERROR_VERSION);
+
+  opt = PPAT_OPTIONS_V1_INIT;
+  EXPECT_EQ(ppat_init(&opt, candidates, 2, 2, 0, &session),
+            PPAT_ERROR_INVALID);
+  EXPECT_EQ(ppat_init(&opt, candidates, 2, 2, PPAT_MAX_OBJECTIVES + 1,
+                      &session),
+            PPAT_ERROR_INVALID);
+  EXPECT_EQ(ppat_init(&opt, nullptr, 2, 2, 1, &session), PPAT_ERROR_INVALID);
+  EXPECT_STREQ(ppat_status_name(PPAT_ERROR_VERSION), "PPAT_ERROR_VERSION");
+}
+
+TEST(Abi, EmbedderDrivenLoopRunsToCompletion) {
+  // 60 candidates on a 2-D grid; the embedder computes two objectives with
+  // a genuine trade-off (min x vs min 1-x).
+  const std::size_t kN = 60, kDim = 2;
+  std::vector<double> flat(kN * kDim);
+  common::Rng rng(9);
+  const auto unit = sample::latin_hypercube(kN, kDim, rng);
+  for (std::size_t i = 0; i < kN; ++i) {
+    flat[i * 2] = unit[i][0];
+    flat[i * 2 + 1] = unit[i][1];
+  }
+  auto objective = [&](std::uint64_t idx, double* out) {
+    const double x = flat[idx * 2], y = flat[idx * 2 + 1];
+    out[0] = x + 0.1 * y;
+    out[1] = (1.0 - x) + 0.1 * y * y;
+  };
+
+  ppat_options_v1 opt = PPAT_OPTIONS_V1_INIT;
+  opt.seed = 5;
+  opt.max_runs = 30;
+  opt.batch_size = 4;
+  ppat_session* session = nullptr;
+  ASSERT_EQ(ppat_init(&opt, flat.data(), kN, kDim, 2, &session), PPAT_OK);
+  ASSERT_NE(session, nullptr);
+
+  std::uint64_t want[8], got = 0;
+  ppat_status status;
+  std::size_t answered = 0;
+  while ((status = ppat_get_candidates(session, want, 8, &got)) == PPAT_OK) {
+    ASSERT_GE(got, 1u);
+    for (std::uint64_t k = 0; k < got; ++k) {
+      ASSERT_LT(want[k], kN);
+      double y[2];
+      objective(want[k], y);
+      ASSERT_EQ(ppat_set_result(session, want[k], y, 1), PPAT_OK);
+      ++answered;
+    }
+    ASSERT_LT(answered, 500u) << "loop did not converge";
+  }
+  EXPECT_EQ(status, PPAT_DONE) << ppat_last_error(session);
+  EXPECT_EQ(got, 0u);
+
+  std::uint64_t runs = 0;
+  ASSERT_EQ(ppat_runs(session, &runs), PPAT_OK);
+  EXPECT_GT(runs, 0u);
+  EXPECT_LE(runs, 30u);
+
+  // Capacity contract: too-small buffer reports required size.
+  std::uint64_t count = 0;
+  std::uint64_t one[1];
+  const auto front_status = ppat_front(session, one, 1, &count);
+  std::vector<std::uint64_t> front(count == 0 ? 1 : count);
+  if (front_status == PPAT_ERROR_CAPACITY) {
+    ASSERT_GT(count, 1u);
+    ASSERT_EQ(ppat_front(session, front.data(), count, &count), PPAT_OK);
+  }
+  EXPECT_GE(count, 1u);
+  for (std::uint64_t k = 0; k < count; ++k) EXPECT_LT(front[k], kN);
+
+  // Answering out of range, or a candidate with no pending request, is an
+  // error, not a crash.
+  double junk[2] = {0.0, 0.0};
+  EXPECT_EQ(ppat_set_result(session, kN + 5, junk, 1), PPAT_ERROR_INVALID);
+
+  EXPECT_EQ(ppat_shutdown(session), PPAT_OK);
+}
+
+TEST(Abi, ShutdownMidRunDoesNotHang) {
+  const std::size_t kN = 40, kDim = 2;
+  std::vector<double> flat(kN * kDim, 0.5);
+  for (std::size_t i = 0; i < kN; ++i) {
+    flat[i * 2] = static_cast<double>(i) / kN;
+  }
+  ppat_options_v1 opt = PPAT_OPTIONS_V1_INIT;
+  opt.max_runs = 30;
+  ppat_session* session = nullptr;
+  ASSERT_EQ(ppat_init(&opt, flat.data(), kN, kDim, 2, &session), PPAT_OK);
+  // Fetch one batch and abandon it: shutdown must fail the pending reveals
+  // and join the tuner thread instead of deadlocking.
+  std::uint64_t want[4], got = 0;
+  ASSERT_EQ(ppat_get_candidates(session, want, 4, &got), PPAT_OK);
+  ASSERT_GE(got, 1u);
+  EXPECT_EQ(ppat_shutdown(session), PPAT_OK);
+}
+
+// ---------------------------------------------------------------------------
+// Socket round trip against an in-process SocketServer.
+
+TEST(SocketServer, ClientSessionStreamsUpdatesAndFinishes) {
+  const std::string sock =
+      (fs::path(::testing::TempDir()) / "ppat_test.sock").string();
+
+  SocketServerOptions opts;
+  opts.socket_path = sock;
+  opts.sessions.handle_signals = false;
+  opts.sessions.max_sessions = 2;
+  opts.sessions.total_licenses = 2;
+  opts.resolve_oracle = [](const std::string& name, std::uint64_t seed,
+                           std::size_t dim) -> std::optional<OracleSpec> {
+    if (name != "synthetic" || dim != 3) return std::nullopt;
+    OracleSpec spec;
+    spec.space = ppat::testing::synthetic_space();
+    spec.make = [seed] {
+      return std::make_unique<ppat::testing::SyntheticOracle>(
+          0.05 * static_cast<double>(seed % 7));
+    };
+    return spec;
+  };
+
+  SocketServer server(std::move(opts));
+  server.bind();
+  std::thread serve_thread([&] { server.serve(); });
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", sock.c_str());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  {
+    wire::Writer w;
+    w.u32(wire::kProtocolVersion);
+    wire::write_frame(fd, wire::MsgType::kHello, w.take());
+  }
+  auto ack = wire::read_frame(fd);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, wire::MsgType::kHelloAck);
+
+  common::Rng rng(21);
+  const auto unit = sample::latin_hypercube(100, 3, rng);
+  {
+    wire::Writer w;
+    w.str("synthetic");
+    w.u64(1);   // oracle seed
+    w.u64(7);   // tuner seed
+    w.f64(0.0);
+    w.f64(0.0);
+    w.u64(0);
+    w.u64(25);  // max_runs
+    w.u64(0);
+    w.u64_vec({0, 2});
+    w.u64(100);
+    w.u64(3);
+    for (const auto& u : unit) {
+      for (double x : u) w.f64(x);
+    }
+    wire::write_frame(fd, wire::MsgType::kOpenSession, w.take());
+  }
+
+  bool opened = false, done = false;
+  std::size_t updates = 0;
+  std::uint64_t final_runs = 0;
+  while (auto frame = wire::read_frame(fd)) {
+    wire::Reader r(frame->payload);
+    if (frame->type == wire::MsgType::kSessionOpened) {
+      EXPECT_GT(r.u64(), 0u);
+      opened = true;
+    } else if (frame->type == wire::MsgType::kRoundUpdate) {
+      ++updates;
+    } else if (frame->type == wire::MsgType::kDone) {
+      r.u64();  // session id
+      EXPECT_EQ(static_cast<SessionState>(r.u8()), SessionState::kCompleted);
+      final_runs = r.u64();
+      done = true;
+      break;
+    } else if (frame->type == wire::MsgType::kError) {
+      FAIL() << "server error: " << r.str();
+    }
+  }
+  ::close(fd);
+  EXPECT_TRUE(opened);
+  EXPECT_TRUE(done);
+  EXPECT_GE(updates, 1u);  // at least one streamed Pareto update arrived
+  EXPECT_GT(final_runs, 0u);
+  EXPECT_LE(final_runs, 25u);
+
+  server.stop();
+  serve_thread.join();
+}
+
+}  // namespace
+}  // namespace ppat::server

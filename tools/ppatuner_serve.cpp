@@ -1,0 +1,151 @@
+// ppatuner_serve: the multi-tenant tuning server.
+//
+// Hosts N concurrent tuning sessions over a Unix-domain socket; each client
+// connection opens one session (see src/server/wire.hpp for the protocol
+// and examples/server_client.cpp for a client). The server owns the
+// oracles, the shared license pool, and per-session crash-safe journals;
+// SIGINT/SIGTERM drains every live session gracefully.
+//
+//   ppatuner_serve --socket /tmp/ppat.sock --max-sessions 8 --licenses 4
+//       --journal-root /tmp/ppat-journals
+//
+// Oracles a client can name in OpenSession:
+//   synthetic    analytic QoR surface, any dimensionality (demos, smoke
+//                tests; runs in microseconds)
+//   pdsim        the bundled physical-design flow on a small MAC design,
+//                over the paper's Target2 parameter space
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "flow/benchmark.hpp"
+#include "flow/pd_tool.hpp"
+#include "netlist/mac_generator.hpp"
+#include "server/socket_server.hpp"
+
+using namespace ppat;
+
+namespace {
+
+/// Cheap deterministic stand-in oracle with a genuine area/power/delay
+/// trade-off, defined on the unit cube of any dimensionality.
+class SyntheticOracle final : public flow::QorOracle {
+ public:
+  explicit SyntheticOracle(std::uint64_t seed)
+      : shift_(0.05 * static_cast<double>(seed % 7)) {}
+
+  flow::QoR evaluate(const flow::ParameterSpace& space,
+                     const flow::Config& config) override {
+    ++runs_;
+    const linalg::Vector u = space.encode(config);
+    const double u0 = u.empty() ? 0.0 : u[0];
+    const double u1 = u.size() > 1 ? u[1] : 0.0;
+    const double u2 = u.size() > 2 ? u[2] : 0.0;
+    flow::QoR q;
+    q.area_um2 = 100.0 * (1.5 - u0 + 0.2 * std::sin(3.0 * u1) + shift_ * u2);
+    q.power_mw = 10.0 * (1.0 + 0.8 * u0 - 0.6 * u1 + 0.1 * u2 +
+                         shift_ * 0.3 * std::cos(2.0 * u0));
+    q.delay_ns = 1.0 + u1 + 0.15 * std::sin(4.0 * u0) + shift_ * 0.1 * u2;
+    return q;
+  }
+  std::size_t run_count() const override { return runs_; }
+
+ private:
+  double shift_;
+  std::atomic<std::size_t> runs_{0};
+};
+
+flow::ParameterSpace unit_cube_space(std::size_t dim) {
+  std::vector<flow::ParamSpec> specs;
+  specs.reserve(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    specs.push_back(flow::ParamSpec::real("u" + std::to_string(i), 0.0, 1.0));
+  }
+  return flow::ParameterSpace(std::move(specs));
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--max-sessions N] [--licenses N]\n"
+               "          [--journal-root DIR] [--no-signals]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::SocketServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      opts.socket_path = value();
+    } else if (arg == "--max-sessions") {
+      opts.sessions.max_sessions = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--licenses") {
+      opts.sessions.total_licenses = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--journal-root") {
+      opts.journal_root = value();
+    } else if (arg == "--no-signals") {
+      opts.sessions.handle_signals = false;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opts.socket_path.empty()) return usage(argv[0]);
+
+  // The PD-flow oracle's design/library are built once and shared read-only
+  // between sessions; each session gets its own PDTool instance (its run
+  // state is per-instance).
+  static const auto library = ppat::netlist::CellLibrary::make_default();
+  static const auto design = ppat::netlist::small_mac_config();
+  static const auto pdsim_space = flow::target2_space();
+
+  opts.resolve_oracle = [](const std::string& name, std::uint64_t seed,
+                           std::size_t dim)
+      -> std::optional<server::OracleSpec> {
+    if (name == "synthetic") {
+      server::OracleSpec spec;
+      spec.space = unit_cube_space(dim);
+      spec.make = [seed] { return std::make_unique<SyntheticOracle>(seed); };
+      return spec;
+    }
+    if (name == "pdsim") {
+      if (dim != pdsim_space.size()) return std::nullopt;
+      server::OracleSpec spec;
+      spec.space = pdsim_space;
+      spec.make = [seed] {
+        return std::make_unique<flow::PDTool>(&library, design, seed);
+      };
+      return spec;
+    }
+    return std::nullopt;
+  };
+
+  try {
+    server::SocketServer srv(std::move(opts));
+    srv.bind();
+    std::printf("ppatuner_serve: listening on %s (max %zu sessions, %zu licenses)\n",
+                srv.socket_path().c_str(), srv.sessions().options().max_sessions,
+                srv.sessions().options().total_licenses);
+    std::fflush(stdout);
+    srv.serve();
+    std::puts("ppatuner_serve: drained all sessions, exiting");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ppatuner_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
