@@ -1,0 +1,205 @@
+// HLS mixed-space microbenchmarks.
+//
+// Three hot paths behind the constraint-aware tuning tier:
+//
+//   gram      MixedSpaceKernel Gram-matrix build (the direct-NLL fit path
+//             recomputes it per hyper-parameter probe; unlike the SE
+//             kernel it cannot use the shared squared-distance cache, so
+//             its raw throughput bounds every mixed-space refit) versus
+//             the SE kernel on the same points for context.
+//   sample    constrained_lhs feasible-design generation over the large
+//             systolic space (stratified decode + divisor intersection +
+//             dedup top-up).
+//   oracle    SystolicOracle evaluations (analytical model + feasibility
+//             check + deterministic jitter).
+//
+// Emits BENCH_hls.json (ops/sec per phase) and a summary table on stdout.
+//
+// --smoke: CI regression gate. One budgeted mixed-kernel Gram build at
+// n = 256 plus a feasible-sampling sanity pass; exits nonzero if Gram
+// throughput falls below the floor or an infeasible design escapes.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/rng.hpp"
+#include "gp/kernel.hpp"
+#include "hls/systolic.hpp"
+#include "sample/constrained.hpp"
+
+namespace {
+
+using namespace ppat;
+
+constexpr double kMinSeconds = 0.5;  // wall-clock budget per timed loop
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+double time_budgeted(const std::function<void()>& op, int min_iters,
+                     int max_iters, double ops_per_iter = 1.0) {
+  double total = 0.0;
+  int iters = 0;
+  while (iters < min_iters || (total < kMinSeconds && iters < max_iters)) {
+    const double t0 = now_seconds();
+    op();
+    total += now_seconds() - t0;
+    ++iters;
+  }
+  return static_cast<double>(iters) * ops_per_iter / total;
+}
+
+struct Row {
+  std::string phase;
+  std::size_t n = 0;
+  double ops_per_sec = 0.0;
+};
+
+/// Encoded feasible designs from the large systolic space (the same
+/// representation the surrogate sees during a real run).
+std::vector<linalg::Vector> encoded_designs(std::size_t n,
+                                            std::uint64_t seed) {
+  const auto space = hls::systolic_space(hls::large_gemm());
+  common::Rng rng(seed);
+  // The discrete space may hold fewer than n distinct designs; cycle.
+  const auto configs = sample::constrained_lhs(space, n, rng);
+  std::vector<linalg::Vector> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(space.encode(configs[i % configs.size()]));
+  }
+  return xs;
+}
+
+std::unique_ptr<gp::Kernel> mixed_kernel_for_large_space() {
+  const auto space = hls::systolic_space(hls::large_gemm());
+  std::vector<std::uint8_t> categorical(space.size(), 0);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto t = space.spec(i).type;
+    categorical[i] = (t == flow::ParamType::kEnum ||
+                      t == flow::ParamType::kBool)
+                         ? 1
+                         : 0;
+  }
+  return std::make_unique<gp::MixedSpaceKernel>(std::move(categorical));
+}
+
+double gram_ops(const gp::Kernel& kernel,
+                const std::vector<linalg::Vector>& xs, int max_iters) {
+  volatile double sink = 0.0;
+  return time_budgeted(
+      [&] {
+        const auto gram = kernel.gram(xs);
+        sink = sink + gram(0, 0);
+      },
+      2, max_iters);
+}
+
+int smoke() {
+  // Floor: one 256-point mixed Gram build is ~1e6 kernel evaluations of
+  // simple arithmetic; anything below 2 builds/sec (vs ~100+ observed on
+  // the CI machine) signals an accidental O(n^3) or allocation storm.
+  constexpr double kMinGramPerSec = 2.0;
+  const auto xs = encoded_designs(256, 1);
+  const auto kernel = mixed_kernel_for_large_space();
+  const double ops = gram_ops(*kernel, xs, 200);
+  std::printf("smoke: mixed Gram n=256 builds/sec=%.2f (floor %.2f)\n", ops,
+              kMinGramPerSec);
+  if (!(ops >= kMinGramPerSec)) {
+    std::fprintf(stderr, "FAIL: mixed-kernel Gram below the ops/sec floor\n");
+    return 1;
+  }
+  // Feasibility gate: every sampled design must satisfy the space's
+  // divisibility/activation constraints.
+  const auto space = hls::systolic_space(hls::large_gemm());
+  common::Rng rng(2);
+  const auto configs = sample::constrained_lhs(space, 512, rng);
+  for (const auto& c : configs) {
+    if (!space.is_feasible(c)) {
+      std::fprintf(stderr, "FAIL: infeasible design escaped the sampler\n");
+      return 1;
+    }
+  }
+  std::printf("smoke: %zu/%zu sampled designs feasible\n", configs.size(),
+              configs.size());
+  std::printf("smoke: PASS\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return smoke();
+  }
+
+  std::vector<Row> rows;
+  const auto mixed = mixed_kernel_for_large_space();
+  const gp::SquaredExponentialKernel se(0.3, 1.0);
+  for (const std::size_t n : {128u, 256u, 512u}) {
+    const auto xs = encoded_designs(n, 1);
+    rows.push_back({"gram_mixed", n, gram_ops(*mixed, xs, 400)});
+    rows.push_back({"gram_se", n, gram_ops(se, xs, 400)});
+  }
+
+  {
+    const auto space = hls::systolic_space(hls::large_gemm());
+    const std::size_t n = 256;
+    std::uint64_t seed = 1;
+    rows.push_back({"sample_lhs", n,
+                    time_budgeted(
+                        [&] {
+                          common::Rng rng(seed++);
+                          const auto configs =
+                              sample::constrained_lhs(space, n, rng);
+                          if (configs.empty()) std::abort();
+                        },
+                        2, 400, static_cast<double>(n))});
+  }
+
+  {
+    const auto w = hls::large_gemm();
+    const auto space = hls::systolic_space(w);
+    hls::SystolicOracle oracle(w, 5);
+    common::Rng rng(3);
+    const auto configs = sample::constrained_lhs(space, 256, rng);
+    volatile double sink = 0.0;
+    rows.push_back({"oracle_eval", configs.size(),
+                    time_budgeted(
+                        [&] {
+                          for (const auto& c : configs) {
+                            sink = sink + oracle.evaluate(space, c).delay_ns;
+                          }
+                        },
+                        2, 400, static_cast<double>(configs.size()))});
+  }
+
+  std::printf("%-12s %6s %14s\n", "phase", "n", "ops/sec");
+  for (const auto& r : rows) {
+    std::printf("%-12s %6zu %14.2f\n", r.phase.c_str(), r.n, r.ops_per_sec);
+  }
+
+  std::FILE* f = std::fopen("BENCH_hls.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"hls\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"phase\": \"%s\", \"n\": %zu, \"ops_per_sec\": %s}%s\n",
+                   rows[i].phase.c_str(), rows[i].n,
+                   bench::json_double(rows[i].ops_per_sec).c_str(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_hls.json\n");
+  }
+  return 0;
+}

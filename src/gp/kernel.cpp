@@ -192,6 +192,59 @@ std::unique_ptr<Kernel> ArdSquaredExponentialKernel::clone() const {
   return std::make_unique<ArdSquaredExponentialKernel>(*this);
 }
 
+// ---- MixedSpaceKernel ----
+
+MixedSpaceKernel::MixedSpaceKernel(std::vector<std::uint8_t> categorical,
+                                   double cont_lengthscale,
+                                   double cat_lengthscale,
+                                   double signal_variance)
+    : categorical_(std::move(categorical)),
+      cont_lengthscale_(cont_lengthscale),
+      cat_lengthscale_(cat_lengthscale),
+      signal_variance_(signal_variance) {
+  if (categorical_.empty()) {
+    throw std::invalid_argument("MixedSpaceKernel: need >= 1 dimension");
+  }
+  assert(cont_lengthscale > 0.0 && cat_lengthscale > 0.0 &&
+         signal_variance > 0.0);
+}
+
+double MixedSpaceKernel::operator()(std::span<const double> a,
+                                    std::span<const double> b) const {
+  assert(a.size() == categorical_.size() && b.size() == categorical_.size());
+  double sq = 0.0;       // squared distance over continuous/ordinal dims
+  double hamming = 0.0;  // mismatch count over categorical dims
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (categorical_[i] != 0) {
+      // Encoded level midpoints are exact per level, so != is the
+      // level-identity test (no tolerance games on the hot path).
+      if (a[i] != b[i]) hamming += 1.0;
+    } else {
+      const double d = a[i] - b[i];
+      sq += d * d;
+    }
+  }
+  return signal_variance_ *
+         std::exp(-0.5 * sq / (cont_lengthscale_ * cont_lengthscale_) -
+                  hamming / cat_lengthscale_);
+}
+
+linalg::Vector MixedSpaceKernel::hyperparameters() const {
+  return {std::log(cont_lengthscale_), std::log(cat_lengthscale_),
+          std::log(signal_variance_)};
+}
+
+void MixedSpaceKernel::set_hyperparameters(const linalg::Vector& log_params) {
+  assert(log_params.size() == 3);
+  cont_lengthscale_ = std::exp(log_params[0]);
+  cat_lengthscale_ = std::exp(log_params[1]);
+  signal_variance_ = std::exp(log_params[2]);
+}
+
+std::unique_ptr<Kernel> MixedSpaceKernel::clone() const {
+  return std::make_unique<MixedSpaceKernel>(*this);
+}
+
 // ---- Matern52Kernel ----
 
 Matern52Kernel::Matern52Kernel(double lengthscale, double signal_variance)

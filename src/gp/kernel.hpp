@@ -6,6 +6,7 @@
 // fit can select it).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -114,6 +115,54 @@ class ArdSquaredExponentialKernel final : public Kernel {
 
  private:
   std::vector<double> lengthscales_;
+  double signal_variance_;
+};
+
+/// Mixed continuous/categorical kernel for encoded mixed-type spaces:
+///
+///   k(a, b) = s2 * exp( -||a_c - b_c||^2 / (2 l_cont^2)  -  H(a_k, b_k) / l_cat )
+///
+/// where a_c are the continuous/ordinal coordinates (squared-exponential
+/// part) and H is the Hamming distance over the categorical coordinates
+/// (exponential-Hamming part — the standard product-of-kernels treatment of
+/// unordered dims, where "how far apart" two categories are is meaningless
+/// and only match/mismatch counts). Inputs are unit-cube encodings from
+/// flow::ParameterSpace; distinct discrete levels encode to distinct
+/// midpoints, so exact coordinate comparison is the level-identity test.
+/// Inactive conditional dims must be imputed at their canonical value
+/// BEFORE encoding (ParameterSpace::canonicalize / decode_feasible do this),
+/// which makes two designs that differ only in dormant parameters
+/// kernel-identical.
+///
+/// Hyper-parameters (log-space): [log l_cont, log l_cat, log s2].
+/// Not a function of Euclidean distance alone (supports_sqdist() == false),
+/// so the GP fit takes the direct-NLL path rather than the distance-cache /
+/// low-rank tiers — correct by construction, just without those shortcuts.
+class MixedSpaceKernel final : public Kernel {
+ public:
+  /// `categorical[i]` != 0 marks dimension i as unordered (Hamming part).
+  /// Dimensions must match the encoded inputs; at least one dimension total.
+  explicit MixedSpaceKernel(std::vector<std::uint8_t> categorical,
+                            double cont_lengthscale = 0.3,
+                            double cat_lengthscale = 1.0,
+                            double signal_variance = 1.0);
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  std::size_t num_hyperparameters() const override { return 3; }
+  linalg::Vector hyperparameters() const override;
+  void set_hyperparameters(const linalg::Vector& log_params) override;
+  std::unique_ptr<Kernel> clone() const override;
+  std::string name() const override { return "mixed"; }
+
+  const std::vector<std::uint8_t>& categorical_mask() const {
+    return categorical_;
+  }
+
+ private:
+  std::vector<std::uint8_t> categorical_;
+  double cont_lengthscale_;
+  double cat_lengthscale_;
   double signal_variance_;
 };
 

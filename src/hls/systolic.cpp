@@ -1,0 +1,205 @@
+#include "hls/systolic.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "sample/constrained.hpp"
+
+namespace ppat::hls {
+
+namespace {
+
+// fp32 MAC on a DSP48-class block.
+constexpr double kDspPerMac = 5.0;
+// Usable 32-bit words per BRAM-18K block.
+constexpr double kWordsPerBram = 512.0;
+// Floating-point accumulation latency (cycles) the lat_hide tile must cover.
+constexpr double kAccLatency = 8.0;
+
+double ceil_div(double a, double b) { return std::ceil(a / b); }
+
+// Deterministic per-(seed, config) jitter in [1 - amp, 1 + amp]: stands in
+// for run-to-run tool variance while keeping golden QoR replayable.
+double jitter(std::uint64_t seed, const flow::Config& config, double amp) {
+  std::uint64_t h = seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL;
+  for (double v : config) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h ^= bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  // splitmix64 finalizer.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return 1.0 + amp * (2.0 * u - 1.0);
+}
+
+}  // namespace
+
+SystolicWorkload small_gemm() {
+  SystolicWorkload w;
+  w.name = "gemm_small";
+  w.m = 64;
+  w.n = 64;
+  w.k = 128;
+  w.clock_mhz = 250.0;
+  w.dsp_budget = 1024.0;
+  w.bram_budget = 256.0;
+  return w;
+}
+
+SystolicWorkload large_gemm() {
+  SystolicWorkload w;
+  w.name = "gemm_large";
+  w.m = 256;
+  w.n = 256;
+  w.k = 512;
+  w.clock_mhz = 250.0;
+  w.dsp_budget = 4096.0;
+  w.bram_budget = 1024.0;
+  return w;
+}
+
+flow::ParameterSpace systolic_space(const SystolicWorkload& w) {
+  using flow::ParamSpec;
+  std::vector<ParamSpec> specs;
+  specs.push_back(ParamSpec::factors("pe_rows", w.m));
+  specs.push_back(ParamSpec::factors("pe_cols", w.n));
+  specs.push_back(ParamSpec::boolean("array_part"));
+  specs.push_back(ParamSpec::factors("l2_rows", w.m)
+                      .divides("pe_rows")
+                      .active_when("array_part", 1.0));
+  specs.push_back(ParamSpec::factors("l2_cols", w.n)
+                      .divides("pe_cols")
+                      .active_when("array_part", 1.0));
+  specs.push_back(ParamSpec::factors("lat_hide", w.k));
+  specs.push_back(
+      ParamSpec::integer_levels("simd", {1, 2, 4, 8}).divides("lat_hide"));
+  specs.push_back(
+      ParamSpec::enumeration("data_pack", {"none", "ping_pong", "wide"}));
+  return flow::ParameterSpace(std::move(specs));
+}
+
+SystolicOracle::SystolicOracle(SystolicWorkload workload, std::uint64_t seed)
+    : workload_(std::move(workload)), seed_(seed) {}
+
+SystolicCost SystolicOracle::cost(const flow::ParameterSpace& space,
+                                  const flow::Config& config) const {
+  const SystolicWorkload& w = workload_;
+  const double r = space.value_or(config, "pe_rows", 1.0);
+  const double c = space.value_or(config, "pe_cols", 1.0);
+  const bool array_part = space.value_or(config, "array_part", 0.0) != 0.0;
+  const double l2r = space.value_or(config, "l2_rows", 1.0);
+  const double l2c = space.value_or(config, "l2_cols", 1.0);
+  const double t = space.value_or(config, "lat_hide", 1.0);
+  const double simd = space.value_or(config, "simd", 1.0);
+  const long pack = std::lround(space.value_or(config, "data_pack", 0.0));
+  const bool ping_pong = pack >= 1;  // "ping_pong" or "wide"
+  const bool wide = pack == 2;
+
+  // --- Resources ------------------------------------------------------
+  const double num_pe = r * c;
+  const double dsp = kDspPerMac * num_pe * simd;
+
+  // On-chip tiles (32-bit words): A is r x t, B is t x c, C is r x c.
+  const double pack_factor = wide ? 2.0 : 1.0;  // packed words halve blocks
+  const double buf_factor = ping_pong ? 2.0 : 1.0;  // double buffering
+  double bram = buf_factor * (ceil_div(r * t, kWordsPerBram * pack_factor) +
+                              ceil_div(t * c, kWordsPerBram * pack_factor)) +
+                ceil_div(r * c, kWordsPerBram);
+  // Second-level partitioning replicates the boundary buffers per sub-array
+  // column/row (a mild resource tax for the clock win below).
+  if (array_part) {
+    bram += ceil_div(r / l2r, 1.0) + ceil_div(c / l2c, 1.0);
+  }
+
+  // --- Clock ----------------------------------------------------------
+  // Broadcast wire length grows with the unpartitioned array diameter;
+  // partitioning re-times at sub-array boundaries (diameter l2r + l2c) at
+  // the cost of a mux stage. Wide packing stresses routing slightly.
+  const double diameter = array_part ? (l2r + l2c) : (r + c);
+  double wire_penalty = diameter / 96.0;
+  if (array_part) wire_penalty += 0.03;
+  if (wide) wire_penalty += 0.03;
+  const double mhz = w.clock_mhz / (1.0 + wire_penalty);
+
+  // --- Latency --------------------------------------------------------
+  const double total_macs = static_cast<double>(w.m) *
+                            static_cast<double>(w.n) *
+                            static_cast<double>(w.k);
+  // Initiation interval of the accumulation loop: the lat_hide tile
+  // interleaves t independent partial sums, hiding the adder latency once
+  // t >= kAccLatency.
+  const double ii = std::max(1.0, std::ceil(kAccLatency / t));
+  const double compute_cycles = total_macs / (num_pe * simd) * ii;
+  // Off-chip traffic (words): every K-tile pass streams the A and B tiles
+  // per output tile plus one C pass. Wide packing doubles effective
+  // bandwidth; ping-pong overlaps transfer with compute.
+  const double tiles =
+      ceil_div(static_cast<double>(w.m), r) *
+      ceil_div(static_cast<double>(w.n), c) *
+      ceil_div(static_cast<double>(w.k), t);
+  const double words = tiles * (r * t + t * c) +
+                       static_cast<double>(w.m) * static_cast<double>(w.n);
+  const double io_cycles = words / (2.0 * pack_factor);
+  double cycles = ping_pong ? std::max(compute_cycles, io_cycles) +
+                                  std::min(compute_cycles, io_cycles) * 0.05
+                            : compute_cycles + io_cycles;
+  // Pipeline fill/drain across the array.
+  cycles += (r + c + t) * 4.0;
+
+  double latency_us = cycles / mhz;
+
+  // --- Budget pressure -------------------------------------------------
+  // Over-budget designs stay finite but degrade sharply (the scheduler
+  // spills): a smooth soft penalty keeps the surface GP-friendly.
+  const double dsp_over = std::max(0.0, dsp / w.dsp_budget - 1.0);
+  const double bram_over = std::max(0.0, bram / w.bram_budget - 1.0);
+  latency_us *= 1.0 + 4.0 * dsp_over * dsp_over + 4.0 * bram_over * bram_over;
+
+  SystolicCost out;
+  out.latency_us = latency_us * jitter(seed_, config, 0.01);
+  out.dsp = dsp;
+  out.bram = bram;
+  return out;
+}
+
+flow::QoR SystolicOracle::evaluate(const flow::ParameterSpace& space,
+                                   const flow::Config& config) {
+  if (!space.is_feasible(config)) {
+    throw std::invalid_argument(
+        "SystolicOracle: infeasible configuration for " + workload_.name +
+        " (constraint-aware sampling must only produce feasible designs)");
+  }
+  ++runs_;
+  const SystolicCost c = cost(space, config);
+  flow::QoR qor;
+  qor.area_um2 = c.dsp;
+  qor.power_mw = c.bram;
+  qor.delay_ns = c.latency_us;
+  return qor;
+}
+
+flow::BenchmarkSet build_systolic_benchmark(const std::string& name,
+                                            const SystolicWorkload& workload,
+                                            std::size_t n,
+                                            std::uint64_t seed) {
+  flow::BenchmarkSet set;
+  set.name = name;
+  set.space = systolic_space(workload);
+  common::Rng rng(seed);
+  set.configs = sample::constrained_lhs(set.space, n, rng);
+  SystolicOracle oracle(workload, seed);
+  set.qor.reserve(set.configs.size());
+  for (const auto& config : set.configs) {
+    set.qor.push_back(oracle.evaluate(set.space, config));
+  }
+  return set;
+}
+
+}  // namespace ppat::hls

@@ -1,0 +1,103 @@
+// Analytical HLS systolic-array cost model — the second oracle family.
+//
+// Models an AutoSA-style GEMM accelerator (C[M,N] += A[M,K] * B[K,N]) mapped
+// onto a 2D array of processing elements, with the classic HLS tuning knobs:
+//
+//   pe_rows/pe_cols   PE-array shape (space tiling of the output matrix);
+//                     factor-of-M / factor-of-N domains.
+//   array_part        enables second-level array partitioning (shorter
+//                     broadcast wires, better clock, some mux overhead).
+//   l2_rows/l2_cols   sub-array shape when partitioned; each must DIVIDE the
+//                     first-level tile and is only ACTIVE when array_part=1.
+//   lat_hide          latency-hiding tile along K: the accumulation
+//                     dependence is hidden once the tile covers the adder
+//                     latency (II -> 1); factor-of-K domain.
+//   simd              per-PE vector width; must DIVIDE lat_hide.
+//   data_pack         on-chip buffer strategy (categorical): "none",
+//                     "ping_pong" (double buffering overlaps IO/compute),
+//                     "wide" (ping-pong + packed words: fewer BRAMs, small
+//                     clock penalty).
+//
+// This is exactly the mixed/conditional structure flow::ParameterSpace grew
+// for: divisibility-constrained integer domains, a conditional sub-tree, and
+// a categorical dim. The model is closed-form and deterministic in
+// (workload, seed, config) — like pdsim it yields replayable golden QoR —
+// and its three objectives ride the existing QoR triple:
+//
+//   area_um2 <- DSP count, power_mw <- BRAM-18K count, delay_ns <- latency (us).
+//
+// The unit labels are pdsim's; the tuner stack only ever treats QoR as three
+// minimized scalars, so nothing downstream cares (documented in DESIGN.md).
+//
+// small_gemm() -> large_gemm() is the transfer pair mirroring the paper's
+// Target1 -> Target2: same parameter names/types (equal encoded dimension),
+// different domains, strongly correlated cost surfaces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "flow/benchmark.hpp"
+#include "flow/parameter.hpp"
+#include "flow/pd_tool.hpp"
+
+namespace ppat::hls {
+
+/// One GEMM accelerator instance to tune.
+struct SystolicWorkload {
+  std::string name = "gemm";
+  long m = 64;   ///< output rows
+  long n = 64;   ///< output cols
+  long k = 128;  ///< reduction depth
+  double clock_mhz = 250.0;  ///< nominal target clock
+  double dsp_budget = 1024.0;
+  double bram_budget = 512.0;
+};
+
+/// The small (source) and large (target) tasks of the transfer scenario.
+SystolicWorkload small_gemm();
+SystolicWorkload large_gemm();
+
+/// The mixed/conditional tuning space of a workload (8 parameters,
+/// parent-ordered; has_constraints() is true).
+flow::ParameterSpace systolic_space(const SystolicWorkload& workload);
+
+/// Raw objective triple before the QoR mapping.
+struct SystolicCost {
+  double latency_us = 0.0;
+  double dsp = 0.0;
+  double bram = 0.0;
+};
+
+/// Deterministic analytical oracle. evaluate() rejects infeasible configs
+/// with std::invalid_argument — samplers upstream must only ever produce
+/// feasible designs, and this is where that contract is enforced.
+class SystolicOracle final : public flow::QorOracle {
+ public:
+  SystolicOracle(SystolicWorkload workload, std::uint64_t seed);
+
+  flow::QoR evaluate(const flow::ParameterSpace& space,
+                     const flow::Config& config) override;
+  std::size_t run_count() const override { return runs_; }
+
+  /// Pure cost model (no run counting, no feasibility gate).
+  SystolicCost cost(const flow::ParameterSpace& space,
+                    const flow::Config& config) const;
+
+  const SystolicWorkload& workload() const { return workload_; }
+
+ private:
+  SystolicWorkload workload_;
+  std::uint64_t seed_;
+  std::size_t runs_ = 0;
+};
+
+/// Offline benchmark for the workload: `n` distinct feasible designs from
+/// constraint-aware LHS, each evaluated for golden QoR. Deterministic in
+/// `seed` (mirrors flow::build_benchmark for the pdsim family).
+flow::BenchmarkSet build_systolic_benchmark(const std::string& name,
+                                            const SystolicWorkload& workload,
+                                            std::size_t n,
+                                            std::uint64_t seed);
+
+}  // namespace ppat::hls

@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <condition_variable>
+#include <cstddef>
 #include <cstring>
 #include <deque>
 #include <memory>
@@ -226,7 +227,8 @@ struct ppat_session {
 namespace {
 
 void run_tuner_loop(ppat_session* s, ppat::tuner::PPATunerOptions topt,
-                    std::size_t num_threads) {
+                    std::size_t num_threads,
+                    ppat::tuner::SurrogateFactory factory) {
   try {
     ppat::common::ThreadPool workers(num_threads);
     topt.thread_pool = &workers;
@@ -236,8 +238,8 @@ void run_tuner_loop(ppat_session* s, ppat::tuner::PPATunerOptions topt,
       std::lock_guard lock(s->mutex);
       s->front = p.pareto_ids;
     };
-    const ppat::tuner::TuningResult result = ppat::tuner::run_ppatuner(
-        *s->pool, ppat::tuner::make_plain_gp_factory(), topt);
+    const ppat::tuner::TuningResult result =
+        ppat::tuner::run_ppatuner(*s->pool, factory, topt);
     std::lock_guard lock(s->mutex);
     s->front = result.pareto_indices;
     s->finished = true;
@@ -284,8 +286,12 @@ ppat_status ppat_init(const ppat_options_v1* options, const double* candidates,
   }
   *out_session = nullptr;
   // Forward-compat contract: the caller's struct must start with the two
-  // version fields and be at least the v1 prefix we know how to read.
-  if (options->struct_size < sizeof(ppat_options_v1) ||
+  // version fields and be at least the 1.0 prefix we know how to read.
+  // categorical_mask was APPENDED in minor 1.1, so 1.0 embedders report a
+  // struct_size that stops right before it — still accepted, field = 0.
+  constexpr uint64_t kOptionsV10Size =
+      offsetof(ppat_options_v1, categorical_mask);
+  if (options->struct_size < kOptionsV10Size ||
       options->abi_version != PPAT_ABI_VERSION_MAJOR) {
     return PPAT_ERROR_VERSION;
   }
@@ -319,12 +325,37 @@ ppat_status ppat_init(const ppat_options_v1* options, const double* candidates,
       options->num_threads == 0 ? 1
                                 : static_cast<std::size_t>(options->num_threads);
 
+  // Minor-1.1 tail field (0 for every 1.0 caller): nonzero selects the
+  // mixed-space kernel over the marked categorical dimensions.
+  uint64_t categorical_mask = 0;
+  if (options->struct_size >= kOptionsV10Size + sizeof(uint64_t)) {
+    categorical_mask = options->categorical_mask;
+  }
+  ppat::tuner::SurrogateFactory factory;
+  if (categorical_mask == 0) {
+    factory = ppat::tuner::make_plain_gp_factory();
+  } else {
+    if (dim > 64 || (dim < 64 && (categorical_mask >> dim) != 0)) {
+      return PPAT_ERROR_INVALID;
+    }
+    std::vector<std::uint8_t> categorical(static_cast<std::size_t>(dim), 0);
+    for (uint64_t d = 0; d < dim; ++d) {
+      categorical[d] = (categorical_mask >> d) & 1u;
+    }
+    auto proto = std::make_shared<ppat::gp::MixedSpaceKernel>(
+        std::move(categorical));
+    factory = [proto](std::size_t) -> std::unique_ptr<ppat::tuner::Surrogate> {
+      return std::make_unique<ppat::tuner::PlainGpSurrogate>(proto->clone());
+    };
+  }
+
   auto session = std::make_unique<ppat_session>();
   session->pool = std::make_unique<BridgePool>(
       std::move(encoded), static_cast<std::size_t>(num_objectives));
   ppat_session* raw = session.release();
-  raw->tuner_thread =
-      std::thread([raw, topt, num_threads] { run_tuner_loop(raw, topt, num_threads); });
+  raw->tuner_thread = std::thread([raw, topt, num_threads, factory] {
+    run_tuner_loop(raw, topt, num_threads, factory);
+  });
   *out_session = raw;
   return PPAT_OK;
 }

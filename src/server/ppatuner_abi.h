@@ -45,7 +45,7 @@ extern "C" {
 #endif
 
 #define PPAT_ABI_VERSION_MAJOR 1u
-#define PPAT_ABI_VERSION_MINOR 0u
+#define PPAT_ABI_VERSION_MINOR 1u
 
 /* Objective vectors passed to ppat_set_result are at most this wide. */
 #define PPAT_MAX_OBJECTIVES 8u
@@ -88,10 +88,21 @@ typedef struct ppat_options_v1 {
   uint64_t max_runs;     /* tool-run budget */
   uint64_t max_rounds;   /* T_max */
   uint64_t num_threads;  /* session worker threads (default 1) */
+
+  /* --- Appended in minor revision 1.1 (mixed-type parameter spaces). ---
+   * Bitmask marking encoded dimensions as CATEGORICAL: bit i set means
+   * dimension i of the candidate matrix is an unordered (enum/bool) level
+   * midpoint, and the session models it with the mixed-space kernel
+   * (Hamming over marked dims, squared-exponential over the rest). Zero —
+   * including every caller compiled against 1.0, whose shorter struct_size
+   * simply omits the field — keeps the original isotropic SE surrogate,
+   * bit-for-bit. Requires dim <= 64 when nonzero; bits at or above `dim`
+   * are rejected with PPAT_ERROR_INVALID. */
+  uint64_t categorical_mask;
 } ppat_options_v1;
 
 #define PPAT_OPTIONS_V1_INIT \
-  { sizeof(ppat_options_v1), PPAT_ABI_VERSION_MAJOR, 0u, 0u, 0.0, 0.0, 0u, 0u, 0u, 0u }
+  { sizeof(ppat_options_v1), PPAT_ABI_VERSION_MAJOR, 0u, 0u, 0.0, 0.0, 0u, 0u, 0u, 0u, 0u }
 
 /* Runtime library ABI version: (major << 16) | minor. An embedder dlopen'ing
  * the library checks (ppat_abi_version() >> 16) == PPAT_ABI_VERSION_MAJOR. */

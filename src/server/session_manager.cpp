@@ -178,8 +178,12 @@ void SessionManager::run_session(Session& session) {
       if (user_on_round) user_on_round(p);
     };
 
+    // Space-aware default: legacy spaces get exactly make_plain_gp_factory()
+    // (construction-identical surrogates — session fingerprints unchanged);
+    // constrained spaces get the mixed-space kernel.
     const tuner::SurrogateFactory factory =
-        cfg.surrogates ? cfg.surrogates : tuner::make_plain_gp_factory();
+        cfg.surrogates ? cfg.surrogates
+                       : tuner::default_gp_factory_for(cfg.space);
 
     tuner::PPATunerDiagnostics diag;
     const tuner::TuningResult result =

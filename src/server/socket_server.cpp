@@ -222,7 +222,12 @@ void SocketServer::handle_connection(int fd) {
     for (std::uint64_t i = 0; i < n; ++i) {
       linalg::Vector u(dim);
       for (std::uint64_t d = 0; d < dim; ++d) u[d] = r.f64();
-      cfg.candidates.push_back(cfg.space.decode(u));
+      // Constrained (mixed/conditional) oracle spaces decode each client
+      // point onto the feasible manifold; legacy spaces keep the verbatim
+      // unit-cube decode (bitwise-identical candidates to older servers).
+      cfg.candidates.push_back(cfg.space.has_constraints()
+                                   ? cfg.space.decode_feasible(u)
+                                   : cfg.space.decode(u));
     }
     if (!options_.journal_root.empty()) {
       const std::uint64_t k = session_counter_.fetch_add(1);

@@ -14,6 +14,20 @@ std::unique_ptr<gp::Kernel> make_kernel(KernelKind kind) {
   throw std::invalid_argument("make_kernel: unknown kernel kind");
 }
 
+std::unique_ptr<gp::Kernel> make_space_kernel(
+    const flow::ParameterSpace& space) {
+  if (!space.has_constraints()) {
+    return make_kernel(KernelKind::kSquaredExponential);
+  }
+  std::vector<std::uint8_t> categorical(space.size(), 0);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const flow::ParamType t = space.spec(i).type;
+    categorical[i] =
+        (t == flow::ParamType::kEnum || t == flow::ParamType::kBool) ? 1 : 0;
+  }
+  return std::make_unique<gp::MixedSpaceKernel>(std::move(categorical));
+}
+
 TransferGpSurrogate::TransferGpSurrogate(
     std::vector<linalg::Vector> source_xs, linalg::Vector source_ys,
     KernelKind kind, const gp::TransferFitOptions& fit_options,
@@ -22,6 +36,18 @@ TransferGpSurrogate::TransferGpSurrogate(
       source_ys_(std::move(source_ys)),
       fit_options_(fit_options),
       model_(make_kernel(kind)) {
+  model_.set_low_rank(low_rank);
+}
+
+TransferGpSurrogate::TransferGpSurrogate(
+    std::vector<linalg::Vector> source_xs, linalg::Vector source_ys,
+    std::unique_ptr<gp::Kernel> kernel,
+    const gp::TransferFitOptions& fit_options,
+    const gp::LowRankOptions& low_rank)
+    : source_xs_(std::move(source_xs)),
+      source_ys_(std::move(source_ys)),
+      fit_options_(fit_options),
+      model_(std::move(kernel)) {
   model_.set_low_rank(low_rank);
 }
 
@@ -76,6 +102,13 @@ PlainGpSurrogate::PlainGpSurrogate(KernelKind kind,
                                    const gp::FitOptions& fit_options,
                                    const gp::LowRankOptions& low_rank)
     : fit_options_(fit_options), model_(make_kernel(kind)) {
+  model_.set_low_rank(low_rank);
+}
+
+PlainGpSurrogate::PlainGpSurrogate(std::unique_ptr<gp::Kernel> kernel,
+                                   const gp::FitOptions& fit_options,
+                                   const gp::LowRankOptions& low_rank)
+    : fit_options_(fit_options), model_(std::move(kernel)) {
   model_.set_low_rank(low_rank);
 }
 
@@ -139,6 +172,42 @@ SurrogateFactory make_plain_gp_factory(KernelKind kind,
                                        const gp::LowRankOptions& low_rank) {
   return [kind, fit_options, low_rank](std::size_t) -> std::unique_ptr<Surrogate> {
     return std::make_unique<PlainGpSurrogate>(kind, fit_options, low_rank);
+  };
+}
+
+SurrogateFactory default_gp_factory_for(const flow::ParameterSpace& space,
+                                        const gp::FitOptions& fit_options,
+                                        const gp::LowRankOptions& low_rank) {
+  if (!space.has_constraints()) {
+    // Legacy spaces MUST yield construction-identical surrogates to the
+    // plain factory — this branch is what keeps old fingerprints bitwise.
+    return make_plain_gp_factory(KernelKind::kSquaredExponential, fit_options,
+                                 low_rank);
+  }
+  // The kernel prototype is built once and cloned per objective so every
+  // surrogate starts from identical hyper-parameters.
+  std::shared_ptr<gp::Kernel> proto = make_space_kernel(space);
+  return [proto, fit_options,
+          low_rank](std::size_t) -> std::unique_ptr<Surrogate> {
+    return std::make_unique<PlainGpSurrogate>(proto->clone(), fit_options,
+                                              low_rank);
+  };
+}
+
+SurrogateFactory default_transfer_gp_factory_for(
+    const flow::ParameterSpace& space, const SourceData& source,
+    const gp::TransferFitOptions& fit_options,
+    const gp::LowRankOptions& low_rank) {
+  if (!space.has_constraints()) {
+    return make_transfer_gp_factory(source, KernelKind::kSquaredExponential,
+                                    fit_options, low_rank);
+  }
+  std::shared_ptr<gp::Kernel> proto = make_space_kernel(space);
+  return [source, proto, fit_options,
+          low_rank](std::size_t objective_index) -> std::unique_ptr<Surrogate> {
+    return std::make_unique<TransferGpSurrogate>(
+        source.xs, source.ys.at(objective_index), proto->clone(), fit_options,
+        low_rank);
   };
 }
 

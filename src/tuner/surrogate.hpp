@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "flow/parameter.hpp"
 #include "gp/posterior_cache.hpp"
 #include "gp/transfer_gp.hpp"
 #include "linalg/matrix.hpp"
@@ -95,6 +96,13 @@ enum class KernelKind { kSquaredExponential, kMatern52 };
 /// hyper-parameters (refined by marginal-likelihood fitting).
 std::unique_ptr<gp::Kernel> make_kernel(KernelKind kind);
 
+/// The kernel a space calls for: legacy unconstrained spaces get the
+/// default isotropic squared-exponential (byte-compatible with every
+/// pre-existing run); constrained/mixed spaces get a MixedSpaceKernel whose
+/// categorical mask marks the enum/bool dimensions (integer dims — including
+/// factor domains — are ordinal, so they stay on the SE part).
+std::unique_ptr<gp::Kernel> make_space_kernel(const flow::ParameterSpace& space);
+
 /// Paper's transfer GP over (source data, target observations).
 class TransferGpSurrogate final : public Surrogate {
  public:
@@ -106,6 +114,13 @@ class TransferGpSurrogate final : public Surrogate {
   TransferGpSurrogate(std::vector<linalg::Vector> source_xs,
                       linalg::Vector source_ys,
                       KernelKind kind = KernelKind::kSquaredExponential,
+                      const gp::TransferFitOptions& fit_options = {},
+                      const gp::LowRankOptions& low_rank = {});
+
+  /// Explicit-kernel variant (mixed-space runs pass a MixedSpaceKernel).
+  TransferGpSurrogate(std::vector<linalg::Vector> source_xs,
+                      linalg::Vector source_ys,
+                      std::unique_ptr<gp::Kernel> kernel,
                       const gp::TransferFitOptions& fit_options = {},
                       const gp::LowRankOptions& low_rank = {});
 
@@ -151,6 +166,11 @@ class PlainGpSurrogate final : public Surrogate {
       const gp::FitOptions& fit_options = {},
       const gp::LowRankOptions& low_rank = {});
 
+  /// Explicit-kernel variant (mixed-space runs pass a MixedSpaceKernel).
+  explicit PlainGpSurrogate(std::unique_ptr<gp::Kernel> kernel,
+                            const gp::FitOptions& fit_options = {},
+                            const gp::LowRankOptions& low_rank = {});
+
   void fit(const std::vector<linalg::Vector>& xs,
            const linalg::Vector& ys) override;
   void add_observation(const linalg::Vector& x, double y) override;
@@ -191,6 +211,19 @@ SurrogateFactory make_transfer_gp_factory(
 SurrogateFactory make_plain_gp_factory(
     KernelKind kind = KernelKind::kSquaredExponential,
     const gp::FitOptions& fit_options = {},
+    const gp::LowRankOptions& low_rank = {});
+
+/// Space-aware default factories. On a legacy unconstrained space these
+/// return exactly make_plain_gp_factory() / make_transfer_gp_factory(source)
+/// — construction-identical surrogates, so every pre-existing fingerprint is
+/// preserved. On a constrained space the surrogates are built around
+/// make_space_kernel(space) (mixed kernel, direct-NLL fit path).
+SurrogateFactory default_gp_factory_for(
+    const flow::ParameterSpace& space, const gp::FitOptions& fit_options = {},
+    const gp::LowRankOptions& low_rank = {});
+SurrogateFactory default_transfer_gp_factory_for(
+    const flow::ParameterSpace& space, const SourceData& source,
+    const gp::TransferFitOptions& fit_options = {},
     const gp::LowRankOptions& low_rank = {});
 
 }  // namespace ppat::tuner

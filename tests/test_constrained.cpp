@@ -1,0 +1,121 @@
+#include "sample/constrained.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "hls/systolic.hpp"
+
+namespace ppat::sample {
+namespace {
+
+flow::ParameterSpace tiny_discrete_space() {
+  return flow::ParameterSpace({
+      flow::ParamSpec::boolean("a"),
+      flow::ParamSpec::enumeration("b", {"x", "y", "z"}),
+  });
+}
+
+std::set<std::string> keys(const std::vector<flow::Config>& configs) {
+  std::set<std::string> out;
+  for (const auto& c : configs) {
+    std::string k;
+    for (double v : c) k += std::to_string(v) + "|";
+    out.insert(k);
+  }
+  return out;
+}
+
+TEST(DedupConfigs, CollapsesQuantizationCollisionsInOrder) {
+  std::vector<flow::Config> in = {{1.0, 2.0}, {0.0, 1.0}, {1.0, 2.0},
+                                  {0.0, 1.0}, {0.0, 0.0}};
+  const auto out = dedup_configs(in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (flow::Config{1.0, 2.0}));  // first occurrence wins
+  EXPECT_EQ(out[1], (flow::Config{0.0, 1.0}));
+  EXPECT_EQ(out[2], (flow::Config{0.0, 0.0}));
+}
+
+// Asking for more designs than a tiny discrete space holds must terminate
+// and return exactly the feasible set (collision top-up cannot loop forever).
+TEST(ConstrainedLhs, ExhaustsTinyDiscreteSpace) {
+  const auto space = tiny_discrete_space();
+  common::Rng rng(5);
+  const auto configs = constrained_lhs(space, 50, rng);
+  EXPECT_EQ(configs.size(), 6u);  // 2 bools x 3 enum levels
+  EXPECT_EQ(keys(configs).size(), 6u);
+}
+
+TEST(ConstrainedLhs, DeterministicUnderSeedAndDistinct) {
+  const auto space = hls::systolic_space(hls::small_gemm());
+  common::Rng a(42), b(42), c(43);
+  const auto pa = constrained_lhs(space, 64, a);
+  const auto pb = constrained_lhs(space, 64, b);
+  const auto pc = constrained_lhs(space, 64, c);
+  EXPECT_EQ(pa, pb);
+  EXPECT_NE(pa, pc);
+  EXPECT_EQ(keys(pa).size(), pa.size());  // all unique after dedup
+}
+
+TEST(ConstrainedLhs, EveryDesignIsFeasible) {
+  const auto space = hls::systolic_space(hls::small_gemm());
+  ASSERT_TRUE(space.has_constraints());
+  common::Rng rng(7);
+  const auto configs = constrained_lhs(space, 200, rng);
+  EXPECT_GE(configs.size(), 150u);  // collisions exist but must not dominate
+  for (const auto& c : configs) {
+    ASSERT_TRUE(space.is_feasible(c));
+  }
+}
+
+TEST(ConstrainedSobol, FeasibleDeterministicAndDistinct) {
+  const auto space = hls::systolic_space(hls::large_gemm());
+  const auto pa = constrained_sobol(space, 64, 11);
+  const auto pb = constrained_sobol(space, 64, 11);
+  EXPECT_EQ(pa, pb);
+  EXPECT_EQ(keys(pa).size(), pa.size());
+  for (const auto& c : pa) {
+    ASSERT_TRUE(space.is_feasible(c));
+  }
+}
+
+TEST(EnumerateFeasible, CountsMatchConstraintStructure) {
+  // parent in factors(6) = {1,2,3,6}; child divides parent:
+  //   parent 1 -> {1}; 2 -> {1,2}; 3 -> {1,3}; 6 -> {1,2,3,6}  => 9 configs.
+  const flow::ParameterSpace space({
+      flow::ParamSpec::factors("parent", 6),
+      flow::ParamSpec::factors("child", 6).divides("parent"),
+  });
+  const auto all = enumerate_feasible(space, 100);
+  EXPECT_EQ(all.size(), 9u);
+  for (const auto& c : all) {
+    ASSERT_TRUE(space.is_feasible(c));
+  }
+}
+
+TEST(EnumerateFeasible, InactiveSubtreeCollapses) {
+  // toggle=0 pins the child at its canonical value: 4 + 4*2 = ... toggle
+  // off -> child fixed (4 parents x 1), toggle on -> child ranges over
+  // divisors (9 as above) => 4 + 9 = 13.
+  const flow::ParameterSpace space({
+      flow::ParamSpec::factors("parent", 6),
+      flow::ParamSpec::boolean("toggle"),
+      flow::ParamSpec::factors("child", 6).divides("parent").active_when(
+          "toggle", 1.0),
+  });
+  const auto all = enumerate_feasible(space, 100);
+  EXPECT_EQ(all.size(), 13u);
+}
+
+TEST(EnumerateFeasible, RejectsContinuousAndOverflow) {
+  const flow::ParameterSpace with_float({
+      flow::ParamSpec::real("r", 0.0, 1.0),
+  });
+  EXPECT_THROW(enumerate_feasible(with_float, 10), std::invalid_argument);
+  EXPECT_THROW(enumerate_feasible(tiny_discrete_space(), 3),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppat::sample

@@ -17,6 +17,12 @@
 //                  sessions is SIGKILLed mid-batch; on restart all three
 //                  sessions resume from their own journals and finish
 //                  bitwise-identical to isolated uninterrupted runs.
+//     [--hls 1]    run the mixed-space scenario instead: a transfer-GP
+//                  PPATuner over the constrained HLS systolic-array space
+//                  (small_gemm source -> large_gemm target, mixed kernel)
+//                  is SIGKILLed between rounds and mid-batch; resumes must
+//                  reproduce the uninterrupted run bitwise. (--data is
+//                  accepted but unused; the HLS benchmark is synthesized.)
 //
 // Scenario task: Source2 -> Target2 (paper Table 1; 1440/727 points),
 // power+delay objectives, transfer-GP PPATuner over a LiveCandidatePool
@@ -45,6 +51,7 @@
 #include "common/rng.hpp"
 #include "flow/benchmark.hpp"
 #include "flow/eval_service.hpp"
+#include "hls/systolic.hpp"
 #include "journal/journal.hpp"
 #include "server/session_manager.hpp"
 #include "tuner/live_pool.hpp"
@@ -320,6 +327,109 @@ int server_child_main(const std::map<std::string, std::string>& args) {
   return ok ? 0 : 1;
 }
 
+// ---- Mixed-space (HLS) scenario -------------------------------------------
+//
+// Same kill-and-resume contract, but over the constrained systolic-array
+// space: conditional/divisibility parameters, the mixed categorical kernel
+// (direct-NLL fit path), and a transfer-GP seeded from the small-array
+// task. The benchmark is synthesized deterministically, so the lookup
+// oracle stays bitwise-reproducible without CSV data.
+
+struct HlsTask {
+  flow::BenchmarkSet source;
+  flow::BenchmarkSet target;
+};
+
+HlsTask load_hls_task() {
+  HlsTask t;
+  t.source =
+      hls::build_systolic_benchmark("hls_src", hls::small_gemm(), 300, 33);
+  t.target =
+      hls::build_systolic_benchmark("hls_tgt", hls::large_gemm(), 250, 34);
+  return t;
+}
+
+tuner::PPATunerOptions hls_options() {
+  tuner::PPATunerOptions opt;
+  opt.seed = 17;
+  opt.batch_size = 4;
+  opt.max_runs = 48;
+  opt.max_rounds = 30;
+  opt.refit_every = 5;
+  return opt;
+}
+
+std::string hls_fingerprint(const HlsTask& task,
+                            const tuner::TuningResult& result) {
+  tuner::BenchmarkCandidatePool scoring(&task.target, tuner::kAreaPowerDelay);
+  const auto q = tuner::evaluate_result(scoring, result);
+  std::ostringstream out;
+  out << "pareto:";
+  for (std::size_t i : result.pareto_indices) out << " " << i;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\nadrs: %a\nhv_error: %a\n", q.adrs,
+                q.hv_error);
+  out << "\ntool_runs: " << result.tool_runs << buf;
+  return out.str();
+}
+
+std::string hls_run_task(const HlsTask& task, const std::string& journal_dir,
+                         std::size_t licenses, long kill_round,
+                         long kill_evals, std::size_t* rounds_out = nullptr) {
+  const auto space = hls::systolic_space(hls::large_gemm());
+  BenchmarkLookupOracle oracle(task.target, kill_evals);
+  flow::EvalServiceOptions svc;
+  svc.licenses = licenses;
+  flow::EvalService service(oracle, space, svc);
+  tuner::LiveCandidatePool pool(task.target.configs, tuner::kAreaPowerDelay,
+                                service);
+
+  std::unique_ptr<journal::RunJournal> jnl;
+  if (!journal_dir.empty()) {
+    bool has_journal = false;
+    if (fs::exists(journal_dir)) {
+      for (const auto& e : fs::directory_iterator(journal_dir)) {
+        const auto ext = e.path().extension();
+        if (ext == ".seg" || ext == ".open") has_journal = true;
+      }
+    }
+    jnl = has_journal ? journal::RunJournal::open_resume(journal_dir)
+                      : journal::RunJournal::create(journal_dir);
+    pool.set_journal(jnl.get());
+  }
+
+  auto opt = hls_options();
+  opt.journal = jnl.get();
+  if (kill_round > 0) {
+    opt.on_round = [kill_round](const tuner::PPATunerProgress& p) {
+      if (p.round >= static_cast<std::size_t>(kill_round)) ::raise(SIGKILL);
+    };
+  }
+  const auto source_data = tuner::SourceData::from_benchmark(
+      task.source, tuner::kAreaPowerDelay, 200, 7);
+  const auto factory =
+      tuner::default_transfer_gp_factory_for(space, source_data);
+  tuner::PPATunerDiagnostics diag;
+  const auto result = tuner::run_ppatuner(pool, factory, opt, &diag);
+  if (rounds_out != nullptr) *rounds_out = diag.rounds;
+  return hls_fingerprint(task, result);
+}
+
+int hls_child_main(const std::map<std::string, std::string>& args) {
+  const HlsTask task = load_hls_task();
+  const long kill_round =
+      args.count("--kill-round") ? std::stol(args.at("--kill-round")) : 0;
+  const long kill_evals =
+      args.count("--kill-evals") ? std::stol(args.at("--kill-evals")) : -1;
+  const auto licenses =
+      static_cast<std::size_t>(std::stoul(args.at("--licenses")));
+  const std::string fp = hls_run_task(task, args.at("--journal"), licenses,
+                                      kill_round, kill_evals);
+  std::ofstream out(args.at("--out"), std::ios::binary | std::ios::trunc);
+  out << fp;
+  return out.good() ? 0 : 1;
+}
+
 struct ChildExit {
   bool signalled = false;
   int code = 0;  // exit status, or the signal number when signalled
@@ -399,7 +509,8 @@ void corrupt_tail(const std::string& journal_dir) {
 void run_scenario(const std::string& name, const std::string& scratch,
                   const std::string& data_dir, const std::string& baseline,
                   std::size_t licenses, long kill_round, long kill_evals,
-                  bool corrupt, bool lowrank = false) {
+                  bool corrupt, bool lowrank = false,
+                  const char* child_flag = "--child") {
   std::printf("scenario %s (licenses=%zu kill_round=%ld kill_evals=%ld%s%s)\n",
               name.c_str(), licenses, kill_round, kill_evals,
               corrupt ? " corrupt-tail" : "", lowrank ? " lowrank" : "");
@@ -409,7 +520,7 @@ void run_scenario(const std::string& name, const std::string& scratch,
   fs::remove(out);
 
   std::vector<std::string> base_args = {
-      "--child",    "1",   "--data", data_dir, "--journal", dir,
+      child_flag,   "1",   "--data", data_dir, "--journal", dir,
       "--licenses", std::to_string(licenses),  "--out",     out};
   if (lowrank) {
     base_args.push_back("--lowrank");
@@ -441,6 +552,69 @@ void run_scenario(const std::string& name, const std::string& scratch,
     std::printf("--- baseline ---\n%s--- resumed ---\n%s---\n",
                 baseline.c_str(), fp.c_str());
   }
+}
+
+/// `--hls 1` entry: baseline the mixed-space transfer run uninterrupted,
+/// then kill it between rounds and mid-batch; every resume must land on the
+/// baseline fingerprint bitwise (acceptance gate for journal-resumable
+/// mixed-space runs).
+int hls_orchestrate(const std::map<std::string, std::string>& args) {
+  const std::string data_dir = args.at("--data");
+  const char* scratch_env = std::getenv("PPAT_CRASH_SCRATCH");
+  const std::string scratch =
+      std::string(scratch_env != nullptr ? scratch_env
+                                         : "crash_resume_scratch") +
+      "_hls";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  const std::uint64_t seed =
+      args.count("--seed")
+          ? std::stoull(args.at("--seed"))
+          : static_cast<std::uint64_t>(std::time(nullptr));
+  std::printf("randomization seed: %llu (rerun with --seed to reproduce)\n",
+              static_cast<unsigned long long>(seed));
+  common::Rng rng(seed);
+
+  const HlsTask task = load_hls_task();
+  std::printf("HLS baseline run (uninterrupted, licenses=1)...\n");
+  std::size_t baseline_rounds = 0;
+  const std::string baseline =
+      hls_run_task(task, "", 1, 0, -1, &baseline_rounds);
+  std::printf("rounds: %zu\n%s", baseline_rounds, baseline.c_str());
+  if (baseline_rounds < 3) {
+    std::printf("FAIL: baseline finished in %zu rounds; nothing to kill\n",
+                baseline_rounds);
+    return 1;
+  }
+  std::printf("HLS baseline run (uninterrupted, licenses=4)...\n");
+  const std::string baseline4 = hls_run_task(task, "", 4, 0, -1);
+  check(baseline4 == baseline, "licenses=4 baseline matches licenses=1");
+
+  const auto max_kill = static_cast<std::uint64_t>(
+      std::min<std::size_t>(baseline_rounds - 1, 12));
+  // Between-round kills at both license counts.
+  const long kill_a = 1 + static_cast<long>(rng.next_below(max_kill));
+  long kill_b = 1 + static_cast<long>(rng.next_below(max_kill));
+  if (kill_b == kill_a) kill_b = kill_a == 1 ? 2 : kill_a - 1;
+  run_scenario("hls_kill_round_" + std::to_string(kill_a) + "_lic1", scratch,
+               data_dir, baseline, 1, kill_a, -1, false, false, "--hls-child");
+  run_scenario("hls_kill_round_" + std::to_string(kill_b) + "_lic4", scratch,
+               data_dir, baseline, 4, kill_b, -1, false, false, "--hls-child");
+  // Mid-batch kill from inside the oracle (torn batch in the journal).
+  const long kill_evals =
+      11 + static_cast<long>(rng.next_below(4 * (baseline_rounds - 1)));
+  run_scenario("hls_kill_midbatch", scratch, data_dir, baseline, 4, 0,
+               kill_evals, false, false, "--hls-child");
+
+  if (g_failures == 0) {
+    fs::remove_all(scratch);
+    std::printf("PASS: all HLS mixed-space resumes bitwise-identical\n");
+    return 0;
+  }
+  std::printf("FAIL: %d check(s) failed; scratch kept at %s\n", g_failures,
+              scratch.c_str());
+  return 1;
 }
 
 /// `--server 1` entry: baseline each tenant in isolation, SIGKILL a
@@ -627,8 +801,10 @@ int main(int argc, char** argv) {
   }
   try {
     if (args.count("--server-child")) return server_child_main(args);
+    if (args.count("--hls-child")) return hls_child_main(args);
     if (args.count("--child")) return child_main(args);
     if (args.count("--server")) return server_orchestrate(args);
+    if (args.count("--hls")) return hls_orchestrate(args);
     return orchestrate(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "linalg/cholesky.hpp"
@@ -124,6 +125,67 @@ TEST_P(KernelPsd, GramIsPositiveSemidefinite) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KernelPsd, ::testing::Range(1, 7));
+
+TEST(MixedSpaceKernel, HammingOverCategoricalSeOverContinuous) {
+  // dims: [continuous, categorical, categorical]
+  MixedSpaceKernel k({0, 1, 1}, 0.5, 2.0, 1.5);
+  const linalg::Vector a = {0.2, 0.25, 0.75};
+  // Identical points: k = s2.
+  EXPECT_DOUBLE_EQ(k(a, a), 1.5);
+  // One categorical mismatch: s2 * exp(-1 / l_cat); the numeric gap size
+  // (0.25 vs 0.9) must NOT matter for a categorical dim.
+  const linalg::Vector b1 = {0.2, 0.9, 0.75};
+  const linalg::Vector b2 = {0.2, 0.3, 0.75};
+  EXPECT_DOUBLE_EQ(k(a, b1), 1.5 * std::exp(-1.0 / 2.0));
+  EXPECT_DOUBLE_EQ(k(a, b2), k(a, b1));
+  // Two mismatches: exp(-2 / l_cat).
+  const linalg::Vector c = {0.2, 0.9, 0.1};
+  EXPECT_DOUBLE_EQ(k(a, c), 1.5 * std::exp(-2.0 / 2.0));
+  // Continuous dim uses squared-exponential distance.
+  const linalg::Vector d = {0.6, 0.25, 0.75};
+  EXPECT_DOUBLE_EQ(k(a, d), 1.5 * std::exp(-0.5 * 0.16 / 0.25));
+}
+
+TEST(MixedSpaceKernel, HyperparametersRoundTripAndClone) {
+  MixedSpaceKernel k({1, 0}, 0.3, 1.0, 1.0);
+  EXPECT_EQ(k.num_hyperparameters(), 3u);
+  EXPECT_FALSE(k.supports_sqdist());
+  EXPECT_EQ(k.name(), "mixed");
+  const linalg::Vector logp = {std::log(0.7), std::log(3.0), std::log(2.0)};
+  k.set_hyperparameters(logp);
+  const auto got = k.hyperparameters();
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(got[i], logp[i], 1e-12);
+  const auto cl = k.clone();
+  const linalg::Vector a = {0.25, 0.4};
+  const linalg::Vector b = {0.75, 0.1};
+  EXPECT_DOUBLE_EQ((*cl)(a, b), k(a, b));
+}
+
+TEST(MixedSpaceKernel, GramIsPsd) {
+  MixedSpaceKernel k({0, 1, 1, 0});
+  common::Rng rng(3);
+  std::vector<linalg::Vector> xs;
+  for (int i = 0; i < 24; ++i) {
+    linalg::Vector x(4);
+    x[0] = rng.uniform01();
+    x[1] = (rng.uniform01() < 0.5) ? 0.25 : 0.75;     // bool midpoints
+    x[2] = (1.0 + std::floor(rng.uniform01() * 3.0)) / 3.0 - 1.0 / 6.0;
+    x[3] = rng.uniform01();
+    xs.push_back(std::move(x));
+  }
+  const auto gram = k.gram(xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      EXPECT_NEAR(gram(i, j), gram(j, i), 1e-12);
+    }
+  }
+  EXPECT_TRUE(linalg::CholeskyFactor::compute_with_jitter(gram).has_value());
+}
+
+TEST(MixedSpaceKernel, RejectsEmptyMask) {
+  EXPECT_THROW(MixedSpaceKernel({}), std::invalid_argument);
+}
 
 TEST(KernelGram, CrossMatchesElementwise) {
   SquaredExponentialKernel k(0.4, 1.0);

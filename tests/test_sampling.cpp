@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
 
 namespace ppat::sample {
@@ -116,6 +117,60 @@ TEST(Sobol, DeterministicAndSeedSensitive) {
 TEST(Sobol, RejectsBadDimensions) {
   EXPECT_THROW(SobolSequence(0, 1), std::invalid_argument);
   EXPECT_THROW(SobolSequence(17, 1), std::invalid_argument);
+}
+
+// Property sweep: LHS stratification must hold for every seed and shape,
+// not just the single seed above (the constraint-aware sampler builds
+// whole benchmarks out of repeated LHS batches).
+TEST(LatinHypercube, StratificationPropertyOverSeeds) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    common::Rng rng(seed);
+    const std::size_t n = 8 + (seed % 5) * 7;
+    const std::size_t d = 1 + seed % 6;
+    const auto pts = latin_hypercube(n, d, rng);
+    for (std::size_t dim = 0; dim < d; ++dim) {
+      std::set<std::size_t> strata;
+      for (const auto& p : pts) {
+        strata.insert(
+            static_cast<std::size_t>(p[dim] * static_cast<double>(n)));
+      }
+      EXPECT_EQ(strata.size(), n) << "seed " << seed << " dim " << dim;
+    }
+  }
+}
+
+TEST(LatinHypercube, DistinctSeedsGiveDistinctDesigns) {
+  common::Rng a(101), b(102);
+  EXPECT_NE(latin_hypercube(16, 3, a), latin_hypercube(16, 3, b));
+}
+
+// A Sobol power-of-two prefix is balanced at every dyadic resolution it
+// covers; check quarters across several scrambling seeds.
+TEST(Sobol, BalancedInQuartersOverSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto pts = SobolSequence::generate(64, 3, seed);
+    for (std::size_t dim = 0; dim < 3; ++dim) {
+      std::size_t count[4] = {0, 0, 0, 0};
+      for (const auto& p : pts) {
+        ++count[std::min<std::size_t>(3,
+                                      static_cast<std::size_t>(p[dim] * 4.0))];
+      }
+      for (int q = 0; q < 4; ++q) {
+        EXPECT_EQ(count[q], 16u)
+            << "seed " << seed << " dim " << dim << " quarter " << q;
+      }
+    }
+  }
+}
+
+// Streaming property: generate(n) is a prefix of generate(2n) for the same
+// seed (the constrained sampler relies on this to "top up" a short draw).
+TEST(Sobol, PrefixStable) {
+  const auto small = SobolSequence::generate(32, 4, 9);
+  const auto big = SobolSequence::generate(64, 4, 9);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i], big[i]) << "index " << i;
+  }
 }
 
 TEST(MaxCoordinateGap, KnownConfiguration) {

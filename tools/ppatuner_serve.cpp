@@ -14,6 +14,9 @@
 //                tests; runs in microseconds)
 //   pdsim        the bundled physical-design flow on a small MAC design,
 //                over the paper's Target2 parameter space
+//   hls_small    analytical systolic-array GEMM accelerator (64x64x128),
+//                over the mixed/conditional AutoSA-style space
+//   hls_large    the 256x256x512 sibling (the transfer scenario's target)
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -25,6 +28,7 @@
 
 #include "flow/benchmark.hpp"
 #include "flow/pd_tool.hpp"
+#include "hls/systolic.hpp"
 #include "netlist/mac_generator.hpp"
 #include "server/socket_server.hpp"
 
@@ -112,6 +116,10 @@ int main(int argc, char** argv) {
   static const auto library = ppat::netlist::CellLibrary::make_default();
   static const auto design = ppat::netlist::small_mac_config();
   static const auto pdsim_space = flow::target2_space();
+  static const auto hls_small = hls::small_gemm();
+  static const auto hls_large = hls::large_gemm();
+  static const auto hls_small_space = hls::systolic_space(hls_small);
+  static const auto hls_large_space = hls::systolic_space(hls_large);
 
   opts.resolve_oracle = [](const std::string& name, std::uint64_t seed,
                            std::size_t dim)
@@ -128,6 +136,21 @@ int main(int argc, char** argv) {
       spec.space = pdsim_space;
       spec.make = [seed] {
         return std::make_unique<flow::PDTool>(&library, design, seed);
+      };
+      return spec;
+    }
+    // The HLS family: constrained spaces, so the socket server decodes the
+    // client's unit points via decode_feasible and the session defaults to
+    // the mixed-space kernel.
+    if (name == "hls_small" || name == "hls_large") {
+      const auto& space = name == "hls_small" ? hls_small_space
+                                              : hls_large_space;
+      const auto& workload = name == "hls_small" ? hls_small : hls_large;
+      if (dim != space.size()) return std::nullopt;
+      server::OracleSpec spec;
+      spec.space = space;
+      spec.make = [workload, seed] {
+        return std::make_unique<hls::SystolicOracle>(workload, seed);
       };
       return spec;
     }
