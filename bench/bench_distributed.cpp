@@ -1,0 +1,239 @@
+// Worker-scaling bench for the distributed oracle fleet.
+//
+// Fixed workload: one 64-configuration batch against the synthetic oracle
+// with a fixed per-evaluation sleep (a stand-in for PD tool runtime — the
+// build machine is single-core, so real compute would not scale, but tool
+// runs are I/O-shaped waits and sleeps model them faithfully). The batch is
+// dispatched through DistributedEvalService to fleets of 1/2/4/8
+// ppatuner_worker PROCESSES and the bench reports wall time, evaluation
+// throughput, and speedup over the single-worker fleet.
+//
+// Two properties measured, one property checked:
+//   * work-stealing dispatch scales throughput ~linearly with the worker
+//     count while the oracle is latency-bound (the gate: >= 6x at 8
+//     workers; the deficit from 8x is coordinator poll latency);
+//   * the record fingerprint (status, attempts, QoR bit patterns) at EVERY
+//     worker count is identical to the in-process flow::EvalService over
+//     the same oracle — distribution must be bitwise invisible; the bench
+//     aborts if not.
+//
+// Output: a table on stdout and BENCH_distributed.json next to it.
+//
+//   bench_distributed [--smoke] [--batch N] [--sleep-ms N]
+//                     [--worker-bin PATH] [--out FILE]
+//
+// --smoke is the CI gate: a 32x20ms batch on {1,4} workers, >= 2.5x.
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/oracles.hpp"
+#include "flow/eval_service.hpp"
+#include "journal/reveal_ledger.hpp"
+
+namespace {
+
+using namespace ppat;
+using clock_type = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSeed = 20260807;
+constexpr std::size_t kDim = 3;
+
+std::vector<flow::Config> make_batch(const flow::ParameterSpace& space,
+                                     std::size_t n) {
+  std::vector<flow::Config> configs;
+  configs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::Vector u(space.size());
+    for (std::size_t d = 0; d < space.size(); ++d) {
+      u[d] = std::fmod(0.29 + 0.53 * static_cast<double>(i * kDim + d), 1.0);
+    }
+    configs.push_back(space.decode(u));
+  }
+  return configs;
+}
+
+/// Fingerprint over the determinism-relevant record fields; elapsed_ms is
+/// wall clock and excluded, same as everywhere else in this codebase.
+std::uint64_t fingerprint(const std::vector<flow::RunRecord>& records) {
+  std::uint64_t h = 0x44495354ull;
+  for (const flow::RunRecord& r : records) {
+    h = journal::mix_hash(h, static_cast<std::uint64_t>(r.status));
+    h = journal::mix_hash(h, r.attempts);
+    if (r.ok()) {
+      const double qor[3] = {r.qor.area_um2, r.qor.power_mw, r.qor.delay_ns};
+      h = journal::hash_doubles(h, qor);
+    }
+  }
+  return h;
+}
+
+/// ppatuner_worker lives next to this binary's build tree:
+/// build/bench/bench_distributed -> build/tools/ppatuner_worker.
+std::string default_worker_bin() {
+  std::error_code ec;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) return "ppatuner_worker";
+  return (self.parent_path().parent_path() / "tools" / "ppatuner_worker")
+      .string();
+}
+
+struct LevelResult {
+  std::size_t workers = 0;
+  double wall_ms = 0.0;
+  std::size_t runs = 0;
+  std::uint64_t fp = 0;
+};
+
+LevelResult run_level(const flow::ParameterSpace& space,
+                      const std::vector<flow::Config>& configs,
+                      std::size_t workers, long sleep_ms,
+                      const std::string& worker_bin) {
+  dist::DistributedOptions dopt;
+  dopt.socket_path = "/tmp/ppat_bench_dist_" + std::to_string(::getpid()) +
+                     "_" + std::to_string(workers) + ".sock";
+  dist::DistributedEvalService coord(space, dopt);
+  for (std::size_t w = 0; w < workers; ++w) {
+    coord.spawn_local_worker(
+        worker_bin, {"--oracle", "synthetic", "--seed", std::to_string(kSeed),
+                     "--dim", std::to_string(kDim), "--sleep-ms",
+                     std::to_string(sleep_ms)});
+  }
+  if (!coord.wait_for_workers(workers, std::chrono::seconds(10))) {
+    std::fprintf(stderr, "FAIL: only %zu of %zu workers connected (%s)\n",
+                 coord.worker_count(), workers, worker_bin.c_str());
+    std::exit(1);
+  }
+  const auto t0 = clock_type::now();
+  const auto records = coord.evaluate_batch(configs);
+  LevelResult r;
+  r.workers = workers;
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(clock_type::now() - t0)
+          .count();
+  r.runs = records.size();
+  r.fp = fingerprint(records);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t batch = 64;
+  long sleep_ms = 40;
+  double gate = 6.0;
+  std::vector<std::size_t> counts = {1, 2, 4, 8};
+  std::string worker_bin = default_worker_bin();
+  std::string out_path = "BENCH_distributed.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch = std::stoul(need("--batch"));
+    } else if (std::strcmp(argv[i], "--sleep-ms") == 0) {
+      sleep_ms = std::stol(need("--sleep-ms"));
+    } else if (std::strcmp(argv[i], "--worker-bin") == 0) {
+      worker_bin = need("--worker-bin");
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = need("--out");
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    // CI floor on a loaded single-core runner: half the batch, half the
+    // sleep, 4 workers, and a forgiving 2.5x bar.
+    batch = 32;
+    sleep_ms = 20;
+    counts = {1, 4};
+    gate = 2.5;
+  }
+
+  const auto space = dist::unit_cube_space(kDim);
+  const auto configs = make_batch(space, batch);
+
+  // The in-process reference both pins the fingerprint and measures the
+  // zero-worker baseline cost of the same batch.
+  dist::SyntheticOracle reference(kSeed,
+                                  std::chrono::milliseconds(sleep_ms));
+  flow::EvalService local(reference, space);
+  const auto ref_t0 = clock_type::now();
+  const auto ref_records = local.evaluate_batch(configs);
+  const double ref_wall_ms =
+      std::chrono::duration<double, std::milli>(clock_type::now() - ref_t0)
+          .count();
+  const std::uint64_t ref_fp = fingerprint(ref_records);
+
+  std::printf(
+      "distributed fleet scaling: %zu-config batch, %ldms synthetic tool, "
+      "worker bin %s\n\n",
+      batch, sleep_ms, worker_bin.c_str());
+  std::printf("%10s %12s %12s %9s %8s\n", "workers", "wall_ms", "runs_per_s",
+              "speedup", "parity");
+  std::printf("%10s %12.1f %12.1f %9s %8s\n", "in-proc", ref_wall_ms,
+              1e3 * static_cast<double>(batch) / ref_wall_ms, "-", "ref");
+
+  std::vector<LevelResult> levels;
+  bool parity_ok = true;
+  for (std::size_t w : counts) {
+    levels.push_back(run_level(space, configs, w, sleep_ms, worker_bin));
+    const LevelResult& r = levels.back();
+    const bool match = r.fp == ref_fp;
+    parity_ok = parity_ok && match;
+    std::printf("%10zu %12.1f %12.1f %8.2fx %8s\n", r.workers, r.wall_ms,
+                1e3 * static_cast<double>(r.runs) / r.wall_ms,
+                levels.front().wall_ms / r.wall_ms, match ? "ok" : "FAIL");
+  }
+
+  const double speedup = levels.front().wall_ms / levels.back().wall_ms;
+  std::printf("\nfingerprint parity vs in-process EvalService: %s\n",
+              parity_ok ? "yes" : "NO");
+  std::printf("speedup at %zu workers: %.2fx (gate %.1fx)\n",
+              levels.back().workers, speedup, gate);
+
+  std::ofstream json(out_path, std::ios::trunc);
+  json << "{\n  \"batch\": " << batch << ",\n  \"sleep_ms\": " << sleep_ms
+       << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+       << ",\n  \"in_process_wall_ms\": " << bench::json_double(ref_wall_ms)
+       << ",\n  \"parity\": " << (parity_ok ? "true" : "false")
+       << ",\n  \"levels\": [\n";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const auto& r = levels[i];
+    json << "    {\"workers\": " << r.workers
+         << ", \"wall_ms\": " << bench::json_double(r.wall_ms)
+         << ", \"runs_per_s\": "
+         << bench::json_double(1e3 * static_cast<double>(r.runs) / r.wall_ms)
+         << ", \"speedup\": "
+         << bench::json_double(levels.front().wall_ms / r.wall_ms) << "}"
+         << (i + 1 < levels.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!parity_ok) return 1;
+  if (speedup < gate) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below the %.1fx gate\n",
+                 speedup, gate);
+    return 1;
+  }
+  return json.good() ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Named oracle registry shared by every distributed-fleet entry point.
+//
+// The worker binary (tools/ppatuner_worker), the scaling bench, and the
+// distributed tests all need to instantiate the same oracle from a name —
+// and the coordinator-side fingerprint-parity checks need the IN-PROCESS
+// reference evaluation to produce bit-identical doubles to what a worker
+// process computes. Centralizing construction in one translation unit makes
+// that a property of the build instead of a hope: both sides call the same
+// code, and QoR doubles cross the wire as raw bit patterns (wire::f64 is a
+// bitcast), so parity is exact.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "flow/pd_tool.hpp"
+
+namespace ppat::dist {
+
+/// Deterministic analytic QoR surface on the unit cube of any
+/// dimensionality, with an optional per-evaluation sleep. The sleep models a
+/// license-bound tool farm — each run pins a license for a fixed wall-clock
+/// slice — which is what makes worker-count scaling measurable even on a
+/// single-core build machine.
+class SyntheticOracle final : public flow::QorOracle {
+ public:
+  explicit SyntheticOracle(std::uint64_t seed,
+                           std::chrono::milliseconds sleep = {});
+
+  flow::QoR evaluate(const flow::ParameterSpace& space,
+                     const flow::Config& config) override;
+  std::size_t run_count() const override { return runs_; }
+
+ private:
+  double tilt_;
+  std::chrono::milliseconds sleep_;
+  std::size_t runs_ = 0;
+};
+
+/// Unit-cube space of `dim` real parameters (u0..u{dim-1} in [0, 1]).
+flow::ParameterSpace unit_cube_space(std::size_t dim);
+
+/// A named oracle plus the parameter space it evaluates over.
+struct NamedOracle {
+  flow::ParameterSpace space;
+  std::unique_ptr<flow::QorOracle> oracle;
+};
+
+/// Instantiates an oracle by name:
+///   synthetic    SyntheticOracle over unit_cube_space(dim); honors
+///                `synthetic_sleep`
+///   pdsim        the bundled PD flow on the small MAC design (Target2
+///                space; `dim` must match or be 0)
+///   hls_small    analytical systolic-array GEMM accelerator (64x64x128)
+///   hls_large    the 256x256x512 sibling
+/// Returns nullopt for an unknown name or a dimension mismatch.
+std::optional<NamedOracle> make_named_oracle(
+    const std::string& name, std::uint64_t seed, std::size_t dim,
+    std::chrono::milliseconds synthetic_sleep = {});
+
+/// Content digest of a canonical configuration — the exactly-once ledger
+/// key. Depends only on the parameter values (bit patterns), so the same
+/// candidate hashes identically across coordinator restarts.
+std::uint64_t config_digest(const flow::Config& config);
+
+}  // namespace ppat::dist

@@ -1,0 +1,65 @@
+// Worker side of the distributed oracle fleet.
+//
+// A worker process hosts ONE oracle instance and serves evaluation requests
+// over the coordinator's Unix socket using the frames documented in
+// server/wire.hpp: it announces itself with kWorkerHello (protocol version,
+// session epoch, oracle name, space dimensionality), the coordinator either
+// acks or rejects with kError, and from then on the worker answers each
+// kEvalRequest with one kEvalResult. Workers are stateless between requests
+// — all retry, deadline, watchdog, and exactly-once bookkeeping lives in
+// the coordinator — so killing a worker mid-run costs the fleet exactly one
+// retry of whatever it was evaluating, nothing more.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "flow/pd_tool.hpp"
+
+namespace ppat::dist {
+
+struct WorkerLoopOptions {
+  /// Session epoch announced in the hello and every heartbeat. The
+  /// coordinator rejects a mismatch at handshake and disconnects a stale
+  /// heartbeat — a worker left over from a previous coordinator incarnation
+  /// can never serve (or bill runs against) the new one.
+  std::uint64_t session_epoch = 1;
+  /// Oracle name announced in the hello (informational; the coordinator
+  /// trusts the dimension check, not the label).
+  std::string oracle_name = "synthetic";
+  /// When > 0, send a kHeartbeat after this much idle time so the
+  /// coordinator can tell a quiet worker from a dead one. 0 = no idle
+  /// heartbeats (the worker blocks on the socket).
+  std::chrono::milliseconds heartbeat_interval{0};
+  /// Invoked before each evaluation (job id, attempt, config). Test and
+  /// tooling hook: crash injection (--kill-after) and the exactly-once
+  /// eval log both live here. A throwing hook is reported to the
+  /// coordinator as a failed result, exactly like an oracle exception.
+  std::function<void(std::uint64_t job_id, std::uint32_t attempt,
+                     const flow::Config& config)>
+      on_eval;
+};
+
+/// Connects to the coordinator's Unix socket, retrying while it comes up.
+/// Returns the connected fd, or -1 when every attempt failed.
+int connect_worker(const std::string& socket_path,
+                   std::size_t max_attempts = 100,
+                   std::chrono::milliseconds retry_delay =
+                       std::chrono::milliseconds(50));
+
+/// Runs the serve loop on a connected fd until the coordinator goes away.
+/// Closes `fd` before returning. Return codes:
+///   0  clean shutdown (coordinator closed the connection)
+///   2  handshake rejected (epoch/protocol/dimension mismatch)
+///   3  protocol violation (unexpected frame)
+///   4  wire error (coordinator vanished mid-frame)
+/// Oracle exceptions do NOT end the loop — they come back to the
+/// coordinator as a failed kEvalResult, which is what drives its retry
+/// path.
+int run_worker_loop(int fd, flow::QorOracle& oracle,
+                    const flow::ParameterSpace& space,
+                    const WorkerLoopOptions& options = {});
+
+}  // namespace ppat::dist

@@ -194,11 +194,6 @@ RunRecord EvalService::run_one(const Config& config,
 }
 
 std::vector<RunRecord> EvalService::evaluate_batch(
-    const std::vector<Config>& configs) {
-  return evaluate_batch(configs, RunObserver{});
-}
-
-std::vector<RunRecord> EvalService::evaluate_batch(
     const std::vector<Config>& configs, const RunObserver& observer) {
   std::vector<RunRecord> records(configs.size());
   if (configs.empty()) return records;

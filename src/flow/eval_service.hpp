@@ -135,6 +135,37 @@ struct EvalServiceOptions {
 enum class RunStatus : unsigned char { kOk, kFailed, kTimedOut };
 const char* run_status_name(RunStatus status);
 
+struct RunRecord;
+
+/// Minimal batch-evaluation surface shared by the in-process EvalService and
+/// out-of-process evaluators (dist::DistributedEvalService). Pool layers
+/// (tuner::LiveCandidatePool) and the session manager program against this,
+/// so where the tool runs actually execute — this process's threads or a
+/// fleet of worker processes — is a deployment decision, not a code path.
+class BatchEvaluator {
+ public:
+  virtual ~BatchEvaluator() = default;
+
+  /// Called once per configuration as its record is finalized (must be
+  /// thread-safe: EvalService invokes it from worker threads). Lets callers
+  /// persist each outcome the moment it exists — a crash mid-batch then
+  /// loses only runs still in flight, not the whole batch.
+  using RunObserver =
+      std::function<void(std::size_t index, const RunRecord& record)>;
+
+  /// Evaluates a batch; record i corresponds to configs[i] regardless of
+  /// completion order. Never throws for run failures — a failed run is a
+  /// first-class RunRecord outcome.
+  virtual std::vector<RunRecord> evaluate_batch(
+      const std::vector<Config>& configs, const RunObserver& observer) = 0;
+  std::vector<RunRecord> evaluate_batch(const std::vector<Config>& configs) {
+    return evaluate_batch(configs, RunObserver{});
+  }
+
+  /// Parameter space the configurations live in.
+  virtual const ParameterSpace& space() const = 0;
+};
+
 /// Outcome of one configuration's evaluation (all attempts folded in).
 struct RunRecord {
   RunStatus status = RunStatus::kFailed;
@@ -163,35 +194,28 @@ struct EvalServiceStats {
 
 /// License-bounded, retrying, deadline-aware batch evaluator over a
 /// QorOracle. The oracle and parameter space must outlive the service.
-class EvalService {
+class EvalService final : public BatchEvaluator {
  public:
   EvalService(QorOracle& oracle, ParameterSpace space,
               EvalServiceOptions options = {});
-  ~EvalService();
+  ~EvalService() override;
 
   EvalService(const EvalService&) = delete;
   EvalService& operator=(const EvalService&) = delete;
-
-  /// Called once per configuration as its record is finalized, from
-  /// whichever worker thread finished it (must be thread-safe). Lets callers
-  /// persist each outcome the moment it exists — a crash mid-batch then
-  /// loses only runs still in flight, not the whole batch.
-  using RunObserver = std::function<void(std::size_t index,
-                                         const RunRecord& record)>;
 
   /// Evaluates one configuration (all retries included). Never throws for
   /// run failures.
   RunRecord evaluate(const Config& config);
 
-  /// Evaluates a batch with at most `licenses` runs in flight. Record i
+  /// Evaluates a batch with at most `licenses` runs in flight, invoking
+  /// `observer` (if set) as each configuration completes. Record i
   /// corresponds to configs[i] regardless of completion order.
-  std::vector<RunRecord> evaluate_batch(const std::vector<Config>& configs);
-  /// Same, invoking `observer` as each configuration completes.
   std::vector<RunRecord> evaluate_batch(const std::vector<Config>& configs,
-                                        const RunObserver& observer);
+                                        const RunObserver& observer) override;
+  using BatchEvaluator::evaluate_batch;
 
   const EvalServiceOptions& options() const { return options_; }
-  const ParameterSpace& space() const { return space_; }
+  const ParameterSpace& space() const override { return space_; }
   EvalServiceStats stats() const;
 
  private:

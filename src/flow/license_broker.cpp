@@ -33,6 +33,12 @@ std::size_t LicenseBroker::outstanding_for(std::uint64_t session) const {
   return it == sessions_.end() ? 0 : it->second.outstanding;
 }
 
+std::size_t LicenseBroker::waiting_for(std::uint64_t session) const {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? 0 : it->second.waiting;
+}
+
 std::size_t LicenseBroker::grants_for(std::uint64_t session) const {
   std::lock_guard lock(mutex_);
   const auto it = sessions_.find(session);
@@ -73,6 +79,23 @@ LicenseBroker::Lease LicenseBroker::acquire(std::uint64_t session) {
   cv_.wait(lock, [&] { return available_ > 0 && my_turn_locked(session); });
   SessionState& st = sessions_[session];
   --st.waiting;
+  --available_;
+  ++st.outstanding;
+  ++st.grants;
+  st.last_grant_seq = ++grant_seq_;
+  return Lease(this, session);
+}
+
+LicenseBroker::Lease LicenseBroker::try_acquire(std::uint64_t session) {
+  std::lock_guard lock(mutex_);
+  if (available_ == 0) return Lease();
+  // Conservatively yield whenever ANY other session is blocked in
+  // acquire(): the poller will be back next loop iteration, the waiter
+  // cannot make progress without this license.
+  for (const auto& [id, st] : sessions_) {
+    if (id != session && st.waiting > 0) return Lease();
+  }
+  SessionState& st = sessions_[session];
   --available_;
   ++st.outstanding;
   ++st.grants;

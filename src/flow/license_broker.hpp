@@ -43,6 +43,9 @@ class LicenseBroker {
   std::size_t outstanding() const;
   /// Leases currently held by one session (fairness observability).
   std::size_t outstanding_for(std::uint64_t session) const;
+  /// Threads of one session currently blocked in acquire() (observability
+  /// for try_acquire's waiter-priority rule).
+  std::size_t waiting_for(std::uint64_t session) const;
   /// Total grants ever made to one session (fairness tests). Per-session
   /// accounting is reclaimed once a session goes fully idle, so this reads
   /// 0 again after the session's last lease is returned.
@@ -80,6 +83,14 @@ class LicenseBroker {
   /// leases at once (its per-batch concurrency is bounded by its own
   /// EvalService, not by the broker).
   Lease acquire(std::uint64_t session);
+
+  /// Non-blocking acquire for callers that must not sleep — the distributed
+  /// coordinator's dispatch loop frees its own leases by processing worker
+  /// results, so blocking here would deadlock it. Returns an empty Lease
+  /// (valid() == false) when no license is free OR any other session is
+  /// blocked in acquire(): waiters always outrank a poller, so a polling
+  /// session can never starve a blocking one.
+  Lease try_acquire(std::uint64_t session);
 
  private:
   /// Per-session accounting. An entry exists while the session has

@@ -229,7 +229,7 @@ double GaussianProcess::nll_for(const linalg::Vector& log_params,
 }
 
 double GaussianProcess::nll_from_cache(const linalg::Vector& log_params,
-                                       const linalg::Matrix& sqdist,
+                                       const Kernel::PairwiseStats& stats,
                                        const linalg::Vector& ys_subset) const {
   for (double p : log_params) {
     if (!std::isfinite(p) || std::fabs(p) > 12.0) {
@@ -241,7 +241,7 @@ double GaussianProcess::nll_from_cache(const linalg::Vector& log_params,
   k->set_hyperparameters(kp);
   const double noise = std::exp(log_params.back());
 
-  linalg::Matrix gram = k->gram_from_sqdist(sqdist);
+  linalg::Matrix gram = k->gram_from_pairwise(stats);
   gram.add_to_diagonal(noise);
   auto chol = linalg::CholeskyFactor::compute_with_jitter(gram);
   if (!chol) return std::numeric_limits<double>::infinity();
@@ -301,12 +301,14 @@ void GaussianProcess::execute_refit(const RefitPlan& plan) {
   // O(n^3). Landmark selection consumes no RNG, so both tiers drain the
   // shared stream identically (journal replay).
   const bool sparse_obj = use_low_rank(plan.subset.size());
-  // Isotropic kernels only depend on pairwise squared distances, which are
-  // hyper-parameter independent: compute them once for the subset, then each
-  // NLL evaluation is a scalar map + Cholesky instead of an O(n^2 d) Gram
-  // rebuild from raw inputs.
-  const bool cached = options.use_distance_cache && kernel_->supports_sqdist();
-  linalg::Matrix sqdist;
+  // Pairwise-cache kernels only depend on per-pair statistics (squared
+  // distances; plus categorical mismatch counts for the mixed kernel) that
+  // are hyper-parameter independent: compute them once for the subset, then
+  // each NLL evaluation is a scalar map + Cholesky instead of an O(n^2 d)
+  // Gram rebuild from raw inputs.
+  const bool cached =
+      options.use_distance_cache && kernel_->supports_pairwise_cache();
+  Kernel::PairwiseStats stats;
   linalg::Vector ys_subset;
   Landmarks lm;
   if (sparse_obj || cached) {
@@ -320,7 +322,7 @@ void GaussianProcess::execute_refit(const RefitPlan& plan) {
     if (sparse_obj) {
       lm = select_landmarks(xs, low_rank_.num_inducing);
     } else {
-      sqdist = squared_distance_matrix(xs);
+      stats = kernel_->pairwise_stats(xs);
     }
   }
   // When the cache is ablated by option (not merely unsupported by the
@@ -329,7 +331,7 @@ void GaussianProcess::execute_refit(const RefitPlan& plan) {
   const bool legacy = !options.use_distance_cache;
   auto objective = [&](const linalg::Vector& p) {
     if (sparse_obj) return nll_low_rank(p, lm, ys_subset);
-    return cached ? nll_from_cache(p, sqdist, ys_subset)
+    return cached ? nll_from_cache(p, stats, ys_subset)
                   : nll_for(p, plan.subset, legacy);
   };
 
@@ -338,8 +340,13 @@ void GaussianProcess::execute_refit(const RefitPlan& plan) {
   nm.initial_step = 0.7;
   if (options.nm_f_tolerance > 0.0) nm.f_tolerance = options.nm_f_tolerance;
 
+  // Small subsets run the restarts serially: same bits (ordered winner
+  // scan), less fork/join overhead than the work is worth.
+  const bool parallel =
+      options.parallel_restarts &&
+      plan.subset.size() >= options.parallel_restart_min_points;
   const MultiStartResult best = minimize_multistart(
-      objective, plan.current, plan.starts, nm, options.parallel_restarts);
+      objective, plan.current, plan.starts, nm, parallel);
 
   if (std::isfinite(best.f)) {
     linalg::Vector kp(best.x.begin(), best.x.end() - 1);

@@ -45,10 +45,11 @@ struct FitOptions {
   std::size_t max_evals = 80;        ///< NLL evaluations per start
   std::size_t max_points = 300;      ///< subsample cap for the NLL objective
   double min_noise_variance = 1e-6;  ///< lower clamp on fitted noise
-  /// Precompute the subset's squared-distance matrix once per refit and
-  /// evaluate only the scalar kernel map per NLL call (isotropic kernels
-  /// only; bit-identical to the direct path). Off switch exists for perf
-  /// ablation (bench_surrogate_scaling).
+  /// Precompute the subset's pairwise statistics (squared distances, plus
+  /// categorical mismatch counts for the mixed kernel) once per refit and
+  /// evaluate only the scalar kernel map per NLL call (bit-identical to the
+  /// direct path). Off switch exists for perf ablation
+  /// (bench_surrogate_scaling).
   bool use_distance_cache = true;
   /// Early-stop tolerance on the Nelder-Mead simplex NLL spread. 0 (the
   /// default) keeps the optimizer's built-in tolerance — bit-identical
@@ -63,6 +64,13 @@ struct FitOptions {
   /// for any thread count (see gp/refit.hpp). Off switch exists so
   /// bench_surrogate_scaling can time serial vs parallel honestly.
   bool parallel_restarts = true;
+  /// Run the restarts serially anyway when the NLL subset is smaller than
+  /// this: per-evaluation Cholesky work below ~this size is too cheap to
+  /// amortize the fork/join round trips, and the parallel path measured
+  /// SLOWER than serial at n = 384 on the reference machine. Results are
+  /// bit-identical either way (same ordered winner scan), so this is purely
+  /// a perf knob. 0 parallelizes at any size.
+  std::size_t parallel_restart_min_points = 512;
   /// Seed starts[0] from the previous refit's optimum (instead of the
   /// log/exp round-trip of the current hyper-parameters) and skip
   /// re-standardization when the training targets are byte-identical to the
@@ -197,7 +205,7 @@ class GaussianProcess {
                  const std::vector<std::size_t>& subset,
                  bool reference_chol = false) const;
   double nll_from_cache(const linalg::Vector& log_params,
-                        const linalg::Matrix& sqdist,
+                        const Kernel::PairwiseStats& stats,
                         const linalg::Vector& ys_subset) const;
   double nll_low_rank(const linalg::Vector& log_params, const Landmarks& lm,
                       const linalg::Vector& ys_subset) const;

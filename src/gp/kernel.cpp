@@ -100,6 +100,27 @@ linalg::Matrix Kernel::gram_from_sqdist(const linalg::Matrix& sqdist) const {
   return k;
 }
 
+Kernel::PairwiseStats Kernel::pairwise_stats(
+    const std::vector<linalg::Vector>& xs) const {
+  if (!supports_sqdist()) {
+    throw std::logic_error("Kernel::pairwise_stats: " + name() +
+                           " does not support the pairwise cache");
+  }
+  PairwiseStats stats;
+  stats.sqdist = squared_distance_matrix(xs);
+  return stats;
+}
+
+double Kernel::eval_from_pairwise(double sqdist, double mismatch) const {
+  assert(mismatch == 0.0);
+  (void)mismatch;
+  return eval_from_sqdist(sqdist);
+}
+
+linalg::Matrix Kernel::gram_from_pairwise(const PairwiseStats& stats) const {
+  return gram_from_sqdist(stats.sqdist);
+}
+
 // ---- SquaredExponentialKernel ----
 
 SquaredExponentialKernel::SquaredExponentialKernel(double lengthscale,
@@ -227,6 +248,70 @@ double MixedSpaceKernel::operator()(std::span<const double> a,
   return signal_variance_ *
          std::exp(-0.5 * sq / (cont_lengthscale_ * cont_lengthscale_) -
                   hamming / cat_lengthscale_);
+}
+
+Kernel::PairwiseStats MixedSpaceKernel::pairwise_stats(
+    const std::vector<linalg::Vector>& xs) const {
+  const std::size_t n = xs.size();
+  PairwiseStats stats;
+  stats.sqdist = linalg::Matrix(n, n);
+  stats.mismatch = linalg::Matrix(n, n);
+  // One pass per pair, splitting the dimensions exactly as operator() does:
+  // sq accumulates continuous dims in increasing index order (the same
+  // additions in the same order, so the cached value is bit-identical to
+  // the interleaved loop's), mismatch counts categorical level differences.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const auto& a = xs[i];
+      const auto& b = xs[j];
+      double sq = 0.0;
+      double hamming = 0.0;
+      for (std::size_t d = 0; d < categorical_.size(); ++d) {
+        if (categorical_[d] != 0) {
+          if (a[d] != b[d]) hamming += 1.0;
+        } else {
+          const double diff = a[d] - b[d];
+          sq += diff * diff;
+        }
+      }
+      stats.sqdist(i, j) = sq;
+      stats.sqdist(j, i) = sq;
+      stats.mismatch(i, j) = hamming;
+      stats.mismatch(j, i) = hamming;
+    }
+  }
+  return stats;
+}
+
+double MixedSpaceKernel::eval_from_pairwise(double sqdist,
+                                            double mismatch) const {
+  return signal_variance_ *
+         std::exp(-0.5 * sqdist / (cont_lengthscale_ * cont_lengthscale_) -
+                  mismatch / cat_lengthscale_);
+}
+
+linalg::Matrix MixedSpaceKernel::gram_from_pairwise(
+    const PairwiseStats& stats) const {
+  assert(stats.sqdist.rows() == stats.sqdist.cols() &&
+         stats.mismatch.rows() == stats.sqdist.rows());
+  const std::size_t n = stats.sqdist.rows();
+  linalg::Matrix k(n, n);
+  // Same chain as eval_from_pairwise()/operator() — (-0.5 * sq / l_c^2) -
+  // (mm / l_k), exp, * s2 — with the virtual dispatch and member loads
+  // hoisted out of the n^2/2 loop. Upper triangle only (gram_from_sqdist
+  // contract).
+  const double sv = signal_variance_;
+  const double ll = cont_lengthscale_ * cont_lengthscale_;
+  const double cl = cat_lengthscale_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* sq = stats.sqdist.row(i).data();
+    const double* mm = stats.mismatch.row(i).data();
+    double* ki = k.row(i).data();
+    for (std::size_t j = i; j < n; ++j) {
+      ki[j] = sv * std::exp(-0.5 * sq[j] / ll - mm[j] / cl);
+    }
+  }
+  return k;
 }
 
 linalg::Vector MixedSpaceKernel::hyperparameters() const {

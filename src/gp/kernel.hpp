@@ -61,6 +61,41 @@ class Kernel {
   /// kernels override this with a devirtualized loop (same arithmetic,
   /// entry for entry) because this sits on the refit hot path.
   virtual linalg::Matrix gram_from_sqdist(const linalg::Matrix& sqdist) const;
+
+  /// Hyper-parameter-independent pairwise statistics, cached once per refit
+  /// and re-mapped per candidate hyper-parameter point. The generalization
+  /// of the squared-distance cache to kernels that are a function of MORE
+  /// than the Euclidean distance: for MixedSpaceKernel, sqdist carries the
+  /// continuous-dim squared distances and mismatch the categorical
+  /// mismatch counts; for isotropic kernels, sqdist is the full
+  /// squared-distance matrix and mismatch stays empty.
+  struct PairwiseStats {
+    linalg::Matrix sqdist;
+    linalg::Matrix mismatch;  ///< empty unless the kernel has categorical dims
+  };
+
+  /// True when the kernel's covariance is a function of per-pair statistics
+  /// that do not depend on the hyper-parameters (pairwise_stats /
+  /// gram_from_pairwise are usable). Strictly broader than
+  /// supports_sqdist(): every isotropic kernel qualifies by default, and
+  /// MixedSpaceKernel qualifies through its (sqdist, mismatch) pair.
+  virtual bool supports_pairwise_cache() const { return supports_sqdist(); }
+
+  /// Pairwise statistics among xs. Default: the plain squared-distance
+  /// matrix (requires supports_sqdist()); kernels with categorical structure
+  /// override to split the dimensions in a single pass.
+  virtual PairwiseStats pairwise_stats(
+      const std::vector<linalg::Vector>& xs) const;
+
+  /// Scalar covariance from one pair's cached statistics. Must be
+  /// bit-identical to operator() on a point pair with those statistics.
+  /// Default delegates to eval_from_sqdist (mismatch must be 0).
+  virtual double eval_from_pairwise(double sqdist, double mismatch) const;
+
+  /// Gram matrix from cached pairwise statistics; upper triangle only, same
+  /// contract as gram_from_sqdist. Default delegates to gram_from_sqdist on
+  /// stats.sqdist, so isotropic kernels keep their devirtualized loops.
+  virtual linalg::Matrix gram_from_pairwise(const PairwiseStats& stats) const;
 };
 
 /// ||a - b||^2, accumulated in index order (the shared primitive behind the
@@ -136,8 +171,11 @@ class ArdSquaredExponentialKernel final : public Kernel {
 ///
 /// Hyper-parameters (log-space): [log l_cont, log l_cat, log s2].
 /// Not a function of Euclidean distance alone (supports_sqdist() == false),
-/// so the GP fit takes the direct-NLL path rather than the distance-cache /
-/// low-rank tiers — correct by construction, just without those shortcuts.
+/// so the low-rank tier is out — but the kernel IS a function of the
+/// hyper-parameter-independent pair (continuous sqdist, categorical
+/// mismatch count), so the refit hot path caches both once per subset via
+/// the pairwise-stats tier (supports_pairwise_cache() == true) and each NLL
+/// evaluation re-applies only the scalar map, bit-identical to operator().
 class MixedSpaceKernel final : public Kernel {
  public:
   /// `categorical[i]` != 0 marks dimension i as unordered (Hamming part).
@@ -149,6 +187,11 @@ class MixedSpaceKernel final : public Kernel {
 
   double operator()(std::span<const double> a,
                     std::span<const double> b) const override;
+  bool supports_pairwise_cache() const override { return true; }
+  PairwiseStats pairwise_stats(
+      const std::vector<linalg::Vector>& xs) const override;
+  double eval_from_pairwise(double sqdist, double mismatch) const override;
+  linalg::Matrix gram_from_pairwise(const PairwiseStats& stats) const override;
   std::size_t num_hyperparameters() const override { return 3; }
   linalg::Vector hyperparameters() const override;
   void set_hyperparameters(const linalg::Vector& log_params) override;

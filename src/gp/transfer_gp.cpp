@@ -39,22 +39,25 @@ linalg::Matrix build_joint_kernel(const Kernel& kernel, double rho,
   return k;
 }
 
-/// Same matrix from a precomputed joint squared-distance matrix (rows 0..n-1
-/// are source points). Entry-for-entry the same arithmetic as
-/// build_joint_kernel, so results are bit-identical for isotropic kernels.
-/// Only the upper triangle is populated: the sole consumer is
+/// Same matrix from precomputed joint pairwise statistics (rows 0..n-1 are
+/// source points). Entry-for-entry the same arithmetic as
+/// build_joint_kernel, so results are bit-identical for pairwise-cache
+/// kernels. Only the upper triangle is populated: the sole consumer is
 /// joint_nll_from_cache, whose CholeskyFactor::compute() reads the upper
 /// triangle only (skipping the mirror avoids n^2/2 strided stores).
-linalg::Matrix build_joint_kernel_from_sqdist(const Kernel& kernel,
-                                              const linalg::Matrix& sqdist,
-                                              std::size_t n_src, double rho,
-                                              double src_noise,
-                                              double tgt_noise) {
-  const std::size_t tot = sqdist.rows();
+linalg::Matrix build_joint_kernel_from_pairwise(
+    const Kernel& kernel, const Kernel::PairwiseStats& stats,
+    std::size_t n_src, double rho, double src_noise, double tgt_noise) {
+  const std::size_t tot = stats.sqdist.rows();
+  // Isotropic kernels leave the mismatch matrix empty; branch once, not per
+  // entry, and keep the legacy eval_from_sqdist call for them (same bits).
+  const bool mixed = stats.mismatch.rows() > 0;
   linalg::Matrix k(tot, tot);
   for (std::size_t i = 0; i < tot; ++i) {
     for (std::size_t j = i; j < tot; ++j) {
-      double v = kernel.eval_from_sqdist(sqdist(i, j));
+      double v = mixed ? kernel.eval_from_pairwise(stats.sqdist(i, j),
+                                                   stats.mismatch(i, j))
+                       : kernel.eval_from_sqdist(stats.sqdist(i, j));
       const bool cross = (i < n_src) != (j < n_src);
       if (cross) v *= rho;
       k(i, j) = v;
@@ -331,7 +334,7 @@ double TransferGaussianProcess::joint_nll(
 }
 
 double TransferGaussianProcess::joint_nll_from_cache(
-    const linalg::Vector& log_params, const linalg::Matrix& sqdist,
+    const linalg::Vector& log_params, const Kernel::PairwiseStats& stats,
     std::size_t n_src, const linalg::Vector& ys_subset) const {
   for (double p : log_params) {
     if (!std::isfinite(p) || std::fabs(p) > 12.0) {
@@ -349,8 +352,8 @@ double TransferGaussianProcess::joint_nll_from_cache(
   const double tgt_noise = std::exp(log_params[kdim + 3]);
   const double rho = rho_from(a, b);
 
-  linalg::Matrix gram = build_joint_kernel_from_sqdist(*k, sqdist, n_src, rho,
-                                                       src_noise, tgt_noise);
+  linalg::Matrix gram = build_joint_kernel_from_pairwise(
+      *k, stats, n_src, rho, src_noise, tgt_noise);
   auto chol = linalg::CholeskyFactor::compute_with_jitter(gram);
   if (!chol) return std::numeric_limits<double>::infinity();
   const linalg::Vector alpha = chol->solve(ys_subset);
@@ -420,11 +423,13 @@ void TransferGaussianProcess::execute_refit(const RefitPlan& plan) {
   const std::size_t subset_total =
       plan.src_subset.size() + plan.tgt_subset.size();
   const bool sparse_obj = use_low_rank(subset_total);
-  // Distance cache over the joint subset (source rows first): squared
-  // distances are hyper-parameter independent, so each NLL evaluation only
-  // re-applies the scalar kernel map and the cross-task factor.
-  const bool cached = options.use_distance_cache && kernel_->supports_sqdist();
-  linalg::Matrix sqdist;
+  // Pairwise cache over the joint subset (source rows first): squared
+  // distances (and categorical mismatch counts, for the mixed kernel) are
+  // hyper-parameter independent, so each NLL evaluation only re-applies the
+  // scalar kernel map and the cross-task factor.
+  const bool cached =
+      options.use_distance_cache && kernel_->supports_pairwise_cache();
+  Kernel::PairwiseStats stats;
   linalg::Vector ys_subset;
   Landmarks lm;
   if (sparse_obj || cached) {
@@ -442,7 +447,7 @@ void TransferGaussianProcess::execute_refit(const RefitPlan& plan) {
     if (sparse_obj) {
       lm = select_landmarks(pts, low_rank_.num_inducing);
     } else {
-      sqdist = squared_distance_matrix(pts);
+      stats = kernel_->pairwise_stats(pts);
     }
   }
   // Option-ablated (vs kernel-unsupported) cache selects the full legacy
@@ -452,7 +457,7 @@ void TransferGaussianProcess::execute_refit(const RefitPlan& plan) {
     if (sparse_obj) {
       return joint_nll_low_rank(p, lm, plan.src_subset.size(), ys_subset);
     }
-    return cached ? joint_nll_from_cache(p, sqdist, plan.src_subset.size(),
+    return cached ? joint_nll_from_cache(p, stats, plan.src_subset.size(),
                                          ys_subset)
                   : joint_nll(p, plan.src_subset, plan.tgt_subset, legacy);
   };
@@ -462,8 +467,13 @@ void TransferGaussianProcess::execute_refit(const RefitPlan& plan) {
   nm.initial_step = 0.7;
   if (options.nm_f_tolerance > 0.0) nm.f_tolerance = options.nm_f_tolerance;
 
+  // Small joint subsets run the restarts serially: same bits (ordered
+  // winner scan), less fork/join overhead than the work is worth.
+  const bool parallel =
+      options.parallel_restarts &&
+      subset_total >= options.parallel_restart_min_points;
   const MultiStartResult best = minimize_multistart(
-      objective, plan.current, plan.starts, nm, options.parallel_restarts);
+      objective, plan.current, plan.starts, nm, parallel);
 
   if (std::isfinite(best.f)) {
     const std::size_t kdim = kernel_->num_hyperparameters();

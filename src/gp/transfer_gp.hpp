@@ -44,10 +44,11 @@ struct TransferFitOptions {
   std::size_t max_source_points = 200;  ///< subsample cap for the objective
   std::size_t max_target_points = 200;
   double min_noise_variance = 1e-6;
-  /// Precompute the joint subset's squared-distance matrix once per refit;
+  /// Precompute the joint subset's pairwise statistics (squared distances,
+  /// plus categorical mismatch counts for the mixed kernel) once per refit;
   /// each NLL evaluation then applies only the scalar kernel map and the
-  /// cross-task attenuation rho (isotropic kernels only; bit-identical to
-  /// the direct path). Off switch for perf ablation.
+  /// cross-task attenuation rho (bit-identical to the direct path). Off
+  /// switch for perf ablation.
   bool use_distance_cache = true;
   /// Nelder-Mead simplex NLL-spread early stop; 0 (default) keeps the
   /// optimizer default — bit-identical legacy behavior (see
@@ -56,6 +57,9 @@ struct TransferFitOptions {
   /// Concurrent multi-start searches with a deterministic winner scan (see
   /// FitOptions::parallel_restarts; bit-identical for any thread count).
   bool parallel_restarts = true;
+  /// Serial restarts below this many joint-subset points (see
+  /// FitOptions::parallel_restart_min_points; same bits either way).
+  std::size_t parallel_restart_min_points = 512;
   /// Seed starts[0] from the previous optimum and skip re-standardization
   /// when both tasks' targets are byte-unchanged (see FitOptions::warm_start;
   /// identical RNG consumption, off by default).
@@ -181,7 +185,8 @@ class TransferGaussianProcess {
                    const std::vector<std::size_t>& tgt_subset,
                    bool reference_chol = false) const;
   double joint_nll_from_cache(const linalg::Vector& log_params,
-                              const linalg::Matrix& sqdist, std::size_t n_src,
+                              const Kernel::PairwiseStats& stats,
+                              std::size_t n_src,
                               const linalg::Vector& ys_subset) const;
   double joint_nll_low_rank(const linalg::Vector& log_params,
                             const Landmarks& lm, std::size_t n_src,

@@ -38,16 +38,6 @@ struct Crc32Table {
   }
 };
 
-std::uint32_t crc32(const void* data, std::size_t len) {
-  static const Crc32Table table;
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < len; ++i) {
-    c = table.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
-
 // ---- Little-endian serialization -----------------------------------------
 
 void put_u8(std::string& out, std::uint8_t v) {
@@ -448,6 +438,16 @@ extern "C" void ppat_journal_signal_handler(int) {
 }
 
 }  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  static const Crc32Table table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
 
 const char* reveal_status_name(RevealStatus status) {
   switch (status) {

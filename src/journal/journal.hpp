@@ -138,6 +138,10 @@ inline std::uint64_t mix_hash(std::uint64_t h, std::uint64_t v) {
 }
 std::uint64_t hash_doubles(std::uint64_t h, std::span<const double> values);
 
+/// CRC32 (reflected, poly 0xEDB88320; zlib-compatible). Guards every journal
+/// and ledger record frame against torn writes and bit rot.
+std::uint32_t crc32(const void* data, std::size_t len);
+
 // ---- Parsed journal contents (introspection / tests / tooling) -----------
 
 struct JournalEntry {

@@ -129,8 +129,15 @@ void SessionManager::run_session(Session& session) {
     flow::EvalServiceOptions eval_opts = cfg.eval;
     eval_opts.license_broker = broker_;
     eval_opts.session_tag = session.id;
-    flow::EvalService service(*oracle, cfg.space, eval_opts);
-    tuner::LiveCandidatePool pool(cfg.candidates, cfg.objectives, service);
+    std::unique_ptr<flow::BatchEvaluator> service =
+        cfg.make_evaluator
+            ? cfg.make_evaluator(session.id, *oracle, cfg.space, eval_opts)
+            : std::make_unique<flow::EvalService>(*oracle, cfg.space,
+                                                  eval_opts);
+    if (service == nullptr) {
+      throw std::invalid_argument("make_evaluator returned null");
+    }
+    tuner::LiveCandidatePool pool(cfg.candidates, cfg.objectives, *service);
 
     std::unique_ptr<journal::RunJournal> jnl;
     if (!cfg.journal_dir.empty()) {

@@ -95,6 +95,19 @@ struct SessionConfig {
   /// the manager's shared broker and this session's id; `licenses` remains
   /// the session's own in-flight cap.
   flow::EvalServiceOptions eval;
+  /// Optional evaluator factory (invoked on the session thread). When set,
+  /// the session's pool runs over the returned flow::BatchEvaluator instead
+  /// of an in-process EvalService — this is how `ppatuner_serve --workers`
+  /// swaps in a dist::DistributedEvalService without the server library
+  /// depending on ppat_dist. `eval` arrives with the shared broker and this
+  /// session's tag already filled in. The returned evaluator must evaluate
+  /// `oracle`'s semantics over `space` (worker processes host their own
+  /// oracle instances; `oracle` itself may go unused). Empty = EvalService.
+  std::function<std::unique_ptr<flow::BatchEvaluator>(
+      std::uint64_t session_id, flow::QorOracle& oracle,
+      const flow::ParameterSpace& space,
+      const flow::EvalServiceOptions& eval)>
+      make_evaluator;
   /// Journal directory: empty = no journal; existing journal = resume,
   /// fresh directory = record. Per session, so each session crash-resumes
   /// independently.

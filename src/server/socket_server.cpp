@@ -216,6 +216,20 @@ void SocketServer::handle_connection(int fd) {
     cfg.name = oracle_name;
     cfg.space = spec->space;
     cfg.make_oracle = spec->make;
+    if (options_.make_evaluator) {
+      cfg.make_evaluator = [factory = options_.make_evaluator, oracle_name,
+                            oracle_seed](
+                               std::uint64_t id, flow::QorOracle& oracle,
+                               const flow::ParameterSpace& space,
+                               const flow::EvalServiceOptions& eval)
+          -> std::unique_ptr<flow::BatchEvaluator> {
+        auto evaluator = factory(oracle_name, oracle_seed, id, space, eval);
+        if (evaluator != nullptr) return evaluator;
+        // Factory declined (e.g. an oracle the worker fleet cannot host):
+        // in-process evaluation is always a valid fallback.
+        return std::make_unique<flow::EvalService>(oracle, space, eval);
+      };
+    }
     cfg.tuner = topt;
     cfg.objectives.assign(objectives64.begin(), objectives64.end());
     cfg.candidates.reserve(n);

@@ -41,6 +41,16 @@ struct OracleSpec {
 using OracleResolver = std::function<std::optional<OracleSpec>(
     const std::string& name, std::uint64_t seed, std::size_t dim)>;
 
+/// Optional per-session evaluator factory (see SessionConfig::
+/// make_evaluator). Receives the client's oracle selection so the factory
+/// can provision matching worker processes; return null to fall back to the
+/// in-process EvalService for this session.
+using SessionEvaluatorFactory =
+    std::function<std::unique_ptr<flow::BatchEvaluator>(
+        const std::string& oracle_name, std::uint64_t oracle_seed,
+        std::uint64_t session_id, const flow::ParameterSpace& space,
+        const flow::EvalServiceOptions& eval)>;
+
 struct SocketServerOptions {
   std::string socket_path;
   OracleResolver resolve_oracle;
@@ -48,6 +58,10 @@ struct SocketServerOptions {
   /// Root directory for per-session journals ("<root>/session-<id>/");
   /// empty disables journaling.
   std::string journal_root;
+  /// Empty = every session evaluates in-process (EvalService). Set by
+  /// `ppatuner_serve --workers` to back sessions with a distributed
+  /// coordinator + worker fleet.
+  SessionEvaluatorFactory make_evaluator;
 };
 
 /// Owns the listening socket, the SessionManager, and one thread per live

@@ -26,6 +26,16 @@ const char* msg_type_name(MsgType type) {
       return "Error";
     case MsgType::kStopSession:
       return "StopSession";
+    case MsgType::kWorkerHello:
+      return "WorkerHello";
+    case MsgType::kWorkerHelloAck:
+      return "WorkerHelloAck";
+    case MsgType::kEvalRequest:
+      return "EvalRequest";
+    case MsgType::kEvalResult:
+      return "EvalResult";
+    case MsgType::kHeartbeat:
+      return "Heartbeat";
   }
   return "<unknown>";
 }

@@ -20,6 +20,20 @@
 //   kError         (s) str message (the connection closes after)
 //   kStopSession   u64 session_id (graceful; a kDone still follows)
 //
+// Distributed-evaluation frames (worker <-> coordinator; see src/dist/):
+//
+//   kWorkerHello    (w) u32 protocol_version, u64 session_epoch,
+//                       str oracle_name, u64 space_dim
+//   kWorkerHelloAck (c) u64 session_epoch
+//   kEvalRequest    (c) u64 job_id, u32 attempt, u64 dim, dim*f64
+//                       (canonical parameter values, not unit-cube points)
+//   kEvalResult     (w) u64 job_id, u32 attempt, u8 ok,
+//                       ok: f64 area_um2, f64 power_mw, f64 delay_ns
+//                       !ok: str error
+//   kHeartbeat          u64 session_epoch (worker liveness while idle; the
+//                       coordinator echoes nothing, a stale epoch
+//                       disconnects the worker)
+//
 // A zero tuner option means "server default" (mirrors the C ABI). One
 // connection drives one session: open, stream updates, done. Dropping the
 // connection mid-run requests a graceful stop of its session.
@@ -47,6 +61,12 @@ enum class MsgType : std::uint8_t {
   kDone = 6,
   kError = 7,
   kStopSession = 8,
+  // Distributed oracle fleet (coordinator/worker; src/dist/).
+  kWorkerHello = 9,
+  kWorkerHelloAck = 10,
+  kEvalRequest = 11,
+  kEvalResult = 12,
+  kHeartbeat = 13,
 };
 const char* msg_type_name(MsgType type);
 

@@ -25,7 +25,7 @@ journal::RevealStatus to_reveal_status(flow::RunStatus status) {
 
 LiveCandidatePool::LiveCandidatePool(std::vector<flow::Config> candidates,
                                      std::vector<std::size_t> objectives,
-                                     flow::EvalService& service)
+                                     flow::BatchEvaluator& service)
     : candidates_(std::move(candidates)),
       objectives_(std::move(objectives)),
       service_(&service) {
@@ -66,7 +66,7 @@ std::vector<CandidatePool::RevealOutcome> LiveCandidatePool::reveal_batch(
     std::vector<flow::Config> configs;
     configs.reserve(pending.size());
     for (std::size_t i : pending) configs.push_back(candidates_[i]);
-    flow::EvalService::RunObserver observer;
+    flow::BatchEvaluator::RunObserver observer;
     if (journal_ != nullptr) {
       // Journal each outcome as EvalService finalizes it (worker-thread
       // callback; append_reveal is thread-safe): the full RunRecord —

@@ -28,7 +28,9 @@ class RunJournal;
 namespace ppat::tuner {
 
 /// Live tuning task: enumerated candidate configurations whose QoR comes
-/// from an EvalService on demand. The service must outlive the pool.
+/// from a flow::BatchEvaluator on demand — the in-process EvalService or a
+/// distributed coordinator, interchangeably. The evaluator must outlive the
+/// pool.
 class LiveCandidatePool final : public CandidatePool {
  public:
   /// `objectives` selects the QoR metrics forming the objective vector
@@ -36,7 +38,7 @@ class LiveCandidatePool final : public CandidatePool {
   /// `service`'s parameter space.
   LiveCandidatePool(std::vector<flow::Config> candidates,
                     std::vector<std::size_t> objectives,
-                    flow::EvalService& service);
+                    flow::BatchEvaluator& service);
 
   std::size_t size() const override { return encoded_.size(); }
   std::size_t num_objectives() const override { return objectives_.size(); }
@@ -65,7 +67,7 @@ class LiveCandidatePool final : public CandidatePool {
   /// when it was never dispatched.
   const flow::RunRecord* record(std::size_t i) const;
   const flow::Config& config(std::size_t i) const { return candidates_.at(i); }
-  flow::EvalService& service() { return *service_; }
+  flow::BatchEvaluator& service() { return *service_; }
 
   /// Wires per-completion journaling: every RunRecord is appended to the
   /// journal THE MOMENT EvalService finishes it (from the worker thread),
@@ -84,7 +86,7 @@ class LiveCandidatePool final : public CandidatePool {
   std::vector<flow::Config> candidates_;
   std::vector<std::size_t> objectives_;
   std::vector<linalg::Vector> encoded_;
-  flow::EvalService* service_;
+  flow::BatchEvaluator* service_;
   std::vector<State> state_;
   std::vector<pareto::Point> values_;      ///< valid where kRevealed
   std::vector<flow::RunRecord> records_;   ///< valid where != kUnknown

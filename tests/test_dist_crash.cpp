@@ -1,0 +1,383 @@
+// Kill-and-resume integration tests for the distributed oracle fleet — the
+// two halves of its headline guarantee:
+//
+//   --scenario worker       a worker PROCESS is SIGKILLed mid-run (via
+//                           ppatuner_worker --kill-after). The batch must
+//                           complete on the survivors, the killed job costs
+//                           exactly one retry, every QoR is bitwise equal to
+//                           the in-process EvalService reference, and the
+//                           ledger holds exactly one outcome per candidate.
+//
+//   --scenario coordinator  the COORDINATOR is SIGKILLed mid-batch (a
+//                           --child re-execution of this binary raises
+//                           SIGKILL from the run observer, i.e. after the
+//                           ledger append). A resume against the same ledger
+//                           must finish bitwise-identical to an
+//                           uninterrupted run AND must not double-spend: no
+//                           candidate recorded by run 1 may ever be started
+//                           by a run-2 worker (audited via --eval-log, which
+//                           is flushed before each evaluation begins).
+//
+// Standalone binary (NOT part of ppat_tests): it re-executes itself via
+// /proc/self/exe as a child that self-SIGKILLs, which must not happen inside
+// the shared gtest process.
+//
+//   test_dist_crash --scenario worker|coordinator --worker-bin PATH
+//     [--seed S] [--scratch DIR] [--child 1]
+//
+// On failure the scratch directory (PPAT_CRASH_SCRATCH or
+// ./dist_crash_scratch) is kept for inspection, ledger and eval logs
+// included.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "dist/oracles.hpp"
+#include "flow/eval_service.hpp"
+#include "journal/reveal_ledger.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace ppat;
+
+constexpr std::size_t kDim = 3;
+constexpr std::size_t kBatch = 16;
+constexpr std::size_t kKillAfterRecords = 5;  // coordinator scenario
+
+int g_failures = 0;
+
+#define CHECK(cond, msg)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK FAILED (%s:%d): %s\n", __FILE__,          \
+                   __LINE__, msg);                                          \
+      ++g_failures;                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Deterministic candidate batch — must be reproduced identically by the
+/// parent and the --child re-execution (same binary, same seed).
+std::vector<flow::Config> make_batch(const flow::ParameterSpace& space,
+                                     std::uint64_t seed) {
+  std::vector<flow::Config> configs;
+  configs.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    linalg::Vector u(space.size());
+    for (std::size_t d = 0; d < space.size(); ++d) {
+      u[d] = std::fmod(0.41 + 0.57 * static_cast<double>(i * 5 + d) +
+                           1e-3 * static_cast<double>(seed % 89),
+                       1.0);
+    }
+    configs.push_back(space.decode(u));
+  }
+  return configs;
+}
+
+/// Uninterrupted in-process reference over the SAME oracle translation
+/// unit the workers link — bitwise comparison is meaningful.
+std::vector<flow::RunRecord> reference_records(
+    const flow::ParameterSpace& space,
+    const std::vector<flow::Config>& configs, std::uint64_t seed) {
+  dist::SyntheticOracle oracle(seed);
+  flow::EvalService service(oracle, space);
+  return service.evaluate_batch(configs);
+}
+
+void check_qor_parity(const std::vector<flow::RunRecord>& got,
+                      const std::vector<flow::RunRecord>& want) {
+  CHECK(got.size() == want.size(), "record count mismatch");
+  for (std::size_t i = 0; i < got.size() && i < want.size(); ++i) {
+    CHECK(got[i].status == want[i].status, "status mismatch");
+    CHECK(got[i].qor.area_um2 == want[i].qor.area_um2, "area not bitwise");
+    CHECK(got[i].qor.power_mw == want[i].qor.power_mw, "power not bitwise");
+    CHECK(got[i].qor.delay_ns == want[i].qor.delay_ns, "delay not bitwise");
+  }
+}
+
+/// Job indices (= batch indices) a worker's eval log says it ever started.
+std::set<std::size_t> started_jobs(const std::string& log_path) {
+  std::set<std::size_t> jobs;
+  std::ifstream in(log_path);
+  std::size_t job = 0;
+  unsigned attempt = 0;
+  while (in >> job >> attempt) jobs.insert(job);
+  return jobs;
+}
+
+// ---- scenario: SIGKILLed worker -------------------------------------------
+
+int run_worker_scenario(const fs::path& scratch,
+                        const std::string& worker_bin, std::uint64_t seed) {
+  const auto space = dist::unit_cube_space(kDim);
+  const auto configs = make_batch(space, seed);
+  const auto want = reference_records(space, configs, seed);
+
+  const std::string ledger_path = (scratch / "worker_ledger.bin").string();
+  std::vector<flow::RunRecord> got;
+  dist::DistributedStats stats;
+  {
+    dist::DistributedOptions dopt;
+    dopt.socket_path = (scratch / "worker.sock").string();
+    dopt.ledger_path = ledger_path;
+    dist::DistributedEvalService coord(space, dopt);
+    // Three workers; the first SIGKILLs itself upon receiving its third
+    // request, mid-batch. 10 ms per eval keeps all three genuinely busy so
+    // the doomed one is guaranteed to reach request #3.
+    coord.spawn_local_worker(
+        worker_bin, {"--seed", std::to_string(seed), "--sleep-ms", "10",
+                     "--kill-after", "3"});
+    for (int w = 0; w < 2; ++w) {
+      coord.spawn_local_worker(
+          worker_bin, {"--seed", std::to_string(seed), "--sleep-ms", "10"});
+    }
+    if (!coord.wait_for_workers(3, std::chrono::seconds(15))) {
+      std::fprintf(stderr, "workers failed to connect\n");
+      return 1;
+    }
+    got = coord.evaluate_batch(configs);
+    stats = coord.stats();
+  }
+
+  std::size_t retried = 0;
+  for (const auto& r : got) {
+    CHECK(r.ok(), "record not ok after worker death");
+    if (r.attempts == 2) ++retried;
+  }
+  CHECK(retried == 1, "worker death must cost exactly one retry");
+  CHECK(stats.worker_deaths >= 1, "worker death not observed");
+  check_qor_parity(got, want);
+
+  // Exactly one ledger outcome per candidate, matching what was returned.
+  auto ledger = journal::RevealLedger::open(ledger_path);
+  CHECK(ledger->size() == configs.size(), "ledger must hold every outcome");
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto* rec = ledger->find(dist::config_digest(configs[i]));
+    CHECK(rec != nullptr, "candidate missing from ledger");
+    if (rec != nullptr && rec->ok() && rec->values.size() == 3) {
+      CHECK(rec->values[0] == got[i].qor.area_um2, "ledger area mismatch");
+      CHECK(rec->values[1] == got[i].qor.power_mw, "ledger power mismatch");
+      CHECK(rec->values[2] == got[i].qor.delay_ns, "ledger delay mismatch");
+    }
+  }
+  return g_failures == 0 ? 0 : 1;
+}
+
+// ---- scenario: SIGKILLed coordinator --------------------------------------
+
+/// The --child body: runs a coordinator against the shared ledger and
+/// raises SIGKILL from the observer of the Nth finalized record — AFTER the
+/// ledger append (finalize orders ledger-then-observer), so exactly N
+/// outcomes are durable when the process dies.
+int run_coordinator_child(const fs::path& scratch,
+                          const std::string& worker_bin, std::uint64_t seed) {
+  const auto space = dist::unit_cube_space(kDim);
+  const auto configs = make_batch(space, seed);
+
+  dist::DistributedOptions dopt;
+  dopt.socket_path = (scratch / "coord1.sock").string();
+  dopt.ledger_path = (scratch / "coord_ledger.bin").string();
+  dist::DistributedEvalService coord(space, dopt);
+  for (int w = 0; w < 2; ++w) {
+    coord.spawn_local_worker(
+        worker_bin,
+        {"--seed", std::to_string(seed), "--sleep-ms", "20", "--eval-log",
+         (scratch / ("run1-w" + std::to_string(w) + ".log")).string()});
+  }
+  if (!coord.wait_for_workers(2, std::chrono::seconds(15))) {
+    std::fprintf(stderr, "child: workers failed to connect\n");
+    return 1;
+  }
+  std::size_t finalized = 0;
+  coord.evaluate_batch(configs,
+                       [&finalized](std::size_t, const flow::RunRecord&) {
+                         if (++finalized >= kKillAfterRecords) {
+                           std::raise(SIGKILL);
+                         }
+                       });
+  std::fprintf(stderr, "child: survived past the kill point\n");
+  return 1;  // unreachable when the kill fires as intended
+}
+
+int run_coordinator_scenario(const fs::path& scratch,
+                             const std::string& worker_bin,
+                             std::uint64_t seed) {
+  const auto space = dist::unit_cube_space(kDim);
+  const auto configs = make_batch(space, seed);
+  const auto want = reference_records(space, configs, seed);
+  const std::string ledger_path = (scratch / "coord_ledger.bin").string();
+
+  // Run 1: a child coordinator that self-SIGKILLs mid-batch.
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (pid == 0) {
+    ::execl("/proc/self/exe", "test_dist_crash", "--scenario", "coordinator",
+            "--child", "1", "--worker-bin", worker_bin.c_str(), "--seed",
+            std::to_string(seed).c_str(), "--scratch",
+            scratch.string().c_str(), static_cast<char*>(nullptr));
+    std::perror("execl");
+    ::_exit(127);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  CHECK(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+        "child coordinator must die by SIGKILL");
+
+  // What run 1 durably recorded: those candidates are SPENT.
+  std::set<std::size_t> spent;
+  {
+    auto ledger = journal::RevealLedger::open(ledger_path);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (ledger->find(dist::config_digest(configs[i])) != nullptr) {
+        spent.insert(i);
+      }
+    }
+    CHECK(spent.size() >= kKillAfterRecords,
+          "kill fired before the observer saw the Nth record");
+    CHECK(spent.size() < configs.size(),
+          "kill fired too late to leave unfinished work");
+  }
+
+  // Run 2: resume against the same ledger with a fresh fleet on a fresh
+  // socket. Run-1's orphaned workers exit on their own when they see EOF
+  // from the dead coordinator; they hold no state and cannot interfere.
+  std::vector<flow::RunRecord> got;
+  dist::DistributedStats stats;
+  {
+    dist::DistributedOptions dopt;
+    dopt.socket_path = (scratch / "coord2.sock").string();
+    dopt.ledger_path = ledger_path;
+    dist::DistributedEvalService coord(space, dopt);
+    for (int w = 0; w < 2; ++w) {
+      coord.spawn_local_worker(
+          worker_bin,
+          {"--seed", std::to_string(seed), "--sleep-ms", "20", "--eval-log",
+           (scratch / ("run2-w" + std::to_string(w) + ".log")).string()});
+    }
+    if (!coord.wait_for_workers(2, std::chrono::seconds(15))) {
+      std::fprintf(stderr, "resume: workers failed to connect\n");
+      return 1;
+    }
+    got = coord.evaluate_batch(configs);
+    stats = coord.stats();
+  }
+
+  // Bitwise resume: the interrupted-then-resumed run equals the
+  // uninterrupted reference, attempts included (fault-free workers).
+  for (const auto& r : got) {
+    CHECK(r.ok(), "resumed record not ok");
+    CHECK(r.attempts == 1, "resumed record attempts != 1");
+  }
+  check_qor_parity(got, want);
+  CHECK(stats.reveals_replayed == spent.size(),
+        "every recorded outcome must be served from the ledger");
+
+  // Exactly-once: no candidate recorded by run 1 was ever STARTED by a
+  // run-2 worker. The eval logs are flushed before evaluation begins, so
+  // they are a superset of run-2's tool runs.
+  std::set<std::size_t> restarted;
+  for (int w = 0; w < 2; ++w) {
+    const auto jobs = started_jobs(
+        (scratch / ("run2-w" + std::to_string(w) + ".log")).string());
+    restarted.insert(jobs.begin(), jobs.end());
+  }
+  for (std::size_t idx : spent) {
+    CHECK(restarted.count(idx) == 0,
+          "double-spend: a ledger-recorded candidate was re-run");
+  }
+  // And run 2 did run everything that was NOT recorded.
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (spent.count(i) == 0) {
+      CHECK(restarted.count(i) == 1, "unrecorded candidate never re-run");
+    }
+  }
+  return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario;
+  std::string worker_bin;
+  std::string scratch_arg;
+  std::uint64_t seed = 20260807;
+  bool child = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenario = value();
+    } else if (arg == "--worker-bin") {
+      worker_bin = value();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--scratch") {
+      scratch_arg = value();
+    } else if (arg == "--child") {
+      child = std::strtol(value(), nullptr, 10) != 0;
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (worker_bin.empty() ||
+      (scenario != "worker" && scenario != "coordinator")) {
+    std::fprintf(stderr,
+                 "usage: %s --scenario worker|coordinator --worker-bin PATH "
+                 "[--seed S] [--scratch DIR]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  fs::path scratch;
+  if (!scratch_arg.empty()) {
+    scratch = scratch_arg;
+  } else if (const char* env = std::getenv("PPAT_CRASH_SCRATCH")) {
+    scratch = fs::path(env) / ("dist_" + scenario);
+  } else {
+    scratch = fs::path("dist_crash_scratch") / scenario;
+  }
+
+  if (child) {
+    // The child reuses the parent's scratch verbatim (shared ledger).
+    return run_coordinator_child(scratch, worker_bin, seed);
+  }
+
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+  fs::create_directories(scratch);
+
+  const int rc = scenario == "worker"
+                     ? run_worker_scenario(scratch, worker_bin, seed)
+                     : run_coordinator_scenario(scratch, worker_bin, seed);
+  if (rc == 0) {
+    fs::remove_all(scratch, ec);
+    std::printf("test_dist_crash %s: OK\n", scenario.c_str());
+  } else {
+    std::fprintf(stderr, "test_dist_crash %s: FAILED (scratch kept at %s)\n",
+                 scenario.c_str(), scratch.string().c_str());
+  }
+  return rc;
+}

@@ -115,6 +115,86 @@ TEST(GaussianProcess, HyperparameterFitImprovesLikelihood) {
   EXPECT_GE(after, before - 1e-9);
 }
 
+TEST(GaussianProcess, MixedKernelRefitCacheParityBitwise) {
+  // The mixed kernel now rides the pairwise-stats cache on the refit hot
+  // path; cache on vs off must produce bit-identical fitted
+  // hyper-parameters (same RNG seed, same subset, same winner scan).
+  auto make = [] {
+    return GaussianProcess(
+        std::make_unique<MixedSpaceKernel>(std::vector<std::uint8_t>{0, 1, 0}),
+        1e-4);
+  };
+  common::Rng data(17);
+  std::vector<linalg::Vector> xs;
+  linalg::Vector ys;
+  for (int i = 0; i < 40; ++i) {
+    linalg::Vector x(3);
+    x[0] = data.uniform01();
+    x[1] = (data.uniform01() < 0.5) ? 0.25 : 0.75;
+    x[2] = data.uniform01();
+    xs.push_back(x);
+    ys.push_back(std::sin(4.0 * x[0]) + (x[1] < 0.5 ? 0.3 : -0.3) +
+                 0.2 * x[2]);
+  }
+  FitOptions cached;
+  cached.use_distance_cache = true;
+  FitOptions direct;
+  direct.use_distance_cache = false;
+
+  auto a = make();
+  a.fit(xs, ys);
+  {
+    common::Rng rng(9);
+    a.optimize_hyperparameters(rng, cached);
+  }
+  auto b = make();
+  b.fit(xs, ys);
+  {
+    common::Rng rng(9);
+    b.optimize_hyperparameters(rng, direct);
+  }
+  const auto ha = a.kernel().hyperparameters();
+  const auto hb = b.kernel().hyperparameters();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i], hb[i]) << i;
+  EXPECT_EQ(a.noise_variance(), b.noise_variance());
+}
+
+TEST(GaussianProcess, SerialRestartFallbackIsBitIdentical) {
+  // parallel_restart_min_points only changes scheduling: forcing the
+  // parallel path on a small subset must match the (default) serial
+  // fallback bit for bit.
+  common::Rng data(23);
+  std::vector<linalg::Vector> xs;
+  linalg::Vector ys;
+  for (int i = 0; i < 30; ++i) {
+    const double x = data.uniform01();
+    xs.push_back({x});
+    ys.push_back(std::sin(8.0 * x));
+  }
+  FitOptions always_parallel;
+  always_parallel.parallel_restart_min_points = 0;
+  FitOptions gated;  // default threshold: 30 points -> serial
+
+  auto a = make_gp(5.0, 1e-2);
+  a.fit(xs, ys);
+  {
+    common::Rng rng(3);
+    a.optimize_hyperparameters(rng, always_parallel);
+  }
+  auto b = make_gp(5.0, 1e-2);
+  b.fit(xs, ys);
+  {
+    common::Rng rng(3);
+    b.optimize_hyperparameters(rng, gated);
+  }
+  const auto ha = a.kernel().hyperparameters();
+  const auto hb = b.kernel().hyperparameters();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i], hb[i]) << i;
+  EXPECT_EQ(a.noise_variance(), b.noise_variance());
+}
+
 TEST(GaussianProcess, FitRejectsBadInput) {
   auto gp = make_gp();
   EXPECT_THROW(gp.fit({}, {}), std::invalid_argument);

@@ -187,6 +187,86 @@ TEST(MixedSpaceKernel, RejectsEmptyMask) {
   EXPECT_THROW(MixedSpaceKernel({}), std::invalid_argument);
 }
 
+/// Mixed points over a {cont, bool, enum, cont} mask, with enough
+/// categorical collisions to exercise both matched and mismatched levels.
+std::vector<linalg::Vector> mixed_points(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<linalg::Vector> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::Vector x(4);
+    x[0] = rng.uniform01();
+    x[1] = (rng.uniform01() < 0.5) ? 0.25 : 0.75;
+    x[2] = (1.0 + std::floor(rng.uniform01() * 3.0)) / 3.0 - 1.0 / 6.0;
+    x[3] = rng.uniform01();
+    xs.push_back(std::move(x));
+  }
+  return xs;
+}
+
+TEST(MixedSpaceKernel, PairwiseCacheIsBitIdenticalToDirect) {
+  MixedSpaceKernel k({0, 1, 1, 0}, 0.4, 1.7, 2.3);
+  ASSERT_TRUE(k.supports_pairwise_cache());
+  ASSERT_FALSE(k.supports_sqdist());
+  const auto xs = mixed_points(24, 11);
+  const auto stats = k.pairwise_stats(xs);
+  ASSERT_EQ(stats.sqdist.rows(), xs.size());
+  ASSERT_EQ(stats.mismatch.rows(), xs.size());
+
+  // Scalar map parity (exact equality, not tolerance: the cached chain must
+  // replay the same floating-point operations in the same order).
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      EXPECT_EQ(k.eval_from_pairwise(stats.sqdist(i, j), stats.mismatch(i, j)),
+                k(xs[i], xs[j]))
+          << i << "," << j;
+    }
+  }
+  // Gram parity on the populated (upper) triangle.
+  const auto direct = k.gram(xs);
+  const auto cached = k.gram_from_pairwise(stats);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = i; j < xs.size(); ++j) {
+      EXPECT_EQ(cached(i, j), direct(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(MixedSpaceKernel, PairwiseCacheSurvivesHyperparameterChange) {
+  // The whole point of the cache: stats are hyper-parameter independent, so
+  // one pairwise_stats() serves every candidate point of the refit search.
+  MixedSpaceKernel k({1, 0, 0});
+  const auto xs = mixed_points(12, 5);
+  // mixed_points' mask differs; rebuild dim-3 points for this mask.
+  std::vector<linalg::Vector> pts;
+  for (const auto& x : xs) pts.push_back({x[1], x[0], x[3]});
+  const auto stats = k.pairwise_stats(pts);
+  auto probe = k.clone();
+  probe->set_hyperparameters({std::log(0.17), std::log(3.0), std::log(0.6)});
+  const auto direct = probe->gram(pts);
+  const auto cached = probe->gram_from_pairwise(stats);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i; j < pts.size(); ++j) {
+      EXPECT_EQ(cached(i, j), direct(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(IsotropicKernels, PairwiseCacheDelegatesToSqdistPath) {
+  SquaredExponentialKernel se(0.4, 1.3);
+  ASSERT_TRUE(se.supports_pairwise_cache());
+  std::vector<linalg::Vector> xs = {{0.1, 0.9}, {0.5, 0.2}, {0.8, 0.4}};
+  const auto stats = se.pairwise_stats(xs);
+  EXPECT_EQ(stats.mismatch.rows(), 0u);
+  const auto from_sq = se.gram_from_sqdist(stats.sqdist);
+  const auto from_pw = se.gram_from_pairwise(stats);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = i; j < xs.size(); ++j) {
+      EXPECT_EQ(from_pw(i, j), from_sq(i, j));
+    }
+  }
+  EXPECT_EQ(se.eval_from_pairwise(0.33, 0.0), se.eval_from_sqdist(0.33));
+}
+
 TEST(KernelGram, CrossMatchesElementwise) {
   SquaredExponentialKernel k(0.4, 1.0);
   std::vector<linalg::Vector> xs = {{0.1}, {0.5}};

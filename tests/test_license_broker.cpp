@@ -171,6 +171,48 @@ TEST(LicenseBroker, NoLeakAcrossAThousandFaultyEvals) {
   EXPECT_GT(broker->total_grants(), 500u);
 }
 
+// try_acquire is the coordinator's non-blocking path: it must grant when a
+// license is genuinely free, refuse at exhaustion, and refuse whenever any
+// OTHER session is blocked in acquire() — a poller never starves a waiter.
+TEST(LicenseBroker, TryAcquireGrantsRefusesAndYieldsToWaiters) {
+  LicenseBroker broker(2);
+
+  auto a = broker.try_acquire(1);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(broker.available(), 1u);
+  auto b = broker.try_acquire(1);
+  EXPECT_TRUE(b.valid());
+
+  // Exhausted: a poll comes back empty instead of sleeping.
+  auto c = broker.try_acquire(1);
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(broker.available(), 0u);
+
+  // Session 2 blocks in acquire(); once it is waiting, a freed license must
+  // go to it, not to a concurrently polling session 1.
+  std::atomic<bool> waiter_got_lease{false};
+  std::thread waiter([&] {
+    auto lease = broker.acquire(2);
+    waiter_got_lease.store(true);
+    lease.release();
+  });
+  while (broker.waiting_for(2) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  a.release();  // one license free, but session 2 is queued for it
+  auto d = broker.try_acquire(1);
+  EXPECT_FALSE(d.valid());
+  waiter.join();
+  EXPECT_TRUE(waiter_got_lease.load());
+
+  // With no waiters left, polling works again.
+  auto e = broker.try_acquire(1);
+  EXPECT_TRUE(e.valid());
+  e.release();
+  b.release();
+  EXPECT_EQ(broker.available(), broker.total());
+}
+
 // Broker-governed evaluation must not change WHAT is computed — only when.
 // Same batch with and without a broker: identical records.
 TEST(LicenseBroker, BrokeredResultsMatchUnbrokeredBitwise) {

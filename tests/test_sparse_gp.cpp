@@ -373,6 +373,7 @@ TEST(ParallelRestarts, SameWinnerForAnyThreadCountAndSerial) {
     opt.restarts = 4;
     opt.max_evals = 40;
     opt.parallel_restarts = configs[c].parallel;
+    opt.parallel_restart_min_points = 0;  // exercise the parallel path at small n
     common::Rng rng(62);
     with_threads(configs[c].threads,
                  [&] { gp.optimize_hyperparameters(rng, opt); });
@@ -411,6 +412,7 @@ TEST(ParallelRestarts, TransferModelMatchesSerialBitwise) {
     opt.restarts = 3;
     opt.max_evals = 30;
     opt.parallel_restarts = pass == 1;
+    opt.parallel_restart_min_points = 0;  // exercise the parallel path at small n
     common::Rng rng(64);
     with_threads(pass == 1 ? 8 : 1,
                  [&] { model.optimize_hyperparameters(rng, opt); });
@@ -505,6 +507,7 @@ TEST(EarlyStop, ToleranceZeroKeepsLegacyTrajectoryBitwise) {
     FitOptions opt;
     opt.nm_f_tolerance = 0.0;
     opt.parallel_restarts = pass == 1;
+    opt.parallel_restart_min_points = 0;  // exercise the parallel path at small n
     common::Rng rng(82);
     gp.optimize_hyperparameters(rng, opt);
     if (pass == 0) {

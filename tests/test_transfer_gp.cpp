@@ -167,5 +167,53 @@ TEST(TransferGp, JointLikelihoodFiniteAndImproves) {
   EXPECT_GE(tgp.log_marginal_likelihood(), before - 1e-9);
 }
 
+TEST(TransferGp, MixedKernelJointRefitCacheParityBitwise) {
+  // Joint-likelihood refit with the mixed kernel through the pairwise-stats
+  // cache vs the direct path: fitted hyper-parameters and the task
+  // correlation must be bit-identical (same RNG, same subsets).
+  auto make = [] {
+    return TransferGaussianProcess(std::make_unique<MixedSpaceKernel>(
+        std::vector<std::uint8_t>{0, 1}));
+  };
+  common::Rng data(31);
+  std::vector<linalg::Vector> sxs, txs;
+  linalg::Vector sys, tys;
+  for (int i = 0; i < 24; ++i) {
+    linalg::Vector x(2);
+    x[0] = data.uniform01();
+    x[1] = (data.uniform01() < 0.5) ? 0.25 : 0.75;
+    const double y = std::sin(5.0 * x[0]) + (x[1] < 0.5 ? 0.2 : -0.2);
+    if (i < 16) {
+      sxs.push_back(x);
+      sys.push_back(y);
+    } else {
+      txs.push_back(x);
+      tys.push_back(y + 0.1 * x[0]);
+    }
+  }
+  TransferFitOptions cached;
+  cached.use_distance_cache = true;
+  TransferFitOptions direct;
+  direct.use_distance_cache = false;
+
+  auto a = make();
+  a.fit(sxs, sys, txs, tys);
+  {
+    common::Rng rng(7);
+    a.optimize_hyperparameters(rng, cached);
+  }
+  auto b = make();
+  b.fit(sxs, sys, txs, tys);
+  {
+    common::Rng rng(7);
+    b.optimize_hyperparameters(rng, direct);
+  }
+  const auto ha = a.kernel().hyperparameters();
+  const auto hb = b.kernel().hyperparameters();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i], hb[i]) << i;
+  EXPECT_EQ(a.task_correlation(), b.task_correlation());
+}
+
 }  // namespace
 }  // namespace ppat::gp

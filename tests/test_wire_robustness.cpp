@@ -21,6 +21,9 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/oracles.hpp"
+#include "dist/worker.hpp"
 #include "sample/sampling.hpp"
 #include "server/socket_server.hpp"
 #include "server/wire.hpp"
@@ -406,6 +409,213 @@ TEST(SocketServerRobustness, SurvivesMalformedClientsThenServes) {
 
   // After the whole corpus: the server still completes a real session.
   server.run_good_session();
+}
+
+// ---------------------------------------------------------------------------
+// Distributed frames: Reader truncation on the worker-protocol payloads.
+
+TEST(WireReaderDistributed, TruncatedWorkerHelloThrows) {
+  // A hello that ends after the oracle name — the dim field is missing.
+  wire::Writer w;
+  w.u32(wire::kProtocolVersion);
+  w.u64(1);  // session epoch
+  w.str("synthetic");
+  const auto buf = w.take();
+  wire::Reader r(buf);
+  r.u32();
+  r.u64();
+  EXPECT_EQ(r.str(), "synthetic");
+  EXPECT_THROW(r.u64(), wire::WireError);
+}
+
+TEST(WireReaderDistributed, TruncatedEvalResultThrows) {
+  // The ok flag promises three QoR doubles; deliver two.
+  wire::Writer w;
+  w.u64(4);  // job id
+  w.u32(1);  // attempt
+  w.u8(1);   // ok
+  w.f64(1.0);
+  w.f64(2.0);
+  const auto buf = w.take();
+  wire::Reader r(buf);
+  r.u64();
+  r.u32();
+  EXPECT_EQ(r.u8(), 1);
+  r.f64();
+  r.f64();
+  EXPECT_THROW(r.f64(), wire::WireError);
+}
+
+TEST(WireReaderDistributed, EvalRequestDimBeyondPayloadThrows) {
+  // The dim field promises six doubles; the payload carries one.
+  wire::Writer w;
+  w.u64(0);  // job id
+  w.u32(1);  // attempt
+  w.u64(6);  // declared dim
+  w.f64(0.5);
+  const auto buf = w.take();
+  wire::Reader r(buf);
+  r.u64();
+  r.u32();
+  const std::uint64_t dim = r.u64();
+  EXPECT_THROW(
+      {
+        for (std::uint64_t i = 0; i < dim; ++i) r.f64();
+      },
+      wire::WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Live coordinator: hostile or stale workers must be rejected with kError
+// (or a clean close), never crash or wedge the fleet — and an honest worker
+// must still be served after the whole corpus.
+
+TEST(CoordinatorRobustness, RejectsBadHandshakesThenServes) {
+  const auto space = dist::unit_cube_space(3);
+  dist::DistributedOptions dopt;
+  dopt.socket_path = (fs::path(::testing::TempDir()) /
+                      ("ppat_coord_robust_" + std::to_string(::getpid()) +
+                       ".sock"))
+                         .string();
+  dopt.session_epoch = 7;
+  // Short handshake timeout so a client that stalls mid-frame cannot wedge
+  // the accept loop for the default five seconds.
+  dopt.handshake_timeout = std::chrono::milliseconds(100);
+  // Held by pointer so the coordinator can be destroyed (closing the
+  // worker connection) BEFORE the worker thread is joined.
+  auto coord =
+      std::make_unique<dist::DistributedEvalService>(space, dopt);
+
+  auto dial = [&]() {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  dopt.socket_path.c_str());
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  };
+  // The coordinator only services its socket while polled; wait_for_workers
+  // is the pump. Every corpus client is rejected, so the count never hits 1.
+  auto pump = [&] {
+    EXPECT_FALSE(
+        coord->wait_for_workers(1, std::chrono::milliseconds(300)));
+  };
+  auto rejection = [](int fd) {
+    std::string message;
+    try {
+      while (auto frame = wire::read_frame(fd)) {
+        if (frame->type == wire::MsgType::kError) {
+          wire::Reader r(frame->payload);
+          message = r.str();
+        }
+      }
+    } catch (const wire::WireError&) {
+      // Hung up mid-frame: also a clean rejection.
+    }
+    return message;
+  };
+  auto hello_frame = [&](std::uint32_t proto, std::uint64_t epoch,
+                         std::uint64_t dim) {
+    wire::Writer w;
+    w.u32(proto);
+    w.u64(epoch);
+    w.str("synthetic");
+    w.u64(dim);
+    return w.take();
+  };
+
+  {
+    // 1. Stale session epoch: a worker from a previous incarnation.
+    const int fd = dial();
+    wire::write_frame(fd, wire::MsgType::kWorkerHello,
+                      hello_frame(wire::kProtocolVersion, 6, 3));
+    pump();
+    EXPECT_NE(rejection(fd).find("stale session epoch"), std::string::npos);
+    ::close(fd);
+  }
+  {
+    // 2. Protocol version mismatch.
+    const int fd = dial();
+    wire::write_frame(fd, wire::MsgType::kWorkerHello,
+                      hello_frame(wire::kProtocolVersion + 3, 7, 3));
+    pump();
+    EXPECT_NE(rejection(fd).find("protocol version"), std::string::npos);
+    ::close(fd);
+  }
+  {
+    // 3. Parameter-space dimension mismatch.
+    const int fd = dial();
+    wire::write_frame(fd, wire::MsgType::kWorkerHello,
+                      hello_frame(wire::kProtocolVersion, 7, 4));
+    pump();
+    EXPECT_NE(rejection(fd).find("dimension"), std::string::npos);
+    ::close(fd);
+  }
+  {
+    // 4. Wrong opening frame type (a client-protocol Hello).
+    const int fd = dial();
+    wire::Writer w;
+    w.u32(wire::kProtocolVersion);
+    wire::write_frame(fd, wire::MsgType::kHello, w.take());
+    pump();
+    EXPECT_NE(rejection(fd).find("WorkerHello"), std::string::npos);
+    ::close(fd);
+  }
+  {
+    // 5. Truncated hello: promise 64 payload bytes, send 8, stall. The
+    // handshake recv timeout must cut the connection loose.
+    const int fd = dial();
+    const std::uint32_t len = 64;
+    std::uint8_t bytes[13] = {};
+    std::memcpy(bytes, &len, 4);
+    bytes[4] = static_cast<std::uint8_t>(wire::MsgType::kWorkerHello);
+    write_raw(fd, bytes, sizeof(bytes));
+    pump();
+    rejection(fd);  // clean close is acceptable; must not hang
+    ::close(fd);
+  }
+  {
+    // 6. Oversized length prefix straight at the handshake.
+    const int fd = dial();
+    const std::uint32_t len = 0xffffffffu;
+    std::uint8_t header[5];
+    std::memcpy(header, &len, 4);
+    header[4] = static_cast<std::uint8_t>(wire::MsgType::kWorkerHello);
+    write_raw(fd, header, sizeof(header));
+    pump();
+    rejection(fd);
+    ::close(fd);
+  }
+
+  EXPECT_EQ(coord->stats().workers_rejected, 6u);
+  EXPECT_EQ(coord->worker_count(), 0u);
+
+  // After the whole corpus: an honest worker connects and the fleet serves
+  // a real batch.
+  dist::SyntheticOracle oracle(3);
+  dist::WorkerLoopOptions wopts;
+  wopts.session_epoch = 7;
+  std::thread worker([&] {
+    const int fd = dist::connect_worker(dopt.socket_path);
+    ASSERT_GE(fd, 0);
+    dist::run_worker_loop(fd, oracle, space, wopts);
+  });
+  ASSERT_TRUE(coord->wait_for_workers(1, std::chrono::seconds(5)));
+  std::vector<flow::Config> configs;
+  for (int i = 0; i < 4; ++i) {
+    linalg::Vector u(3);
+    for (int d = 0; d < 3; ++d) {
+      u[d] = 0.1 + 0.2 * static_cast<double>(i) + 0.05 * d;
+    }
+    configs.push_back(space.decode(u));
+  }
+  const auto records = coord->evaluate_batch(configs);
+  for (const auto& r : records) EXPECT_TRUE(r.ok());
+  coord.reset();
+  worker.join();
 }
 
 }  // namespace

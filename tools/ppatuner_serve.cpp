@@ -9,6 +9,13 @@
 //   ppatuner_serve --socket /tmp/ppat.sock --max-sessions 8 --licenses 4
 //       --journal-root /tmp/ppat-journals
 //
+// With --workers N each session's evaluations are sharded across N worker
+// PROCESSES (ppatuner_worker) instead of in-process threads: the session
+// gets a dist::DistributedEvalService listening on "<socket>.w<session-id>"
+// with the session id as its epoch, and N workers hosting the session's
+// oracle are spawned against it (--worker-bin overrides the binary path,
+// default: ppatuner_worker next to this executable).
+//
 // Oracles a client can name in OpenSession:
 //   synthetic    analytic QoR surface, any dimensionality (demos, smoke
 //                tests; runs in microseconds)
@@ -26,6 +33,7 @@
 #include <optional>
 #include <string>
 
+#include "dist/coordinator.hpp"
 #include "flow/benchmark.hpp"
 #include "flow/pd_tool.hpp"
 #include "hls/systolic.hpp"
@@ -76,15 +84,26 @@ flow::ParameterSpace unit_cube_space(std::size_t dim) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--max-sessions N] [--licenses N]\n"
-               "          [--journal-root DIR] [--no-signals]\n",
+               "          [--journal-root DIR] [--no-signals]\n"
+               "          [--workers N] [--worker-bin PATH]\n",
                argv0);
   return 2;
+}
+
+/// Default worker binary: ppatuner_worker in this executable's directory.
+std::string sibling_worker_binary(const char* argv0) {
+  std::string path = argv0;
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "ppatuner_worker";
+  return path.substr(0, slash + 1) + "ppatuner_worker";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   server::SocketServerOptions opts;
+  std::size_t workers = 0;
+  std::string worker_bin = sibling_worker_binary(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -104,6 +123,10 @@ int main(int argc, char** argv) {
       opts.journal_root = value();
     } else if (arg == "--no-signals") {
       opts.sessions.handle_signals = false;
+    } else if (arg == "--workers") {
+      workers = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--worker-bin") {
+      worker_bin = value();
     } else {
       return usage(argv[0]);
     }
@@ -156,6 +179,48 @@ int main(int argc, char** argv) {
     }
     return std::nullopt;
   };
+
+  if (workers > 0) {
+    // Distributed evaluation: each opened session gets its own coordinator
+    // on a derived socket with the session id as epoch, plus `workers`
+    // spawned ppatuner_worker processes hosting the session's oracle. The
+    // worker fleet (and its spawned pids) lives exactly as long as the
+    // coordinator, which the session owns.
+    const std::string base_socket = opts.socket_path;
+    opts.make_evaluator =
+        [workers, worker_bin, base_socket](
+            const std::string& oracle_name, std::uint64_t oracle_seed,
+            std::uint64_t session_id, const flow::ParameterSpace& space,
+            const flow::EvalServiceOptions& eval)
+        -> std::unique_ptr<flow::BatchEvaluator> {
+      dist::DistributedOptions dopt;
+      dopt.socket_path = base_socket + ".w" + std::to_string(session_id);
+      dopt.session_epoch = session_id;
+      dopt.session_tag = eval.session_tag;
+      dopt.license_broker = eval.license_broker;
+      dopt.max_attempts = eval.max_attempts;
+      dopt.retry_backoff = eval.retry_backoff;
+      dopt.run_deadline = eval.run_deadline;
+      dopt.watchdog_multiple = eval.watchdog_multiple;
+      dopt.watchdog_floor = eval.watchdog_floor;
+      dopt.watchdog_min_samples = eval.watchdog_min_samples;
+      auto coord =
+          std::make_unique<dist::DistributedEvalService>(space, dopt);
+      for (std::size_t w = 0; w < workers; ++w) {
+        coord->spawn_local_worker(
+            worker_bin,
+            {"--oracle", oracle_name, "--seed", std::to_string(oracle_seed),
+             "--dim", std::to_string(space.size())});
+      }
+      if (!coord->wait_for_workers(workers, std::chrono::seconds(15))) {
+        std::fprintf(stderr,
+                     "session %llu: only %zu/%zu workers connected\n",
+                     static_cast<unsigned long long>(session_id),
+                     coord->worker_count(), workers);
+      }
+      return coord;
+    };
+  }
 
   try {
     server::SocketServer srv(std::move(opts));

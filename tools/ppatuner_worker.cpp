@@ -1,0 +1,133 @@
+// ppatuner_worker: one worker process of the distributed oracle fleet.
+//
+// Dials a coordinator's Unix socket (DistributedEvalService or
+// ppatuner_serve --workers), announces its oracle and session epoch, and
+// serves evaluation requests until the coordinator goes away. All retry,
+// deadline, watchdog, and exactly-once bookkeeping is coordinator-side; a
+// worker is stateless and disposable — SIGKILL it and the fleet completes
+// the batch with one retry of whatever it was running.
+//
+//   ppatuner_worker --socket /tmp/ppat.sock.w1 [--epoch N]
+//       [--oracle synthetic|pdsim|hls_small|hls_large] [--seed S]
+//       [--dim D] [--sleep-ms MS]
+//
+// Test/diagnostic hooks:
+//   --kill-after N   raise(SIGKILL) upon RECEIVING the N-th eval request,
+//                    before evaluating (worker-death crash scenarios)
+//   --eval-log FILE  append one "job attempt" line per request, flushed
+//                    before evaluation (exactly-once audits: any tool run
+//                    this worker ever started is on disk)
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dist/oracles.hpp"
+#include "dist/worker.hpp"
+
+using namespace ppat;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--epoch N] [--oracle NAME]\n"
+               "          [--seed S] [--dim D] [--sleep-ms MS]\n"
+               "          [--kill-after N] [--eval-log FILE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string oracle_name = "synthetic";
+  std::string eval_log_path;
+  std::uint64_t epoch = 1;
+  std::uint64_t seed = 0;
+  std::size_t dim = 3;
+  long sleep_ms = 0;
+  long kill_after = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = value();
+    } else if (arg == "--epoch") {
+      epoch = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--oracle") {
+      oracle_name = value();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--dim") {
+      dim = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--sleep-ms") {
+      sleep_ms = std::strtol(value(), nullptr, 10);
+    } else if (arg == "--kill-after") {
+      kill_after = std::strtol(value(), nullptr, 10);
+    } else if (arg == "--eval-log") {
+      eval_log_path = value();
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) return usage(argv[0]);
+
+  auto named = dist::make_named_oracle(oracle_name, seed, dim,
+                                       std::chrono::milliseconds(sleep_ms));
+  if (!named.has_value()) {
+    std::fprintf(stderr, "unknown oracle or bad dimension: %s (dim %zu)\n",
+                 oracle_name.c_str(), dim);
+    return 2;
+  }
+
+  std::FILE* eval_log = nullptr;
+  if (!eval_log_path.empty()) {
+    eval_log = std::fopen(eval_log_path.c_str(), "a");
+    if (eval_log == nullptr) {
+      std::fprintf(stderr, "cannot open eval log %s\n",
+                   eval_log_path.c_str());
+      return 2;
+    }
+  }
+
+  dist::WorkerLoopOptions opts;
+  opts.session_epoch = epoch;
+  opts.oracle_name = oracle_name;
+  opts.heartbeat_interval = std::chrono::milliseconds(1000);
+  long requests = 0;
+  opts.on_eval = [&](std::uint64_t job, std::uint32_t attempt,
+                     const flow::Config&) {
+    ++requests;
+    if (eval_log != nullptr) {
+      // Flushed BEFORE the evaluation starts: the log is a superset of the
+      // tool runs this worker ever began, which is exactly what the
+      // exactly-once audit needs.
+      std::fprintf(eval_log, "%llu %u\n",
+                   static_cast<unsigned long long>(job), attempt);
+      std::fflush(eval_log);
+    }
+    if (kill_after > 0 && requests >= kill_after) {
+      std::raise(SIGKILL);
+    }
+  };
+
+  const int fd = dist::connect_worker(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to coordinator at %s\n",
+                 socket_path.c_str());
+    return 3;
+  }
+  const int rc = dist::run_worker_loop(fd, *named->oracle, named->space, opts);
+  if (eval_log != nullptr) std::fclose(eval_log);
+  return rc;
+}
